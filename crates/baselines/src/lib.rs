@@ -1,0 +1,22 @@
+//! Baseline algorithms COSMOS is evaluated against.
+//!
+//! The simulation study (§4.1) compares against:
+//!
+//! - **Naive** — "allocate the queries to their local processors" (their
+//!   proxies);
+//! - **Random** — "randomly allocate the new queries without considering
+//!   their interest";
+//! - **Greedy** / **Centralized** — provided by
+//!   [`cosmos_core::distribute::Distributor`] (they share Algorithm 2's
+//!   machinery).
+//!
+//! The prototype study (§4.2) compares against the classical **operator
+//! placement** architecture: a NiagaraCQ-style globally *shared operator
+//! graph* (ref.\[12\]) placed with a network-aware algorithm in the spirit of
+//! Ahmad et al. (ref.\[3\]). [`opplace`] implements both steps from scratch.
+
+pub mod opplace;
+pub mod simple;
+
+pub use opplace::{OperatorGraph, OperatorPlacement, PlacedGraph};
+pub use simple::{naive_assignment, random_assignment};

@@ -1,0 +1,70 @@
+//! Trivial distribution baselines: Naive (proxy-local) and Random.
+
+use cosmos_core::spec::{Assignment, QuerySpec};
+use cosmos_net::Deployment;
+use cosmos_util::rng::rng_for;
+use rand::Rng;
+
+/// The paper's **Naive** baseline: every query runs at its proxy. "Naive
+/// performs the worst because it cannot identify the data interest of the
+/// queries and optimize their locations."
+pub fn naive_assignment(specs: &[QuerySpec]) -> Assignment {
+    specs.iter().map(|q| (q.id, q.proxy)).collect()
+}
+
+/// The paper's **Random** baseline (Figure 8): uniformly random processor
+/// per query, interest-oblivious.
+pub fn random_assignment(specs: &[QuerySpec], dep: &Deployment, seed: u64) -> Assignment {
+    let mut rng = rng_for(seed, "random-assignment");
+    let procs = dep.processors();
+    specs
+        .iter()
+        .map(|q| (q.id, procs[rng.gen_range(0..procs.len())]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_net::TransitStubConfig;
+    use cosmos_query::QueryId;
+    use cosmos_util::InterestSet;
+
+    fn fixture() -> (Deployment, Vec<QuerySpec>) {
+        let topo = TransitStubConfig::small().generate(1);
+        let dep = Deployment::assign(topo, 3, 6, 1);
+        let specs: Vec<QuerySpec> = (0..20)
+            .map(|i| QuerySpec {
+                id: QueryId(i),
+                interest: InterestSet::from_indices(50, [i as usize % 50]),
+                load: 1.0,
+                proxy: dep.processors()[i as usize % 6],
+                result_rate: 1.0,
+                state_size: 1.0,
+            })
+            .collect();
+        (dep, specs)
+    }
+
+    #[test]
+    fn naive_places_at_proxy() {
+        let (_, specs) = fixture();
+        let a = naive_assignment(&specs);
+        for q in &specs {
+            assert_eq!(a.processor_of(q.id), Some(q.proxy));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_valid() {
+        let (dep, specs) = fixture();
+        let a = random_assignment(&specs, &dep, 7);
+        let b = random_assignment(&specs, &dep, 7);
+        let c = random_assignment(&specs, &dep, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for q in &specs {
+            assert!(dep.processors().contains(&a.processor_of(q.id).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Criterion micro-benchmarks for the hot paths of the COSMOS middleware:
+//! interest-vector math (§3.2), coarsening (Algorithm 1), graph mapping
+//! (Algorithm 2), online routing (§3.6), load diffusion (§3.7), the
+//! Pub/Sub broker, and the stream engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cosmos_core::coarsen::coarsen;
+use cosmos_core::distribute::Distributor;
+use cosmos_core::graph::{edge_weight, QgVertex, QueryGraph};
+use cosmos_core::hierarchy::CoordinatorTree;
+use cosmos_core::online::OnlineRouter;
+use cosmos_core::spec::QuerySpec;
+use cosmos_engine::exec::StreamEngine;
+use cosmos_engine::tuple::Tuple;
+use cosmos_net::{Deployment, NodeId, TransitStubConfig};
+use cosmos_pubsub::broker::BrokerNetwork;
+use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_pubsub::SubstreamTable;
+use cosmos_query::{parse_query, QueryId, Scalar};
+use cosmos_util::rng::rng_for;
+use cosmos_util::solver::diffusion_solution;
+use cosmos_util::InterestSet;
+use cosmos_workload::generator::QueryGenerator;
+use cosmos_workload::{PaperParams, WorkloadConfig};
+use rand::Rng;
+
+fn bench_interest_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interest-set");
+    for universe in [2_000usize, 20_000] {
+        let mut rng = rng_for(1, "bench-bitset");
+        let a = InterestSet::from_indices(universe, (0..150).map(|_| rng.gen_range(0..universe)));
+        let b = InterestSet::from_indices(universe, (0..150).map(|_| rng.gen_range(0..universe)));
+        let rates: Vec<f64> = (0..universe).map(|i| 1.0 + (i % 10) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("weighted_overlap", universe),
+            &universe,
+            |bench, _| bench.iter(|| black_box(a.weighted_overlap(&b, &rates))),
+        );
+        group.bench_with_input(BenchmarkId::new("overlaps", universe), &universe, |bench, _| {
+            bench.iter(|| black_box(a.overlaps(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn workload_fixture() -> (Deployment, SubstreamTable, Vec<QuerySpec>) {
+    let params = PaperParams::scaled(0.05);
+    let topo = params.topology.generate(7);
+    let dep = Deployment::assign(topo, params.n_sources, params.n_processors, 7);
+    let table = SubstreamTable::random(
+        params.n_substreams,
+        params.n_sources,
+        params.rate_min,
+        params.rate_max,
+        7,
+    );
+    let mut generator = QueryGenerator::new(WorkloadConfig::from_params(&params), 7);
+    let specs = generator.generate(500, &dep, &table, 8);
+    (dep, table, specs)
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let (dep, table, specs) = workload_fixture();
+    let tree = CoordinatorTree::build(&dep, 4);
+    let d = Distributor::new(&dep, &tree, &table);
+    // Build a 500-query graph once.
+    let rates = table.rates();
+    let vertices: Vec<QgVertex> = specs
+        .iter()
+        .map(|s| {
+            QgVertex::for_query(s.id, s.interest.clone(), s.load, s.proxy, s.result_rate, 1.0)
+        })
+        .collect();
+    let mut graph = QueryGraph::new(vertices);
+    for i in 0..graph.len() {
+        for j in (i + 1)..graph.len().min(i + 40) {
+            let w = edge_weight(&graph.vertices[i], &graph.vertices[j], rates);
+            if w > 0.0 {
+                graph.set_edge(i, j, w);
+            }
+        }
+    }
+    let _ = d;
+    c.bench_function("coarsen/500-to-64", |bench| {
+        bench.iter(|| black_box(coarsen(&graph, 64, rates, &|_| None, 3)))
+    });
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let (dep, table, specs) = workload_fixture();
+    let tree = CoordinatorTree::build(&dep, 4);
+    let d = Distributor::new(&dep, &tree, &table);
+    let mut group = c.benchmark_group("distribute");
+    group.sample_size(10);
+    group.bench_function("hierarchical/500q", |bench| {
+        bench.iter(|| black_box(d.distribute(&specs, 5)))
+    });
+    group.bench_function("centralized/500q", |bench| {
+        bench.iter(|| black_box(d.distribute_centralized(&specs, 5)))
+    });
+    group.finish();
+}
+
+fn bench_online_routing(c: &mut Criterion) {
+    let (dep, table, specs) = workload_fixture();
+    let tree = CoordinatorTree::build(&dep, 4);
+    let d = Distributor::new(&dep, &tree, &table);
+    let assignment = d.distribute(&specs, 5).assignment;
+    drop(d);
+    let mut router = OnlineRouter::new(&dep, &tree, &table, 0.1);
+    router.seed_from(&specs, &assignment);
+    let probe = &specs[0];
+    c.bench_function("online/route_at_root", |bench| {
+        bench.iter(|| black_box(router.route_at(tree.root(), probe)))
+    });
+}
+
+fn bench_diffusion(c: &mut Criterion) {
+    let loads: Vec<f64> = (0..64).map(|i| (i % 7) as f64 * 3.0).collect();
+    let edges: Vec<(usize, usize)> =
+        (0..64).flat_map(|i| ((i + 1)..64).map(move |j| (i, j))).collect();
+    c.bench_function("diffusion/64-children", |bench| {
+        bench.iter(|| black_box(diffusion_solution(&loads, &edges)))
+    });
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let topo = TransitStubConfig::small().generate(3);
+    let mut net = BrokerNetwork::new(topo);
+    net.advertise("R", NodeId(0));
+    for i in 0..50u64 {
+        net.subscribe(
+            Subscription::builder(NodeId(30 + (i % 30) as u32))
+                .id(SubId(i))
+                .stream(
+                    "R",
+                    StreamProjection::All,
+                    vec![cosmos_query::Predicate::Cmp {
+                        attr: cosmos_query::AttrRef::new("R", "a"),
+                        op: cosmos_query::CmpOp::Gt,
+                        value: Scalar::Int((i % 40) as i64),
+                    }],
+                )
+                .build(),
+        );
+    }
+    c.bench_function("pubsub/publish-50-subs", |bench| {
+        bench.iter(|| {
+            black_box(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))))
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut engine = StreamEngine::new();
+    for i in 0..20u64 {
+        engine.add_query(
+            QueryId(i),
+            parse_query(&format!(
+                "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k AND R.v > {}",
+                i * 5
+            ))
+            .unwrap(),
+        );
+    }
+    let mut ts = 0i64;
+    c.bench_function("engine/push-20-queries", |bench| {
+        bench.iter(|| {
+            ts += 100;
+            let r = Tuple::new("R", ts)
+                .with("k", Scalar::Int(ts % 5))
+                .with("v", Scalar::Int(ts % 100));
+            let s = Tuple::new("S", ts + 50)
+                .with("k", Scalar::Int(ts % 5))
+                .with("v", Scalar::Int(1));
+            engine.push(r);
+            black_box(engine.push(s).len())
+        })
+    });
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let q3 = parse_query(
+        "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+         WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10",
+    )
+    .unwrap();
+    let q4 = parse_query(
+        "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+         FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+         WHERE S1.snowHeight > S2.snowHeight",
+    )
+    .unwrap();
+    c.bench_function("containment/merge-pair", |bench| {
+        bench.iter(|| {
+            black_box(cosmos_query::merge_queries(&[
+                (QueryId(3), &q3),
+                (QueryId(4), &q4),
+            ]))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interest_sets,
+    bench_coarsen,
+    bench_distribution,
+    bench_online_routing,
+    bench_diffusion,
+    bench_broker,
+    bench_engine,
+    bench_containment,
+);
+criterion_main!(benches);

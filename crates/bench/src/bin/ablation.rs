@@ -1,0 +1,94 @@
+//! Ablation study for the design choices DESIGN.md calls out:
+//!
+//! 1. **Overlap edges** (§3.1.2): the Pub/Sub-aware query-query term is
+//!    the paper's modelling novelty — removing it should cost
+//!    communication efficiency.
+//! 2. **Coarsening budget `vmax`** (§3.4): smaller graphs map faster but
+//!    lose placement precision.
+//! 3. **Per-level α split**: applying the full eqn 3.1 tolerance at every
+//!    tree level compounds to ~(1+α)^height and overloads processors.
+//!
+//! ```text
+//! cargo run --release -p cosmos-bench --bin ablation -- [--scale 0.1]
+//! ```
+
+use cosmos_bench::{banner, write_result, BenchArgs};
+use cosmos_core::distribute::{DistConfig, Distributor};
+use cosmos_workload::{PaperParams, Simulation};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Ablation", "design-choice ablations", &args);
+    let params = PaperParams::scaled(args.scale);
+    let n_queries = ((20_000.0 * args.scale) as usize).max(200);
+    let mut sim = Simulation::build(params.clone(), args.seed);
+    let batch = sim.arrivals(n_queries, args.seed + 1);
+    let mut records = Vec::new();
+
+    // --- 1. Overlap edges on/off.
+    println!("\n[1] Pub/Sub-aware overlap edges ({n_queries} queries)");
+    println!("{:>14} {:>14} {:>10}", "variant", "comm cost", "Δ vs on");
+    let mut base_cost = 0.0;
+    for on in [true, false] {
+        let mut config = DistConfig::default();
+        config.map.alpha = params.alpha;
+        config.overlap_edges = on;
+        let d = Distributor::with_config(&sim.dep, &sim.tree, &sim.table, config);
+        let out = d.distribute(&batch, args.seed + 2);
+        drop(d);
+        let cost = sim.comm_cost_of(&out.assignment);
+        if on {
+            base_cost = cost;
+        }
+        let delta = if on { 0.0 } else { 100.0 * (cost / base_cost - 1.0) };
+        println!("{:>14} {cost:>14.0} {delta:>+9.1}%", if on { "on" } else { "off" });
+        records.push(serde_json::json!({
+            "ablation": "overlap_edges", "variant": on, "comm_cost": cost
+        }));
+    }
+
+    // --- 2. Coarsening budget.
+    println!("\n[2] coarsening budget vmax");
+    println!("{:>8} {:>14} {:>12}", "vmax", "comm cost", "total time");
+    for vmax in [16usize, 64, 256] {
+        let mut config = DistConfig::default();
+        config.map.alpha = params.alpha;
+        config.vmax = vmax;
+        let d = Distributor::with_config(&sim.dep, &sim.tree, &sim.table, config);
+        let out = d.distribute(&batch, args.seed + 2);
+        drop(d);
+        let cost = sim.comm_cost_of(&out.assignment);
+        println!("{vmax:>8} {cost:>14.0} {:>11.2}s", out.timing.total.as_secs_f64());
+        records.push(serde_json::json!({
+            "ablation": "vmax", "variant": vmax, "comm_cost": cost,
+            "total_time_s": out.timing.total.as_secs_f64()
+        }));
+    }
+
+    // --- 3. Per-level α split on/off: compare worst processor overload.
+    println!("\n[3] per-level alpha split");
+    println!("{:>14} {:>16} {:>12}", "variant", "max load/limit", "comm cost");
+    for split in [true, false] {
+        let mut config = DistConfig::default();
+        config.map.alpha = params.alpha;
+        config.per_level_alpha = split;
+        let d = Distributor::with_config(&sim.dep, &sim.tree, &sim.table, config);
+        let out = d.distribute(&batch, args.seed + 2);
+        drop(d);
+        let loads = out.assignment.loads(&batch, sim.dep.processors());
+        let total: f64 = loads.iter().sum();
+        let limit = (1.0 + params.alpha) * total / loads.len() as f64;
+        let worst = loads.iter().cloned().fold(0.0, f64::max) / limit;
+        let cost = sim.comm_cost_of(&out.assignment);
+        println!(
+            "{:>14} {worst:>16.3} {cost:>12.0}",
+            if split { "split" } else { "flat" }
+        );
+        records.push(serde_json::json!({
+            "ablation": "per_level_alpha", "variant": split,
+            "worst_load_over_limit": worst, "comm_cost": cost
+        }));
+    }
+    println!("\n(max load/limit > 1 means the global eqn 3.1 bound is violated)");
+    write_result("ablation", &serde_json::json!({"scale": args.scale, "rows": records}));
+}

@@ -1,0 +1,97 @@
+//! Figure 10: perturbation of stream rates.
+//!
+//! At each of 10 events the rates of 800 random substreams are increased
+//! ("I") or decreased ("D") so load imbalance appears. Schemes:
+//!
+//! - No-Adaptive: the initial distribution is left alone;
+//! - Adaptive: the hierarchical adaptive redistribution (Algorithm 3);
+//! - Remapping: centralized re-mapping from scratch — slightly better
+//!   quality, but (paper) "it incurred about 7 times more query migrations
+//!   than the adaptive algorithm did".
+
+use cosmos_bench::{banner, write_result, BenchArgs};
+use cosmos_workload::{PaperParams, Simulation};
+
+const PATTERN: [char; 10] = ['I', 'D', 'I', 'I', 'I', 'I', 'I', 'D', 'D', 'I'];
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 10", "perturbation of stream rates", &args);
+    let params = PaperParams::scaled(args.scale);
+    let n_queries = ((30_000.0 * args.scale) as usize).max(100);
+    let n_perturb = ((800.0 * args.scale) as usize).max(20);
+
+    let build = |seed: u64| {
+        let mut s = Simulation::build(params.clone(), seed);
+        let batch = s.arrivals(n_queries, seed + 1);
+        let d = s.distributor();
+        let initial = d.distribute(&batch, seed + 2);
+        drop(d);
+        s.apply(initial.assignment);
+        s
+    };
+    let mut noad = build(args.seed);
+    let mut adaptive = build(args.seed);
+    let mut remap = build(args.seed);
+    let mut adaptive_migrations = 0usize;
+    let mut remap_migrations = 0usize;
+
+    println!("\n{:>6} {:>4} {:>13} {:>13} {:>13}   {:>8} {:>8} {:>8}", "event", "I/D",
+        "No-Adaptive", "Adaptive", "Remapping", "NA sd", "A sd", "R sd");
+    let mut rows = Vec::new();
+    for (e, &kind) in PATTERN.iter().enumerate() {
+        let seed = args.seed + 300 + e as u64;
+        let factor = if kind == 'I' { 2.0 } else { 0.5 };
+        noad.perturb_rates(n_perturb, factor, seed);
+        adaptive.perturb_rates(n_perturb, factor, seed);
+        remap.perturb_rates(n_perturb, factor, seed);
+
+        // Adaptive: one round per event (the paper's 200 s interval).
+        let out = adaptive.adapt_round(seed + 1);
+        adaptive_migrations += out.migrations;
+
+        // Remapping: centralized from-scratch remap; migrations = placement
+        // changes versus the pre-event assignment.
+        let before = remap.assignment.clone();
+        let d = remap.distributor();
+        let new = d.distribute_centralized(&remap.specs.clone(), seed + 2);
+        drop(d);
+        remap_migrations += new.assignment.migrations_from(&before);
+        remap.apply(new.assignment);
+
+        println!(
+            "{e:>6} {kind:>4} {:>13.0} {:>13.0} {:>13.0}   {:>8.3} {:>8.3} {:>8.3}",
+            noad.comm_cost(), adaptive.comm_cost(), remap.comm_cost(),
+            noad.load_stddev(), adaptive.load_stddev(), remap.load_stddev(),
+        );
+        rows.push(serde_json::json!({
+            "event": e, "kind": kind.to_string(),
+            "no_adaptive": noad.comm_cost(),
+            "adaptive": adaptive.comm_cost(),
+            "remapping": remap.comm_cost(),
+            "no_adaptive_stddev": noad.load_stddev(),
+            "adaptive_stddev": adaptive.load_stddev(),
+            "remapping_stddev": remap.load_stddev(),
+        }));
+    }
+    let ratio = remap_migrations as f64 / adaptive_migrations.max(1) as f64;
+    println!("\nTotal migrations: adaptive {adaptive_migrations}, remapping {remap_migrations}");
+    println!("Migration ratio remapping/adaptive: {ratio:.1}x (paper: ~7x)");
+    let last = rows.last().expect("rows nonempty");
+    println!("Shape checks (paper Figure 10):");
+    println!(
+        "  adaptive load stddev < no-adaptive at the end: {}",
+        last["adaptive_stddev"].as_f64() < last["no_adaptive_stddev"].as_f64()
+    );
+    println!("  remapping migrates far more than adaptive: {}", ratio > 2.0);
+    write_result(
+        "fig10",
+        &serde_json::json!({
+            "scale": args.scale,
+            "rows": rows,
+            "adaptive_migrations": adaptive_migrations,
+            "remapping_migrations": remap_migrations,
+            "migration_ratio": ratio,
+        }),
+    );
+}

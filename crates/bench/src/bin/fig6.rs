@@ -1,0 +1,70 @@
+//! Figure 6: initial query distribution.
+//!
+//! (a) Weighted communication cost vs number of queries for Naive, Greedy,
+//!     Hierarchical, and Centralized (paper: Naive worst; Greedy clearly
+//!     better; the two graph-mapping algorithms best and close together).
+//! (b) Response time and total time of the centralized vs hierarchical
+//!     mapping (paper: hierarchical far lower on both; gap grows with the
+//!     query count).
+//!
+//! Paper sweep: 5k–60k queries at 4096 nodes. The default `--scale 0.1`
+//! sweeps 500–6000 queries at ≈500 nodes; `--scale 1.0` reproduces the full
+//! setup.
+
+use cosmos_baselines::naive_assignment;
+use cosmos_bench::{banner, write_result, BenchArgs};
+use cosmos_workload::{PaperParams, Simulation};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 6", "initial query distribution", &args);
+    let params = PaperParams::scaled(args.scale);
+    let sizes: Vec<usize> = [5_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000]
+        .iter()
+        .map(|&n| ((n as f64 * args.scale).round() as usize).max(50))
+        .collect();
+
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>14} {:>14}   {:>10} {:>10} {:>10}",
+        "#queries", "Naive", "Greedy", "Hierarchical", "Centralized",
+        "hier-resp", "hier-total", "cent-time"
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut sim = Simulation::build(params.clone(), args.seed);
+        let batch = sim.arrivals(n, args.seed + 1);
+        let d = sim.distributor();
+        let naive = naive_assignment(&batch);
+        let greedy = d.distribute_greedy(&batch, args.seed + 2);
+        let hier = d.distribute(&batch, args.seed + 2);
+        let cent = d.distribute_centralized(&batch, args.seed + 2);
+        drop(d);
+        let c_naive = sim.comm_cost_of(&naive);
+        let c_greedy = sim.comm_cost_of(&greedy.assignment);
+        let c_hier = sim.comm_cost_of(&hier.assignment);
+        let c_cent = sim.comm_cost_of(&cent.assignment);
+        println!(
+            "{n:>8} {c_naive:>14.0} {c_greedy:>14.0} {c_hier:>14.0} {c_cent:>14.0}   {:>9.2}s {:>9.2}s {:>9.2}s",
+            hier.timing.response.as_secs_f64(),
+            hier.timing.total.as_secs_f64(),
+            cent.timing.total.as_secs_f64(),
+        );
+        rows.push(serde_json::json!({
+            "queries": n,
+            "naive": c_naive,
+            "greedy": c_greedy,
+            "hierarchical": c_hier,
+            "centralized": c_cent,
+            "hier_response_s": hier.timing.response.as_secs_f64(),
+            "hier_total_s": hier.timing.total.as_secs_f64(),
+            "centralized_s": cent.timing.total.as_secs_f64(),
+        }));
+    }
+    println!("\nShape checks (paper Figure 6):");
+    let last = rows.last().expect("nonempty sweep");
+    let ok1 = last["naive"].as_f64() > last["hierarchical"].as_f64();
+    let ok2 = last["centralized_s"].as_f64() > last["hier_response_s"].as_f64();
+    println!("  naive > hierarchical comm cost at max size: {ok1}");
+    println!("  centralized time > hierarchical response time at max size: {ok2}");
+    write_result("fig6", &serde_json::json!({"scale": args.scale, "rows": rows}));
+}

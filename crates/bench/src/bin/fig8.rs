@@ -1,0 +1,89 @@
+//! Figure 8: new query arrival.
+//!
+//! Paper setup: 30 000 initial queries; every 200-second interval, 1 500
+//! new queries arrive (20 intervals). Schemes:
+//!
+//! - Random: new queries placed randomly — cost grows fastest, load stays
+//!   flat-balanced;
+//! - Online: the §3.6 online insertion — low cost, but load imbalance
+//!   creeps up;
+//! - Online-Adaptive: online insertion + periodic adaptive redistribution —
+//!   best on both metrics.
+
+use cosmos_bench::{banner, write_result, BenchArgs};
+use cosmos_util::rng::rng_for;
+use cosmos_workload::{PaperParams, Simulation};
+use rand::Rng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 8", "new query arrival", &args);
+    let params = PaperParams::scaled(args.scale);
+    let n_initial = ((30_000.0 * args.scale) as usize).max(100);
+    let n_arrive = ((1_500.0 * args.scale) as usize).max(10);
+    let intervals = 20;
+
+    let build = |seed: u64| {
+        let mut s = Simulation::build(params.clone(), seed);
+        let batch = s.arrivals(n_initial, seed + 1);
+        let d = s.distributor();
+        let initial = d.distribute(&batch, seed + 2);
+        drop(d);
+        s.apply(initial.assignment);
+        s
+    };
+    let mut random = build(args.seed);
+    let mut online = build(args.seed);
+    let mut online_adaptive = build(args.seed);
+
+    println!("\n{:>8} {:>13} {:>13} {:>13}   {:>9} {:>9} {:>9}", "t(x200s)",
+        "Random", "Online", "Online-Adapt", "R stddev", "O stddev", "OA stddev");
+    let mut rows = Vec::new();
+    for t in 0..=intervals {
+        println!(
+            "{t:>8} {:>13.0} {:>13.0} {:>13.0}   {:>9.3} {:>9.3} {:>9.3}",
+            random.comm_cost(), online.comm_cost(), online_adaptive.comm_cost(),
+            random.load_stddev(), online.load_stddev(), online_adaptive.load_stddev(),
+        );
+        rows.push(serde_json::json!({
+            "interval": t,
+            "random": random.comm_cost(),
+            "online": online.comm_cost(),
+            "online_adaptive": online_adaptive.comm_cost(),
+            "random_stddev": random.load_stddev(),
+            "online_stddev": online.load_stddev(),
+            "online_adaptive_stddev": online_adaptive.load_stddev(),
+        }));
+        if t == intervals {
+            break;
+        }
+        let seed = args.seed + 1000 + t as u64;
+        // Random: new queries placed uniformly at random.
+        let batch = random.arrivals(n_arrive, seed);
+        let mut rng = rng_for(seed, "fig8-random");
+        for q in &batch {
+            let procs = random.dep.processors();
+            let p = procs[rng.gen_range(0..procs.len())];
+            random.assignment.place(q.id, p);
+        }
+        // Online: §3.6 insertion.
+        let batch = online.arrivals(n_arrive, seed);
+        online.insert_online(&batch);
+        // Online-Adaptive: insertion + one adaptation round per interval.
+        let batch = online_adaptive.arrivals(n_arrive, seed);
+        online_adaptive.insert_online(&batch);
+        online_adaptive.adapt_round(seed + 5);
+    }
+    let last = rows.last().expect("rows nonempty");
+    println!("\nShape checks (paper Figure 8):");
+    println!(
+        "  Random ends worst on cost: {}",
+        last["random"].as_f64() > last["online"].as_f64()
+            && last["random"].as_f64() > last["online_adaptive"].as_f64()
+    );
+    println!(
+        "  Online-Adaptive beats Online on load deviation: {}",
+        last["online_adaptive_stddev"].as_f64() <= last["online_stddev"].as_f64()
+    );
+    write_result("fig8", &serde_json::json!({"scale": args.scale, "rows": rows}));
+}

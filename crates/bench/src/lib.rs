@@ -1,0 +1,111 @@
+//! Shared infrastructure for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (`table2`, `fig6` … `fig11`) that prints the same rows or
+//! series the paper plots and appends a machine-readable JSON record under
+//! `results/`. Common command-line handling lives here:
+//!
+//! ```text
+//! cargo run --release -p cosmos-bench --bin fig6 -- [--scale 0.1] [--seed 42] [--quick]
+//! ```
+//!
+//! `--scale` scales the paper's dimensions (default 0.1; `1.0` = the full
+//! 4096-node / 20 000-substream / 60 000-query setup — hours of CPU);
+//! `--quick` is shorthand for `--scale 0.04` for smoke runs.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Scale factor in (0, 1].
+    pub scale: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parses `--scale`, `--seed`, `--quick` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn parse() -> Self {
+        let mut scale = 0.1;
+        let mut seed = 42;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a number in (0, 1]"));
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--quick" => scale = 0.04,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale F] [--seed N] [--quick]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+            i += 1;
+        }
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        Self { scale, seed }
+    }
+}
+
+/// Writes a JSON result record to `results/<name>.json` (relative to the
+/// workspace root when run via cargo).
+pub fn write_result<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a header banner for a figure binary.
+pub fn banner(figure: &str, what: &str, args: &BenchArgs) {
+    println!("=== {figure}: {what}");
+    println!("    scale {} seed {}  (paper scale = 1.0)", args.scale, args.seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        // Can't touch process args in a test; just exercise the validators.
+        let a = BenchArgs { scale: 0.5, seed: 1 };
+        assert!(a.scale > 0.0);
+    }
+
+    #[test]
+    fn write_result_smoke() {
+        write_result("selftest", &serde_json::json!({"ok": true}));
+    }
+}

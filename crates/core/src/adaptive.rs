@@ -1,0 +1,553 @@
+//! Adaptive query redistribution — Algorithm 3 and the refinement phase
+//! (§3.7).
+//!
+//! Adaptation runs in rounds, root-first: every coordinator re-balances
+//! load among its children with a Hu–Blake *load diffusion* solution (the
+//! minimum-Euclidean-norm set of inter-child transfers that balances load),
+//! then refines the mapping to shave WEC without breaking balance. Children
+//! repeat the procedure on the finer-grained vertices they receive, down to
+//! the processors. Actual query migration happens only after all decisions
+//! are made — the driver compares the old and new assignments.
+//!
+//! Vertex-selection heuristics from the paper, all implemented here:
+//!
+//! - prefer vertices whose migration *benefit* (WEC reduction) is within
+//!   `x% = 10%` of the largest benefit;
+//! - among those, prefer **dirty** vertices (already picked for remapping
+//!   in this round — moving them again adds no migration cost);
+//! - among those, prefer the largest **load density** (load per unit of
+//!   operator state), minimizing the state that must move;
+//! - a vertex may only absorb a transfer `m_ij` that exceeds 90% of its
+//!   weight (no drastic overshoot).
+
+use crate::distribute::{DistTiming, Distributor};
+use crate::graph::{NetworkGraph, QueryGraph};
+use crate::spec::{Assignment, QuerySpec};
+use cosmos_util::rng::rng_for_indexed;
+use cosmos_util::solver::diffusion_solution;
+use rand::seq::SliceRandom;
+
+
+/// Tuning knobs for adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptConfig {
+    /// Benefit window (`x`, as a fraction). Paper: 10%.
+    pub x_fraction: f64,
+    /// A vertex absorbs a transfer only if `m_ij > fill_fraction × weight`.
+    /// Paper: 90%.
+    pub fill_fraction: f64,
+    /// Safety cap on phase-1 moves per coordinator, as a multiple of the
+    /// vertex count.
+    pub max_moves_factor: usize,
+    /// Minimum relative WEC improvement for a phase-2 move (damps
+    /// oscillation between near-tie placements across rounds).
+    pub min_improvement: f64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            x_fraction: 0.10,
+            fill_fraction: 0.90,
+            max_moves_factor: 8,
+            min_improvement: 0.002,
+        }
+    }
+}
+
+/// Result of one adaptation round.
+#[derive(Debug, Clone)]
+pub struct AdaptOutcome {
+    /// The new placement.
+    pub assignment: Assignment,
+    /// Queries whose processor changed.
+    pub migrations: usize,
+    /// Total operator state moved (the paper's migration-cost proxy).
+    pub moved_state: f64,
+    /// Optimizer running time.
+    pub timing: DistTiming,
+}
+
+/// Cost of vertex `v` placed on target `k` under `mapping` (WEC terms
+/// incident to `v`).
+fn cost_at(qg: &QueryGraph, ng: &NetworkGraph, mapping: &[usize], v: usize, k: usize) -> f64 {
+    qg.neighbors(v)
+        .filter(|&(j, _)| mapping[j] != usize::MAX && j != v)
+        .map(|(j, w)| w * ng.distance(k, mapping[j]))
+        .sum()
+}
+
+/// Runs one hierarchical adaptation round over the current assignment.
+///
+/// `specs` must contain every query in `current`.
+///
+/// # Panics
+///
+/// Panics if a query in `specs` is missing from `current` or is placed on
+/// an unknown processor.
+pub fn adapt(
+    d: &Distributor<'_>,
+    specs: &[QuerySpec],
+    current: &Assignment,
+    config: &AdaptConfig,
+    seed: u64,
+) -> AdaptOutcome {
+    let mut timing = DistTiming::default();
+    let mut next = Assignment::new();
+    if specs.is_empty() {
+        return AdaptOutcome { assignment: next, migrations: 0, moved_state: 0.0, timing };
+    }
+    let root = d.tree.root();
+    if d.tree.node(root).children.is_empty() {
+        // Single processor: nothing to adapt.
+        return AdaptOutcome {
+            assignment: current.clone(),
+            migrations: 0,
+            moved_state: 0.0,
+            timing,
+        };
+    }
+
+    // Bottom-up graphs grouped by *current* placement.
+    let graphs = d.build_hierarchy_graphs(specs, seed, &mut timing, |spec| {
+        current
+            .processor_of(spec.id)
+            .unwrap_or_else(|| panic!("query {} missing from current assignment", spec.id))
+    });
+
+    // Top-down redistribution. The root operates on its *combined* graph
+    // (its children's outputs), not its own coarsened output: coarse
+    // vertices at the root may straddle root children — their "current
+    // child" would be ambiguous and every round's (re-seeded) coarsening
+    // would force different spurious co-location migrations.
+    let root_work: Vec<crate::graph::QgVertex> =
+        graphs.constituents[root].iter().flatten().cloned().collect();
+    let response =
+        adapt_down(d, config, root, root_work, &graphs, current, &mut next, &mut timing, seed);
+    timing.response += response;
+
+    // Migration accounting at the query level.
+    let mut migrations = 0;
+    let mut moved_state = 0.0;
+    for spec in specs {
+        let old = current.processor_of(spec.id);
+        let new = next.processor_of(spec.id);
+        if old.is_some() && new.is_some() && old != new {
+            migrations += 1;
+            moved_state += spec.state_size;
+        }
+    }
+    AdaptOutcome { assignment: next, migrations, moved_state, timing }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adapt_down(
+    d: &Distributor<'_>,
+    config: &AdaptConfig,
+    coord: usize,
+    work: Vec<crate::graph::QgVertex>,
+    graphs: &crate::distribute::HierarchyGraphs,
+    current: &Assignment,
+    next: &mut Assignment,
+    timing: &mut DistTiming,
+    seed: u64,
+) -> std::time::Duration {
+    let node = d.tree.node(coord);
+    if node.level == 0 {
+        for v in &work {
+            for &q in &v.queries {
+                next.place(q, node.representative);
+            }
+        }
+        return std::time::Duration::ZERO;
+    }
+    let mut sw = cosmos_util::Stopwatch::new();
+    sw.start();
+    let mut rng = rng_for_indexed(seed, "adapt", coord as u64);
+    let qg = d.graph_from_vertices(work, seed ^ coord as u64);
+    let ng = d.network_graph_at(coord, &qg);
+    let n_children = ng.target_count();
+    let pin = d.pin_at(coord, &ng);
+
+    // Initial mapping = current homes; foreign arrivals get usize::MAX.
+    let mut mapping = vec![usize::MAX; qg.len()];
+    let mut movable: Vec<usize> = Vec::new();
+    let mut arrivals: Vec<usize> = Vec::new();
+    let mut dirty = vec![false; qg.len()];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..qg.len() {
+        let v = &qg.vertices[i];
+        if v.is_net() {
+            mapping[i] = pin(v).expect("n-vertex must pin");
+            continue;
+        }
+        if v.queries.is_empty() {
+            continue;
+        }
+        let proc = current.processor_of(v.queries[0]);
+        match proc.and_then(|p| d.tree.covering_child(coord, p)) {
+            Some(pos) => {
+                mapping[i] = pos;
+                movable.push(i);
+            }
+            None => arrivals.push(i),
+        }
+    }
+    let original = mapping.clone();
+
+    let total_load: f64 = qg.total_weight();
+    let total_cap = ng.total_capability();
+    let limits = ng.load_limits(total_load, d.level_alpha());
+    let mut loads = vec![0.0; n_children];
+    for (i, &m) in mapping.iter().enumerate() {
+        if m != usize::MAX && m < n_children {
+            loads[m] += qg.vertices[i].weight;
+        }
+    }
+
+    // Arrivals: greedy placement, marked dirty (they migrate regardless).
+    for &v in &arrivals {
+        let w = qg.vertices[v].weight;
+        let mut best: Option<(f64, usize)> = None;
+        let mut fallback: Option<(f64, f64, usize)> = None;
+        for k in 0..n_children {
+            let cost = cost_at(&qg, &ng, &mapping, v, k);
+            if loads[k] + w <= limits[k] + 1e-12 && best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, k));
+            }
+            // Violations compare lexicographically; WEC cost breaks ties.
+            let viol = loads[k] + w - limits[k];
+            if fallback.is_none_or(|(vv, vc, _)| viol < vv - 1e-12 || (viol < vv + 1e-12 && cost < vc)) {
+                fallback = Some((viol, cost, k));
+            }
+        }
+        let k = best
+            .map(|(_, k)| k)
+            .or(fallback.map(|(_, _, k)| k))
+            .expect("children exist");
+        mapping[v] = k;
+        loads[k] += w;
+        dirty[v] = true;
+        movable.push(v);
+    }
+
+    // ---- Phase 1: load re-balancing via diffusion (Algorithm 3).
+    // Transfers below a small deadband (a few percent of the fair share)
+    // are dropped: they cannot affect eqn 3.1 compliance and chasing exact
+    // balance every round would migrate queries for nothing.
+    let fair = |i: usize| ng.vertex(i).capability * total_load / total_cap.max(1e-12);
+    let excess: Vec<f64> = (0..n_children).map(|i| loads[i] - fair(i)).collect();
+    let edges: Vec<(usize, usize)> = (0..n_children)
+        .flat_map(|i| ((i + 1)..n_children).map(move |j| (i, j)))
+        .collect();
+    let mut m = diffusion_solution(&excess, &edges);
+    for (e, v) in m.iter_mut().enumerate() {
+        let (i, j) = edges[e];
+        let deadband = 0.02 * fair(i).min(fair(j)).max(1e-12);
+        if v.abs() < deadband {
+            *v = 0.0;
+        }
+    }
+    // Normalize: keep only positive-direction transfers.
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new(); // (from, to, edge idx)
+    for (e, &(i, j)) in edges.iter().enumerate() {
+        if m[e] > 1e-9 {
+            pairs.push((i, j, e));
+        } else if m[e] < -1e-9 {
+            pairs.push((j, i, e));
+            m[e] = -m[e];
+        }
+    }
+    let mut moves = 0usize;
+    let max_moves = config.max_moves_factor * qg.len().max(1);
+    while moves < max_moves {
+        let open: Vec<usize> =
+            (0..pairs.len()).filter(|&p| m[pairs[p].2] > 1e-9).collect();
+        let Some(&pick) = open.as_slice().choose(&mut rng) else { break };
+        let (from, to, eidx) = pairs[pick];
+        // Benefits of moving each candidate from `from` to `to`.
+        let candidates: Vec<usize> = movable
+            .iter()
+            .copied()
+            .filter(|&v| mapping[v] == from && qg.vertices[v].weight > 1e-12)
+            .collect();
+        let benefits: Vec<f64> = candidates
+            .iter()
+            .map(|&v| {
+                cost_at(&qg, &ng, &mapping, v, from) - cost_at(&qg, &ng, &mapping, v, to)
+            })
+            .collect();
+        let Some(&max_benefit) =
+            benefits.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        else {
+            m[eidx] = 0.0;
+            continue;
+        };
+        let threshold = max_benefit - config.x_fraction * max_benefit.abs();
+        let in_window: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .zip(&benefits)
+            .filter(|&(_, b)| *b >= threshold - 1e-12)
+            .map(|(v, _)| v)
+            .collect();
+        let dirty_in: Vec<usize> =
+            in_window.iter().copied().filter(|&v| dirty[v]).collect();
+        let pool = if dirty_in.is_empty() { in_window } else { dirty_in };
+        // Largest load density among those fitting the 90% rule.
+        let fit = |v: usize| m[eidx] > config.fill_fraction * qg.vertices[v].weight;
+        let chosen = pool
+            .into_iter()
+            .filter(|&v| fit(v))
+            .max_by(|&a, &b| {
+                let da = qg.vertices[a].weight / qg.vertices[a].state_size.max(1e-12);
+                let db = qg.vertices[b].weight / qg.vertices[b].state_size.max(1e-12);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let Some(v) = chosen else {
+            m[eidx] = 0.0; // no admissible vertex: give up on this pair
+            continue;
+        };
+        let w = qg.vertices[v].weight;
+        mapping[v] = to;
+        loads[from] -= w;
+        loads[to] += w;
+        m[eidx] -= w;
+        dirty[v] = true;
+        moves += 1;
+    }
+
+    // ---- Phase 2: distribution refinement.
+    // Refinement must not undo the balance phase 1 just bought: moves are
+    // admitted against a band around the fair share (half the per-level
+    // tolerance), not the full eqn 3.1 limit — otherwise WEC-greedy moves
+    // re-pack processors to the limit and the paper's decreasing
+    // load-deviation curves (Figure 7b) are unreproducible.
+    let band: Vec<f64> = (0..n_children)
+        .map(|i| fair(i) * (1.0 + (d.level_alpha() * 0.5)))
+        .collect();
+    let mut order = movable.clone();
+    order.shuffle(&mut rng);
+    for v in order {
+        let cur = mapping[v];
+        let w = qg.vertices[v].weight;
+        let c_cur = cost_at(&qg, &ng, &mapping, v, cur);
+        // (1) Move back home if it keeps balance and does not raise WEC.
+        let home = original[v];
+        if home != usize::MAX && home != cur {
+            let c_home = cost_at(&qg, &ng, &mapping, v, home);
+            if c_home <= c_cur + 1e-9 && loads[home] + w <= band[home] + 1e-9 {
+                mapping[v] = home;
+                loads[cur] -= w;
+                loads[home] += w;
+                continue;
+            }
+        }
+        // (2) Any clearly-WEC-decreasing move that keeps balance.
+        let mut best: Option<(f64, usize)> = None;
+        let bar = c_cur - config.min_improvement * c_cur.abs() - 1e-9;
+        for k in 0..n_children {
+            if k == cur || loads[k] + w > band[k] + 1e-9 {
+                continue;
+            }
+            let c = cost_at(&qg, &ng, &mapping, v, k);
+            if c < bar && best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, k));
+            }
+        }
+        if let Some((_, k)) = best {
+            mapping[v] = k;
+            loads[cur] -= w;
+            loads[k] += w;
+        }
+    }
+
+    // Partition and recurse.
+    let mut per_child: Vec<Vec<crate::graph::QgVertex>> = vec![Vec::new(); n_children];
+    for (i, v) in qg.vertices.iter().enumerate() {
+        if v.queries.is_empty() {
+            continue;
+        }
+        let target = mapping[i];
+        if target < n_children {
+            per_child[target].extend(graphs.expand(v));
+        }
+    }
+    sw.stop();
+    timing.total += sw.elapsed();
+    let own = sw.elapsed();
+    let mut child_max = std::time::Duration::ZERO;
+    for (pos, child_work) in per_child.into_iter().enumerate() {
+        let child = node.children[pos];
+        let t = adapt_down(d, config, child, child_work, graphs, current, next, timing, seed);
+        child_max = child_max.max(t);
+    }
+    own + child_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CoordinatorTree;
+    use cosmos_net::{Deployment, NodeId, TransitStubConfig};
+    use cosmos_pubsub::{SubstreamTable, TrafficModel};
+    use cosmos_query::QueryId;
+    use cosmos_util::rng::rng_for;
+    use cosmos_util::stats::stddev;
+    use cosmos_util::InterestSet;
+    use rand::Rng;
+
+    const U: usize = 160;
+
+    fn fixture(seed: u64) -> (Deployment, SubstreamTable) {
+        let topo = TransitStubConfig::small().generate(seed);
+        let dep = Deployment::assign(topo, 4, 8, seed);
+        let table = SubstreamTable::random(U, 4, 1.0, 10.0, seed);
+        (dep, table)
+    }
+
+    fn random_specs(dep: &Deployment, table: &SubstreamTable, n: usize, seed: u64) -> Vec<QuerySpec> {
+        let mut rng = rng_for(seed, "adapt-specs");
+        (0..n)
+            .map(|i| {
+                let k = rng.gen_range(3..9);
+                let interest =
+                    InterestSet::from_indices(U, (0..k).map(|_| rng.gen_range(0..U)));
+                let load = interest.weighted_len(table.rates()) / 20.0;
+                QuerySpec {
+                    id: QueryId(i as u64),
+                    interest,
+                    load,
+                    proxy: dep.processors()[rng.gen_range(0..dep.processors().len())],
+                    result_rate: 0.5,
+                    state_size: 1.0 + (i % 5) as f64,
+                }
+            })
+            .collect()
+    }
+
+    fn random_assignment(specs: &[QuerySpec], dep: &Deployment, seed: u64) -> Assignment {
+        let mut rng = rng_for(seed, "rand-assign");
+        specs
+            .iter()
+            .map(|q| (q.id, dep.processors()[rng.gen_range(0..dep.processors().len())]))
+            .collect()
+    }
+
+    fn comm_cost(
+        dep: &Deployment,
+        table: &SubstreamTable,
+        specs: &[QuerySpec],
+        a: &Assignment,
+    ) -> f64 {
+        let model = TrafficModel::new(dep, table);
+        let interests = a.interests(specs, dep.processors(), U);
+        let flows = specs
+            .iter()
+            .map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
+        model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
+    }
+
+    /// Very skewed assignment: everything on one processor.
+    fn skewed_assignment(specs: &[QuerySpec], node: NodeId) -> Assignment {
+        specs.iter().map(|q| (q.id, node)).collect()
+    }
+
+    #[test]
+    fn adaptation_preserves_all_queries() {
+        let (dep, table) = fixture(1);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 60, 2);
+        let current = random_assignment(&specs, &dep, 3);
+        let out = adapt(&d, &specs, &current, &AdaptConfig::default(), 4);
+        assert_eq!(out.assignment.len(), 60);
+        for q in &specs {
+            assert!(dep.processors().contains(&out.assignment.processor_of(q.id).unwrap()));
+        }
+    }
+
+    #[test]
+    fn adaptation_rebalances_a_skewed_assignment() {
+        let (dep, table) = fixture(2);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 80, 5);
+        let current = skewed_assignment(&specs, dep.processors()[0]);
+        let before = stddev(&current.loads(&specs, dep.processors()));
+        let mut a = current.clone();
+        for round in 0..4 {
+            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 10 + round).assignment;
+        }
+        let after = stddev(&a.loads(&specs, dep.processors()));
+        assert!(
+            after < before * 0.5,
+            "load stddev should drop substantially: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn adaptation_reduces_comm_cost_of_random_start() {
+        let (dep, table) = fixture(3);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 80, 6);
+        let current = random_assignment(&specs, &dep, 7);
+        let before = comm_cost(&dep, &table, &specs, &current);
+        let mut a = current.clone();
+        for round in 0..5 {
+            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 20 + round).assignment;
+        }
+        let after = comm_cost(&dep, &table, &specs, &a);
+        assert!(
+            after < before,
+            "adaptation should reduce communication cost: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stable_assignment_migrates_little() {
+        let (dep, table) = fixture(4);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 60, 8);
+        // Start from the hierarchical initial distribution (already good).
+        let initial = d.distribute(&specs, 9).assignment;
+        let mut a = initial.clone();
+        for round in 0..3 {
+            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 30 + round).assignment;
+        }
+        let churn = a.migrations_from(&initial);
+        assert!(
+            churn <= specs.len() / 2,
+            "a good assignment should not churn heavily ({churn}/{} moved)",
+            specs.len()
+        );
+    }
+
+    #[test]
+    fn migration_accounting_is_consistent() {
+        let (dep, table) = fixture(5);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 40, 11);
+        let current = random_assignment(&specs, &dep, 12);
+        let out = adapt(&d, &specs, &current, &AdaptConfig::default(), 13);
+        assert_eq!(out.migrations, out.assignment.migrations_from(&current));
+        if out.migrations == 0 {
+            assert_eq!(out.moved_state, 0.0);
+        } else {
+            assert!(out.moved_state > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_specs_no_op() {
+        let (dep, table) = fixture(6);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let out = adapt(&d, &[], &Assignment::new(), &AdaptConfig::default(), 0);
+        assert_eq!(out.migrations, 0);
+        assert!(out.assignment.is_empty());
+    }
+}

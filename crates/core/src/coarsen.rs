@@ -1,0 +1,409 @@
+//! Query-graph coarsening — Algorithm 1 of the paper (§3.4).
+//!
+//! Repeatedly collapses matched vertex pairs until the graph has at most
+//! `vmax` vertices. A vertex prefers the neighbor behind its heaviest edge
+//! ("these two vertices are more likely to be mapped to the same vertex in
+//! the network graph"). Constraints from the paper:
+//!
+//! - Two n-vertices merge only when the same child cluster covers both
+//!   (they must be pinned to the same mapping target).
+//! - Collapsing a q-vertex into an n-vertex yields an n-vertex (pinning is
+//!   sticky), inheriting the n-side's cluster.
+//!
+//! One documented deviation: *anchor* n-vertices — network nodes covered by
+//! no child cluster (data sources, remote proxies) — never participate in a
+//! collapse at all. The paper only excludes them from n-n matches; letting
+//! a q-vertex collapse into a capability-0 anchor would pin query load to
+//! an unmappable vertex and make the load constraint unsatisfiable.
+
+use crate::graph::{edge_weight, QgVertex, QueryGraph};
+use cosmos_net::NodeId;
+use cosmos_util::rng::rng_for;
+use rand::seq::SliceRandom;
+
+/// The result of coarsening: the coarse graph plus, per coarse vertex, the
+/// indices of the input vertices it contains.
+#[derive(Debug, Clone)]
+pub struct Coarsened {
+    /// The coarse graph.
+    pub graph: QueryGraph,
+    /// `members[c]` = input-vertex indices merged into coarse vertex `c`.
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Which child cluster covers a network node (`clu` in Algorithm 1);
+/// `None` is the paper's `unknown`.
+pub type ClusterOf<'a> = dyn Fn(NodeId) -> Option<usize> + 'a;
+
+fn clu(v: &QgVertex, cluster_of: &ClusterOf) -> Option<usize> {
+    v.net_node().and_then(cluster_of)
+}
+
+/// Is this vertex an unmergeable anchor (n-vertex with unknown cluster)?
+fn is_anchor(v: &QgVertex, cluster_of: &ClusterOf) -> bool {
+    v.is_net() && clu(v, cluster_of).is_none()
+}
+
+/// Runs Algorithm 1 until at most `vmax` vertices remain (or no further
+/// collapse is possible — e.g. everything left is an anchor).
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `vmax == 0`.
+pub fn coarsen(
+    input: &QueryGraph,
+    vmax: usize,
+    rates: &[f64],
+    cluster_of: &ClusterOf,
+    seed: u64,
+) -> Coarsened {
+    assert!(vmax > 0, "vmax must be positive");
+    let n = input.len();
+    let mut vertices: Vec<Option<QgVertex>> =
+        input.vertices.iter().cloned().map(Some).collect();
+    let mut adj: Vec<std::collections::HashMap<usize, f64>> = (0..n)
+        .map(|i| input.neighbors(i).collect())
+        .collect();
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut alive = n;
+    let mut rng = rng_for(seed, "coarsen");
+
+    while alive > vmax {
+        let mut matched = vec![false; n];
+        let mut order: Vec<usize> =
+            (0..n).filter(|&i| vertices[i].is_some()).collect();
+        order.shuffle(&mut rng);
+        let mut progress = false;
+
+        for u in order {
+            if alive <= vmax {
+                break;
+            }
+            if vertices[u].is_none() || matched[u] {
+                continue;
+            }
+            let u_vert = vertices[u].as_ref().expect("checked alive");
+            if is_anchor(u_vert, cluster_of) {
+                matched[u] = true;
+                continue;
+            }
+            let u_is_net = u_vert.is_net();
+            let u_clu = clu(u_vert, cluster_of);
+            // Candidate selection (Algorithm 1, lines 5-7).
+            let mut best: Option<(usize, f64)> = None;
+            for (&j, &w) in &adj[u] {
+                let Some(v_vert) = vertices[j].as_ref() else { continue };
+                if matched[j] {
+                    continue;
+                }
+                if is_anchor(v_vert, cluster_of) {
+                    continue; // deviation documented above
+                }
+                if u_is_net && v_vert.is_net() && u_clu != clu(v_vert, cluster_of) {
+                    continue; // n-vertices of different clusters cannot merge
+                }
+                match best {
+                    Some((bj, bw)) if w < bw || (w == bw && j > bj) => {}
+                    _ => best = Some((j, w)),
+                }
+            }
+            let Some((v, _)) = best else {
+                matched[u] = true;
+                continue;
+            };
+
+            // Collapse v into u (lines 8-14).
+            let v_vert = vertices[v].take().expect("candidate alive");
+            let v_members = std::mem::take(&mut members[v]);
+            {
+                let u_vert = vertices[u].as_mut().expect("u alive");
+                u_vert.absorb(&v_vert);
+            }
+            members[u].extend(v_members);
+            // Rewire v's edges onto u.
+            let v_edges: Vec<usize> = adj[v].keys().copied().collect();
+            for x in v_edges {
+                adj[x].remove(&v);
+                if x != u {
+                    adj[u].entry(x).or_insert(0.0);
+                    adj[x].entry(u).or_insert(0.0);
+                }
+            }
+            adj[v].clear();
+            adj[u].remove(&u);
+            // Re-estimate every edge of the merged vertex (line 11).
+            let neighbors: Vec<usize> = adj[u].keys().copied().collect();
+            for x in neighbors {
+                let w = edge_weight(
+                    vertices[u].as_ref().expect("u alive"),
+                    vertices[x].as_ref().expect("neighbor alive"),
+                    rates,
+                );
+                if w > 0.0 {
+                    adj[u].insert(x, w);
+                    adj[x].insert(u, w);
+                } else {
+                    adj[u].remove(&x);
+                    adj[x].remove(&u);
+                }
+            }
+            matched[u] = true;
+            alive -= 1;
+            progress = true;
+        }
+        if !progress {
+            break; // nothing mergeable remains
+        }
+    }
+
+    // Compact into a fresh graph.
+    let mut index_map = vec![usize::MAX; n];
+    let mut out_vertices = Vec::with_capacity(alive);
+    let mut out_members = Vec::with_capacity(alive);
+    for i in 0..n {
+        if let Some(v) = vertices[i].take() {
+            index_map[i] = out_vertices.len();
+            out_vertices.push(v);
+            out_members.push(std::mem::take(&mut members[i]));
+        }
+    }
+    let mut graph = QueryGraph::new(out_vertices);
+    for i in 0..n {
+        if index_map[i] == usize::MAX {
+            continue;
+        }
+        for (&j, &w) in &adj[i] {
+            if j > i && index_map[j] != usize::MAX {
+                graph.set_edge(index_map[i], index_map[j], w);
+            }
+        }
+    }
+    Coarsened { graph, members: out_members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::QueryId;
+    use cosmos_util::InterestSet;
+    use proptest::prelude::*;
+
+    const U: usize = 32;
+
+    fn qv(id: u64, bits: &[usize], load: f64) -> QgVertex {
+        QgVertex::for_query(
+            QueryId(id),
+            InterestSet::from_indices(U, bits.iter().copied()),
+            load,
+            NodeId(100),
+            0.1,
+            1.0,
+        )
+    }
+
+    fn nv(node: u32, bits: &[usize]) -> QgVertex {
+        QgVertex::for_net(NodeId(node), InterestSet::from_indices(U, bits.iter().copied()))
+    }
+
+    /// Builds a graph with exact pairwise edges.
+    fn with_edges(vertices: Vec<QgVertex>, rates: &[f64]) -> QueryGraph {
+        let mut g = QueryGraph::new(vertices);
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                let w = edge_weight(&g.vertices[i], &g.vertices[j], rates);
+                g.set_edge(i, j, w);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn coarsens_to_vmax() {
+        let rates = vec![1.0; U];
+        let vertices: Vec<QgVertex> =
+            (0..10).map(|i| qv(i, &[i as usize, i as usize + 1], 1.0)).collect();
+        let g = with_edges(vertices, &rates);
+        let c = coarsen(&g, 4, &rates, &|_| None, 7);
+        assert!(c.graph.len() <= 4);
+        assert_eq!(c.members.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn weight_and_interest_preserved() {
+        let rates = vec![1.0; U];
+        let vertices: Vec<QgVertex> =
+            (0..12).map(|i| qv(i, &[(i % 6) as usize], (i + 1) as f64)).collect();
+        let g = with_edges(vertices, &rates);
+        let before_weight = g.total_weight();
+        let mut before_union = InterestSet::new(U);
+        for v in &g.vertices {
+            before_union.union_with(&v.interest);
+        }
+        let c = coarsen(&g, 3, &rates, &|_| None, 1);
+        assert!((c.graph.total_weight() - before_weight).abs() < 1e-9);
+        let mut after_union = InterestSet::new(U);
+        for v in &c.graph.vertices {
+            after_union.union_with(&v.interest);
+        }
+        assert_eq!(before_union, after_union);
+    }
+
+    #[test]
+    fn heavy_edges_merge_first() {
+        let rates = vec![1.0; U];
+        // Two heavy pairs {0,1} and {2,3} plus light cross edges. Whichever
+        // vertex Algorithm 1 visits first, its max-weight neighbor is its
+        // heavy partner, so the outcome is independent of the random order.
+        let vertices = vec![
+            qv(0, &[0, 1, 2, 3, 4, 20], 1.0),
+            qv(1, &[0, 1, 2, 3, 4, 21], 1.0),
+            qv(2, &[10, 11, 12, 13, 20], 1.0),
+            qv(3, &[10, 11, 12, 13, 21], 1.0),
+        ];
+        let g = with_edges(vertices, &rates);
+        for seed in 0..8 {
+            let c = coarsen(&g, 2, &rates, &|_| None, seed);
+            assert_eq!(c.graph.len(), 2);
+            let ok = c
+                .members
+                .iter()
+                .any(|m| m.contains(&0) && m.contains(&1) && m.len() == 2);
+            assert!(ok, "seed {seed}: heavy pairs should collapse: {:?}", c.members);
+        }
+    }
+
+    #[test]
+    fn n_vertices_of_different_clusters_never_merge() {
+        let rates = vec![1.0; U];
+        // Two heavily-overlapping net vertices in different clusters.
+        let vertices = vec![
+            nv(1, &[0, 1, 2, 3]),
+            nv(2, &[0, 1, 2, 3]),
+            qv(10, &[0, 1], 1.0),
+            qv(11, &[2, 3], 1.0),
+        ];
+        let g = with_edges(vertices, &rates);
+        let cluster_of = |n: NodeId| -> Option<usize> { Some(n.0 as usize) };
+        let c = coarsen(&g, 1, &rates, &cluster_of, 5);
+        // Can't reach 1 vertex: the two n-vertices must stay apart.
+        assert!(c.graph.len() >= 2);
+        for v in &c.graph.vertices {
+            if v.is_net() {
+                // No coarse vertex may contain both node 1 and node 2.
+                let has1 = v.net_node() == Some(NodeId(1));
+                let has2 = v.net_node() == Some(NodeId(2));
+                assert!(!(has1 && has2));
+            }
+        }
+        let m1 = c.members.iter().find(|m| m.contains(&0)).unwrap();
+        assert!(!m1.contains(&1), "n-vertices of different clusters merged");
+    }
+
+    #[test]
+    fn anchors_are_never_merged() {
+        let rates = vec![1.0; U];
+        let vertices = vec![
+            nv(50, &[0, 1, 2, 3]), // anchor: cluster_of returns None
+            qv(1, &[0, 1, 2, 3], 1.0),
+            qv(2, &[0, 1, 2], 1.0),
+        ];
+        let g = with_edges(vertices, &rates);
+        let c = coarsen(&g, 1, &rates, &|_| None, 9);
+        // Anchor survives alone; the two queries may merge.
+        assert!(c.graph.len() >= 2);
+        let anchor_members = c
+            .members
+            .iter()
+            .find(|m| m.contains(&0))
+            .expect("anchor still present");
+        assert_eq!(anchor_members, &vec![0]);
+    }
+
+    #[test]
+    fn query_merging_into_covered_net_vertex_pins_it() {
+        let rates = vec![1.0; U];
+        let vertices = vec![
+            nv(7, &[0, 1, 2, 3]), // covered by cluster 0
+            qv(1, &[0, 1, 2, 3], 2.0),
+        ];
+        let g = with_edges(vertices, &rates);
+        let c = coarsen(&g, 1, &rates, &|_| Some(0), 2);
+        assert_eq!(c.graph.len(), 1);
+        let v = &c.graph.vertices[0];
+        assert!(v.is_net());
+        assert_eq!(v.net_node(), Some(NodeId(7)));
+        assert_eq!(v.weight, 2.0);
+    }
+
+    #[test]
+    fn already_small_graph_is_untouched() {
+        let rates = vec![1.0; U];
+        let g = with_edges(vec![qv(0, &[0], 1.0), qv(1, &[5], 1.0)], &rates);
+        let c = coarsen(&g, 10, &rates, &|_| None, 0);
+        assert_eq!(c.graph.len(), 2);
+        assert_eq!(c.members, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let rates = vec![1.0; U];
+        let vertices: Vec<QgVertex> =
+            (0..20).map(|i| qv(i, &[(i % 7) as usize, ((i * 3) % 11) as usize], 1.0)).collect();
+        let g = with_edges(vertices, &rates);
+        let a = coarsen(&g, 5, &rates, &|_| None, 42);
+        let b = coarsen(&g, 5, &rates, &|_| None, 42);
+        assert_eq!(a.members, b.members);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_members_partition_input(
+            n in 2usize..24,
+            vmax in 1usize..8,
+            seed in 0u64..100,
+        ) {
+            let rates = vec![1.0; U];
+            let vertices: Vec<QgVertex> = (0..n)
+                .map(|i| qv(i as u64, &[i % U, (i * 5 + 1) % U], 1.0))
+                .collect();
+            let g = with_edges(vertices, &rates);
+            let c = coarsen(&g, vmax, &rates, &|_| None, seed);
+            let mut seen: Vec<usize> = c.members.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(seen, expect);
+            // Reaches vmax unless the residue is edge-free (Algorithm 1 can
+            // only collapse adjacent vertices).
+            prop_assert!(
+                c.graph.len() <= vmax.max(1) || c.graph.edge_count() == 0,
+                "stopped at {} vertices with {} edges (vmax {})",
+                c.graph.len(),
+                c.graph.edge_count(),
+                vmax
+            );
+        }
+
+        #[test]
+        fn prop_edges_consistent_with_vertices(
+            n in 2usize..16,
+            seed in 0u64..50,
+        ) {
+            let rates = vec![1.0; U];
+            let vertices: Vec<QgVertex> = (0..n)
+                .map(|i| qv(i as u64, &[i % U, (i * 3) % U, (i * 7) % U], 1.0))
+                .collect();
+            let g = with_edges(vertices, &rates);
+            let c = coarsen(&g, 2, &rates, &|_| None, seed);
+            for i in 0..c.graph.len() {
+                for (j, w) in c.graph.neighbors(i) {
+                    let expect = edge_weight(&c.graph.vertices[i], &c.graph.vertices[j], &rates);
+                    prop_assert!((w - expect).abs() < 1e-9,
+                        "edge ({i},{j}) weight {w} != recomputed {expect}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,863 @@
+//! Hierarchical initial query distribution (§3.5) and the graph-building
+//! machinery shared by the online and adaptive algorithms.
+//!
+//! Bottom-up, every level-1 coordinator builds a query graph from the raw
+//! queries of its processors' users, coarsens it to `vmax` vertices
+//! (Algorithm 1), tags the coarse vertices with its own identity, and
+//! submits them to its parent; parents combine children's submissions and
+//! repeat. Top-down, each coordinator maps its (coarse) query graph onto
+//! its children with Algorithm 2 and sends each child its share,
+//! *uncoarsened one level* — using the vertex tags to retrieve constituent
+//! vertices from their originating coordinator, exactly as §3.5 describes.
+//!
+//! Scalability note (documented substitution): the paper never says how the
+//! centralized baseline builds overlap edges among 60 000 queries — full
+//! pairwise bit-vector ANDs are quadratic. Above
+//! [`DistConfig::full_pairwise_limit`] vertices we sparsify: an inverted
+//! index over substreams proposes candidate pairs (queries sharing a hot
+//! substream), whose overlaps are then computed exactly. Sharing-heavy
+//! pairs co-occur in many substream lists, so the heavy edges — the ones
+//! coarsening and mapping act on — survive.
+
+use crate::coarsen::{coarsen, Coarsened};
+use crate::graph::{NetVertex, NetworkGraph, QgVertex, QueryGraph, VertexKind};
+use crate::hierarchy::CoordinatorTree;
+use crate::mapping::{map_graph, MapConfig, MappingResult};
+use crate::spec::{Assignment, QuerySpec};
+use cosmos_net::{Deployment, NodeId};
+use cosmos_pubsub::SubstreamTable;
+use cosmos_util::rng::derive_seed_indexed;
+use cosmos_util::InterestSet;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Tuning knobs for the distribution machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct DistConfig {
+    /// Coarsening threshold `vmax` (§3.4).
+    pub vmax: usize,
+    /// Up to this many queryful vertices, overlap edges are exact pairwise;
+    /// beyond it, the inverted-index sparsification kicks in.
+    pub full_pairwise_limit: usize,
+    /// Candidate-list cap per substream for the sparsified path.
+    pub candidates_per_substream: usize,
+    /// Overlap edges kept per vertex on the sparsified path (its top
+    /// co-occurring partners).
+    pub top_overlap_edges: usize,
+    /// Include query-query overlap edges at all (§3.1.2's Pub/Sub-aware
+    /// term). Disabled only by the ablation study.
+    pub overlap_edges: bool,
+    /// Spread the load tolerance across tree levels
+    /// (`(1+α)^(1/height) − 1` per level). Disabled only by the ablation
+    /// study (which then re-applies α at every level and compounds).
+    pub per_level_alpha: bool,
+    /// Mapping parameters (α etc.).
+    pub map: MapConfig,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            vmax: 64,
+            full_pairwise_limit: 2048,
+            candidates_per_substream: 16,
+            top_overlap_edges: 12,
+            overlap_edges: true,
+            per_level_alpha: true,
+            map: MapConfig::default(),
+        }
+    }
+}
+
+/// Timing of a distribution run, mirroring Figure 6(b)'s two metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistTiming {
+    /// Begin-to-end time with same-level coordinators running in parallel
+    /// (critical path through the tree).
+    pub response: Duration,
+    /// Total CPU time summed over all coordinators.
+    pub total: Duration,
+}
+
+/// The outcome of a distribution run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Query → processor placement.
+    pub assignment: Assignment,
+    /// Response/total running time.
+    pub timing: DistTiming,
+}
+
+/// Shared context: deployment + coordinator tree + substream table.
+#[derive(Debug)]
+pub struct Distributor<'a> {
+    pub(crate) dep: &'a Deployment,
+    pub(crate) tree: &'a CoordinatorTree,
+    pub(crate) table: &'a SubstreamTable,
+    /// Per-source substream sets (interest of source n-vertices).
+    pub(crate) source_sets: Vec<InterestSet>,
+    /// Configuration.
+    pub config: DistConfig,
+}
+
+impl<'a> Distributor<'a> {
+    /// Couples a deployment, its coordinator tree, and the substream table.
+    pub fn new(dep: &'a Deployment, tree: &'a CoordinatorTree, table: &'a SubstreamTable) -> Self {
+        Self::with_config(dep, tree, table, DistConfig::default())
+    }
+
+    /// As [`Distributor::new`] with explicit configuration.
+    pub fn with_config(
+        dep: &'a Deployment,
+        tree: &'a CoordinatorTree,
+        table: &'a SubstreamTable,
+        config: DistConfig,
+    ) -> Self {
+        let universe = table.len();
+        let mut source_sets = vec![InterestSet::new(universe); dep.sources().len()];
+        for s in 0..universe {
+            source_sets[table.source_index(s)].insert(s);
+        }
+        Self { dep, tree, table, source_sets, config }
+    }
+
+    /// The substream universe size.
+    pub fn universe(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The per-level load tolerance: deviations compound multiplicatively
+    /// down the coordinator tree, so each level gets
+    /// `(1 + α)^(1/height) − 1` and the end-to-end slack stays ≈ α.
+    pub(crate) fn level_alpha(&self) -> f64 {
+        if !self.config.per_level_alpha {
+            return self.config.map.alpha;
+        }
+        let h = self.tree.height().max(1) as f64;
+        (1.0 + self.config.map.alpha).powf(1.0 / h) - 1.0
+    }
+
+    /// Builds a q-vertex for one query spec.
+    pub(crate) fn vertex_for(&self, spec: &QuerySpec) -> QgVertex {
+        QgVertex::for_query(
+            spec.id,
+            spec.interest.clone(),
+            spec.load,
+            spec.proxy,
+            spec.result_rate,
+            spec.state_size,
+        )
+    }
+
+    /// Assembles a query graph from queryful vertices: derives the pure
+    /// n-vertices (sources with any requested substream, proxies with any
+    /// result flow) and computes all edges.
+    pub(crate) fn graph_from_vertices(&self, mut vertices: Vec<QgVertex>, seed: u64) -> QueryGraph {
+        let rates = self.table.rates();
+        let n_query = vertices.len();
+        let universe = self.universe();
+
+        // Which network nodes already have a (mixed) Net vertex?
+        let mut existing_net: HashMap<NodeId, usize> = HashMap::new();
+        for (i, v) in vertices.iter().enumerate() {
+            if let Some(node) = v.net_node() {
+                existing_net.insert(node, i);
+            }
+        }
+
+        // Per-vertex, per-source requested rate (single pass over interests).
+        let mut source_rates: Vec<HashMap<usize, f64>> = Vec::with_capacity(n_query);
+        for v in &vertices {
+            let mut acc: HashMap<usize, f64> = HashMap::new();
+            for s in v.interest.iter() {
+                *acc.entry(self.table.source_index(s)).or_insert(0.0) += rates[s];
+            }
+            source_rates.push(acc);
+        }
+
+        // Derive pure source vertices.
+        let mut source_vertex: HashMap<usize, usize> = HashMap::new();
+        for acc in &source_rates {
+            for (&src, _) in acc.iter() {
+                let node = self.dep.sources()[src];
+                if existing_net.contains_key(&node) || source_vertex.contains_key(&src) {
+                    continue;
+                }
+                source_vertex.insert(src, vertices.len());
+                vertices.push(QgVertex::for_net(node, self.source_sets[src].clone()));
+            }
+        }
+        // Derive pure proxy vertices.
+        let mut proxy_vertex: HashMap<NodeId, usize> = HashMap::new();
+        for i in 0..n_query {
+            for (p, _) in vertices[i].result_flows.clone() {
+                if existing_net.contains_key(&p) || proxy_vertex.contains_key(&p) {
+                    continue;
+                }
+                proxy_vertex.insert(p, vertices.len());
+                vertices.push(QgVertex::for_net(p, InterestSet::new(universe)));
+            }
+        }
+
+        let mut graph = QueryGraph::new(vertices);
+
+        // Source edges.
+        for (i, acc) in source_rates.iter().enumerate() {
+            for (&src, &rate) in acc {
+                let node = self.dep.sources()[src];
+                let j = existing_net
+                    .get(&node)
+                    .copied()
+                    .or_else(|| source_vertex.get(&src).copied())
+                    .expect("source vertex derived above");
+                if i != j {
+                    graph.set_edge(i, j, graph.edge(i, j) + rate);
+                }
+            }
+        }
+
+        // Proxy (result-flow) edges.
+        for i in 0..n_query {
+            let flows = graph.vertices[i].result_flows.clone();
+            let own = graph.vertices[i].net_node();
+            for (p, rate) in flows {
+                if own == Some(p) {
+                    continue;
+                }
+                let j = existing_net
+                    .get(&p)
+                    .copied()
+                    .or_else(|| proxy_vertex.get(&p).copied())
+                    .expect("proxy vertex derived above");
+                if i != j {
+                    graph.set_edge(i, j, graph.edge(i, j) + rate);
+                }
+            }
+        }
+
+        // Overlap edges among queryful vertices.
+        if !self.config.overlap_edges {
+            // Ablation: no Pub/Sub-sharing term in the query graph.
+        } else if n_query <= self.config.full_pairwise_limit {
+            for i in 0..n_query {
+                for j in (i + 1)..n_query {
+                    let w = graph.vertices[i]
+                        .interest
+                        .weighted_overlap(&graph.vertices[j].interest, rates);
+                    if w > 0.0 {
+                        graph.set_edge(i, j, graph.edge(i, j) + w);
+                    }
+                }
+            }
+        } else {
+            self.sparsified_overlap_edges(&mut graph, n_query, seed);
+        }
+        graph
+    }
+
+    /// Inverted-index candidate generation for overlap edges (see module
+    /// docs): every vertex counts its co-occurrences with the (capped)
+    /// per-substream candidate lists and keeps exact-weighted edges to its
+    /// top co-occurring partners — the heavy edges that coarsening and
+    /// mapping act on.
+    fn sparsified_overlap_edges(&self, graph: &mut QueryGraph, n_query: usize, seed: u64) {
+        let rates = self.table.rates();
+        let cap = self.config.candidates_per_substream.max(2);
+        let top_e = self.config.top_overlap_edges.max(1);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.universe()];
+        let mut order: Vec<usize> = (0..n_query).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        for &i in &order {
+            for s in graph.vertices[i].interest.iter() {
+                if lists[s].len() < cap {
+                    lists[s].push(i as u32);
+                }
+            }
+        }
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for i in 0..n_query {
+            counts.clear();
+            for s in graph.vertices[i].interest.iter() {
+                for &j in &lists[s] {
+                    if j as usize != i {
+                        *counts.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut partners: Vec<(u32, u32)> =
+                counts.iter().map(|(&j, &c)| (c, j)).collect();
+            partners.sort_unstable_by(|a, b| b.cmp(a));
+            for &(_, j) in partners.iter().take(top_e) {
+                let j = j as usize;
+                if graph.edge(i, j) > 0.0 {
+                    continue;
+                }
+                let w = graph.vertices[i]
+                    .interest
+                    .weighted_overlap(&graph.vertices[j].interest, rates);
+                if w > 0.0 {
+                    graph.set_edge(i, j, w);
+                }
+            }
+        }
+    }
+
+    /// The network graph at coordinator `coord`: targets = its children
+    /// (represented by their medians, weighted by aggregate capability),
+    /// anchors = the network nodes the query graph references that no child
+    /// covers.
+    pub(crate) fn network_graph_at(&self, coord: usize, qg: &QueryGraph) -> NetworkGraph {
+        let node = self.tree.node(coord);
+        let targets: Vec<NetVertex> = node
+            .children
+            .iter()
+            .map(|&c| {
+                let child = self.tree.node(c);
+                NetVertex { node: child.representative, capability: child.capability }
+            })
+            .collect();
+        let mut anchors: Vec<NetVertex> = Vec::new();
+        for v in &qg.vertices {
+            if let Some(n) = v.net_node() {
+                if self.tree.covering_child(coord, n).is_none()
+                    && !anchors.iter().any(|a| a.node == n)
+                {
+                    anchors.push(NetVertex { node: n, capability: 0.0 });
+                }
+            }
+        }
+        let dep = self.dep;
+        NetworkGraph::build(targets, anchors, |a, b| dep.distance(a, b))
+    }
+
+    /// The pin function at `coord`: n-vertices pin to the covering child's
+    /// target index or to their anchor.
+    pub(crate) fn pin_at<'b>(
+        &'b self,
+        coord: usize,
+        ng: &'b NetworkGraph,
+    ) -> impl Fn(&QgVertex) -> Option<usize> + 'b {
+        move |v: &QgVertex| {
+            let node = v.net_node()?;
+            match self.tree.covering_child(coord, node) {
+                Some(pos) => Some(pos),
+                None => ng.index_of(node),
+            }
+        }
+    }
+
+    /// Maps a graph at one coordinator (Algorithm 2 with this coordinator's
+    /// targets/anchors/pins).
+    pub(crate) fn map_at(&self, coord: usize, qg: &QueryGraph) -> (NetworkGraph, MappingResult) {
+        let ng = self.network_graph_at(coord, qg);
+        let result = {
+            let pin = self.pin_at(coord, &ng);
+            let mut cfg = self.config.map;
+            cfg.alpha = self.level_alpha();
+            map_graph(qg, &ng, &pin, &cfg)
+        };
+        (ng, result)
+    }
+
+    /// Hierarchical initial distribution (§3.5).
+    pub fn distribute(&self, specs: &[QuerySpec], seed: u64) -> DistOutcome {
+        let mut assignment = Assignment::new();
+        let mut timing = DistTiming::default();
+        if specs.is_empty() {
+            return DistOutcome { assignment, timing };
+        }
+        // Trivial deployment: a single processor hosts everything.
+        if self.tree.node(self.tree.root()).children.is_empty() {
+            let p = self.tree.node(self.tree.root()).representative;
+            for s in specs {
+                assignment.place(s.id, p);
+            }
+            return DistOutcome { assignment, timing };
+        }
+
+        // ---- Phase A: bottom-up graph construction and coarsening.
+        let mut per_coord = self.build_hierarchy_graphs(specs, seed, &mut timing, |spec| {
+            spec.proxy
+        });
+
+        // ---- Phase B: top-down mapping with one-level uncoarsening.
+        let root = self.tree.root();
+        let root_work = std::mem::take(&mut per_coord.outputs[root]);
+        let response = self.assign_down(root, root_work, &per_coord, &mut assignment, &mut timing);
+        timing.response += response;
+        DistOutcome { assignment, timing }
+    }
+
+    /// Centralized baseline: one global graph, mapped directly onto all
+    /// processors (the paper's scalability yardstick).
+    pub fn distribute_centralized(&self, specs: &[QuerySpec], seed: u64) -> DistOutcome {
+        self.centralized_inner(specs, seed, true)
+    }
+
+    /// Greedy baseline: the centralized graph with only the greedy phase of
+    /// Algorithm 2 (no iterative refinement).
+    pub fn distribute_greedy(&self, specs: &[QuerySpec], seed: u64) -> DistOutcome {
+        self.centralized_inner(specs, seed, false)
+    }
+
+    fn centralized_inner(&self, specs: &[QuerySpec], seed: u64, refine: bool) -> DistOutcome {
+        let mut sw = cosmos_util::Stopwatch::new();
+        sw.start();
+        let vertices: Vec<QgVertex> = specs.iter().map(|s| self.vertex_for(s)).collect();
+        let qg = self.graph_from_vertices(vertices, seed);
+        let targets: Vec<NetVertex> = self
+            .dep
+            .processors()
+            .iter()
+            .map(|&p| NetVertex { node: p, capability: 1.0 })
+            .collect();
+        let mut anchors: Vec<NetVertex> = Vec::new();
+        for v in &qg.vertices {
+            if let Some(n) = v.net_node() {
+                if !self.dep.processors().contains(&n) && !anchors.iter().any(|a| a.node == n) {
+                    anchors.push(NetVertex { node: n, capability: 0.0 });
+                }
+            }
+        }
+        let dep = self.dep;
+        let ng = NetworkGraph::build(targets, anchors, |a, b| dep.distance(a, b));
+        let pin = |v: &QgVertex| -> Option<usize> { v.net_node().and_then(|n| ng.index_of(n)) };
+        let mut cfg = self.config.map;
+        if !refine {
+            cfg.max_outer = 0;
+        }
+        let result = map_graph(&qg, &ng, &pin, &cfg);
+        let mut assignment = Assignment::new();
+        for (i, v) in qg.vertices.iter().enumerate() {
+            let target = result.mapping[i];
+            if target < ng.target_count() {
+                let node = ng.vertex(target).node;
+                for &q in &v.queries {
+                    assignment.place(q, node);
+                }
+            }
+        }
+        sw.stop();
+        let timing = DistTiming { response: sw.elapsed(), total: sw.elapsed() };
+        DistOutcome { assignment, timing }
+    }
+
+    /// Bottom-up phase shared by initial distribution and adaptation:
+    /// `home_of` decides which processor a query is grouped under (proxy
+    /// for initial distribution, current placement for adaptation).
+    pub(crate) fn build_hierarchy_graphs(
+        &self,
+        specs: &[QuerySpec],
+        seed: u64,
+        timing: &mut DistTiming,
+        home_of: impl Fn(&QuerySpec) -> NodeId,
+    ) -> HierarchyGraphs {
+        let n_coords = self.tree.len();
+        let mut outputs: Vec<Vec<QgVertex>> = vec![Vec::new(); n_coords];
+        let mut constituents: Vec<Vec<Vec<QgVertex>>> = vec![Vec::new(); n_coords];
+        let mut level_time: Vec<Duration> = Vec::new();
+
+        // Group raw queries by their home processor's level-1 coordinator.
+        let mut by_coord: HashMap<usize, Vec<&QuerySpec>> = HashMap::new();
+        for spec in specs {
+            let home = home_of(spec);
+            let leaf = self
+                .tree
+                .leaf_of(home)
+                .unwrap_or_else(|| panic!("query {} homed on unknown processor {home}", spec.id));
+            let parent = self.tree.node(leaf).parent.unwrap_or(leaf);
+            by_coord.entry(parent).or_default().push(spec);
+        }
+
+        for coord in self.tree.internal_bottom_up() {
+            let mut sw = cosmos_util::Stopwatch::new();
+            sw.start();
+            let node = self.tree.node(coord);
+            let fine: Vec<QgVertex> = if node.level == 1 {
+                by_coord
+                    .get(&coord)
+                    .map(|qs| qs.iter().map(|s| self.vertex_for(s)).collect())
+                    .unwrap_or_default()
+            } else {
+                node.children
+                    .iter()
+                    .flat_map(|&c| outputs[c].iter().cloned())
+                    .collect()
+            };
+            let coarse_seed = derive_seed_indexed(seed, "coarsen", coord as u64);
+            let graph = self.graph_from_vertices(fine, coarse_seed);
+            let tree = self.tree;
+            let cluster_of =
+                move |n: NodeId| -> Option<usize> { tree.covering_child(coord, n) };
+            let Coarsened { graph: coarse, members } = coarsen(
+                &graph,
+                self.config.vmax,
+                self.table.rates(),
+                &cluster_of,
+                coarse_seed,
+            );
+            // Outputs exclude derived pure n-vertices (the parent re-derives
+            // them); constituents keep only queryful fine vertices.
+            let mut out = Vec::new();
+            let mut cons = Vec::new();
+            for (ci, v) in coarse.vertices.iter().enumerate() {
+                if v.queries.is_empty() {
+                    continue;
+                }
+                let mut tagged = v.clone();
+                tagged.tag = Some((coord, cons.len()));
+                out.push(tagged);
+                cons.push(
+                    members[ci]
+                        .iter()
+                        .filter(|&&fi| !graph.vertices[fi].queries.is_empty())
+                        .map(|&fi| graph.vertices[fi].clone())
+                        .collect::<Vec<QgVertex>>(),
+                );
+            }
+            outputs[coord] = out;
+            constituents[coord] = cons;
+            sw.stop();
+            timing.total += sw.elapsed();
+            let level = node.level;
+            if level_time.len() < level {
+                level_time.resize(level, Duration::ZERO);
+            }
+            level_time[level - 1] = level_time[level - 1].max(sw.elapsed());
+        }
+        timing.response += level_time.iter().sum::<Duration>();
+        HierarchyGraphs { outputs, constituents }
+    }
+
+    /// Top-down assignment with one-level uncoarsening.
+    pub(crate) fn assign_down(
+        &self,
+        coord: usize,
+        work: Vec<QgVertex>,
+        graphs: &HierarchyGraphs,
+        assignment: &mut Assignment,
+        timing: &mut DistTiming,
+    ) -> Duration {
+        let node = self.tree.node(coord);
+        if node.level == 0 {
+            for v in &work {
+                for &q in &v.queries {
+                    assignment.place(q, node.representative);
+                }
+            }
+            return Duration::ZERO;
+        }
+        let mut sw = cosmos_util::Stopwatch::new();
+        sw.start();
+        let qg = self.graph_from_vertices(work, derive_seed_indexed(0, "down", coord as u64));
+        let (ng, result) = self.map_at(coord, &qg);
+        // Partition queryful vertices per child, expanding one level.
+        let mut per_child: Vec<Vec<QgVertex>> = vec![Vec::new(); node.children.len()];
+        for (i, v) in qg.vertices.iter().enumerate() {
+            if v.queries.is_empty() {
+                continue;
+            }
+            let target = result.mapping[i];
+            if target >= ng.target_count() {
+                continue; // anchors never hold queries (see coarsen docs)
+            }
+            per_child[target].extend(graphs.expand(v));
+        }
+        sw.stop();
+        timing.total += sw.elapsed();
+        let own = sw.elapsed();
+        let mut child_max = Duration::ZERO;
+        for (pos, child_work) in per_child.into_iter().enumerate() {
+            let child = node.children[pos];
+            let t = self.assign_down(child, child_work, graphs, assignment, timing);
+            child_max = child_max.max(t);
+        }
+        own + child_max
+    }
+}
+
+/// Bottom-up products: per coordinator, its tagged coarse output vertices
+/// and the constituents behind each of them.
+#[derive(Debug)]
+pub(crate) struct HierarchyGraphs {
+    pub outputs: Vec<Vec<QgVertex>>,
+    pub constituents: Vec<Vec<Vec<QgVertex>>>,
+}
+
+impl HierarchyGraphs {
+    /// Expands a vertex one level via its tag ("retrieved from the
+    /// corresponding coordinator"); untagged (raw) vertices expand to
+    /// themselves.
+    pub fn expand(&self, v: &QgVertex) -> Vec<QgVertex> {
+        match v.tag {
+            Some((coord, idx)) => self.constituents[coord][idx].clone(),
+            None => vec![v.clone()],
+        }
+    }
+}
+
+/// Sanity check: every vertex kind invariant holds after expansion.
+#[allow(dead_code)]
+fn debug_assert_queryful(v: &QgVertex) {
+    debug_assert!(
+        !v.queries.is_empty() || matches!(v.kind, VertexKind::Net(_)),
+        "workload vertices must carry queries"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::edge_weight;
+    use cosmos_net::TransitStubConfig;
+    use cosmos_query::QueryId;
+    use cosmos_util::rng::rng_for;
+    use rand::Rng;
+
+    const UNIVERSE: usize = 200;
+
+    struct Fixture {
+        dep: Deployment,
+        table: SubstreamTable,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let topo = TransitStubConfig::small().generate(seed);
+        let dep = Deployment::assign(topo, 4, 8, seed);
+        let table = SubstreamTable::random(UNIVERSE, 4, 1.0, 10.0, seed);
+        Fixture { dep, table }
+    }
+
+    fn specs(fix: &Fixture, n: usize, seed: u64) -> Vec<QuerySpec> {
+        let mut rng = rng_for(seed, "test-specs");
+        (0..n)
+            .map(|i| {
+                let k = rng.gen_range(3..10);
+                let interest = InterestSet::from_indices(
+                    UNIVERSE,
+                    (0..k).map(|_| rng.gen_range(0..UNIVERSE)),
+                );
+                let load = interest.weighted_len(fix.table.rates()) / 10.0;
+                QuerySpec {
+                    id: QueryId(i as u64),
+                    interest,
+                    load,
+                    proxy: fix.dep.processors()[rng.gen_range(0..8)],
+                    result_rate: 1.0,
+                    state_size: 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hierarchical_assigns_every_query_to_a_processor() {
+        let fix = fixture(1);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 60, 2);
+        let out = d.distribute(&qs, 3);
+        assert_eq!(out.assignment.len(), 60);
+        for q in &qs {
+            let p = out.assignment.processor_of(q.id).expect("assigned");
+            assert!(fix.dep.processors().contains(&p), "{p} is not a processor");
+        }
+    }
+
+    #[test]
+    fn centralized_assigns_and_balances() {
+        let fix = fixture(2);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 40, 5);
+        let out = d.distribute_centralized(&qs, 7);
+        assert_eq!(out.assignment.len(), 40);
+        let loads = out.assignment.loads(&qs, fix.dep.processors());
+        let total: f64 = loads.iter().sum();
+        let limit = 1.1 * total / 8.0;
+        for l in &loads {
+            assert!(*l <= limit + 1e-6, "load {l} exceeds limit {limit}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_no_better_than_refined_centralized() {
+        let fix = fixture(3);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 50, 9);
+        let greedy = d.distribute_greedy(&qs, 11);
+        let central = d.distribute_centralized(&qs, 11);
+        let cost = |a: &Assignment| -> f64 {
+            let model = cosmos_pubsub::TrafficModel::new(&fix.dep, &fix.table);
+            let interests = a.interests(&qs, fix.dep.processors(), UNIVERSE);
+            let flows = qs.iter().map(|q| {
+                (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate)
+            });
+            model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
+        };
+        let cg = cost(&greedy.assignment);
+        let cc = cost(&central.assignment);
+        assert!(
+            cc <= cg + 1e-6,
+            "refined centralized ({cc}) must not lose to greedy ({cg})"
+        );
+    }
+
+    #[test]
+    fn sparsified_edges_cover_heavy_overlaps() {
+        let fix = fixture(4);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        // Force sparsification.
+        let config = DistConfig { full_pairwise_limit: 4, ..DistConfig::default() };
+        let d = Distributor::with_config(&fix.dep, &tree, &fix.table, config);
+        // Ten queries in two heavy-overlap groups.
+        let qs: Vec<QuerySpec> = (0..10)
+            .map(|i| {
+                let base = if i < 5 { 0 } else { 100 };
+                QuerySpec {
+                    id: QueryId(i),
+                    interest: InterestSet::from_indices(UNIVERSE, base..base + 20),
+                    load: 1.0,
+                    proxy: fix.dep.processors()[0],
+                    result_rate: 0.1,
+                    state_size: 1.0,
+                }
+            })
+            .collect();
+        let vertices: Vec<QgVertex> = qs.iter().map(|s| d.vertex_for(s)).collect();
+        let g = d.graph_from_vertices(vertices, 5);
+        // Within-group overlap edges must exist.
+        let w01 = g.edge(0, 1);
+        assert!(w01 > 0.0, "sparsified graph lost the heavy overlap edge");
+        // Cross-group overlap must stay zero.
+        assert_eq!(g.edge(0, 7), 0.0);
+    }
+
+    #[test]
+    fn graph_edges_match_edge_weight_formula() {
+        let fix = fixture(6);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 12, 20);
+        let vertices: Vec<QgVertex> = qs.iter().map(|s| d.vertex_for(s)).collect();
+        let g = d.graph_from_vertices(vertices, 1);
+        for i in 0..g.len() {
+            for (j, w) in g.neighbors(i) {
+                let expect = edge_weight(&g.vertices[i], &g.vertices[j], fix.table.rates());
+                assert!(
+                    (w - expect).abs() < 1e-9,
+                    "edge ({i},{j}) = {w}, formula gives {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let fix = fixture(7);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let out = d.distribute(&[], 0);
+        assert!(out.assignment.is_empty());
+    }
+
+    #[test]
+    fn hierarchical_is_deterministic() {
+        let fix = fixture(8);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 30, 33);
+        let a = d.distribute(&qs, 5);
+        let b = d.distribute(&qs, 5);
+        for q in &qs {
+            assert_eq!(
+                a.assignment.processor_of(q.id),
+                b.assignment.processor_of(q.id)
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// Every generated query is assigned exactly once, to a real
+            /// processor, under both distribution strategies.
+            #[test]
+            fn prop_total_assignment(
+                n in 1usize..60,
+                seed in 0u64..30,
+                vmax in 4usize..32,
+            ) {
+                let fix = fixture(seed % 5);
+                let tree = CoordinatorTree::build(&fix.dep, 2);
+                let config = DistConfig { vmax, ..DistConfig::default() };
+                let d = Distributor::with_config(&fix.dep, &tree, &fix.table, config);
+                let qs = specs(&fix, n, seed);
+                for out in [d.distribute(&qs, seed), d.distribute_centralized(&qs, seed)] {
+                    prop_assert_eq!(out.assignment.len(), n);
+                    for q in &qs {
+                        let p = out.assignment.processor_of(q.id);
+                        prop_assert!(p.is_some());
+                        prop_assert!(fix.dep.processors().contains(&p.unwrap()));
+                    }
+                }
+            }
+
+            /// The derived graph never invents or loses interest mass: the
+            /// sum of per-vertex interests equals the specs', and every
+            /// n-vertex is a known source or proxy.
+            #[test]
+            fn prop_graph_vertices_are_consistent(n in 1usize..40, seed in 0u64..20) {
+                let fix = fixture(1 + seed % 4);
+                let tree = CoordinatorTree::build(&fix.dep, 2);
+                let d = Distributor::new(&fix.dep, &tree, &fix.table);
+                let qs = specs(&fix, n, seed);
+                let vertices: Vec<QgVertex> = qs.iter().map(|s| d.vertex_for(s)).collect();
+                let g = d.graph_from_vertices(vertices, seed);
+                let mut q_count = 0usize;
+                for v in &g.vertices {
+                    if let Some(node) = v.net_node() {
+                        let known = fix.dep.sources().contains(&node)
+                            || fix.dep.processors().contains(&node);
+                        prop_assert!(known, "n-vertex for unknown node {node}");
+                    } else {
+                        q_count += v.queries.len();
+                    }
+                }
+                prop_assert_eq!(q_count, n);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_beats_naive_on_communication() {
+        let fix = fixture(9);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let d = Distributor::new(&fix.dep, &tree, &fix.table);
+        let qs = specs(&fix, 80, 44);
+        let hier = d.distribute(&qs, 1);
+        // Naive: every query on its proxy.
+        let naive: Assignment = qs.iter().map(|q| (q.id, q.proxy)).collect();
+        let model = cosmos_pubsub::TrafficModel::new(&fix.dep, &fix.table);
+        let cost = |a: &Assignment| {
+            let interests = a.interests(&qs, fix.dep.processors(), UNIVERSE);
+            let flows = qs
+                .iter()
+                .map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
+            model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
+        };
+        let ch = cost(&hier.assignment);
+        let cn = cost(&naive);
+        assert!(
+            ch <= cn * 1.05,
+            "hierarchical ({ch}) should not lose clearly to naive ({cn})"
+        );
+    }
+}

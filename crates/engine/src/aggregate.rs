@@ -1,0 +1,329 @@
+//! Windowed aggregation — an engine extension beyond the paper's worked
+//! examples, motivated by its own application context (environmental
+//! monitoring dashboards want `AVG(snowHeight)`-style rollups, not only
+//! joins).
+//!
+//! An aggregate query is a single-relation CQL query whose `SELECT` list
+//! contains aggregate functions:
+//!
+//! ```text
+//! SELECT AVG(S1.snowHeight), MAX(S1.snowHeight)
+//! FROM Station1 [Range 30 Minutes] S1
+//! WHERE S1.snowHeight >= 0
+//! ```
+//!
+//! Semantics: pushed-down selections filter tuples before they enter the
+//! window; on every accepted tuple the engine emits one output tuple with
+//! the aggregates evaluated over the current window contents (the usual
+//! per-arrival istream behaviour of CQL windowed aggregates). Non-numeric
+//! values participate only in `COUNT`.
+
+use crate::tuple::Tuple;
+use cosmos_query::predicate::eval_predicate;
+use cosmos_query::{AggFunc, AttrRef, Predicate, Query, QueryId, Scalar};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A compiled single-relation aggregate query.
+#[derive(Debug, Clone)]
+pub struct AggregateQuery {
+    id: QueryId,
+    stream: String,
+    alias: String,
+    /// Window width in ms; `None` = unbounded.
+    width: Option<i64>,
+    selections: Vec<Predicate>,
+    aggs: Vec<(AggFunc, AttrRef)>,
+    buffer: VecDeque<Arc<Tuple>>,
+    emitted: u64,
+    filtered: u64,
+}
+
+impl AggregateQuery {
+    /// Compiles an aggregate query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is not well-formed, has no aggregates, spans
+    /// more than one relation, or mixes aggregates with join predicates.
+    pub fn compile(id: QueryId, query: Query) -> Self {
+        assert!(query.is_well_formed(), "aggregate query {id} is not well-formed");
+        assert!(query.has_aggregates(), "query {id} has no aggregate items");
+        assert_eq!(
+            query.relations.len(),
+            1,
+            "aggregate queries are single-relation (query {id})"
+        );
+        assert_eq!(
+            query.join_predicates().count(),
+            0,
+            "aggregate queries cannot contain join predicates (query {id})"
+        );
+        let rel = &query.relations[0];
+        let aggs: Vec<(AggFunc, AttrRef)> = query
+            .projection
+            .iter()
+            .filter_map(|p| match p {
+                cosmos_query::ProjItem::Agg { func, attr } => Some((*func, attr.clone())),
+                _ => None,
+            })
+            .collect();
+        Self {
+            id,
+            stream: rel.stream.clone(),
+            alias: rel.alias.clone(),
+            width: rel.window.width_ms().map(|w| w as i64),
+            selections: query.selection_predicates().cloned().collect(),
+            aggs,
+            buffer: VecDeque::new(),
+            emitted: 0,
+            filtered: 0,
+        }
+    }
+
+    /// The query id.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// `(emitted, filtered)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.emitted, self.filtered)
+    }
+
+    /// Number of tuples currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn evaluate(&self, func: AggFunc, attr: &AttrRef) -> Scalar {
+        let values = self
+            .buffer
+            .iter()
+            .filter_map(|t| t.get(&attr.attr).and_then(Scalar::as_f64));
+        match func {
+            AggFunc::Count => Scalar::Int(self.buffer.len() as i64),
+            AggFunc::Sum => Scalar::Float(values.sum()),
+            AggFunc::Avg => {
+                let (mut sum, mut n) = (0.0, 0usize);
+                for v in values {
+                    sum += v;
+                    n += 1;
+                }
+                if n == 0 {
+                    Scalar::Float(0.0)
+                } else {
+                    Scalar::Float(sum / n as f64)
+                }
+            }
+            AggFunc::Min => Scalar::Float(values.fold(f64::INFINITY, f64::min)),
+            AggFunc::Max => Scalar::Float(values.fold(f64::NEG_INFINITY, f64::max)),
+        }
+    }
+
+    /// Feeds one tuple; returns the aggregate output when the tuple enters
+    /// the window (selection-passing), `None` otherwise.
+    pub fn push(&mut self, tuple: Arc<Tuple>) -> Option<Tuple> {
+        if tuple.stream != self.stream {
+            return None;
+        }
+        let now = tuple.timestamp;
+        if let Some(w) = self.width {
+            while let Some(front) = self.buffer.front() {
+                if front.timestamp < now - w {
+                    self.buffer.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        let view = SingleView { alias: &self.alias, tuple: &tuple };
+        if !self.selections.iter().all(|p| eval_predicate(p, &view).unwrap_or(false)) {
+            self.filtered += 1;
+            return None;
+        }
+        self.buffer.push_back(tuple.clone());
+        self.emitted += 1;
+        let mut out = Tuple::new(format!("agg-{}", self.id.0), now);
+        for (func, attr) in &self.aggs {
+            out = out.with(format!("{func}({attr})"), self.evaluate(*func, attr));
+        }
+        Some(out)
+    }
+}
+
+struct SingleView<'a> {
+    alias: &'a str,
+    tuple: &'a Tuple,
+}
+
+impl cosmos_query::predicate::AttrSource for SingleView<'_> {
+    fn value(&self, attr: &AttrRef) -> Option<Scalar> {
+        if attr.relation != self.alias {
+            return None;
+        }
+        if attr.attr == "timestamp" {
+            return Some(Scalar::Int(self.tuple.timestamp));
+        }
+        self.tuple.get(&attr.attr).cloned()
+    }
+
+    fn timestamp(&self, alias: &str) -> Option<i64> {
+        (alias == self.alias).then_some(self.tuple.timestamp)
+    }
+}
+
+/// Hosts many aggregate queries, routing tuples by stream.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_engine::aggregate::AggregateEngine;
+/// use cosmos_engine::tuple::Tuple;
+/// use cosmos_query::{parse_query, QueryId, Scalar};
+///
+/// let mut engine = AggregateEngine::new();
+/// engine.add_query(
+///     QueryId(1),
+///     parse_query("SELECT AVG(S.v), COUNT(S.v) FROM R [Range 10 Seconds] S")?,
+/// );
+/// engine.push(Tuple::new("R", 0).with("v", Scalar::Int(10)));
+/// let out = engine.push(Tuple::new("R", 1_000).with("v", Scalar::Int(20)));
+/// assert_eq!(out[0].1.get("AVG(S.v)"), Some(&Scalar::Float(15.0)));
+/// # Ok::<(), cosmos_query::ParseError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AggregateEngine {
+    queries: Vec<AggregateQuery>,
+}
+
+impl AggregateEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an aggregate query.
+    ///
+    /// # Panics
+    ///
+    /// See [`AggregateQuery::compile`].
+    pub fn add_query(&mut self, id: QueryId, query: Query) {
+        self.queries.push(AggregateQuery::compile(id, query));
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Pushes a tuple; returns `(query, aggregate output)` pairs.
+    pub fn push(&mut self, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
+        let shared = Arc::new(tuple);
+        self.queries
+            .iter_mut()
+            .filter_map(|q| q.push(shared.clone()).map(|t| (q.id(), t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::parse_query;
+
+    fn t(ts: i64, v: i64) -> Tuple {
+        Tuple::new("R", ts).with("v", Scalar::Int(v))
+    }
+
+    fn engine(src: &str) -> AggregateEngine {
+        let mut e = AggregateEngine::new();
+        e.add_query(QueryId(1), parse_query(src).unwrap());
+        e
+    }
+
+    #[test]
+    fn count_sum_avg_min_max_over_window() {
+        let mut e = engine(
+            "SELECT COUNT(R.v), SUM(R.v), AVG(R.v), MIN(R.v), MAX(R.v) \
+             FROM R [Range 10 Seconds]",
+        );
+        e.push(t(0, 10));
+        e.push(t(2_000, 30));
+        let out = e.push(t(4_000, 20));
+        let (_, agg) = &out[0];
+        assert_eq!(agg.get("COUNT(R.v)"), Some(&Scalar::Int(3)));
+        assert_eq!(agg.get("SUM(R.v)"), Some(&Scalar::Float(60.0)));
+        assert_eq!(agg.get("AVG(R.v)"), Some(&Scalar::Float(20.0)));
+        assert_eq!(agg.get("MIN(R.v)"), Some(&Scalar::Float(10.0)));
+        assert_eq!(agg.get("MAX(R.v)"), Some(&Scalar::Float(30.0)));
+    }
+
+    #[test]
+    fn window_expiry_drops_old_tuples() {
+        let mut e = engine("SELECT COUNT(R.v) FROM R [Range 10 Seconds]");
+        e.push(t(0, 1));
+        e.push(t(5_000, 2));
+        // At t = 11s the first tuple has expired.
+        let out = e.push(t(11_000, 3));
+        assert_eq!(out[0].1.get("COUNT(R.v)"), Some(&Scalar::Int(2)));
+    }
+
+    #[test]
+    fn selection_pushdown_filters_before_window() {
+        let mut e = engine("SELECT COUNT(R.v) FROM R [Range 1 Minute] WHERE R.v > 10");
+        assert!(e.push(t(0, 5)).is_empty());
+        let out = e.push(t(1_000, 20));
+        assert_eq!(out[0].1.get("COUNT(R.v)"), Some(&Scalar::Int(1)));
+    }
+
+    #[test]
+    fn unbounded_window_accumulates_forever() {
+        let mut e = engine("SELECT SUM(R.v) FROM R [Unbounded]");
+        for i in 1..=10 {
+            e.push(t(i * 100_000, i));
+        }
+        let out = e.push(t(10_000_000, 0));
+        assert_eq!(out[0].1.get("SUM(R.v)"), Some(&Scalar::Float(55.0)));
+    }
+
+    #[test]
+    fn parses_with_alias_and_display_round_trips() {
+        let q = parse_query("SELECT AVG(S1.snowHeight) FROM Station1 [Range 30 Minutes] S1")
+            .unwrap();
+        assert!(q.has_aggregates());
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn missing_attr_counts_but_does_not_sum() {
+        let mut e = engine("SELECT COUNT(R.v), SUM(R.v) FROM R [Range 1 Minute]");
+        let out = e.push(Tuple::new("R", 0).with("other", Scalar::Int(1)));
+        assert_eq!(out[0].1.get("COUNT(R.v)"), Some(&Scalar::Int(1)));
+        assert_eq!(out[0].1.get("SUM(R.v)"), Some(&Scalar::Float(0.0)));
+    }
+
+    #[test]
+    fn other_streams_are_ignored() {
+        let mut e = engine("SELECT COUNT(R.v) FROM R [Range 1 Minute]");
+        assert!(e.push(Tuple::new("Z", 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-relation")]
+    fn multi_relation_aggregate_rejected() {
+        let q = parse_query(
+            "SELECT COUNT(R.v) FROM R [Now], S [Now] WHERE R.k = S.k",
+        )
+        .unwrap();
+        let _ = AggregateQuery::compile(QueryId(1), q);
+    }
+
+    #[test]
+    #[should_panic(expected = "no aggregate items")]
+    fn plain_query_rejected() {
+        let q = parse_query("SELECT * FROM R [Now]").unwrap();
+        let _ = AggregateQuery::compile(QueryId(1), q);
+    }
+}

@@ -1,0 +1,529 @@
+//! Compiled continuous queries and the multi-query engine.
+//!
+//! Each query compiles to per-relation window buffers with pushed-down
+//! selection predicates (early filtering — tuples failing their relation's
+//! selections never enter a window) and an event-driven probe: when a tuple
+//! arrives on relation `i`, it is combined with every window combination of
+//! the other relations; combinations passing the join predicates are
+//! emitted. A pair is emitted exactly once — when its *later* tuple arrives
+//! (ties broken by relation position).
+
+use crate::tuple::{JoinedTuple, Tuple};
+use cosmos_query::predicate::{eval_conjunction, eval_predicate};
+use cosmos_query::{Predicate, ProjItem, Query, QueryId, Scalar};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One emitted result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTuple {
+    /// The query that produced the result.
+    pub query: QueryId,
+    /// The joined source tuples.
+    pub joined: JoinedTuple,
+}
+
+impl ResultTuple {
+    /// Applies the producing query's projection, flattening to a tuple on
+    /// `result_stream` with `alias.attr` names. Component timestamps are
+    /// always retained (`alias.timestamp`) so residual filters downstream
+    /// can re-check window bounds.
+    pub fn project(&self, projection: &[ProjItem], result_stream: &str) -> Tuple {
+        let flat = self.joined.flatten(result_stream);
+        let keep = |name: &str| -> bool {
+            let (alias, attr) = match name.split_once('.') {
+                Some(pair) => pair,
+                None => return false,
+            };
+            if attr == "timestamp" {
+                return true;
+            }
+            projection.iter().any(|item| match item {
+                ProjItem::All => true,
+                ProjItem::AllOf(a) => a == alias,
+                ProjItem::Attr(ar) => ar.relation == alias && ar.attr == attr,
+                // Aggregates are evaluated by the AggregateEngine, never by
+                // SPJ projection.
+                ProjItem::Agg { .. } => false,
+            })
+        };
+        Tuple {
+            stream: flat.stream,
+            timestamp: flat.timestamp,
+            values: flat.values.into_iter().filter(|(k, _)| keep(k)).collect(),
+        }
+    }
+}
+
+/// Execution counters for load estimation (§3.8 collects "the average CPU
+/// time that each of its running queries consumes"; we expose probe/emit
+/// counts as the deterministic analogue).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tuples accepted into windows (passed selection).
+    pub ingested: u64,
+    /// Join combinations examined.
+    pub probes: u64,
+    /// Results emitted.
+    pub emitted: u64,
+    /// Tuples rejected by pushed-down selections.
+    pub filtered: u64,
+}
+
+/// A compiled continuous query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    id: QueryId,
+    query: Query,
+    /// Window width (ms) per relation; `None` = unbounded.
+    widths: Vec<Option<i64>>,
+    /// Pushed-down selection predicates per relation.
+    selections: Vec<Vec<Predicate>>,
+    /// Join (and any other multi-relation) predicates.
+    cross: Vec<Predicate>,
+    /// Window buffers per relation, timestamp-ordered.
+    buffers: Vec<VecDeque<Arc<Tuple>>>,
+    stats: EngineStats,
+}
+
+impl CompiledQuery {
+    /// Compiles `query` for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is not well-formed.
+    pub fn compile(id: QueryId, query: Query) -> Self {
+        assert!(query.is_well_formed(), "query {id} is not well-formed");
+        assert!(
+            !query.has_aggregates(),
+            "query {id} contains aggregates; use cosmos_engine::aggregate::AggregateQuery"
+        );
+        let n = query.relations.len();
+        let widths = query
+            .relations
+            .iter()
+            .map(|r| r.window.width_ms().map(|w| w as i64))
+            .collect();
+        let mut selections = vec![Vec::new(); n];
+        let mut cross = Vec::new();
+        for p in &query.predicates {
+            match p {
+                Predicate::Cmp { attr, .. } => {
+                    let idx = query
+                        .relations
+                        .iter()
+                        .position(|r| r.alias == attr.relation)
+                        .expect("well-formed query has known aliases");
+                    selections[idx].push(p.clone());
+                }
+                _ => cross.push(p.clone()),
+            }
+        }
+        Self {
+            id,
+            query,
+            widths,
+            selections,
+            cross,
+            buffers: vec![VecDeque::new(); n],
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The query's identifier.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The source query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Positions of relations reading `stream`.
+    #[allow(dead_code)]
+    fn relations_for(&self, stream: &str) -> Vec<usize> {
+        self.query
+            .relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.stream == stream)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn prune(&mut self, now: i64) {
+        for (i, buf) in self.buffers.iter_mut().enumerate() {
+            if let Some(w) = self.widths[i] {
+                while let Some(front) = buf.front() {
+                    if front.timestamp < now - w {
+                        buf.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds one tuple into relation `rel_idx`, returning emitted results.
+    fn push_at(&mut self, rel_idx: usize, tuple: Arc<Tuple>, out: &mut Vec<ResultTuple>) {
+        let now = tuple.timestamp;
+        self.prune(now);
+        // Pushed-down selection: reject before the tuple enters the window.
+        let alias = self.query.relations[rel_idx].alias.clone();
+        let probe_view = SingleView { alias: &alias, tuple: &tuple };
+        if !self.selections[rel_idx]
+            .iter()
+            .all(|p| eval_predicate(p, &probe_view).unwrap_or(false))
+        {
+            self.stats.filtered += 1;
+            return;
+        }
+        self.stats.ingested += 1;
+
+        // Probe: all combinations of other relations' windows.
+        let n = self.buffers.len();
+        if n == 1 {
+            self.stats.probes += 1;
+            self.stats.emitted += 1;
+            out.push(ResultTuple {
+                query: self.id,
+                joined: JoinedTuple::new(vec![(alias.clone(), tuple.clone())]),
+            });
+        } else {
+            let mut combo: Vec<Option<Arc<Tuple>>> = vec![None; n];
+            combo[rel_idx] = Some(tuple.clone());
+            self.probe_recursive(0, rel_idx, now, &mut combo, out);
+        }
+        self.buffers[rel_idx].push_back(tuple);
+    }
+
+    fn probe_recursive(
+        &mut self,
+        rel: usize,
+        arriving: usize,
+        now: i64,
+        combo: &mut Vec<Option<Arc<Tuple>>>,
+        out: &mut Vec<ResultTuple>,
+    ) {
+        let n = self.buffers.len();
+        if rel == n {
+            self.stats.probes += 1;
+            let parts: Vec<(String, Arc<Tuple>)> = combo
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    (self.query.relations[i].alias.clone(), t.clone().expect("combo complete"))
+                })
+                .collect();
+            let joined = JoinedTuple::new(parts);
+            if eval_conjunction(&self.cross, &joined) {
+                self.stats.emitted += 1;
+                out.push(ResultTuple { query: self.id, joined });
+            }
+            return;
+        }
+        if rel == arriving {
+            self.probe_recursive(rel + 1, arriving, now, combo, out);
+            return;
+        }
+        // Iterate a snapshot of indices; buffer content is not mutated
+        // during probing.
+        for k in 0..self.buffers[rel].len() {
+            let cand = self.buffers[rel][k].clone();
+            // Window check relative to the arriving tuple's time.
+            if let Some(w) = self.widths[rel] {
+                if cand.timestamp < now - w {
+                    continue;
+                }
+            }
+            // Emit-once rule: the arriving tuple must be the latest of the
+            // combination; ties broken by relation position.
+            if cand.timestamp > now || (cand.timestamp == now && rel > arriving) {
+                continue;
+            }
+            combo[rel] = Some(cand);
+            self.probe_recursive(rel + 1, arriving, now, combo, out);
+            combo[rel] = None;
+        }
+    }
+}
+
+/// Evaluates single-relation predicates against a lone tuple under an alias.
+struct SingleView<'a> {
+    alias: &'a str,
+    tuple: &'a Tuple,
+}
+
+impl cosmos_query::predicate::AttrSource for SingleView<'_> {
+    fn value(&self, attr: &cosmos_query::AttrRef) -> Option<Scalar> {
+        if attr.relation != self.alias {
+            return None;
+        }
+        if attr.attr == "timestamp" {
+            return Some(Scalar::Int(self.tuple.timestamp));
+        }
+        self.tuple.get(&attr.attr).cloned()
+    }
+
+    fn timestamp(&self, alias: &str) -> Option<i64> {
+        (alias == self.alias).then_some(self.tuple.timestamp)
+    }
+}
+
+/// Hosts many continuous queries; routes arriving tuples by stream name.
+///
+/// See the crate-level example.
+#[derive(Debug, Default)]
+pub struct StreamEngine {
+    queries: Vec<CompiledQuery>,
+    /// stream name → (query index, relation index) feeds.
+    feeds: HashMap<String, Vec<(usize, usize)>>,
+}
+
+impl StreamEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is not well-formed.
+    pub fn add_query(&mut self, id: QueryId, query: Query) {
+        let compiled = CompiledQuery::compile(id, query);
+        let qi = self.queries.len();
+        for (ri, rel) in compiled.query.relations.iter().enumerate() {
+            self.feeds.entry(rel.stream.clone()).or_default().push((qi, ri));
+        }
+        self.queries.push(compiled);
+    }
+
+    /// Removes a query (its window state is dropped).
+    pub fn remove_query(&mut self, id: QueryId) {
+        if let Some(pos) = self.queries.iter().position(|q| q.id == id) {
+            self.queries.remove(pos);
+            self.feeds.clear();
+            for (qi, q) in self.queries.iter().enumerate() {
+                for (ri, rel) in q.query.relations.iter().enumerate() {
+                    self.feeds.entry(rel.stream.clone()).or_default().push((qi, ri));
+                }
+            }
+        }
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Pushes one tuple, returning all results it triggers.
+    pub fn push(&mut self, tuple: Tuple) -> Vec<ResultTuple> {
+        let mut out = Vec::new();
+        let shared = Arc::new(tuple);
+        if let Some(feeds) = self.feeds.get(&shared.stream).cloned() {
+            for (qi, ri) in feeds {
+                self.queries[qi].push_at(ri, shared.clone(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// The compiled query with id `id`, if registered.
+    pub fn query(&self, id: QueryId) -> Option<&CompiledQuery> {
+        self.queries.iter().find(|q| q.id == id)
+    }
+
+    /// Aggregate statistics over all queries.
+    pub fn total_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for q in &self.queries {
+            total.ingested += q.stats.ingested;
+            total.probes += q.stats.probes;
+            total.emitted += q.stats.emitted;
+            total.filtered += q.stats.filtered;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::parse_query;
+
+    fn engine_with(src: &str) -> StreamEngine {
+        let mut e = StreamEngine::new();
+        e.add_query(QueryId(1), parse_query(src).unwrap());
+        e
+    }
+
+    fn t(stream: &str, ts: i64, kv: &[(&str, i64)]) -> Tuple {
+        let mut tup = Tuple::new(stream, ts);
+        for (k, v) in kv {
+            tup = tup.with(*k, Scalar::Int(*v));
+        }
+        tup
+    }
+
+    #[test]
+    fn selection_only_query() {
+        let mut e = engine_with("SELECT * FROM R [Now] WHERE R.a > 10");
+        assert_eq!(e.push(t("R", 0, &[("a", 15)])).len(), 1);
+        assert_eq!(e.push(t("R", 1, &[("a", 5)])).len(), 0);
+        let stats = e.total_stats();
+        assert_eq!(stats.filtered, 1);
+        assert_eq!(stats.emitted, 1);
+    }
+
+    #[test]
+    fn window_join_within_range() {
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k",
+        );
+        e.push(t("R", 0, &[("k", 1)]));
+        e.push(t("R", 5_000, &[("k", 1)]));
+        // S arrives at 8s: both R tuples are within 10s.
+        let out = e.push(t("S", 8_000, &[("k", 1)]));
+        assert_eq!(out.len(), 2);
+        // S arrives at 12s: only the R@5s tuple remains in window.
+        let out = e.push(t("S", 12_000, &[("k", 1)]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].joined.part("R").unwrap().timestamp, 5_000);
+    }
+
+    #[test]
+    fn join_key_mismatch_produces_nothing() {
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k",
+        );
+        e.push(t("R", 0, &[("k", 1)]));
+        assert_eq!(e.push(t("S", 1_000, &[("k", 2)])).len(), 0);
+    }
+
+    #[test]
+    fn now_window_joins_only_simultaneous() {
+        let mut e = engine_with("SELECT * FROM R [Now], S [Now] WHERE R.k = S.k");
+        e.push(t("R", 1_000, &[("k", 1)]));
+        // Same timestamp: joins.
+        assert_eq!(e.push(t("S", 1_000, &[("k", 1)])).len(), 1);
+        // Later: R@1s expired from [Now] window.
+        assert_eq!(e.push(t("S", 2_000, &[("k", 1)])).len(), 0);
+    }
+
+    #[test]
+    fn each_pair_emitted_exactly_once() {
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 1 Minute], S [Range 1 Minute] WHERE R.k = S.k",
+        );
+        let mut total = 0;
+        total += e.push(t("R", 0, &[("k", 1)])).len();
+        total += e.push(t("S", 0, &[("k", 1)])).len(); // pair (R@0, S@0)
+        total += e.push(t("R", 1_000, &[("k", 1)])).len(); // pair (R@1, S@0)
+        total += e.push(t("S", 2_000, &[("k", 1)])).len(); // pairs with R@0, R@1
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn selection_pushdown_blocks_window_entry() {
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k AND R.a > 10",
+        );
+        e.push(t("R", 0, &[("k", 1), ("a", 5)])); // filtered out
+        assert_eq!(e.push(t("S", 1_000, &[("k", 1)])).len(), 0);
+        e.push(t("R", 2_000, &[("k", 1), ("a", 20)]));
+        assert_eq!(e.push(t("S", 3_000, &[("k", 1)])).len(), 1);
+        assert_eq!(e.query(QueryId(1)).unwrap().stats().filtered, 1);
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut e = engine_with(
+            "SELECT * FROM A [Range 1 Minute], B [Range 1 Minute], C [Now] \
+             WHERE A.k = B.k AND B.k = C.k",
+        );
+        e.push(t("A", 0, &[("k", 7)]));
+        e.push(t("B", 1_000, &[("k", 7)]));
+        let out = e.push(t("C", 2_000, &[("k", 7)]));
+        assert_eq!(out.len(), 1);
+        let j = &out[0].joined;
+        assert_eq!(j.part("A").unwrap().timestamp, 0);
+        assert_eq!(j.part("B").unwrap().timestamp, 1_000);
+        assert_eq!(j.part("C").unwrap().timestamp, 2_000);
+    }
+
+    #[test]
+    fn inequality_join_predicate() {
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.v > S.v",
+        );
+        e.push(t("R", 0, &[("v", 10)]));
+        assert_eq!(e.push(t("S", 1_000, &[("v", 5)])).len(), 1);
+        assert_eq!(e.push(t("S", 2_000, &[("v", 15)])).len(), 0);
+    }
+
+    #[test]
+    fn self_stream_two_relations() {
+        // Same stream twice under different aliases.
+        let mut e = engine_with(
+            "SELECT * FROM R [Range 1 Minute] A, R [Range 1 Minute] B WHERE A.v < B.v",
+        );
+        e.push(t("R", 0, &[("v", 1)]));
+        let out = e.push(t("R", 1_000, &[("v", 2)]));
+        // A@0 (v=1) < B@1s (v=2): one pair. The reverse has v 2 < 1: no.
+        // Self-pair at same timestamp checked once in each role: v<v false.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn projection_of_results() {
+        let mut e = engine_with(
+            "SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k",
+        );
+        e.push(t("R", 0, &[("k", 1), ("v", 42), ("x", 9)]));
+        let out = e.push(t("S", 500, &[("k", 1), ("y", 3)]));
+        let projected = out[0].project(&parse_query(
+            "SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k",
+        ).unwrap().projection, "res");
+        assert_eq!(projected.get("R.v"), Some(&Scalar::Int(42)));
+        assert_eq!(projected.get("R.x"), None);
+        assert_eq!(projected.get("S.y"), None);
+        // Component timestamps always retained.
+        assert_eq!(projected.get("R.timestamp"), Some(&Scalar::Int(0)));
+    }
+
+    #[test]
+    fn unrelated_stream_is_ignored() {
+        let mut e = engine_with("SELECT * FROM R [Now]");
+        assert_eq!(e.push(t("Z", 0, &[])).len(), 0);
+    }
+
+    #[test]
+    fn remove_query_stops_results() {
+        let mut e = engine_with("SELECT * FROM R [Now]");
+        assert_eq!(e.push(t("R", 0, &[])).len(), 1);
+        e.remove_query(QueryId(1));
+        assert_eq!(e.push(t("R", 1, &[])).len(), 0);
+        assert_eq!(e.query_count(), 0);
+    }
+
+    #[test]
+    fn multiple_queries_share_input() {
+        let mut e = StreamEngine::new();
+        e.add_query(QueryId(1), parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap());
+        e.add_query(QueryId(2), parse_query("SELECT * FROM R [Now] WHERE R.a > 20").unwrap());
+        let out = e.push(t("R", 0, &[("a", 15)]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, QueryId(1));
+        let out = e.push(t("R", 1, &[("a", 25)]));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Mini continuous-query stream engine.
+//!
+//! The paper's prototype runs on GSN, a stream system "tailored for
+//! processing data from heterogeneous sensor networks". GSN is external Java
+//! software; this crate is the from-scratch substitute: a single-node engine
+//! evaluating the CQL subset of [`cosmos_query`] —
+//! selection/projection/sliding-window joins over timestamped tuples.
+//!
+//! Layers:
+//!
+//! - [`mod@tuple`]: timestamped tuples and joined tuples (with per-relation
+//!   timestamps, so residual window filters can be re-applied downstream).
+//! - [`exec`]: compiled continuous queries with pushed-down selections,
+//!   per-relation window buffers, and event-driven window-join probing;
+//!   plus [`exec::StreamEngine`], which hosts many queries and routes
+//!   arriving tuples.
+//! - [`shared`]: the §2.1 result-sharing mechanism: group mergeable queries,
+//!   run one covering query per group, split the shared result stream back
+//!   into per-query results with residual filters/projections. An engine
+//!   invariant — shared execution produces exactly the same per-query
+//!   results as independent execution — is enforced by property tests.
+//!
+//! Tuples must arrive in non-decreasing timestamp order across all streams
+//! (the usual in-order assumption; the paper's experiments satisfy it by
+//! construction).
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_engine::exec::StreamEngine;
+//! use cosmos_engine::tuple::Tuple;
+//! use cosmos_query::{parse_query, QueryId, Scalar};
+//!
+//! let mut engine = StreamEngine::new();
+//! engine.add_query(
+//!     QueryId(1),
+//!     parse_query("SELECT R.v, S.v FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k")?,
+//! );
+//! engine.push(Tuple::new("R", 1_000).with("k", Scalar::Int(7)).with("v", Scalar::Int(1)));
+//! let out = engine.push(Tuple::new("S", 2_000).with("k", Scalar::Int(7)).with("v", Scalar::Int(2)));
+//! assert_eq!(out.len(), 1);
+//! # Ok::<(), cosmos_query::ParseError>(())
+//! ```
+
+pub mod aggregate;
+pub mod exec;
+pub mod parallel;
+pub mod reorder;
+pub mod shared;
+pub mod tuple;
+
+pub use aggregate::{AggregateEngine, AggregateQuery};
+pub use exec::{CompiledQuery, EngineStats, ResultTuple, StreamEngine};
+pub use parallel::ParallelEngine;
+pub use reorder::ReorderBuffer;
+pub use shared::SharedEngine;
+pub use tuple::{JoinedTuple, Tuple};

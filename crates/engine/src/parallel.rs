@@ -1,0 +1,265 @@
+//! A multi-worker executor: one worker (OS thread) per simulated stream
+//! processor, fed over channels — the in-process analogue of the paper's
+//! prototype deployment where 30 PlanetLab nodes each run their share of
+//! the queries.
+//!
+//! Tuples are broadcast to every worker whose queries read the tuple's
+//! stream (what the Pub/Sub would deliver); each worker runs an independent
+//! [`StreamEngine`] and pushes its results into a shared sink. Results are
+//! deterministic as a *set* (per-worker engines are single-threaded and
+//! in-order); only the interleaving across workers varies.
+
+use crate::exec::{EngineStats, ResultTuple, StreamEngine};
+use crate::tuple::Tuple;
+use cosmos_query::{Query, QueryId};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Command {
+    Tuple(Arc<Tuple>),
+    Flush(Sender<()>),
+}
+
+struct Worker {
+    sender: Sender<Command>,
+    streams: HashSet<String>,
+    handle: Option<JoinHandle<EngineStats>>,
+}
+
+/// A pool of per-processor engine workers.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_engine::parallel::ParallelEngine;
+/// use cosmos_engine::tuple::Tuple;
+/// use cosmos_query::{parse_query, QueryId, Scalar};
+///
+/// let mut pool = ParallelEngine::new();
+/// pool.add_worker(vec![(
+///     QueryId(1),
+///     parse_query("SELECT * FROM R [Now] WHERE R.a > 10")?,
+/// )]);
+/// pool.add_worker(vec![(
+///     QueryId(2),
+///     parse_query("SELECT * FROM R [Now] WHERE R.a > 20")?,
+/// )]);
+/// pool.publish(Tuple::new("R", 0).with("a", Scalar::Int(15)));
+/// let results = pool.finish();
+/// assert_eq!(results.len(), 1); // only Q1 matches
+/// # Ok::<(), cosmos_query::ParseError>(())
+/// ```
+#[derive(Default)]
+pub struct ParallelEngine {
+    workers: Vec<Worker>,
+    results: Arc<Mutex<Vec<ResultTuple>>>,
+}
+
+impl ParallelEngine {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a worker hosting `queries`; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query is not well-formed (see
+    /// [`StreamEngine::add_query`]).
+    pub fn add_worker(&mut self, queries: Vec<(QueryId, Query)>) -> usize {
+        let mut streams = HashSet::new();
+        for (_, q) in &queries {
+            for r in &q.relations {
+                streams.insert(r.stream.clone());
+            }
+        }
+        let (tx, rx) = unbounded::<Command>();
+        let sink = Arc::clone(&self.results);
+        let handle = std::thread::spawn(move || {
+            let mut engine = StreamEngine::new();
+            for (id, q) in queries {
+                engine.add_query(id, q);
+            }
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Command::Tuple(t) => {
+                        let out = engine.push((*t).clone());
+                        if !out.is_empty() {
+                            sink.lock().extend(out);
+                        }
+                    }
+                    Command::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            engine.total_stats()
+        });
+        self.workers.push(Worker { sender: tx, streams, handle: Some(handle) });
+        self.workers.len() - 1
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Publishes a tuple to every worker reading its stream (Pub/Sub-style
+    /// interest-based delivery). Returns how many workers received it.
+    pub fn publish(&self, tuple: Tuple) -> usize {
+        let shared = Arc::new(tuple);
+        let mut delivered = 0;
+        for w in &self.workers {
+            if w.streams.contains(&shared.stream)
+                && w.sender.send(Command::Tuple(shared.clone())).is_ok() {
+                    delivered += 1;
+                }
+        }
+        delivered
+    }
+
+    /// Blocks until every worker has drained its queue.
+    pub fn flush(&self) {
+        let mut acks = Vec::new();
+        for w in &self.workers {
+            let (tx, rx) = unbounded();
+            if w.sender.send(Command::Flush(tx)).is_ok() {
+                acks.push(rx);
+            }
+        }
+        for rx in acks {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Shuts the pool down and returns all results produced so far,
+    /// together with the summed worker statistics.
+    pub fn finish_with_stats(mut self) -> (Vec<ResultTuple>, EngineStats) {
+        self.flush();
+        let mut stats = EngineStats::default();
+        for w in &mut self.workers {
+            // Dropping the sender closes the channel; join for the stats.
+            let (closed_tx, _closed_rx) = unbounded::<Command>();
+            let old = std::mem::replace(&mut w.sender, closed_tx);
+            drop(old);
+            if let Some(handle) = w.handle.take() {
+                if let Ok(s) = handle.join() {
+                    stats.ingested += s.ingested;
+                    stats.probes += s.probes;
+                    stats.emitted += s.emitted;
+                    stats.filtered += s.filtered;
+                }
+            }
+        }
+        let results = std::mem::take(&mut *self.results.lock());
+        (results, stats)
+    }
+
+    /// Shuts the pool down and returns all results produced so far.
+    pub fn finish(self) -> Vec<ResultTuple> {
+        self.finish_with_stats().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::{parse_query, Scalar};
+    use std::collections::BTreeSet;
+
+    fn t(stream: &str, ts: i64, kv: &[(&str, i64)]) -> Tuple {
+        let mut tup = Tuple::new(stream, ts);
+        for (k, v) in kv {
+            tup = tup.with(*k, Scalar::Int(*v));
+        }
+        tup
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let queries: Vec<(QueryId, Query)> = (0..8)
+            .map(|i| {
+                (
+                    QueryId(i),
+                    parse_query(&format!(
+                        "SELECT * FROM R [Range 30 Seconds], S [Now] \
+                         WHERE R.k = S.k AND R.v > {}",
+                        i * 10
+                    ))
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let tuples: Vec<Tuple> = (0..60)
+            .flat_map(|i| {
+                vec![
+                    t("R", i * 1_000, &[("k", i % 3), ("v", (i * 13) % 90)]),
+                    t("S", i * 1_000 + 500, &[("k", i % 3)]),
+                ]
+            })
+            .collect();
+
+        // Sequential reference.
+        let mut seq = StreamEngine::new();
+        for (id, q) in &queries {
+            seq.add_query(*id, q.clone());
+        }
+        let mut expect: BTreeSet<String> = BTreeSet::new();
+        for tup in &tuples {
+            for r in seq.push(tup.clone()) {
+                expect.insert(format!("{}@{}", r.query, r.joined.timestamp()));
+            }
+        }
+
+        // Parallel: queries spread over 4 workers.
+        let mut pool = ParallelEngine::new();
+        for chunk in queries.chunks(2) {
+            pool.add_worker(chunk.to_vec());
+        }
+        assert_eq!(pool.worker_count(), 4);
+        for tup in &tuples {
+            pool.publish(tup.clone());
+        }
+        let (results, stats) = pool.finish_with_stats();
+        let got: BTreeSet<String> = results
+            .iter()
+            .map(|r| format!("{}@{}", r.query, r.joined.timestamp()))
+            .collect();
+        assert_eq!(got, expect);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn interest_based_delivery_skips_unrelated_workers() {
+        let mut pool = ParallelEngine::new();
+        pool.add_worker(vec![(QueryId(1), parse_query("SELECT * FROM A [Now]").unwrap())]);
+        pool.add_worker(vec![(QueryId(2), parse_query("SELECT * FROM B [Now]").unwrap())]);
+        assert_eq!(pool.publish(t("A", 0, &[])), 1);
+        assert_eq!(pool.publish(t("B", 0, &[])), 1);
+        assert_eq!(pool.publish(t("C", 0, &[])), 0);
+        let results = pool.finish();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn flush_makes_results_visible() {
+        let mut pool = ParallelEngine::new();
+        pool.add_worker(vec![(QueryId(1), parse_query("SELECT * FROM R [Now]").unwrap())]);
+        for i in 0..100 {
+            pool.publish(t("R", i, &[]));
+        }
+        pool.flush();
+        let results = pool.finish();
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn empty_pool_finishes_cleanly() {
+        let pool = ParallelEngine::new();
+        assert!(pool.finish().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Bounded-disorder ingestion: a reorder buffer in front of the engine.
+//!
+//! The join executor assumes tuples arrive in non-decreasing timestamp
+//! order ([`crate::exec`] docs). Over a wide-area Pub/Sub that assumption
+//! only holds per stream, not across streams: messages from a far source
+//! arrive later than simultaneous messages from a near one. The standard
+//! remedy — and a practical necessity the paper's deployment would have
+//! faced on PlanetLab — is a *reorder buffer*: hold arrivals until a
+//! watermark (the maximum timestamp seen minus a slack bound) passes them,
+//! then release in timestamp order. Tuples older than the watermark at
+//! arrival are late and reported as such rather than silently reordered.
+
+use crate::tuple::Tuple;
+use std::collections::BinaryHeap;
+
+/// Output of [`ReorderBuffer::push`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// The tuple was buffered; previously buffered tuples that fell behind
+    /// the advanced watermark are released, in timestamp order.
+    Released(Vec<Tuple>),
+    /// The tuple arrived later than the slack bound allows; the caller
+    /// decides whether to drop it or route it to a side channel.
+    Late(Tuple),
+}
+
+#[derive(Debug)]
+struct Pending(Tuple, u64);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.timestamp == other.0.timestamp && self.1 == other.1
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by timestamp; FIFO (arrival sequence) on ties, so
+        // equal-timestamp tuples come back out in arrival order.
+        other
+            .0
+            .timestamp
+            .cmp(&self.0.timestamp)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// A watermark-based reorder buffer with a fixed disorder bound.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_engine::reorder::{Arrival, ReorderBuffer};
+/// use cosmos_engine::tuple::Tuple;
+///
+/// let mut buf = ReorderBuffer::new(1_000);
+/// assert!(matches!(buf.push(Tuple::new("R", 500)), Arrival::Released(v) if v.is_empty()));
+/// // 2_000 advances the watermark to 1_000: the 500-tuple is released.
+/// match buf.push(Tuple::new("R", 2_000)) {
+///     Arrival::Released(v) => assert_eq!(v[0].timestamp, 500),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    slack_ms: i64,
+    max_seen: i64,
+    heap: BinaryHeap<Pending>,
+    seq: u64,
+    late: u64,
+    released: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer tolerating up to `slack_ms` of disorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative slack.
+    pub fn new(slack_ms: i64) -> Self {
+        assert!(slack_ms >= 0, "slack must be non-negative");
+        Self { slack_ms, max_seen: i64::MIN, heap: BinaryHeap::new(), seq: 0, late: 0, released: 0 }
+    }
+
+    /// The current watermark: everything at or below it has been released.
+    pub fn watermark(&self) -> i64 {
+        if self.max_seen == i64::MIN {
+            i64::MIN
+        } else {
+            self.max_seen - self.slack_ms
+        }
+    }
+
+    /// Number of tuples currently held.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `(released, late)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.released, self.late)
+    }
+
+    /// Feeds one tuple; returns released tuples (in timestamp order) or a
+    /// late verdict.
+    pub fn push(&mut self, tuple: Tuple) -> Arrival {
+        if tuple.timestamp <= self.watermark() {
+            self.late += 1;
+            return Arrival::Late(tuple);
+        }
+        self.max_seen = self.max_seen.max(tuple.timestamp);
+        self.heap.push(Pending(tuple, self.seq));
+        self.seq += 1;
+        let wm = self.watermark();
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.0.timestamp <= wm {
+                out.push(self.heap.pop().expect("peeked").0);
+            } else {
+                break;
+            }
+        }
+        self.released += out.len() as u64;
+        Arrival::Released(out)
+    }
+
+    /// Drains everything still buffered, in timestamp order (end of
+    /// stream).
+    pub fn flush(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(p) = self.heap.pop() {
+            out.push(p.0);
+        }
+        self.released += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::Scalar;
+    use proptest::prelude::*;
+
+    fn t(ts: i64) -> Tuple {
+        Tuple::new("R", ts).with("v", Scalar::Int(ts))
+    }
+
+    fn release(buf: &mut ReorderBuffer, ts: i64) -> Vec<i64> {
+        match buf.push(t(ts)) {
+            Arrival::Released(v) => v.into_iter().map(|x| x.timestamp).collect(),
+            Arrival::Late(_) => panic!("unexpected late verdict for {ts}"),
+        }
+    }
+
+    #[test]
+    fn in_order_stream_flows_with_slack_delay() {
+        let mut buf = ReorderBuffer::new(100);
+        assert!(release(&mut buf, 0).is_empty());
+        assert!(release(&mut buf, 50).is_empty());
+        // 150 moves the watermark to 50: releases 0 and 50.
+        assert_eq!(release(&mut buf, 150), vec![0, 50]);
+        assert_eq!(buf.pending(), 1);
+    }
+
+    #[test]
+    fn disorder_within_slack_is_repaired() {
+        let mut buf = ReorderBuffer::new(100);
+        release(&mut buf, 100);
+        release(&mut buf, 40); // out of order, within slack (wm = 0)
+        let out = release(&mut buf, 250); // wm -> 150: release 40, 100
+        assert_eq!(out, vec![40, 100]);
+    }
+
+    #[test]
+    fn late_tuples_are_flagged_not_reordered() {
+        let mut buf = ReorderBuffer::new(100);
+        release(&mut buf, 1_000); // wm = 900
+        match buf.push(t(800)) {
+            Arrival::Late(tup) => assert_eq!(tup.timestamp, 800),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(buf.stats().1, 1);
+    }
+
+    #[test]
+    fn zero_slack_releases_immediately_in_order() {
+        let mut buf = ReorderBuffer::new(0);
+        assert_eq!(release(&mut buf, 10), vec![10]);
+        assert_eq!(release(&mut buf, 20), vec![20]);
+        // Equal timestamp: 20 <= watermark(20) → late under zero slack.
+        assert!(matches!(buf.push(t(20)), Arrival::Late(_)));
+    }
+
+    #[test]
+    fn flush_drains_in_order() {
+        let mut buf = ReorderBuffer::new(1_000);
+        for ts in [500, 100, 900, 300] {
+            release(&mut buf, ts);
+        }
+        let out: Vec<i64> = buf.flush().into_iter().map(|x| x.timestamp).collect();
+        assert_eq!(out, vec![100, 300, 500, 900]);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    proptest! {
+        /// Whatever the arrival order, the released sequence is sorted and
+        /// contains exactly the non-late tuples.
+        #[test]
+        fn prop_released_is_sorted_and_complete(
+            mut times in proptest::collection::vec(0i64..10_000, 1..100),
+            slack in 0i64..2_000,
+        ) {
+            let mut buf = ReorderBuffer::new(slack);
+            let mut released = Vec::new();
+            let mut late = 0usize;
+            for &ts in &times {
+                match buf.push(t(ts)) {
+                    Arrival::Released(v) => released.extend(v.into_iter().map(|x| x.timestamp)),
+                    Arrival::Late(_) => late += 1,
+                }
+            }
+            released.extend(buf.flush().into_iter().map(|x| x.timestamp));
+            let mut sorted = released.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&released, &sorted, "released sequence must be ordered");
+            prop_assert_eq!(released.len() + late, times.len());
+            // With unbounded slack nothing is late.
+            if slack >= 10_000 {
+                prop_assert_eq!(late, 0);
+            }
+            times.clear();
+        }
+    }
+}

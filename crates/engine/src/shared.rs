@@ -1,0 +1,399 @@
+//! Shared execution with result-stream splitting (§2.1).
+//!
+//! "At each site, if there are multiple queries with overlapping results,
+//! the COSMOS component will compose a new query Q whose result is the
+//! superset of the overlapping queries and only inserts this Q into the
+//! processing engine." The users' results are then recovered by residual
+//! subscriptions on the shared result stream.
+//!
+//! [`SharedEngine`] implements exactly that: greedy grouping of mergeable
+//! queries, one covering query per group registered in the underlying
+//! [`StreamEngine`], and per-member residual filters/projections splitting
+//! each emitted result. The splitting invariant — *shared execution emits
+//! exactly the per-query results independent execution would* — is what the
+//! tests (including property tests) pin down.
+
+use crate::exec::{EngineStats, StreamEngine};
+use crate::tuple::Tuple;
+use cosmos_query::containment::{merge_queries, MergedQuery};
+use cosmos_query::predicate::eval_conjunction;
+use cosmos_query::{Query, QueryId};
+
+/// A member record: `(member id, member query, merged→original alias
+/// pairs)`.
+type Member = (QueryId, Query, Vec<(String, String)>);
+
+/// One group of merged queries.
+#[derive(Debug)]
+struct Group {
+    /// Engine-internal id of the merged (covering) query.
+    merged_id: QueryId,
+    /// Name of the shared result stream (paper: derived from the processor's
+    /// unique identifier).
+    result_stream: String,
+    merged: MergedQuery,
+    /// Member records with alias mappings.
+    members: Vec<Member>,
+}
+
+/// Matches relations of `member` to `merged` by stream name in `FROM` order,
+/// returning `(merged_alias, member_alias)` pairs.
+fn alias_pairs(merged: &Query, member: &Query) -> Vec<(String, String)> {
+    let mut used = vec![false; merged.relations.len()];
+    let mut out = Vec::new();
+    for mrel in &member.relations {
+        if let Some((gi, grel)) = merged
+            .relations
+            .iter()
+            .enumerate()
+            .find(|(gi, grel)| !used[*gi] && grel.stream == mrel.stream)
+        {
+            used[gi] = true;
+            out.push((grel.alias.clone(), mrel.alias.clone()));
+        }
+    }
+    out
+}
+
+/// A stream engine that shares work between overlapping queries.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_engine::SharedEngine;
+/// use cosmos_engine::tuple::Tuple;
+/// use cosmos_query::{parse_query, QueryId, Scalar};
+///
+/// let q3 = parse_query(
+///     "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10")?;
+/// let q4 = parse_query(
+///     "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+///      FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight")?;
+/// let mut shared = SharedEngine::build(vec![(QueryId(3), q3), (QueryId(4), q4)]);
+/// assert_eq!(shared.group_count(), 1); // one merged query runs, not two
+/// shared.push(Tuple::new("Station1", 0).with("snowHeight", Scalar::Int(30)));
+/// let out = shared.push(Tuple::new("Station2", 1_000).with("snowHeight", Scalar::Int(5)));
+/// assert_eq!(out.len(), 2); // both users get their result
+/// # Ok::<(), cosmos_query::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedEngine {
+    engine: StreamEngine,
+    groups: Vec<Group>,
+}
+
+impl SharedEngine {
+    /// Groups `queries` greedily (each query joins the first group it merges
+    /// with) and registers one covering query per group.
+    pub fn build(queries: Vec<(QueryId, Query)>) -> Self {
+        let mut membership: Vec<Vec<(QueryId, Query)>> = Vec::new();
+        for (id, q) in queries {
+            let mut placed = false;
+            for group in &mut membership {
+                let mut candidate: Vec<(QueryId, &Query)> =
+                    group.iter().map(|(i, q)| (*i, q)).collect();
+                candidate.push((id, &q));
+                if merge_queries(&candidate).is_some() {
+                    group.push((id, q.clone()));
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                membership.push(vec![(id, q)]);
+            }
+        }
+
+        let mut engine = StreamEngine::new();
+        let mut groups = Vec::new();
+        for (gi, members) in membership.into_iter().enumerate() {
+            let refs: Vec<(QueryId, &Query)> = members.iter().map(|(i, q)| (*i, q)).collect();
+            let merged = merge_queries(&refs).expect("group members were verified mergeable");
+            // Internal ids live far above user ids to avoid collisions.
+            let merged_id = QueryId(u64::MAX - gi as u64);
+            engine.add_query(merged_id, merged.query.clone());
+            let with_alias: Vec<Member> = members
+                .into_iter()
+                .map(|(id, q)| {
+                    let pairs = alias_pairs(&merged.query, &q);
+                    (id, q, pairs)
+                })
+                .collect();
+            groups.push(Group {
+                merged_id,
+                result_stream: format!("shared-{gi}"),
+                merged,
+                members: with_alias,
+            });
+        }
+        Self { engine, groups }
+    }
+
+    /// Number of merged groups (= queries actually running in the engine).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The covering query of each group.
+    pub fn merged_queries(&self) -> impl Iterator<Item = &Query> {
+        self.groups.iter().map(|g| &g.merged.query)
+    }
+
+    /// Engine counters (probes/emits of the merged queries).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.total_stats()
+    }
+
+    /// Pushes a tuple; returns `(query, result)` pairs after splitting the
+    /// shared result streams with each member's residual subscription.
+    pub fn push(&mut self, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
+        let results = self.engine.push(tuple);
+        let mut out = Vec::new();
+        for r in results {
+            let group = self
+                .groups
+                .iter()
+                .find(|g| g.merged_id == r.query)
+                .expect("result from unknown merged query");
+            for residual in &group.merged.residuals {
+                // Residual filters are in merged aliases; the joined tuple
+                // exposes exactly those aliases.
+                if !eval_conjunction(&residual.filters, &r.joined) {
+                    continue;
+                }
+                let projected = r.project(&residual.projection, &group.result_stream);
+                let (_, _, pairs) = group
+                    .members
+                    .iter()
+                    .find(|(id, _, _)| *id == residual.query)
+                    .expect("residual for unknown member");
+                out.push((residual.query, rename_aliases(projected, pairs)));
+            }
+        }
+        out
+    }
+}
+
+/// Renames `merged_alias.attr` attribute names back to the member query's
+/// own aliases, so users see the schema they asked for.
+fn rename_aliases(mut t: Tuple, pairs: &[(String, String)]) -> Tuple {
+    for (name, _) in t.values.iter_mut() {
+        if let Some((alias, attr)) = name.split_once('.') {
+            if let Some((_, orig)) = pairs.iter().find(|(m, _)| m == alias) {
+                *name = format!("{orig}.{attr}");
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::{parse_query, Scalar};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn t(stream: &str, ts: i64, kv: &[(&str, i64)]) -> Tuple {
+        let mut tup = Tuple::new(stream, ts);
+        for (k, v) in kv {
+            tup = tup.with(*k, Scalar::Int(*v));
+        }
+        tup
+    }
+
+    fn paper_queries() -> Vec<(QueryId, Query)> {
+        vec![
+            (
+                QueryId(3),
+                parse_query(
+                    "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+                     WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10",
+                )
+                .unwrap(),
+            ),
+            (
+                QueryId(4),
+                parse_query(
+                    "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+                     FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+                     WHERE S1.snowHeight > S2.snowHeight",
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    /// Runs the same tuple sequence through a SharedEngine and through
+    /// independent engines; returns (shared, independent) result multisets
+    /// keyed by query id and flattened content.
+    fn run_both(
+        queries: Vec<(QueryId, Query)>,
+        tuples: Vec<Tuple>,
+    ) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut shared = SharedEngine::build(queries.clone());
+        let mut shared_out = BTreeSet::new();
+        for tup in &tuples {
+            for (id, result) in shared.push(tup.clone()) {
+                let mut vals: Vec<String> = result
+                    .values
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                vals.sort();
+                shared_out.insert(format!("{id}:{}", vals.join(",")));
+            }
+        }
+        let mut indep = StreamEngine::new();
+        for (id, q) in &queries {
+            indep.add_query(*id, q.clone());
+        }
+        let mut indep_out = BTreeSet::new();
+        let projections: std::collections::HashMap<QueryId, Vec<cosmos_query::ProjItem>> =
+            queries.iter().map(|(i, q)| (*i, q.projection.clone())).collect();
+        for tup in &tuples {
+            for r in indep.push(tup.clone()) {
+                let projected = r.project(&projections[&r.query], "x");
+                let mut vals: Vec<String> = projected
+                    .values
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                vals.sort();
+                indep_out.insert(format!("{}:{}", r.query, vals.join(",")));
+            }
+        }
+        (shared_out, indep_out)
+    }
+
+    #[test]
+    fn paper_q3_q4_share_one_engine_query() {
+        let shared = SharedEngine::build(paper_queries());
+        assert_eq!(shared.group_count(), 1);
+        let merged = shared.merged_queries().next().unwrap();
+        // Q5: no selection filter, 1-hour window.
+        assert_eq!(merged.selection_predicates().count(), 0);
+        assert_eq!(
+            merged.relation("S1").unwrap().window,
+            cosmos_query::Window::Range(3_600_000)
+        );
+    }
+
+    #[test]
+    fn splitting_respects_original_windows_and_filters() {
+        let mut shared = SharedEngine::build(paper_queries());
+        // S1 tuple 45 minutes before S2's: inside Q4's 1h window, outside
+        // Q3's 30 min window.
+        shared.push(t("Station1", 0, &[("snowHeight", 30)]));
+        let out = shared.push(t("Station2", 45 * 60_000, &[("snowHeight", 5)]));
+        let ids: Vec<QueryId> = out.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![QueryId(4)], "only Q4 sees a 45-minute-old S1 tuple");
+        // S1 tuple with snowHeight below 10, 10 minutes old: Q4 only again.
+        shared.push(t("Station1", 50 * 60_000, &[("snowHeight", 7)]));
+        let out = shared.push(t("Station2", 55 * 60_000, &[("snowHeight", 3)]));
+        let ids: Vec<QueryId> = out.iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&QueryId(4)));
+        assert!(!ids.contains(&QueryId(3)), "Q3 requires snowHeight >= 10");
+        // Tall, recent S1 tuple: both.
+        shared.push(t("Station1", 56 * 60_000, &[("snowHeight", 40)]));
+        let out = shared.push(t("Station2", 57 * 60_000, &[("snowHeight", 2)]));
+        let mut ids: Vec<QueryId> = out.iter().map(|(id, _)| *id).collect();
+        ids.sort();
+        assert!(ids.contains(&QueryId(3)) && ids.contains(&QueryId(4)));
+    }
+
+    #[test]
+    fn shared_equals_independent_on_paper_workload() {
+        let mut tuples = Vec::new();
+        for i in 0..40i64 {
+            tuples.push(t("Station1", i * 5 * 60_000, &[("snowHeight", (i * 7) % 25)]));
+            tuples.push(t(
+                "Station2",
+                i * 5 * 60_000 + 60_000,
+                &[("snowHeight", (i * 3) % 20)],
+            ));
+        }
+        let (shared, indep) = run_both(paper_queries(), tuples);
+        assert_eq!(shared, indep);
+        assert!(!shared.is_empty(), "workload should produce results");
+    }
+
+    #[test]
+    fn unmergeable_queries_run_separately() {
+        let queries = vec![
+            (QueryId(1), parse_query("SELECT * FROM A [Now]").unwrap()),
+            (QueryId(2), parse_query("SELECT * FROM B [Now]").unwrap()),
+        ];
+        let shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 2);
+    }
+
+    #[test]
+    fn projection_differs_per_member() {
+        let queries = vec![
+            (QueryId(1), parse_query("SELECT R.a FROM R [Now]").unwrap()),
+            (QueryId(2), parse_query("SELECT R.b FROM R [Now]").unwrap()),
+        ];
+        let mut shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 1);
+        let out = shared.push(t("R", 0, &[("a", 1), ("b", 2)]));
+        assert_eq!(out.len(), 2);
+        for (id, result) in out {
+            if id == QueryId(1) {
+                assert!(result.get("R.a").is_some());
+                assert!(result.get("R.b").is_none());
+            } else {
+                assert!(result.get("R.b").is_some());
+                assert!(result.get("R.a").is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn alias_renaming_for_members() {
+        let queries = vec![
+            (QueryId(1), parse_query("SELECT X.v FROM R [Now] X").unwrap()),
+            (QueryId(2), parse_query("SELECT Y.v FROM R [Now] Y").unwrap()),
+        ];
+        let mut shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 1);
+        let out = shared.push(t("R", 0, &[("v", 5)]));
+        assert_eq!(out.len(), 2);
+        for (id, result) in out {
+            let expect = if id == QueryId(1) { "X.v" } else { "Y.v" };
+            assert!(result.get(expect).is_some(), "{id} should see {expect}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Shared execution must equal independent execution for random
+        /// threshold/window variations of a two-query workload.
+        #[test]
+        fn prop_shared_equals_independent(
+            th1 in 0i64..30, th2 in 0i64..30,
+            w1 in 1u64..60, w2 in 1u64..60,
+            vals in proptest::collection::vec((0i64..40, 0i64..40), 5..25),
+        ) {
+            let q1 = parse_query(&format!(
+                "SELECT R.v, S.v FROM R [Range {w1} Seconds], S [Now] \
+                 WHERE R.k = S.k AND R.v > {th1}"
+            )).unwrap();
+            let q2 = parse_query(&format!(
+                "SELECT R.v FROM R [Range {w2} Seconds], S [Now] \
+                 WHERE R.k = S.k AND R.v > {th2}"
+            )).unwrap();
+            let mut tuples = Vec::new();
+            for (i, (rv, sv)) in vals.iter().enumerate() {
+                let ts = i as i64 * 10_000;
+                tuples.push(t("R", ts, &[("k", 1), ("v", *rv)]));
+                tuples.push(t("S", ts + 5_000, &[("k", 1), ("v", *sv)]));
+            }
+            let (shared, indep) =
+                run_both(vec![(QueryId(1), q1), (QueryId(2), q2)], tuples);
+            prop_assert_eq!(shared, indep);
+        }
+    }
+}

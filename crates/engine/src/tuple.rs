@@ -1,0 +1,188 @@
+//! Timestamped tuples and joined tuples.
+
+use cosmos_query::predicate::AttrSource;
+use cosmos_query::{AttrRef, Scalar};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single stream tuple: stream (or alias) tag, event timestamp, values.
+///
+/// Values are kept as name/value pairs — schemas in sensor settings are
+/// narrow (a handful of attributes), so linear scans beat a hash map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// The stream this tuple belongs to.
+    pub stream: String,
+    /// Event time in milliseconds.
+    pub timestamp: i64,
+    /// Attribute values.
+    pub values: Vec<(String, Scalar)>,
+}
+
+impl Tuple {
+    /// Creates an empty tuple.
+    pub fn new(stream: impl Into<String>, timestamp: i64) -> Self {
+        Self { stream: stream.into(), timestamp, values: Vec::new() }
+    }
+
+    /// Adds an attribute (builder-style).
+    pub fn with(mut self, name: impl Into<String>, value: Scalar) -> Self {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get(&self, name: &str) -> Option<&Scalar> {
+        self.values.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Approximate wire size in bytes (16-byte header + 16 per attribute),
+    /// matching the Pub/Sub message model.
+    pub fn wire_size(&self) -> usize {
+        16 + 16 * self.values.len()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}{{", self.stream, self.timestamp)?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A join output: one source tuple per relation alias.
+///
+/// Component tuples are shared (`Arc`) because one window tuple typically
+/// participates in many join outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedTuple {
+    parts: Vec<(String, Arc<Tuple>)>,
+}
+
+impl JoinedTuple {
+    /// Builds a joined tuple from `(alias, tuple)` parts.
+    pub fn new(parts: Vec<(String, Arc<Tuple>)>) -> Self {
+        Self { parts }
+    }
+
+    /// The component tuple bound to `alias`.
+    pub fn part(&self, alias: &str) -> Option<&Tuple> {
+        self.parts.iter().find(|(a, _)| a == alias).map(|(_, t)| t.as_ref())
+    }
+
+    /// Iterates over `(alias, tuple)` parts in join order.
+    pub fn parts(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+        self.parts.iter().map(|(a, t)| (a.as_str(), t.as_ref()))
+    }
+
+    /// The largest component timestamp — the output's event time.
+    pub fn timestamp(&self) -> i64 {
+        self.parts.iter().map(|(_, t)| t.timestamp).max().unwrap_or(0)
+    }
+
+    /// Flattens into a result tuple with `alias.attr` attribute names, plus
+    /// per-alias `alias.timestamp` attributes so downstream consumers (e.g.
+    /// residual window filters) retain the component times.
+    pub fn flatten(&self, result_stream: &str) -> Tuple {
+        let mut out = Tuple::new(result_stream, self.timestamp());
+        for (alias, t) in &self.parts {
+            out.values
+                .push((format!("{alias}.timestamp"), Scalar::Int(t.timestamp)));
+            for (k, v) in &t.values {
+                out.values.push((format!("{alias}.{k}"), v.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl AttrSource for JoinedTuple {
+    fn value(&self, attr: &AttrRef) -> Option<Scalar> {
+        let part = self.part(&attr.relation)?;
+        if attr.attr == "timestamp" {
+            return Some(Scalar::Int(part.timestamp));
+        }
+        part.get(&attr.attr).cloned()
+    }
+
+    fn timestamp(&self, alias: &str) -> Option<i64> {
+        self.part(alias).map(|t| t.timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::predicate::eval_predicate;
+    use cosmos_query::{CmpOp, Predicate};
+
+    fn joined() -> JoinedTuple {
+        JoinedTuple::new(vec![
+            (
+                "S1".into(),
+                Arc::new(Tuple::new("Station1", 1_000).with("snowHeight", Scalar::Int(30))),
+            ),
+            (
+                "S2".into(),
+                Arc::new(Tuple::new("Station2", 2_000).with("snowHeight", Scalar::Int(10))),
+            ),
+        ])
+    }
+
+    #[test]
+    fn attr_source_resolves_alias_and_timestamp() {
+        let j = joined();
+        assert_eq!(
+            j.value(&AttrRef::new("S1", "snowHeight")),
+            Some(Scalar::Int(30))
+        );
+        assert_eq!(j.value(&AttrRef::new("S1", "timestamp")), Some(Scalar::Int(1_000)));
+        assert_eq!(j.value(&AttrRef::new("S3", "snowHeight")), None);
+        assert_eq!(AttrSource::timestamp(&j, "S2"), Some(2_000));
+        assert_eq!(j.timestamp(), 2_000);
+    }
+
+    #[test]
+    fn join_predicate_evaluation() {
+        let j = joined();
+        let p = Predicate::JoinCmp {
+            left: AttrRef::new("S1", "snowHeight"),
+            op: CmpOp::Gt,
+            right: AttrRef::new("S2", "snowHeight"),
+        };
+        assert_eq!(eval_predicate(&p, &j), Some(true));
+        let td = Predicate::TimeDelta {
+            left: "S1".into(),
+            right: "S2".into(),
+            min_ms: -30 * 60_000,
+            max_ms: 0,
+        };
+        assert_eq!(eval_predicate(&td, &j), Some(true));
+    }
+
+    #[test]
+    fn flatten_prefixes_attributes() {
+        let j = joined();
+        let flat = j.flatten("result");
+        assert_eq!(flat.stream, "result");
+        assert_eq!(flat.timestamp, 2_000);
+        assert_eq!(flat.get("S1.snowHeight"), Some(&Scalar::Int(30)));
+        assert_eq!(flat.get("S1.timestamp"), Some(&Scalar::Int(1_000)));
+        assert_eq!(flat.get("S2.snowHeight"), Some(&Scalar::Int(10)));
+    }
+
+    #[test]
+    fn tuple_accessors() {
+        let t = Tuple::new("R", 5).with("a", Scalar::Int(1));
+        assert_eq!(t.get("a"), Some(&Scalar::Int(1)));
+        assert_eq!(t.get("b"), None);
+        assert_eq!(t.wire_size(), 32);
+        assert!(t.to_string().contains("R@5"));
+    }
+}

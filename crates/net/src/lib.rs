@@ -1,0 +1,41 @@
+//! Network substrate for the COSMOS reproduction.
+//!
+//! The paper's simulation study (§4.1) generates "a network topology with
+//! 4096 nodes … using the Transit-Stub model in the GT-ITM topology
+//! generator", selects 100 data sources and 256 stream processors, and treats
+//! the rest as routers. GT-ITM is 1990s C software we cannot ship, so this
+//! crate implements the same structural model from scratch:
+//!
+//! - [`graph::Topology`]: an undirected latency-weighted graph.
+//! - [`transit_stub`]: a Transit-Stub generator — transit domains form a
+//!   well-connected core, each transit node hosts several stub domains, edge
+//!   latencies are drawn per tier (intra-stub ≪ stub-transit < intra-transit
+//!   < inter-transit), matching how GT-ITM topologies are parameterized.
+//! - [`routing`]: Dijkstra shortest paths, shortest-path trees, and
+//!   multicast-tree cost accounting (union of root-to-destination paths) —
+//!   exactly the "a message is sent over each link at most once" behaviour a
+//!   Pub/Sub inherits from multicast (§1.2).
+//! - [`deploy::Deployment`]: role assignment (sources / processors / routers)
+//!   plus the endpoint-to-endpoint latency matrix the optimizer consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_net::transit_stub::TransitStubConfig;
+//! use cosmos_net::deploy::Deployment;
+//!
+//! let topo = TransitStubConfig::small().generate(42);
+//! let dep = Deployment::assign(topo, 4, 8, 42);
+//! assert_eq!(dep.sources().len(), 4);
+//! assert_eq!(dep.processors().len(), 8);
+//! ```
+
+pub mod deploy;
+pub mod graph;
+pub mod routing;
+pub mod transit_stub;
+
+pub use deploy::Deployment;
+pub use graph::{NodeId, Topology};
+pub use routing::{ShortestPathTree, SptForest};
+pub use transit_stub::TransitStubConfig;

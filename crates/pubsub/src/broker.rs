@@ -1,0 +1,699 @@
+//! Message-level broker network: advertisement-guided subscription
+//! propagation with covering-based pruning, and reverse-path forwarding.
+//!
+//! This reproduces Figure 2's scenario end to end: sources advertise (2a),
+//! receivers multicast subscriptions toward the sources under advertisement
+//! guidance, merging along the way (2b), routing tables accumulate at each
+//! node (2c), and published messages follow the tables, crossing each link
+//! at most once while being filtered and projected as early as possible
+//! (2d).
+//!
+//! Every physical node acts as a broker. Propagation follows the shortest
+//! path between subscriber and the advertising source, so the implicit
+//! dissemination tree per source is its shortest-path tree — the same tree
+//! the rate-based [`crate::traffic::TrafficModel`] charges for, keeping the
+//! two cost views consistent.
+
+use crate::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_net::{NodeId, ShortestPathTree, Topology};
+use std::collections::{BTreeSet, HashMap};
+
+/// Traffic counters for one undirected link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Number of message transmissions over the link.
+    pub messages: u64,
+    /// Total bytes transmitted.
+    pub bytes: u64,
+}
+
+/// A delivered message: which subscription, where, and what content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The matched subscription.
+    pub sub: SubId,
+    /// The subscriber's node.
+    pub node: NodeId,
+    /// The (projected) message content.
+    pub message: Message,
+}
+
+/// Log of local deliveries made by [`BrokerNetwork::publish`].
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLog {
+    deliveries: Vec<Delivery>,
+}
+
+impl DeliveryLog {
+    /// All deliveries in publish order.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    /// Deliveries for one subscription.
+    pub fn for_sub(&self, sub: SubId) -> impl Iterator<Item = &Delivery> {
+        self.deliveries.iter().filter(move |d| d.sub == sub)
+    }
+
+    /// Total number of deliveries.
+    pub fn len(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Returns `true` when nothing has been delivered.
+    pub fn is_empty(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RouteEntry {
+    sub: Subscription,
+    /// Next hop toward the subscriber; `None` = deliver locally.
+    to: Option<NodeId>,
+}
+
+/// The attributes a subscription *needs* for a stream: projection plus any
+/// attribute its filters read. Routing-level covering must preserve needs,
+/// otherwise early projection upstream of a pruned propagation could strip
+/// attributes a downstream filter reads.
+fn needs(sub: &Subscription, stream: &str) -> Option<StreamProjection> {
+    let req = sub.streams.get(stream)?;
+    let mut proj = req.projection.clone();
+    let mut filter_attrs: BTreeSet<String> = BTreeSet::new();
+    for f in &req.filters {
+        if let cosmos_query::Predicate::Cmp { attr, .. } = f {
+            filter_attrs.insert(attr.attr.clone());
+        }
+    }
+    if !filter_attrs.is_empty() {
+        proj = proj.union(&StreamProjection::Attrs(filter_attrs));
+    }
+    Some(proj)
+}
+
+/// Covering as used for *routing-table pruning*: semantic covering plus
+/// needs preservation (see [`needs`]).
+fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
+    if !general.covers(specific) {
+        return false;
+    }
+    specific.streams.keys().all(|s| {
+        match (needs(general, s), needs(specific, s)) {
+            (Some(g), Some(sp)) => g.covers(&sp),
+            _ => false,
+        }
+    })
+}
+
+/// A content-based broker network over a physical topology.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_net::{Topology, NodeId};
+/// use cosmos_pubsub::broker::BrokerNetwork;
+/// use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+/// use cosmos_query::Scalar;
+///
+/// let mut topo = Topology::new(3);
+/// topo.add_edge(NodeId(0), NodeId(1), 1.0);
+/// topo.add_edge(NodeId(1), NodeId(2), 1.0);
+/// let mut net = BrokerNetwork::new(topo);
+/// net.advertise("R", NodeId(0));
+/// net.subscribe(
+///     Subscription::builder(NodeId(2)).id(SubId(1)).stream("R", StreamProjection::All, vec![]).build(),
+/// );
+/// let n = net.publish(Message::new("R", 0).with("a", Scalar::Int(1)));
+/// assert_eq!(n, 1);
+/// ```
+#[derive(Debug)]
+pub struct BrokerNetwork {
+    topo: Topology,
+    /// stream name → advertising node.
+    stream_source: HashMap<String, NodeId>,
+    /// advertising node → its shortest-path (dissemination) tree.
+    adv_trees: HashMap<NodeId, ShortestPathTree>,
+    /// Per-node routing tables.
+    tables: Vec<Vec<RouteEntry>>,
+    /// Per-node, per-source: subscriptions already forwarded toward that
+    /// source (for covering-based pruning).
+    forwarded_up: Vec<HashMap<NodeId, Vec<Subscription>>>,
+    /// All live subscriptions (used to rebuild tables on unsubscribe).
+    active: Vec<Subscription>,
+    link_stats: HashMap<(NodeId, NodeId), LinkStats>,
+    log: DeliveryLog,
+}
+
+impl BrokerNetwork {
+    /// Wraps a topology; every node becomes a broker.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.node_count();
+        Self {
+            topo,
+            stream_source: HashMap::new(),
+            adv_trees: HashMap::new(),
+            tables: vec![Vec::new(); n],
+            forwarded_up: vec![HashMap::new(); n],
+            active: Vec::new(),
+            link_stats: HashMap::new(),
+            log: DeliveryLog::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Advertises `stream` as produced by `source`. Re-advertising a stream
+    /// moves it (subscriptions installed earlier are not rerouted — callers
+    /// advertise before subscribing, as in Siena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn advertise(&mut self, stream: impl Into<String>, source: NodeId) {
+        let stream = stream.into();
+        self.adv_trees
+            .entry(source)
+            .or_insert_with(|| ShortestPathTree::compute(&self.topo, source));
+        self.stream_source.insert(stream, source);
+    }
+
+    /// The advertised source of `stream`, if any.
+    pub fn source_of(&self, stream: &str) -> Option<NodeId> {
+        self.stream_source.get(stream).copied()
+    }
+
+    /// Installs a subscription, propagating it toward each advertised source
+    /// of its streams with covering-based pruning and table merging (covered
+    /// same-direction entries are replaced — the merge at `n1` in Figure 2).
+    /// Streams without an advertisement are ignored (nothing can be routed
+    /// for them yet).
+    pub fn subscribe(&mut self, sub: Subscription) {
+        self.active.push(sub.clone());
+        self.install(sub);
+    }
+
+    fn install(&mut self, sub: Subscription) {
+        // Local delivery entry at the subscriber.
+        self.tables[sub.subscriber.index()].push(RouteEntry { sub: sub.clone(), to: None });
+        // Per-stream propagation toward the source.
+        let streams: Vec<String> = sub.streams.keys().cloned().collect();
+        let mut per_source: HashMap<NodeId, Vec<String>> = HashMap::new();
+        for s in streams {
+            if let Some(&src) = self.stream_source.get(&s) {
+                per_source.entry(src).or_default().push(s);
+            }
+        }
+        let mut sources: Vec<(NodeId, Vec<String>)> = per_source.into_iter().collect();
+        sources.sort_by_key(|(n, _)| *n);
+        for (src, stream_names) in sources {
+            // Restrict the subscription to the streams this source serves.
+            let mut restricted = Subscription {
+                id: sub.id,
+                subscriber: sub.subscriber,
+                streams: Default::default(),
+            };
+            for s in &stream_names {
+                restricted.streams.insert(s.clone(), sub.streams[s].clone());
+            }
+            let Some(path) = self.adv_trees[&src].path_to(sub.subscriber) else {
+                continue; // unreachable subscriber
+            };
+            // Walk from the subscriber toward the source: path is
+            // [src, ..., subscriber]; iterate indices len-2 .. 0.
+            let mut pruned = false;
+            for i in (0..path.len().saturating_sub(1)).rev() {
+                let u = path[i];
+                let downstream = path[i + 1];
+                self.add_forwarding_entry(u, restricted.clone(), downstream);
+                let fwd = self.forwarded_up[u.index()].entry(src).or_default();
+                if fwd.iter().any(|f| routing_covers(f, &restricted)) {
+                    pruned = true;
+                } else {
+                    fwd.push(restricted.clone());
+                }
+                if pruned {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Adds a forwarding entry at `node` toward `downstream`, merging with
+    /// existing same-direction entries: skipped if an existing entry already
+    /// covers it; existing entries it covers are dropped (they are redundant
+    /// for forwarding — one transmission per link regardless).
+    fn add_forwarding_entry(&mut self, node: NodeId, sub: Subscription, downstream: NodeId) {
+        let table = &mut self.tables[node.index()];
+        if table
+            .iter()
+            .any(|e| e.to == Some(downstream) && routing_covers(&e.sub, &sub))
+        {
+            return;
+        }
+        table.retain(|e| !(e.to == Some(downstream) && routing_covers(&sub, &e.sub)));
+        table.push(RouteEntry { sub, to: Some(downstream) });
+    }
+
+    /// Removes subscription `id` and rebuilds all routing state from the
+    /// remaining active subscriptions (covered entries that were merged away
+    /// are restored exactly).
+    pub fn unsubscribe(&mut self, id: SubId) {
+        self.active.retain(|s| s.id != id);
+        for table in &mut self.tables {
+            table.clear();
+        }
+        for fwd in &mut self.forwarded_up {
+            fwd.clear();
+        }
+        let active = std::mem::take(&mut self.active);
+        for sub in &active {
+            self.install(sub.clone());
+        }
+        self.active = active;
+    }
+
+    /// Publishes a message from its advertised source, forwarding it along
+    /// routing tables. Returns the number of local deliveries.
+    ///
+    /// Messages for unadvertised streams go nowhere and return 0.
+    pub fn publish(&mut self, msg: Message) -> usize {
+        let Some(&src) = self.stream_source.get(&msg.stream) else {
+            return 0;
+        };
+        let before = self.log.len();
+        self.forward(src, None, msg);
+        self.log.len() - before
+    }
+
+    fn forward(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {
+        // Local deliveries.
+        let mut locals: Vec<Subscription> = Vec::new();
+        let mut hops: HashMap<NodeId, StreamProjection> = HashMap::new();
+        for entry in &self.tables[node.index()] {
+            if !entry.sub.matches(&msg) {
+                continue;
+            }
+            match entry.to {
+                None => locals.push(entry.sub.clone()),
+                Some(next) => {
+                    if Some(next) == from {
+                        continue;
+                    }
+                    let need = needs(&entry.sub, &msg.stream)
+                        .unwrap_or(StreamProjection::All);
+                    hops.entry(next)
+                        .and_modify(|p| *p = p.union(&need))
+                        .or_insert(need);
+                }
+            }
+        }
+        for sub in locals {
+            if let Some(projected) = sub.project(&msg) {
+                self.log.deliveries.push(Delivery { sub: sub.id, node, message: projected });
+            }
+        }
+        let mut next_hops: Vec<(NodeId, StreamProjection)> = hops.into_iter().collect();
+        next_hops.sort_by_key(|(n, _)| *n);
+        for (next, proj) in next_hops {
+            let fwd = match &proj {
+                StreamProjection::All => msg.clone(),
+                StreamProjection::Attrs(keep) => Message {
+                    stream: msg.stream.clone(),
+                    timestamp: msg.timestamp,
+                    attrs: msg
+                        .attrs
+                        .iter()
+                        .filter(|(k, _)| keep.contains(k))
+                        .cloned()
+                        .collect(),
+                },
+            };
+            let key = if node <= next { (node, next) } else { (next, node) };
+            let stats = self.link_stats.entry(key).or_default();
+            stats.messages += 1;
+            stats.bytes += fwd.wire_size() as u64;
+            self.forward(next, Some(node), fwd);
+        }
+    }
+
+    /// Traffic counters for the link `{a, b}`.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> LinkStats {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_stats.get(&key).copied().unwrap_or_default()
+    }
+
+    /// Total bytes transmitted over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.link_stats.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total message transmissions over all links (a message crossing three
+    /// links counts three times).
+    pub fn total_link_messages(&self) -> u64 {
+        self.link_stats.values().map(|s| s.messages).sum()
+    }
+
+    /// Latency-weighted traffic: `Σ_links bytes(link) × latency(link)` — the
+    /// measured analogue of the paper's weighted communication cost.
+    pub fn weighted_cost(&self) -> f64 {
+        self.link_stats
+            .iter()
+            .map(|(&(a, b), s)| {
+                let lat = self.topo.edge_latency(a, b).unwrap_or(0.0);
+                s.bytes as f64 * lat
+            })
+            .sum()
+    }
+
+    /// The delivery log.
+    pub fn log(&self) -> &DeliveryLog {
+        &self.log
+    }
+
+    /// Clears delivery log and link statistics (routing state kept).
+    pub fn reset_stats(&mut self) {
+        self.log.clear();
+        self.link_stats.clear();
+    }
+
+    /// Number of routing entries at `node` (diagnostics).
+    pub fn table_len(&self, node: NodeId) -> usize {
+        self.tables[node.index()].len()
+    }
+
+    /// Handles the failure of link `{a, b}`: the link is removed from the
+    /// topology, advertisement trees are recomputed over the surviving
+    /// links, and every active subscription is re-propagated (the
+    /// brokers' recovery protocol, condensed to its observable effect).
+    ///
+    /// Returns `false` when the link did not exist. Subscribers that
+    /// became unreachable from a source silently stop receiving that
+    /// source's messages — exactly the partition semantics a CBN exhibits.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        let removed = self.remove_edge(a, b);
+        if !removed {
+            return false;
+        }
+        // Recompute dissemination trees for every advertising source.
+        let sources: Vec<NodeId> = self.adv_trees.keys().copied().collect();
+        for src in sources {
+            self.adv_trees.insert(src, ShortestPathTree::compute(&self.topo, src));
+        }
+        // Rebuild all routing state from the active subscriptions.
+        for table in &mut self.tables {
+            table.clear();
+        }
+        for fwd in &mut self.forwarded_up {
+            fwd.clear();
+        }
+        let active = std::mem::take(&mut self.active);
+        for sub in &active {
+            self.install(sub.clone());
+        }
+        self.active = active;
+        true
+    }
+
+    /// Removes an undirected edge from the owned topology. `Topology` has
+    /// no removal API (experiments never shrink graphs), so the broker
+    /// rebuilds its copy without the failed link.
+    fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if self.topo.edge_latency(a, b).is_none() {
+            return false;
+        }
+        let mut rebuilt = Topology::new(self.topo.node_count());
+        for u in self.topo.nodes() {
+            for (v, lat) in self.topo.neighbors(u) {
+                if u < v && !(u == a && v == b) && !(u == b && v == a) {
+                    rebuilt.add_edge(u, v, lat);
+                }
+            }
+        }
+        self.topo = rebuilt;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::{AttrRef, CmpOp, Predicate, Scalar};
+
+    /// The paper's Figure 1/2 topology: n3 (source) - n2 - n1 - {n6, n7},
+    /// with n4, n5 hanging off n2 and n1.
+    fn paper_topology() -> Topology {
+        let mut t = Topology::new(8); // ids 1..=7 used, 0 unused
+        let e = |t: &mut Topology, a: u32, b: u32| t.add_edge(NodeId(a), NodeId(b), 1.0);
+        e(&mut t, 3, 2);
+        e(&mut t, 2, 1);
+        e(&mut t, 2, 4);
+        e(&mut t, 1, 5);
+        e(&mut t, 1, 6);
+        e(&mut t, 1, 7);
+        t
+    }
+
+    fn filter_gt(stream: &str, attr: &str, v: i64) -> Predicate {
+        Predicate::Cmp {
+            attr: AttrRef::new(stream, attr),
+            op: CmpOp::Gt,
+            value: Scalar::Int(v),
+        }
+    }
+
+    fn sub_r(id: u64, node: u32, threshold: i64) -> Subscription {
+        Subscription::builder(NodeId(node))
+            .id(SubId(id))
+            .stream("R", StreamProjection::All, vec![filter_gt("R", "a", threshold)])
+            .build()
+    }
+
+    fn figure2_network() -> BrokerNetwork {
+        let mut net = BrokerNetwork::new(paper_topology());
+        net.advertise("R", NodeId(3));
+        net.subscribe(sub_r(6, 6, 20)); // n6: a > 20
+        net.subscribe(sub_r(7, 7, 10)); // n7: a > 10
+        net
+    }
+
+    #[test]
+    fn figure2_message_routing() {
+        let mut net = figure2_network();
+        // m1.a = 15: only n7 (a > 10) receives it.
+        let d1 = net.publish(Message::new("R", 0).with("a", Scalar::Int(15)));
+        assert_eq!(d1, 1);
+        assert_eq!(net.log().deliveries()[0].node, NodeId(7));
+        // m2.a = 25: both n6 and n7.
+        let d2 = net.publish(Message::new("R", 1).with("a", Scalar::Int(25)));
+        assert_eq!(d2, 2);
+    }
+
+    #[test]
+    fn figure2_single_transmission_per_link() {
+        let mut net = figure2_network();
+        net.publish(Message::new("R", 1).with("a", Scalar::Int(25)));
+        // m2 crosses (3,2), (2,1), (1,6), (1,7): one transmission each.
+        assert_eq!(net.link_stats(NodeId(3), NodeId(2)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(2), NodeId(1)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(6)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(7)).messages, 1);
+        // Nothing toward n4 / n5.
+        assert_eq!(net.link_stats(NodeId(2), NodeId(4)).messages, 0);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(5)).messages, 0);
+    }
+
+    #[test]
+    fn figure2_early_filtering_at_source() {
+        let mut net = figure2_network();
+        // a = 5 matches nobody: must not leave n3 at all.
+        let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(5)));
+        assert_eq!(d, 0);
+        assert_eq!(net.total_link_messages(), 0);
+    }
+
+    #[test]
+    fn figure2_subscription_merging_prunes_upstream() {
+        let net = figure2_network();
+        // n7's a>10 was forwarded to n1, n2, n3. n6's a>20 is covered by
+        // a>10 at n1, so n2's table holds only one upstream entry for n1's
+        // direction... i.e. table at n2 has exactly one entry pointing to n1.
+        let n2_entries_to_n1 = net.tables[2]
+            .iter()
+            .filter(|e| e.to == Some(NodeId(1)))
+            .count();
+        assert_eq!(n2_entries_to_n1, 1, "covered subscription must be pruned at n1");
+        // But n1's table holds both (it is the merge point).
+        assert_eq!(net.table_len(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn projection_happens_as_early_as_possible() {
+        let mut topo = Topology::new(3);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(2))
+                .id(SubId(1))
+                .stream("R", StreamProjection::attrs(["a"]), vec![])
+                .build(),
+        );
+        let msg = Message::new("R", 0)
+            .with("a", Scalar::Int(1))
+            .with("b", Scalar::Int(2))
+            .with("c", Scalar::Int(3));
+        net.publish(msg);
+        // Both links must carry the projected (1-attribute) message.
+        let small = 16 + 16;
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).bytes, small);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(2)).bytes, small);
+        let d = &net.log().deliveries()[0];
+        assert_eq!(d.message.attrs.len(), 1);
+    }
+
+    #[test]
+    fn filter_attrs_survive_projection_despite_pruning() {
+        // n2 subscribes proj {a} no filter (covers), n2' subscribes proj {a}
+        // with filter on b. Routing-covering must keep b flowing.
+        let mut topo = Topology::new(4);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        topo.add_edge(NodeId(1), NodeId(3), 1.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(2))
+                .id(SubId(1))
+                .stream("R", StreamProjection::attrs(["a"]), vec![])
+                .build(),
+        );
+        net.subscribe(
+            Subscription::builder(NodeId(3))
+                .id(SubId(2))
+                .stream("R", StreamProjection::attrs(["a"]), vec![filter_gt("R", "b", 5)])
+                .build(),
+        );
+        let n = net.publish(
+            Message::new("R", 0).with("a", Scalar::Int(1)).with("b", Scalar::Int(10)),
+        );
+        assert_eq!(n, 2, "both subscribers must receive the message");
+        let miss = net.publish(
+            Message::new("R", 1).with("a", Scalar::Int(1)).with("b", Scalar::Int(1)),
+        );
+        assert_eq!(miss, 1, "only the filterless subscriber receives b=1");
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut net = figure2_network();
+        net.unsubscribe(SubId(7));
+        let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(15)));
+        assert_eq!(d, 0);
+        let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
+        assert_eq!(d, 1); // n6 still there
+    }
+
+    #[test]
+    fn unadvertised_stream_goes_nowhere() {
+        let mut net = figure2_network();
+        assert_eq!(net.publish(Message::new("X", 0)), 0);
+    }
+
+    #[test]
+    fn subscriber_at_source_gets_local_delivery() {
+        let mut topo = Topology::new(2);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(0))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .build(),
+        );
+        assert_eq!(net.publish(Message::new("R", 0)), 1);
+        assert_eq!(net.total_link_messages(), 0);
+    }
+
+    #[test]
+    fn weighted_cost_uses_latencies() {
+        let mut topo = Topology::new(2);
+        topo.add_edge(NodeId(0), NodeId(1), 10.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(1))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .build(),
+        );
+        let msg = Message::new("R", 0).with("a", Scalar::Int(1));
+        let size = msg.wire_size() as f64;
+        net.publish(msg);
+        assert!((net.weighted_cost() - size * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_failure_reroutes_when_alternate_path_exists() {
+        // Ring: 0 - 1 - 2 - 3 - 0; source at 0, subscriber at 2.
+        let mut topo = Topology::new(4);
+        for i in 0..4u32 {
+            topo.add_edge(NodeId(i), NodeId((i + 1) % 4), 1.0);
+        }
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(2))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .build(),
+        );
+        assert_eq!(net.publish(Message::new("R", 0)), 1);
+        // Kill one side of the ring; the other path still delivers.
+        assert!(net.fail_link(NodeId(0), NodeId(1)));
+        assert_eq!(net.publish(Message::new("R", 1)), 1);
+        // Kill the remaining path: partitioned, no delivery.
+        assert!(net.fail_link(NodeId(3), NodeId(0)));
+        assert_eq!(net.publish(Message::new("R", 2)), 0);
+        // Unknown link: report false.
+        assert!(!net.fail_link(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn link_failure_keeps_unaffected_subscribers() {
+        let mut net = figure2_network();
+        // (2,4) failing is irrelevant to n6/n7.
+        assert!(net.fail_link(NodeId(2), NodeId(4)));
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 2);
+    }
+
+    #[test]
+    fn two_streams_one_subscription() {
+        let mut topo = Topology::new(4);
+        topo.add_edge(NodeId(0), NodeId(2), 1.0); // source R
+        topo.add_edge(NodeId(1), NodeId(2), 1.0); // source S
+        topo.add_edge(NodeId(2), NodeId(3), 1.0); // subscriber
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.advertise("S", NodeId(1));
+        net.subscribe(
+            Subscription::builder(NodeId(3))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .stream("S", StreamProjection::All, vec![])
+                .build(),
+        );
+        assert_eq!(net.publish(Message::new("R", 0)), 1);
+        assert_eq!(net.publish(Message::new("S", 0)), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Content-based Publish/Subscribe substrate (Siena-style) for COSMOS.
+//!
+//! The paper adopts a distributed Pub/Sub as the communication substrate
+//! (§1.2–§1.3): data sources *advertise*, consumers *subscribe* with content
+//! constraints, and brokers route messages so that (1) a message crosses
+//! each link at most once, (2) messages are filtered and projected as early
+//! as possible, and (3) sources and consumers stay loosely coupled.
+//!
+//! Three layers:
+//!
+//! - [`subscription`]: subscription content — per-stream projections and
+//!   filters exactly as §2.1 describes (`S`, `P`, `F` lists) — plus the
+//!   covering relation used to merge subscriptions inside the network.
+//! - [`broker`]: a message-level broker network over a physical topology:
+//!   advertisement-guided subscription propagation with covering-based
+//!   pruning, routing tables per node, reverse-path message forwarding with
+//!   per-link traffic accounting (Figure 2's behaviour, reproducible in
+//!   tests).
+//! - [`traffic`]: the rate-based cost model the large-scale experiments use:
+//!   each substream's delivery cost is its rate times the latency-weighted
+//!   multicast tree connecting its source to every interested processor,
+//!   plus unicast result-stream costs. This is the "weighted communication
+//!   cost" metric of §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_pubsub::subscription::{Subscription, StreamProjection};
+//! use cosmos_net::NodeId;
+//!
+//! let broad = Subscription::builder(NodeId(6))
+//!     .stream("R", StreamProjection::All, vec![])
+//!     .build();
+//! let narrow = Subscription::builder(NodeId(7))
+//!     .stream("R", StreamProjection::attrs(["a"]), vec![])
+//!     .build();
+//! assert!(broad.covers(&narrow));
+//! assert!(!narrow.covers(&broad));
+//! ```
+
+pub mod broker;
+pub mod subscription;
+pub mod traffic;
+
+pub use broker::{BrokerNetwork, DeliveryLog, LinkStats};
+pub use subscription::{Message, StreamProjection, SubId, Subscription};
+pub use traffic::{SubstreamTable, TrafficModel};

@@ -1,0 +1,408 @@
+//! Subscription content, messages, matching, and covering.
+//!
+//! A subscription carries exactly the three lists §2.1 gives for `p3₁`:
+//!
+//! - `S`: the streams requested (here: the keys of the per-stream map),
+//! - `P`: the requested attributes, "so the Pub/Sub can perform projection
+//!   of the unnecessary attributes as soon as possible",
+//! - `F`: filters "used to perform early data filtering in the Pub/Sub".
+//!
+//! The *covering* relation (`a.covers(b)` ⇔ every message delivered for `b`
+//! would also be delivered for `a`, with at least the same attributes) is
+//! what lets brokers merge subscriptions: a node only propagates a new
+//! subscription upstream if nothing it already forwarded covers it.
+
+use cosmos_net::NodeId;
+use cosmos_query::predicate::{eval_predicate, implies, AttrSource};
+use cosmos_query::{AttrRef, Predicate, Scalar};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Unique identifier of a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubId(pub u64);
+
+impl fmt::Display for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Which attributes of a stream a subscription requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamProjection {
+    /// All attributes (`S2.*`).
+    All,
+    /// A specific attribute set.
+    Attrs(BTreeSet<String>),
+}
+
+impl StreamProjection {
+    /// Builds an attribute-set projection from names.
+    pub fn attrs<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        StreamProjection::Attrs(names.into_iter().map(Into::into).collect())
+    }
+
+    /// Does this projection retain every attribute `other` retains?
+    pub fn covers(&self, other: &StreamProjection) -> bool {
+        match (self, other) {
+            (StreamProjection::All, _) => true,
+            (StreamProjection::Attrs(_), StreamProjection::All) => false,
+            (StreamProjection::Attrs(a), StreamProjection::Attrs(b)) => b.is_subset(a),
+        }
+    }
+
+    /// The union of two projections.
+    pub fn union(&self, other: &StreamProjection) -> StreamProjection {
+        match (self, other) {
+            (StreamProjection::All, _) | (_, StreamProjection::All) => StreamProjection::All,
+            (StreamProjection::Attrs(a), StreamProjection::Attrs(b)) => {
+                StreamProjection::Attrs(a.union(b).cloned().collect())
+            }
+        }
+    }
+}
+
+/// Per-stream request: projection plus conjunctive filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRequest {
+    /// Attributes to keep.
+    pub projection: StreamProjection,
+    /// Conjunctive filters over this stream's attributes. Predicates use the
+    /// stream name as the relation qualifier.
+    pub filters: Vec<Predicate>,
+}
+
+impl StreamRequest {
+    /// Does this request's filter set admit every message `other`'s admits?
+    /// (i.e. `other`'s conjunction implies this conjunction).
+    pub fn filters_cover(&self, other: &StreamRequest) -> bool {
+        self.filters
+            .iter()
+            .all(|f_general| other.filters.iter().any(|f_specific| implies(f_specific, f_general)))
+    }
+}
+
+/// A subscription: the subscriber's proxy node plus per-stream requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Identifier (assigned by the creator; brokers treat it as opaque).
+    pub id: SubId,
+    /// The node where results must be delivered.
+    pub subscriber: NodeId,
+    /// Requested streams with their projections and filters.
+    pub streams: BTreeMap<String, StreamRequest>,
+}
+
+impl Subscription {
+    /// Starts building a subscription for `subscriber`.
+    pub fn builder(subscriber: NodeId) -> SubscriptionBuilder {
+        SubscriptionBuilder {
+            sub: Subscription { id: SubId(0), subscriber, streams: BTreeMap::new() },
+        }
+    }
+
+    /// Stream names requested, in sorted order.
+    pub fn stream_names(&self) -> impl Iterator<Item = &str> {
+        self.streams.keys().map(String::as_str)
+    }
+
+    /// Returns `true` when this subscription would deliver (at least) every
+    /// message that `other` delivers, with at least the same attributes.
+    pub fn covers(&self, other: &Subscription) -> bool {
+        other.streams.iter().all(|(name, o_req)| {
+            self.streams.get(name).is_some_and(|s_req| {
+                s_req.projection.covers(&o_req.projection) && s_req.filters_cover(o_req)
+            })
+        })
+    }
+
+    /// Merges `other` into this subscription: stream set union, projection
+    /// union, and per-stream filters weakened to the common consequences
+    /// (dropping what cannot be kept). The result covers both inputs.
+    pub fn merge(&self, other: &Subscription) -> Subscription {
+        let mut streams = self.streams.clone();
+        for (name, o_req) in &other.streams {
+            match streams.get_mut(name) {
+                None => {
+                    streams.insert(name.clone(), o_req.clone());
+                }
+                Some(s_req) => {
+                    s_req.projection = s_req.projection.union(&o_req.projection);
+                    let mut merged = Vec::new();
+                    for fa in &s_req.filters {
+                        for fb in &o_req.filters {
+                            if let Some(w) = cosmos_query::predicate::weakest_common(fa, fb) {
+                                if !merged
+                                    .iter()
+                                    .any(|e: &Predicate| implies(e, &w) && implies(&w, e))
+                                {
+                                    merged.push(w);
+                                }
+                            }
+                        }
+                    }
+                    s_req.filters = merged;
+                }
+            }
+        }
+        Subscription { id: self.id, subscriber: self.subscriber, streams }
+    }
+
+    /// Does `msg` match this subscription (stream requested + all filters
+    /// pass)?
+    pub fn matches(&self, msg: &Message) -> bool {
+        match self.streams.get(&msg.stream) {
+            None => false,
+            Some(req) => req.filters.iter().all(|f| eval_predicate(f, msg).unwrap_or(false)),
+        }
+    }
+
+    /// Projects `msg` down to the attributes this subscription requests.
+    ///
+    /// Returns `None` if the message does not match.
+    pub fn project(&self, msg: &Message) -> Option<Message> {
+        if !self.matches(msg) {
+            return None;
+        }
+        let req = &self.streams[&msg.stream];
+        let attrs = match &req.projection {
+            StreamProjection::All => msg.attrs.clone(),
+            StreamProjection::Attrs(keep) => {
+                msg.attrs.iter().filter(|(k, _)| keep.contains(k)).cloned().collect()
+            }
+        };
+        Some(Message { stream: msg.stream.clone(), timestamp: msg.timestamp, attrs })
+    }
+}
+
+/// Builder for [`Subscription`] (see [`Subscription::builder`]).
+#[derive(Debug)]
+pub struct SubscriptionBuilder {
+    sub: Subscription,
+}
+
+impl SubscriptionBuilder {
+    /// Sets the subscription id.
+    pub fn id(mut self, id: SubId) -> Self {
+        self.sub.id = id;
+        self
+    }
+
+    /// Adds a stream request.
+    pub fn stream(
+        mut self,
+        name: impl Into<String>,
+        projection: StreamProjection,
+        filters: Vec<Predicate>,
+    ) -> Self {
+        self.sub.streams.insert(name.into(), StreamRequest { projection, filters });
+        self
+    }
+
+    /// Finishes the subscription.
+    pub fn build(self) -> Subscription {
+        self.sub
+    }
+}
+
+/// A published message: stream name, timestamp, attribute/value pairs.
+///
+/// "Each message is represented as a set of attribute/value pairs" (§1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Originating stream name.
+    pub stream: String,
+    /// Event timestamp in milliseconds.
+    pub timestamp: i64,
+    /// Attribute/value pairs.
+    pub attrs: Vec<(String, Scalar)>,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(stream: impl Into<String>, timestamp: i64) -> Self {
+        Self { stream: stream.into(), timestamp, attrs: Vec::new() }
+    }
+
+    /// Adds an attribute (builder-style).
+    pub fn with(mut self, name: impl Into<String>, value: Scalar) -> Self {
+        self.attrs.push((name.into(), value));
+        self
+    }
+
+    /// Approximate wire size in bytes: 16 bytes header + 16 per attribute.
+    pub fn wire_size(&self) -> usize {
+        16 + 16 * self.attrs.len()
+    }
+}
+
+impl AttrSource for Message {
+    fn value(&self, attr: &AttrRef) -> Option<Scalar> {
+        if attr.relation != self.stream {
+            return None;
+        }
+        self.attrs.iter().find(|(k, _)| *k == attr.attr).map(|(_, v)| v.clone())
+    }
+
+    fn timestamp(&self, alias: &str) -> Option<i64> {
+        (alias == self.stream).then_some(self.timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::CmpOp;
+    use proptest::prelude::*;
+
+    fn filter(stream: &str, attr: &str, op: CmpOp, v: i64) -> Predicate {
+        Predicate::Cmp { attr: AttrRef::new(stream, attr), op, value: Scalar::Int(v) }
+    }
+
+    fn sub(node: u32, stream: &str, filters: Vec<Predicate>) -> Subscription {
+        Subscription::builder(NodeId(node))
+            .stream(stream, StreamProjection::All, filters)
+            .build()
+    }
+
+    #[test]
+    fn matching_respects_stream_and_filters() {
+        let s = sub(1, "R", vec![filter("R", "a", CmpOp::Gt, 10)]);
+        let hit = Message::new("R", 0).with("a", Scalar::Int(15));
+        let miss_val = Message::new("R", 0).with("a", Scalar::Int(5));
+        let miss_stream = Message::new("S", 0).with("a", Scalar::Int(15));
+        let miss_attr = Message::new("R", 0).with("b", Scalar::Int(15));
+        assert!(s.matches(&hit));
+        assert!(!s.matches(&miss_val));
+        assert!(!s.matches(&miss_stream));
+        assert!(!s.matches(&miss_attr));
+    }
+
+    #[test]
+    fn projection_trims_attributes() {
+        let s = Subscription::builder(NodeId(1))
+            .stream("R", StreamProjection::attrs(["a"]), vec![])
+            .build();
+        let m = Message::new("R", 9)
+            .with("a", Scalar::Int(1))
+            .with("b", Scalar::Int(2));
+        let p = s.project(&m).unwrap();
+        assert_eq!(p.attrs, vec![("a".to_string(), Scalar::Int(1))]);
+        assert_eq!(p.timestamp, 9);
+        assert!(p.wire_size() < m.wire_size());
+    }
+
+    #[test]
+    fn covering_stream_sets() {
+        let both = Subscription::builder(NodeId(1))
+            .stream("R", StreamProjection::All, vec![])
+            .stream("S", StreamProjection::All, vec![])
+            .build();
+        let only_r = sub(2, "R", vec![]);
+        assert!(both.covers(&only_r));
+        assert!(!only_r.covers(&both));
+    }
+
+    #[test]
+    fn covering_filters_weaker_covers_stronger() {
+        let weak = sub(1, "R", vec![filter("R", "a", CmpOp::Gt, 10)]);
+        let strong = sub(2, "R", vec![filter("R", "a", CmpOp::Gt, 20)]);
+        let none = sub(3, "R", vec![]);
+        assert!(weak.covers(&strong));
+        assert!(!strong.covers(&weak));
+        assert!(none.covers(&weak));
+        assert!(!weak.covers(&none));
+    }
+
+    #[test]
+    fn covering_projection() {
+        let all = sub(1, "R", vec![]);
+        let some = Subscription::builder(NodeId(2))
+            .stream("R", StreamProjection::attrs(["a", "b"]), vec![])
+            .build();
+        let fewer = Subscription::builder(NodeId(3))
+            .stream("R", StreamProjection::attrs(["a"]), vec![])
+            .build();
+        assert!(all.covers(&some));
+        assert!(some.covers(&fewer));
+        assert!(!fewer.covers(&some));
+        assert!(!some.covers(&all));
+    }
+
+    #[test]
+    fn merge_covers_both_inputs() {
+        let a = sub(1, "R", vec![filter("R", "a", CmpOp::Gt, 10)]);
+        let b = Subscription::builder(NodeId(1))
+            .stream("R", StreamProjection::attrs(["a"]), vec![filter("R", "a", CmpOp::Gt, 20)])
+            .stream("T", StreamProjection::All, vec![])
+            .build();
+        let m = a.merge(&b);
+        assert!(m.covers(&a));
+        assert!(m.covers(&b));
+        // Filters weakened to a > 10.
+        assert_eq!(m.streams["R"].filters.len(), 1);
+    }
+
+    #[test]
+    fn merge_drops_incomparable_filters() {
+        let a = sub(1, "R", vec![filter("R", "a", CmpOp::Gt, 10)]);
+        let b = sub(1, "R", vec![filter("R", "a", CmpOp::Lt, 5)]);
+        let m = a.merge(&b);
+        assert!(m.streams["R"].filters.is_empty());
+        assert!(m.covers(&a) && m.covers(&b));
+    }
+
+    #[test]
+    fn paper_example_p3_subscription() {
+        // p3₁: S = {S1, S2}, P = {S2.*}, F = {S1.snowHeight > 10}
+        let p31 = Subscription::builder(NodeId(1))
+            .stream("S1", StreamProjection::attrs(["snowHeight", "timestamp"]),
+                vec![filter("S1", "snowHeight", CmpOp::Gt, 10)])
+            .stream("S2", StreamProjection::All, vec![])
+            .build();
+        let tall = Message::new("S1", 0).with("snowHeight", Scalar::Int(30));
+        let short = Message::new("S1", 0).with("snowHeight", Scalar::Int(3));
+        let s2 = Message::new("S2", 0).with("snowHeight", Scalar::Int(1));
+        assert!(p31.matches(&tall));
+        assert!(!p31.matches(&short));
+        assert!(p31.matches(&s2));
+    }
+
+    proptest! {
+        /// Covering must be consistent with matching: if `a` covers `b`,
+        /// every message matching `b` matches `a`.
+        #[test]
+        fn prop_covering_sound_for_matching(
+            ca in -50i64..50, cb in -50i64..50,
+            opa in 0usize..4, opb in 0usize..4,
+            x in -60i64..60,
+        ) {
+            let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            let a = sub(1, "R", vec![filter("R", "v", ops[opa], ca)]);
+            let b = sub(2, "R", vec![filter("R", "v", ops[opb], cb)]);
+            let msg = Message::new("R", 0).with("v", Scalar::Int(x));
+            if a.covers(&b) && b.matches(&msg) {
+                prop_assert!(a.matches(&msg));
+            }
+        }
+
+        /// Merge always covers both inputs.
+        #[test]
+        fn prop_merge_covers_inputs(
+            ca in -50i64..50, cb in -50i64..50,
+            opa in 0usize..4, opb in 0usize..4,
+        ) {
+            let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            let a = sub(1, "R", vec![filter("R", "v", ops[opa], ca)]);
+            let b = sub(1, "R", vec![filter("R", "v", ops[opb], cb)]);
+            let m = a.merge(&b);
+            prop_assert!(m.covers(&a));
+            prop_assert!(m.covers(&b));
+        }
+    }
+}

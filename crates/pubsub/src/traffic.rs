@@ -1,0 +1,302 @@
+//! Rate-based communication-cost model for the large-scale experiments.
+//!
+//! The simulation study never pushes individual messages: with 20 000
+//! substreams and 60 000 queries, the measured quantity is the *weighted
+//! unit-time communication cost* `Σ r(ni,nj) · d(ni,nj)` (§3.1.1). This
+//! module computes that sum for a given query distribution under Pub/Sub
+//! semantics:
+//!
+//! - **Source-side**: each substream is multicast from its source to every
+//!   processor hosting at least one interested query, along the source's
+//!   shortest-path tree, each link charged once (the sharing a CBN buys).
+//! - **Result-side**: each query's (or merged query group's) result stream
+//!   flows from its processor to the subscribing proxies; overlapping
+//!   destinations share tree links the same way.
+//!
+//! The paper subtracts the (distribution-invariant) final hop from proxy to
+//! local user; we follow by simply not charging it.
+
+use cosmos_net::routing::MulticastScratch;
+use cosmos_net::{Deployment, NodeId};
+use cosmos_util::rng::rng_for;
+use cosmos_util::InterestSet;
+use rand::Rng;
+
+/// Substream metadata: which source originates each substream and at what
+/// rate (bytes/second).
+///
+/// §4.1: "All the streams are partitioned into 20,000 substreams and they
+/// are randomly distributed to the sources. The arrival rate of each
+/// substream is randomly chosen from 1 to 10 (bytes/seconds)."
+#[derive(Debug, Clone)]
+pub struct SubstreamTable {
+    /// Index into the deployment's source list, per substream.
+    source_index: Vec<usize>,
+    /// Rate in bytes/second, per substream.
+    rates: Vec<f64>,
+}
+
+impl SubstreamTable {
+    /// Builds the paper's random substream table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sources == 0` or `min_rate > max_rate`.
+    pub fn random(
+        n_substreams: usize,
+        n_sources: usize,
+        min_rate: f64,
+        max_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_sources > 0, "need at least one source");
+        assert!(min_rate <= max_rate, "rate range inverted");
+        let mut rng = rng_for(seed, "substream-table");
+        let source_index = (0..n_substreams).map(|_| rng.gen_range(0..n_sources)).collect();
+        let rates = (0..n_substreams).map(|_| rng.gen_range(min_rate..=max_rate)).collect();
+        Self { source_index, rates }
+    }
+
+    /// Builds a table from explicit assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors' lengths differ.
+    pub fn from_parts(source_index: Vec<usize>, rates: Vec<f64>) -> Self {
+        assert_eq!(source_index.len(), rates.len(), "length mismatch");
+        Self { source_index, rates }
+    }
+
+    /// Number of substreams.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Returns `true` when there are no substreams.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The source index of substream `s`.
+    pub fn source_index(&self, s: usize) -> usize {
+        self.source_index[s]
+    }
+
+    /// The rate of substream `s` in bytes/second.
+    pub fn rate(&self, s: usize) -> f64 {
+        self.rates[s]
+    }
+
+    /// All rates, indexed by substream (the table queries weigh interests
+    /// against).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Scales the rate of substream `s` by `factor` (used by the
+    /// rate-perturbation experiment, Figure 10).
+    pub fn scale_rate(&mut self, s: usize, factor: f64) {
+        self.rates[s] *= factor;
+    }
+
+    /// Overwrites the rate of substream `s`.
+    pub fn set_rate(&mut self, s: usize, rate: f64) {
+        self.rates[s] = rate;
+    }
+}
+
+/// Computes weighted communication cost for query distributions.
+#[derive(Debug)]
+pub struct TrafficModel<'a> {
+    dep: &'a Deployment,
+    table: &'a SubstreamTable,
+}
+
+impl<'a> TrafficModel<'a> {
+    /// Couples a deployment with a substream table.
+    pub fn new(dep: &'a Deployment, table: &'a SubstreamTable) -> Self {
+        Self { dep, table }
+    }
+
+    /// Cost of delivering every substream from its source to each processor
+    /// that needs it.
+    ///
+    /// `interests[i]` is the union of the interests of all queries placed on
+    /// processor `i` (in deployment processor order) — the merged
+    /// subscription that processor inserts into the Pub/Sub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interests.len()` differs from the processor count.
+    pub fn source_delivery_cost(&self, interests: &[InterestSet]) -> f64 {
+        let procs = self.dep.processors();
+        assert_eq!(interests.len(), procs.len(), "one interest set per processor required");
+        let n_sub = self.table.len();
+        // Destination lists per substream.
+        let mut dests: Vec<Vec<NodeId>> = vec![Vec::new(); n_sub];
+        for (i, interest) in interests.iter().enumerate() {
+            let node = procs[i];
+            for s in interest.iter() {
+                dests[s].push(node);
+            }
+        }
+        let mut scratch = MulticastScratch::new(self.dep.topology().node_count());
+        let mut total = 0.0;
+        for (s, dest) in dests.iter().enumerate() {
+            if dest.is_empty() {
+                continue;
+            }
+            let src = self.dep.sources()[self.table.source_index(s)];
+            let tree = self.dep.source_tree(src);
+            total += self.table.rate(s) * tree.multicast_tree_latency_with(dest, &mut scratch);
+        }
+        total
+    }
+
+    /// Cost of unicasting result streams: one `(processor, proxy, rate)`
+    /// flow per query. Local flows (processor == proxy) cost nothing.
+    pub fn result_unicast_cost<I>(&self, flows: I) -> f64
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        flows
+            .into_iter()
+            .map(|(from, to, rate)| {
+                if from == to {
+                    0.0
+                } else {
+                    rate * self.dep.distance(from, to)
+                }
+            })
+            .sum()
+    }
+
+    /// Cost of multicasting one shared result stream from a processor to a
+    /// set of proxies (Figure 4(b)'s shared delivery).
+    pub fn result_multicast_cost(&self, from: NodeId, proxies: &[NodeId], rate: f64) -> f64 {
+        let tree = self.dep.processor_tree(from);
+        rate * tree.multicast_tree_latency(proxies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_net::{Topology, TransitStubConfig};
+
+    fn line_deployment() -> Deployment {
+        // 0 (source) - 1 - 2 (proc A) - 3 - 4 (proc B), unit latencies
+        let mut t = Topology::new(5);
+        for i in 0..4u32 {
+            t.add_edge(NodeId(i), NodeId(i + 1), 1.0);
+        }
+        Deployment::with_roles(t, vec![NodeId(0)], vec![NodeId(2), NodeId(4)])
+    }
+
+    #[test]
+    fn source_cost_charges_shared_prefix_once() {
+        let dep = line_deployment();
+        let table = SubstreamTable::from_parts(vec![0], vec![10.0]);
+        let model = TrafficModel::new(&dep, &table);
+        let both = vec![
+            InterestSet::from_indices(1, [0usize]),
+            InterestSet::from_indices(1, [0usize]),
+        ];
+        // Path to proc A: 2 links; to proc B: 4 links; union: 4 links.
+        assert_eq!(model.source_delivery_cost(&both), 10.0 * 4.0);
+        let only_a = vec![InterestSet::from_indices(1, [0usize]), InterestSet::new(1)];
+        assert_eq!(model.source_delivery_cost(&only_a), 10.0 * 2.0);
+        let nobody = vec![InterestSet::new(1), InterestSet::new(1)];
+        assert_eq!(model.source_delivery_cost(&nobody), 0.0);
+    }
+
+    #[test]
+    fn result_unicast_costs_distance_times_rate() {
+        let dep = line_deployment();
+        let table = SubstreamTable::from_parts(vec![0], vec![1.0]);
+        let model = TrafficModel::new(&dep, &table);
+        let cost = model.result_unicast_cost([
+            (NodeId(2), NodeId(4), 3.0), // distance 2
+            (NodeId(4), NodeId(4), 7.0), // local: free
+        ]);
+        assert_eq!(cost, 6.0);
+    }
+
+    #[test]
+    fn result_multicast_shares_links() {
+        // Star: processor 0 center; proxies 2 and 4 behind shared node.
+        let mut t = Topology::new(5);
+        t.add_edge(NodeId(0), NodeId(1), 5.0);
+        t.add_edge(NodeId(1), NodeId(2), 1.0);
+        t.add_edge(NodeId(1), NodeId(4), 1.0);
+        t.add_edge(NodeId(0), NodeId(3), 1.0);
+        let dep =
+            Deployment::with_roles(t, vec![NodeId(3)], vec![NodeId(0), NodeId(2), NodeId(4)]);
+        let table = SubstreamTable::from_parts(vec![0], vec![1.0]);
+        let model = TrafficModel::new(&dep, &table);
+        let shared = model.result_multicast_cost(NodeId(0), &[NodeId(2), NodeId(4)], 2.0);
+        // Union tree: 5 + 1 + 1 = 7 latency, times rate 2.
+        assert_eq!(shared, 14.0);
+        let unshared = model.result_unicast_cost([
+            (NodeId(0), NodeId(2), 2.0),
+            (NodeId(0), NodeId(4), 2.0),
+        ]);
+        assert_eq!(unshared, 24.0);
+        assert!(shared < unshared);
+    }
+
+    #[test]
+    fn random_table_rates_in_range() {
+        let t = SubstreamTable::random(1000, 7, 1.0, 10.0, 42);
+        assert_eq!(t.len(), 1000);
+        for s in 0..t.len() {
+            assert!(t.rate(s) >= 1.0 && t.rate(s) <= 10.0);
+            assert!(t.source_index(s) < 7);
+        }
+        // Deterministic.
+        let t2 = SubstreamTable::random(1000, 7, 1.0, 10.0, 42);
+        assert_eq!(t.rates(), t2.rates());
+    }
+
+    #[test]
+    fn perturbation_changes_rates() {
+        let mut t = SubstreamTable::from_parts(vec![0, 0], vec![2.0, 4.0]);
+        t.scale_rate(0, 3.0);
+        t.set_rate(1, 1.0);
+        assert_eq!(t.rate(0), 6.0);
+        assert_eq!(t.rate(1), 1.0);
+    }
+
+    #[test]
+    fn works_at_paper_scale_topology() {
+        // Smoke test with a real transit-stub deployment (small version).
+        let topo = TransitStubConfig::small().generate(1);
+        let dep = Deployment::assign(topo, 3, 6, 1);
+        let table = SubstreamTable::random(100, 3, 1.0, 10.0, 1);
+        let model = TrafficModel::new(&dep, &table);
+        let interests: Vec<InterestSet> = (0..6)
+            .map(|i| InterestSet::from_indices(100, (0..100).filter(|s| s % 6 == i)))
+            .collect();
+        let cost = model.source_delivery_cost(&interests);
+        assert!(cost > 0.0);
+        // Concentrating all interest on one processor can't cost more than
+        // spreading it (the multicast union only shrinks).
+        let mut all = InterestSet::new(100);
+        for i in &interests {
+            all.union_with(i);
+        }
+        let mut concentrated = vec![InterestSet::new(100); 6];
+        concentrated[0] = all;
+        let conc_cost = model.source_delivery_cost(&concentrated);
+        assert!(conc_cost > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one interest set per processor")]
+    fn wrong_interest_count_panics() {
+        let dep = line_deployment();
+        let table = SubstreamTable::from_parts(vec![0], vec![1.0]);
+        let model = TrafficModel::new(&dep, &table);
+        let _ = model.source_delivery_cost(&[InterestSet::new(1)]);
+    }
+}

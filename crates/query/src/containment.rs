@@ -1,0 +1,573 @@
+//! Containment and merging of window-based continuous queries (§2.1).
+//!
+//! When several queries with overlapping results are placed on the same
+//! processor, COSMOS "compose\[s\] a new query Q whose result is the superset
+//! of the overlapping queries and only inserts this Q into the processing
+//! engine"; each user then retrieves their own result by a Pub/Sub
+//! subscription carrying *residual* projection and filters (the paper's
+//! `p3₂` / `p4₂` example, which splits `Q5`'s stream back into `Q3`'s and
+//! `Q4`'s results).
+//!
+//! The containment theory extends classical conjunctive-query containment
+//! with windows (ref \[25\]): `Q` covers `Q'` when, relation by relation,
+//! `Q`'s windows contain `Q'`'s, `Q`'s filters are implied by `Q'`'s,
+//! the join predicates agree, and `Q`'s projection retains everything `Q'`
+//! projects.
+
+use crate::ast::{Predicate, ProjItem, Query, QueryId};
+use crate::predicate::{implies, weakest_common};
+
+/// Alias mapping `specific alias → general alias` built by matching streams.
+///
+/// Returns `None` when the two queries do not read the same multiset of
+/// streams. Duplicate stream names match in `FROM` order.
+fn match_relations<'a>(general: &'a Query, specific: &'a Query) -> Option<Vec<(usize, usize)>> {
+    if general.relations.len() != specific.relations.len() {
+        return None;
+    }
+    let mut used = vec![false; general.relations.len()];
+    let mut pairs = Vec::with_capacity(general.relations.len());
+    for (si, srel) in specific.relations.iter().enumerate() {
+        let gi = general
+            .relations
+            .iter()
+            .enumerate()
+            .position(|(gi, grel)| !used[gi] && grel.stream == srel.stream)?;
+        used[gi] = true;
+        pairs.push((si, gi));
+    }
+    Some(pairs)
+}
+
+/// Renames relation aliases in a predicate according to `map(old) -> new`.
+fn rename_predicate(p: &Predicate, map: &dyn Fn(&str) -> String) -> Predicate {
+    match p {
+        Predicate::Cmp { attr, op, value } => Predicate::Cmp {
+            attr: crate::ast::AttrRef { relation: map(&attr.relation), attr: attr.attr.clone() },
+            op: *op,
+            value: value.clone(),
+        },
+        Predicate::JoinCmp { left, op, right } => Predicate::JoinCmp {
+            left: crate::ast::AttrRef { relation: map(&left.relation), attr: left.attr.clone() },
+            op: *op,
+            right: crate::ast::AttrRef { relation: map(&right.relation), attr: right.attr.clone() },
+        },
+        Predicate::TimeDelta { left, right, min_ms, max_ms } => Predicate::TimeDelta {
+            left: map(left),
+            right: map(right),
+            min_ms: *min_ms,
+            max_ms: *max_ms,
+        },
+    }
+}
+
+fn rename_proj(item: &ProjItem, map: &dyn Fn(&str) -> String) -> ProjItem {
+    match item {
+        ProjItem::All => ProjItem::All,
+        ProjItem::AllOf(a) => ProjItem::AllOf(map(a)),
+        ProjItem::Attr(ar) => ProjItem::Attr(crate::ast::AttrRef {
+            relation: map(&ar.relation),
+            attr: ar.attr.clone(),
+        }),
+        ProjItem::Agg { func, attr } => ProjItem::Agg {
+            func: *func,
+            attr: crate::ast::AttrRef { relation: map(&attr.relation), attr: attr.attr.clone() },
+        },
+    }
+}
+
+/// Does projection item `g` retain everything `s` projects?
+///
+/// Aggregates only cover themselves: `AVG(S.x)` over a *wider* window is a
+/// different value, not a superset, so even `*` does not cover an
+/// aggregate item.
+fn proj_item_covers(g: &ProjItem, s: &ProjItem) -> bool {
+    match (g, s) {
+        (ProjItem::Agg { .. }, _) | (_, ProjItem::Agg { .. }) => g == s,
+        (ProjItem::All, _) => true,
+        (ProjItem::AllOf(a), ProjItem::AllOf(b)) => a == b,
+        (ProjItem::AllOf(a), ProjItem::Attr(ar)) => *a == ar.relation,
+        (ProjItem::Attr(a), ProjItem::Attr(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Returns `true` when `general`'s continuous result stream is a superset of
+/// `specific`'s — i.e. a user subscribed to `general`'s output with
+/// `specific`'s residual filters would see exactly `specific`'s result.
+///
+/// Sound but not complete (see [`implies`]).
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_query::{parse_query, covers};
+///
+/// let q4 = parse_query(
+///     "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+///      FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight")?;
+/// let q3 = parse_query(
+///     "SELECT S2.snowHeight, S2.timestamp \
+///      FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10")?;
+/// assert!(covers(&q4, &q3));
+/// assert!(!covers(&q3, &q4));
+/// # Ok::<(), cosmos_query::ParseError>(())
+/// ```
+pub fn covers(general: &Query, specific: &Query) -> bool {
+    let Some(pairs) = match_relations(general, specific) else {
+        return false;
+    };
+    // specific alias -> general alias
+    let alias_of = |s: &str| -> String {
+        for &(si, gi) in &pairs {
+            if specific.relations[si].alias == s {
+                return general.relations[gi].alias.clone();
+            }
+        }
+        s.to_string()
+    };
+
+    // 1. Window containment per matched relation.
+    for &(si, gi) in &pairs {
+        if !general.relations[gi].window.contains(&specific.relations[si].window) {
+            return false;
+        }
+    }
+
+    // 2. Join predicates must agree (set equality up to flipping), after
+    //    renaming the specific side into the general side's aliases.
+    let gen_joins: Vec<&Predicate> = general.join_predicates().collect();
+    let spec_joins: Vec<Predicate> = specific
+        .join_predicates()
+        .map(|p| rename_predicate(p, &alias_of))
+        .collect();
+    if gen_joins.len() != spec_joins.len() {
+        return false;
+    }
+    let same_join = |a: &Predicate, b: &Predicate| implies(a, b) && implies(b, a);
+    for g in &gen_joins {
+        if !spec_joins.iter().any(|s| same_join(g, s)) {
+            return false;
+        }
+    }
+
+    // 3. Every selection filter of the general query must be implied by the
+    //    specific query's conjunction (single-predicate witness suffices for
+    //    the comparison fragment).
+    let spec_sels: Vec<Predicate> = specific
+        .selection_predicates()
+        .map(|p| rename_predicate(p, &alias_of))
+        .collect();
+    for g in general.selection_predicates() {
+        if !spec_sels.iter().any(|s| implies(s, g)) {
+            return false;
+        }
+    }
+
+    // 4. Projection: everything the specific query projects must survive.
+    let spec_proj: Vec<ProjItem> =
+        specific.projection.iter().map(|p| rename_proj(p, &alias_of)).collect();
+    for s in &spec_proj {
+        if !general.projection.iter().any(|g| proj_item_covers(g, s)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The residual subscription a user installs to split their query's result
+/// out of a shared (merged) result stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSubscription {
+    /// Which query this residual reconstructs.
+    pub query: QueryId,
+    /// The user's original projection, applied on the shared stream.
+    pub projection: Vec<ProjItem>,
+    /// Filters re-imposing the user's original selection predicates **and**
+    /// original window bounds (as [`Predicate::TimeDelta`] constraints).
+    pub filters: Vec<Predicate>,
+}
+
+/// A merged (covering) query plus the residual subscriptions reconstructing
+/// each input query's result from the merged stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedQuery {
+    /// The covering query actually inserted into the processing engine.
+    pub query: Query,
+    /// One residual per merged input query.
+    pub residuals: Vec<ResidualSubscription>,
+}
+
+/// Window-containment bounds of a query as pairwise [`Predicate::TimeDelta`]
+/// constraints between its relations (the paper's
+/// `−30(minute) ≤ S1.timestamp − S2.timestamp ≤ 0`).
+///
+/// For relations `ri [wi]`, `rj [wj]`, a join output pairs a tuple of `ri`
+/// with one of `rj` only when `−wi ≤ ts(ri) − ts(rj) ≤ wj` (a tuple may be
+/// up to its own window's width older than the tuple that joins with it).
+/// Unbounded windows impose no constraint on their side.
+pub fn window_bound_predicates(q: &Query) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for i in 0..q.relations.len() {
+        for j in (i + 1)..q.relations.len() {
+            let (ri, rj) = (&q.relations[i], &q.relations[j]);
+            let lo = ri.window.width_ms().map(|w| -(w as i64));
+            let hi = rj.window.width_ms().map(|w| w as i64);
+            if lo.is_none() && hi.is_none() {
+                continue;
+            }
+            out.push(Predicate::TimeDelta {
+                left: ri.alias.clone(),
+                right: rj.alias.clone(),
+                min_ms: lo.unwrap_or(i64::MIN / 2),
+                max_ms: hi.unwrap_or(i64::MAX / 2),
+            });
+        }
+    }
+    out
+}
+
+fn dedup_projection(items: Vec<ProjItem>) -> Vec<ProjItem> {
+    let mut out: Vec<ProjItem> = Vec::new();
+    for item in items {
+        if out.iter().any(|g| proj_item_covers(g, &item)) {
+            continue;
+        }
+        out.retain(|g| !proj_item_covers(&item, g));
+        out.push(item);
+    }
+    out
+}
+
+/// Merges two compatible queries into a covering query.
+///
+/// Returns `None` when the queries are not mergeable (different streams or
+/// join predicates). The result's windows are per-relation unions, its
+/// selection filters are the weakest common consequences of the two input
+/// filter sets (constraints present in only one input are dropped), and its
+/// projection is the union. Aliases follow `a`.
+pub fn merge_pair(a: &Query, b: &Query) -> Option<Query> {
+    let pairs = match_relations(a, b)?;
+    let alias_of = |s: &str| -> String {
+        for &(bi, ai) in &pairs {
+            if b.relations[bi].alias == s {
+                return a.relations[ai].alias.clone();
+            }
+        }
+        s.to_string()
+    };
+
+    // Join predicates must agree.
+    let a_joins: Vec<&Predicate> = a.join_predicates().collect();
+    let b_joins: Vec<Predicate> =
+        b.join_predicates().map(|p| rename_predicate(p, &alias_of)).collect();
+    if a_joins.len() != b_joins.len() {
+        return None;
+    }
+    let same_join = |x: &Predicate, y: &Predicate| implies(x, y) && implies(y, x);
+    for g in &a_joins {
+        if !b_joins.iter().any(|s| same_join(g, s)) {
+            return None;
+        }
+    }
+
+    // Windows: per-relation union.
+    let mut relations = a.relations.clone();
+    for &(bi, ai) in &pairs {
+        relations[ai].window = a.relations[ai].window.union(&b.relations[bi].window);
+    }
+
+    // Selection filters: keep the weakest common consequence of any pair.
+    let b_sels: Vec<Predicate> =
+        b.selection_predicates().map(|p| rename_predicate(p, &alias_of)).collect();
+    let mut merged_sels: Vec<Predicate> = Vec::new();
+    for pa in a.selection_predicates() {
+        for pb in &b_sels {
+            if let Some(r) = weakest_common(pa, pb) {
+                if !merged_sels.iter().any(|e| implies(e, &r) && implies(&r, e)) {
+                    merged_sels.push(r);
+                }
+            }
+        }
+    }
+
+    // Projection union.
+    let b_proj: Vec<ProjItem> = b.projection.iter().map(|p| rename_proj(p, &alias_of)).collect();
+    let projection = dedup_projection(a.projection.iter().cloned().chain(b_proj).collect());
+
+    let mut predicates: Vec<Predicate> = a.join_predicates().cloned().collect();
+    predicates.extend(merged_sels);
+    Some(Query { projection, relations, predicates })
+}
+
+/// Merges a set of queries into one covering query plus per-query residual
+/// subscriptions (the full §2.1 mechanism).
+///
+/// Returns `None` when the input is empty or any pair fails to merge. Each
+/// residual contains the input query's original projection (renamed to the
+/// merged query's aliases), its original selection filters, and its window
+/// bounds as time-delta constraints — which is exactly what the paper's
+/// `p3₂`/`p4₂` subscriptions carry.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_query::{parse_query, merge_queries, QueryId};
+///
+/// let q3 = parse_query(
+///     "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10")?;
+/// let q4 = parse_query(
+///     "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+///      FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+///      WHERE S1.snowHeight > S2.snowHeight")?;
+/// let merged = merge_queries(&[(QueryId(3), &q3), (QueryId(4), &q4)]).unwrap();
+/// // The covering query has the 1-hour window and no snowHeight filter (Q5).
+/// assert_eq!(merged.query.selection_predicates().count(), 0);
+/// assert_eq!(merged.residuals.len(), 2);
+/// # Ok::<(), cosmos_query::ParseError>(())
+/// ```
+pub fn merge_queries(inputs: &[(QueryId, &Query)]) -> Option<MergedQuery> {
+    let (&(_, first), rest) = inputs.split_first()?;
+    let mut merged = first.clone();
+    for &(_, q) in rest {
+        merged = merge_pair(&merged, q)?;
+    }
+    // Residuals are computed against the *final* merged query's aliases.
+    let mut residuals = Vec::with_capacity(inputs.len());
+    for &(id, q) in inputs {
+        let pairs = match_relations(&merged, q)?;
+        let alias_of = |s: &str| -> String {
+            for &(qi, mi) in &pairs {
+                if q.relations[qi].alias == s {
+                    return merged.relations[mi].alias.clone();
+                }
+            }
+            s.to_string()
+        };
+        let projection: Vec<ProjItem> =
+            q.projection.iter().map(|p| rename_proj(p, &alias_of)).collect();
+        let mut filters: Vec<Predicate> =
+            q.selection_predicates().map(|p| rename_predicate(p, &alias_of)).collect();
+        // Window bounds, in the merged aliases. Skip bounds the merged
+        // query's own windows already enforce exactly.
+        let q_renamed = Query {
+            projection: projection.clone(),
+            relations: pairs
+                .iter()
+                .map(|&(qi, mi)| crate::ast::RelationRef {
+                    stream: q.relations[qi].stream.clone(),
+                    window: q.relations[qi].window,
+                    alias: merged.relations[mi].alias.clone(),
+                })
+                .collect(),
+            predicates: vec![],
+        };
+        for bound in window_bound_predicates(&q_renamed) {
+            let merged_bounds = window_bound_predicates(&merged);
+            let already = merged_bounds.iter().any(|m| implies(m, &bound));
+            if !already {
+                filters.push(bound);
+            }
+        }
+        residuals.push(ResidualSubscription { query: id, projection, filters });
+    }
+    Some(MergedQuery { query: merged, residuals })
+}
+
+/// Checks equivalence: each query covers the other.
+pub fn equivalent(a: &Query, b: &Query) -> bool {
+    covers(a, b) && covers(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Window;
+    use crate::parser::parse_query;
+
+    fn q3() -> Query {
+        parse_query(
+            "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
+             WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10",
+        )
+        .unwrap()
+    }
+
+    fn q4() -> Query {
+        parse_query(
+            "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp \
+             FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+             WHERE S1.snowHeight > S2.snowHeight",
+        )
+        .unwrap()
+    }
+
+    fn q5() -> Query {
+        parse_query(
+            "SELECT S2.*, S1.snowHeight, S1.timestamp \
+             FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 \
+             WHERE S1.snowHeight > S2.snowHeight",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_q5_covers_q3_and_q4() {
+        assert!(covers(&q5(), &q3()));
+        assert!(covers(&q5(), &q4()));
+        assert!(!covers(&q3(), &q5()));
+        assert!(!covers(&q4(), &q3())); // Q3 projects S2.*, Q4 keeps only two S2 attrs
+    }
+
+    #[test]
+    fn merging_q3_q4_reconstructs_q5() {
+        let merged = merge_queries(&[(QueryId(3), &q3()), (QueryId(4), &q4())]).unwrap();
+        assert!(equivalent(&merged.query, &q5()), "merged = {}", merged.query);
+        // Residual for Q3 carries the snowHeight filter and the 30-minute bound.
+        let r3 = &merged.residuals[0];
+        assert!(r3.filters.iter().any(
+            |f| matches!(f, Predicate::Cmp { attr, .. } if attr.attr == "snowHeight")
+        ));
+        assert!(r3.filters.iter().any(|f| matches!(
+            f,
+            Predicate::TimeDelta { min_ms, max_ms, .. } if *min_ms == -30 * 60_000 && *max_ms == 0
+        )));
+        // Residual for Q4's window equals the merged window, so only the
+        // (redundant) bound may be dropped; no snowHeight filter.
+        let r4 = &merged.residuals[1];
+        assert!(!r4.filters.iter().any(|f| f.is_selection()));
+    }
+
+    #[test]
+    fn window_bounds_for_paper_example() {
+        let bounds = window_bound_predicates(&q3());
+        assert_eq!(bounds.len(), 1);
+        match &bounds[0] {
+            Predicate::TimeDelta { left, right, min_ms, max_ms } => {
+                assert_eq!(left, "S1");
+                assert_eq!(right, "S2");
+                assert_eq!(*min_ms, -(30 * 60_000));
+                assert_eq!(*max_ms, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn covers_requires_window_containment() {
+        let wide = parse_query("SELECT * FROM R [Range 2 Hours]").unwrap();
+        let narrow = parse_query("SELECT * FROM R [Range 1 Hour]").unwrap();
+        assert!(covers(&wide, &narrow));
+        assert!(!covers(&narrow, &wide));
+    }
+
+    #[test]
+    fn covers_requires_filter_weakening() {
+        let weak = parse_query("SELECT * FROM R [Now] WHERE R.a > 5").unwrap();
+        let strong = parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap();
+        assert!(covers(&weak, &strong));
+        assert!(!covers(&strong, &weak));
+        let unrelated = parse_query("SELECT * FROM R [Now] WHERE R.b > 0").unwrap();
+        assert!(!covers(&unrelated, &weak));
+    }
+
+    #[test]
+    fn covers_requires_same_streams() {
+        let a = parse_query("SELECT * FROM R [Now]").unwrap();
+        let b = parse_query("SELECT * FROM S [Now]").unwrap();
+        assert!(!covers(&a, &b));
+        let two = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.x = S.x").unwrap();
+        assert!(!covers(&a, &two));
+    }
+
+    #[test]
+    fn covers_requires_same_joins() {
+        let eq = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.b = S.b").unwrap();
+        let lt = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.b < S.b").unwrap();
+        assert!(!covers(&eq, &lt));
+        // Flipped join orientation is the same predicate.
+        let flipped = parse_query("SELECT * FROM R [Now], S [Now] WHERE S.b = R.b").unwrap();
+        assert!(covers(&eq, &flipped));
+        assert!(covers(&flipped, &eq));
+    }
+
+    #[test]
+    fn merge_incompatible_returns_none() {
+        let a = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.b = S.b").unwrap();
+        let b = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.b < S.b").unwrap();
+        assert!(merge_pair(&a, &b).is_none());
+        let c = parse_query("SELECT * FROM T [Now]").unwrap();
+        assert!(merge_pair(&a, &c).is_none());
+    }
+
+    #[test]
+    fn merge_drops_one_sided_filters_and_widens_windows() {
+        let a = parse_query("SELECT R.x FROM R [Range 10 Seconds] WHERE R.a > 10").unwrap();
+        let b = parse_query("SELECT R.y FROM R [Range 20 Seconds] WHERE R.b < 3").unwrap();
+        let m = merge_pair(&a, &b).unwrap();
+        assert_eq!(m.relations[0].window, Window::Range(20_000));
+        // Filters on different attributes have no common consequence → dropped.
+        assert_eq!(m.selection_predicates().count(), 0);
+        assert_eq!(m.projection.len(), 2);
+        assert!(covers(&m, &a));
+        assert!(covers(&m, &b));
+    }
+
+    #[test]
+    fn merge_keeps_weakest_common_filter() {
+        let a = parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap();
+        let b = parse_query("SELECT * FROM R [Now] WHERE R.a > 20").unwrap();
+        let m = merge_pair(&a, &b).unwrap();
+        let sels: Vec<&Predicate> = m.selection_predicates().collect();
+        assert_eq!(sels.len(), 1);
+        assert!(implies(&parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap().predicates[0], sels[0]));
+        assert!(covers(&m, &a));
+        assert!(covers(&m, &b));
+    }
+
+    #[test]
+    fn merged_query_covers_all_inputs_in_a_chain() {
+        let qs: Vec<Query> = (1..=4)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT R.x FROM R [Range {i} Minutes], S [Now] WHERE R.k = S.k AND R.a > {}",
+                    i * 10
+                ))
+                .unwrap()
+            })
+            .collect();
+        let inputs: Vec<(QueryId, &Query)> =
+            qs.iter().enumerate().map(|(i, q)| (QueryId(i as u64), q)).collect();
+        let merged = merge_queries(&inputs).unwrap();
+        for q in &qs {
+            assert!(covers(&merged.query, q), "merged {} should cover {}", merged.query, q);
+        }
+        assert_eq!(merged.residuals.len(), 4);
+    }
+
+    #[test]
+    fn alias_renaming_is_handled() {
+        let a = parse_query("SELECT X.v FROM Stream1 [Now] X, Stream2 [Now] Y WHERE X.k = Y.k")
+            .unwrap();
+        let b = parse_query("SELECT P.v FROM Stream1 [Now] P, Stream2 [Now] Q WHERE P.k = Q.k")
+            .unwrap();
+        assert!(covers(&a, &b));
+        assert!(equivalent(&a, &b));
+        let m = merge_pair(&a, &b).unwrap();
+        assert!(covers(&m, &b));
+    }
+
+    #[test]
+    fn empty_merge_is_none() {
+        assert!(merge_queries(&[]).is_none());
+    }
+
+    #[test]
+    fn unbounded_windows_impose_no_bound() {
+        let q = parse_query("SELECT * FROM R [Unbounded], S [Unbounded] WHERE R.k = S.k").unwrap();
+        assert!(window_bound_predicates(&q).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared utilities for the COSMOS reproduction.
+//!
+//! This crate hosts the small, dependency-free building blocks that the rest
+//! of the workspace leans on:
+//!
+//! - [`InterestSet`]: a packed bit vector over *substreams*, the paper's
+//!   representation of a query's data interest (§3.2: "we partition each
+//!   stream into a number of substreams, and represent each query's data
+//!   interest as a bit vector").
+//! - [`zipf::Zipf`]: a deterministic Zipfian sampler used by the workload
+//!   generator (the paper draws substream popularity with θ = 0.8).
+//! - [`stats`]: running mean / standard deviation and small-vector helpers
+//!   used to report the load-deviation figures.
+//! - [`solver`]: a conjugate-gradient Laplacian solver used by the Hu–Blake
+//!   load-diffusion step of the adaptive redistribution algorithm (§3.7).
+//! - [`rng`]: seed-derivation helpers so every experiment is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_util::InterestSet;
+//!
+//! let mut a = InterestSet::new(128);
+//! a.insert(3);
+//! a.insert(64);
+//! let mut b = InterestSet::new(128);
+//! b.insert(64);
+//! assert_eq!(a.intersection_count(&b), 1);
+//! ```
+
+pub mod bitset;
+pub mod rng;
+pub mod solver;
+pub mod stats;
+pub mod timer;
+pub mod zipf;
+
+pub use bitset::InterestSet;
+pub use timer::Stopwatch;

@@ -1,0 +1,106 @@
+//! Wall-clock measurement for optimizer running-time figures.
+//!
+//! Figure 6(b) and Figure 11(b) report optimizer *response time* (begin to
+//! end of a mapping) and *total time* (CPU summed over all coordinators). In
+//! our in-process simulation the coordinators run sequentially, so the driver
+//! measures each coordinator's slice with a [`Stopwatch`] and combines them:
+//! total time = Σ slices; response time = critical path over the tree
+//! (children of one coordinator run "in parallel" in the paper's deployment).
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch accumulating elapsed wall time.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_util::Stopwatch;
+///
+/// let mut sw = Stopwatch::new();
+/// sw.start();
+/// let x: u64 = (0..1000).sum();
+/// sw.stop();
+/// assert!(x > 0);
+/// assert!(sw.elapsed().as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Creates a stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or restarts) timing; a no-op if already running.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops timing, folding the running span into the accumulator.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including the live span when running).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(t0) => self.accumulated + t0.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Resets the accumulator to zero and stops the watch.
+    pub fn reset(&mut self) {
+        self.accumulated = Duration::ZERO;
+        self.started = None;
+    }
+
+    /// Times a closure, returning its result and adding the span.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_spans() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(2)));
+        let first = sw.elapsed();
+        sw.time(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(sw.elapsed() >= first + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(1)));
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn double_start_is_harmless() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        sw.stop();
+        sw.stop();
+        // No panic, time recorded once.
+        assert!(sw.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,204 @@
+//! Zipfian sampling for workload generation.
+//!
+//! The paper's simulation draws the substreams a query is interested in from
+//! a Zipfian distribution with θ = 0.8 (§4.1): "the probability that a
+//! substream is selected conforms to a zipfian distribution with θ = 0.8".
+//! [`Zipf`] precomputes the cumulative distribution once and samples by
+//! binary search, so sampling is `O(log n)` and fully deterministic given the
+//! caller's RNG.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n`.
+///
+/// Rank `r` (0-based) has probability proportional to `1 / (r + 1)^theta`.
+/// With `theta = 0` this degenerates to the uniform distribution, which the
+/// tests exploit.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_util::zipf::Zipf;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let z = Zipf::new(1000, 0.8);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf distribution needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against FP round-off so sampling u == 1.0 - eps still lands.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has no ranks (never: `new` panics).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len()`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Samples `count` *distinct* ranks, retrying duplicates.
+    ///
+    /// The paper's queries request 100–200 distinct substreams out of 20 000;
+    /// duplicate-retry is cheap at those ratios. Falls back to taking the
+    /// lowest ranks if `count` approaches `len()` to stay O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len()`.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        assert!(count <= self.len(), "cannot sample {count} distinct ranks out of {}", self.len());
+        if count * 2 >= self.len() {
+            // Dense request: permute everything (uniform among ranks) — only
+            // used by stress tests; experiments stay in the sparse regime.
+            let mut all: Vec<usize> = (0..self.len()).collect();
+            for i in (1..all.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                all.swap(i, j);
+            }
+            all.truncate(count);
+            return all;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let r = self.sample(rng);
+            if !seen[r] {
+                seen[r] = true;
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.8);
+        let total: f64 = (0..500).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 0.8);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let z = Zipf::new(200, 0.8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let picks = z.sample_distinct(&mut rng, 150);
+        assert_eq!(picks.len(), 150);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 150);
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_pmf() {
+        let z = Zipf::new(50, 0.8);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // The head of the distribution should match within a few percent.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..5 {
+            let emp = counts[r] as f64 / n as f64;
+            let expect = z.pmf(r);
+            assert!(
+                (emp - expect).abs() / expect < 0.05,
+                "rank {r}: empirical {emp:.4} vs pmf {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 0.8);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build a wide-area deployment, submit queries, distribute
+//! them with the COSMOS hierarchy, and compare the measured Pub/Sub
+//! communication cost against the Naive and Random baselines.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cosmos::baselines::{naive_assignment, random_assignment};
+use cosmos::workload::{PaperParams, Simulation};
+
+fn main() {
+    // The paper's environment at 5% scale: a transit-stub WAN, data
+    // sources, stream processors, substreams with random rates, and a
+    // coordinator tree with cluster parameter k.
+    let params = PaperParams::scaled(0.05);
+    println!(
+        "environment: {} nodes, {} sources, {} processors, {} substreams, k = {}",
+        params.topology.node_count(),
+        params.n_sources,
+        params.n_processors,
+        params.n_substreams,
+        params.k,
+    );
+    let mut sim = Simulation::build(params, 42);
+
+    // 800 continuous queries from the paper's grouped-Zipf workload.
+    let queries = sim.arrivals(800, 7);
+    println!("generated {} queries (group-permuted Zipf interests)", queries.len());
+
+    // Hierarchical distribution (§3.5): bottom-up coarsening, top-down
+    // mapping through the coordinator tree.
+    let distributor = sim.distributor();
+    let outcome = distributor.distribute(&queries, 3);
+    drop(distributor);
+    println!(
+        "hierarchical distribution: {:?} response time, {:?} total coordinator time",
+        outcome.timing.response, outcome.timing.total,
+    );
+    sim.apply(outcome.assignment);
+
+    // Measured weighted communication cost under Pub/Sub semantics:
+    // multicast source delivery (shared links charged once) + result
+    // unicast back to each proxy.
+    let cosmos_cost = sim.comm_cost();
+    let naive_cost = sim.comm_cost_of(&naive_assignment(&sim.specs));
+    let random_cost = sim.comm_cost_of(&random_assignment(&sim.specs, &sim.dep, 9));
+    println!("\nweighted communication cost (bytes x ms / s):");
+    println!("  COSMOS hierarchical: {cosmos_cost:>14.0}");
+    println!("  Naive (at proxies):  {naive_cost:>14.0}");
+    println!("  Random placement:    {random_cost:>14.0}");
+    println!(
+        "  savings vs naive: {:.1}%  |  vs random: {:.1}%",
+        100.0 * (1.0 - cosmos_cost / naive_cost),
+        100.0 * (1.0 - cosmos_cost / random_cost),
+    );
+    println!("\nload stddev across processors: {:.3}", sim.load_stddev());
+
+    // New queries arrive at runtime and are routed online (§3.6).
+    let batch = sim.arrivals(100, 11);
+    sim.insert_online(&batch);
+    println!(
+        "\nafter 100 online insertions: cost {:.0}, load stddev {:.3}",
+        sim.comm_cost(),
+        sim.load_stddev()
+    );
+
+    // One adaptive redistribution round (§3.7) tidies up.
+    let adapted = sim.adapt_round(13);
+    println!(
+        "adaptation round: {} queries migrated, cost {:.0}, load stddev {:.3}",
+        adapted.migrations,
+        sim.comm_cost(),
+        sim.load_stddev()
+    );
+}
