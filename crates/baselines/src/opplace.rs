@@ -310,22 +310,15 @@ impl OperatorPlacement {
         }
         let location: Vec<NodeId> =
             location.into_iter().map(|l| l.expect("all operators placed")).collect();
-        let cost = graph
-            .edges
-            .iter()
-            .map(|&(a, b, r)| r * dep.distance(location[a], location[b]))
-            .sum();
+        let cost =
+            graph.edges.iter().map(|&(a, b, r)| r * dep.distance(location[a], location[b])).sum();
         PlacedGraph { location, cost }
     }
 }
 
 /// Convenience: a selection predicate for tests and generators.
 pub fn sel_pred(alias: &str, attr: &str, op: CmpOp, v: i64) -> Predicate {
-    Predicate::Cmp {
-        attr: cosmos_query::AttrRef::new(alias, attr),
-        op,
-        value: Scalar::Int(v),
-    }
+    Predicate::Cmp { attr: cosmos_query::AttrRef::new(alias, attr), op, value: Scalar::Int(v) }
 }
 
 #[cfg(test)]
@@ -345,8 +338,7 @@ mod tests {
 
     fn maps() -> (HashMap<String, f64>, HashMap<String, NodeId>) {
         let rates = HashMap::from([("R".to_string(), 100.0), ("S".to_string(), 100.0)]);
-        let sources =
-            HashMap::from([("R".to_string(), NodeId(0)), ("S".to_string(), NodeId(0))]);
+        let sources = HashMap::from([("R".to_string(), NodeId(0)), ("S".to_string(), NodeId(0))]);
         (rates, sources)
     }
 
@@ -354,13 +346,10 @@ mod tests {
     fn identical_selections_are_shared() {
         let (rates, sources) = maps();
         let q = |i: u64| {
-            (
-                QueryId(i),
-                parse_query("SELECT * FROM R [Now] WHERE R.a > 50").unwrap(),
-                NodeId(3),
-            )
+            (QueryId(i), parse_query("SELECT * FROM R [Now] WHERE R.a > 50").unwrap(), NodeId(3))
         };
-        let graph = OperatorGraph::build(&[q(1), q(2), q(3)], &rates, &sources, &RateModel::default());
+        let graph =
+            OperatorGraph::build(&[q(1), q(2), q(3)], &rates, &sources, &RateModel::default());
         let (scans, selects, joins, outputs) = graph.kind_counts();
         assert_eq!(scans, 1);
         assert_eq!(selects, 1, "equal predicates must share one selection");
@@ -402,11 +391,7 @@ mod tests {
             NodeId(3),
         )];
         let graph = OperatorGraph::build(&queries, &rates, &sources, &RateModel::default());
-        let select = graph
-            .ops
-            .iter()
-            .find(|o| matches!(o.kind, OpKind::Select { .. }))
-            .unwrap();
+        let select = graph.ops.iter().find(|o| matches!(o.kind, OpKind::Select { .. })).unwrap();
         assert!((select.out_rate - 10.0).abs() < 1e-9, "90% selectivity filter");
     }
 
@@ -428,11 +413,8 @@ mod tests {
         }
         // The selective filter should sit next to the source (node 1), not
         // at the proxy: scan→select edge carries 100 B/s, select→output 10.
-        let select_idx = graph
-            .ops
-            .iter()
-            .position(|o| matches!(o.kind, OpKind::Select { .. }))
-            .unwrap();
+        let select_idx =
+            graph.ops.iter().position(|o| matches!(o.kind, OpKind::Select { .. })).unwrap();
         assert_eq!(placed.location[select_idx], NodeId(1), "early filtering expected");
         // Cost: scan(0)→select(1): 100×1; select(1)→output(3): 10×2.
         assert!((placed.cost - 120.0).abs() < 1e-9, "cost {}", placed.cost);

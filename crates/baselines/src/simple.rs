@@ -17,10 +17,7 @@ pub fn naive_assignment(specs: &[QuerySpec]) -> Assignment {
 pub fn random_assignment(specs: &[QuerySpec], dep: &Deployment, seed: u64) -> Assignment {
     let mut rng = rng_for(seed, "random-assignment");
     let procs = dep.processors();
-    specs
-        .iter()
-        .map(|q| (q.id, procs[rng.gen_range(0..procs.len())]))
-        .collect()
+    specs.iter().map(|q| (q.id, procs[rng.gen_range(0..procs.len())])).collect()
 }
 
 #[cfg(test)]

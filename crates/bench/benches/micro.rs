@@ -69,9 +69,7 @@ fn bench_coarsen(c: &mut Criterion) {
     let rates = table.rates();
     let vertices: Vec<QgVertex> = specs
         .iter()
-        .map(|s| {
-            QgVertex::for_query(s.id, s.interest.clone(), s.load, s.proxy, s.result_rate, 1.0)
-        })
+        .map(|s| QgVertex::for_query(s.id, s.interest.clone(), s.load, s.proxy, s.result_rate, 1.0))
         .collect();
     let mut graph = QueryGraph::new(vertices);
     for i in 0..graph.len() {
@@ -147,9 +145,7 @@ fn bench_broker(c: &mut Criterion) {
         );
     }
     c.bench_function("pubsub/publish-50-subs", |bench| {
-        bench.iter(|| {
-            black_box(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))))
-        })
+        bench.iter(|| black_box(net.publish(Message::new("R", 0).with("a", Scalar::Int(25)))))
     });
 }
 
@@ -169,12 +165,10 @@ fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/push-20-queries", |bench| {
         bench.iter(|| {
             ts += 100;
-            let r = Tuple::new("R", ts)
-                .with("k", Scalar::Int(ts % 5))
-                .with("v", Scalar::Int(ts % 100));
-            let s = Tuple::new("S", ts + 50)
-                .with("k", Scalar::Int(ts % 5))
-                .with("v", Scalar::Int(1));
+            let r =
+                Tuple::new("R", ts).with("k", Scalar::Int(ts % 5)).with("v", Scalar::Int(ts % 100));
+            let s =
+                Tuple::new("S", ts + 50).with("k", Scalar::Int(ts % 5)).with("v", Scalar::Int(1));
             engine.push(r);
             black_box(engine.push(s).len())
         })
@@ -195,10 +189,7 @@ fn bench_containment(c: &mut Criterion) {
     .unwrap();
     c.bench_function("containment/merge-pair", |bench| {
         bench.iter(|| {
-            black_box(cosmos_query::merge_queries(&[
-                (QueryId(3), &q3),
-                (QueryId(4), &q4),
-            ]))
+            black_box(cosmos_query::merge_queries(&[(QueryId(3), &q3), (QueryId(4), &q4)]))
         })
     });
 }

@@ -80,10 +80,7 @@ fn main() {
         let limit = (1.0 + params.alpha) * total / loads.len() as f64;
         let worst = loads.iter().cloned().fold(0.0, f64::max) / limit;
         let cost = sim.comm_cost_of(&out.assignment);
-        println!(
-            "{:>14} {worst:>16.3} {cost:>12.0}",
-            if split { "split" } else { "flat" }
-        );
+        println!("{:>14} {worst:>16.3} {cost:>12.0}", if split { "split" } else { "flat" });
         records.push(serde_json::json!({
             "ablation": "per_level_alpha", "variant": split,
             "worst_load_over_limit": worst, "comm_cost": cost

@@ -1,0 +1,160 @@
+//! Machine-readable micro-benchmark runner for the per-tuple hot paths.
+//!
+//! Unlike the criterion bench (`benches/micro.rs`, human-oriented), this
+//! binary measures the groups the tuple data plane dominates — engine
+//! push, broker publish, join flatten/projection, predicate evaluation —
+//! and writes `BENCH_micro.json` at the workspace root: one record per
+//! group with the median ns per operation. The file seeds the repository's
+//! performance trajectory; CI and PRs quote it before/after hot-path work.
+//!
+//! ```text
+//! cargo run --release -p cosmos-bench --bin bench_json
+//! ```
+
+use cosmos_engine::exec::StreamEngine;
+use cosmos_engine::tuple::{JoinedTuple, Tuple};
+use cosmos_net::{NodeId, TransitStubConfig};
+use cosmos_pubsub::broker::BrokerNetwork;
+use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_query::{parse_query, QueryId, Scalar};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SAMPLES: usize = 21;
+const TARGET_SAMPLE_NS: u128 = 8_000_000;
+
+/// Median ns per call of `routine`, batched so timer noise amortizes.
+fn measure<O>(mut routine: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    black_box(routine());
+    let once = t0.elapsed().as_nanos().max(1);
+    let batch = (TARGET_SAMPLE_NS / once).clamp(1, 2_000_000) as usize;
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_engine_push() -> f64 {
+    let mut engine = StreamEngine::new();
+    for i in 0..20u64 {
+        engine.add_query(
+            QueryId(i),
+            parse_query(&format!(
+                "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k AND R.v > {}",
+                i * 5
+            ))
+            .unwrap(),
+        );
+    }
+    let mut ts = 0i64;
+    measure(|| {
+        ts += 100;
+        let r = Tuple::new("R", ts).with("k", Scalar::Int(ts % 5)).with("v", Scalar::Int(ts % 100));
+        let s = Tuple::new("S", ts + 50).with("k", Scalar::Int(ts % 5)).with("v", Scalar::Int(1));
+        engine.push(r);
+        engine.push(s).len()
+    })
+}
+
+fn bench_broker_publish() -> f64 {
+    let topo = TransitStubConfig::small().generate(3);
+    let mut net = BrokerNetwork::new(topo);
+    net.advertise("R", NodeId(0));
+    for i in 0..50u64 {
+        net.subscribe(
+            Subscription::builder(NodeId(30 + (i % 30) as u32))
+                .id(SubId(i))
+                .stream(
+                    "R",
+                    StreamProjection::All,
+                    vec![cosmos_query::Predicate::Cmp {
+                        attr: cosmos_query::AttrRef::new("R", "a"),
+                        op: cosmos_query::CmpOp::Gt,
+                        value: Scalar::Int((i % 40) as i64),
+                    }],
+                )
+                .build(),
+        );
+    }
+    measure(|| net.publish(Message::new("R", 0).with("a", Scalar::Int(25))))
+}
+
+fn bench_flatten_project() -> f64 {
+    let projection = parse_query(
+        "SELECT A.v, B.v FROM R [Now] A, R [Now] B, R [Now] C \
+         WHERE A.k = B.k AND B.k = C.k",
+    )
+    .unwrap()
+    .projection;
+    let part = |name: &str, ts: i64| {
+        (
+            name.into(),
+            Arc::new(
+                Tuple::new("R", ts)
+                    .with("k", Scalar::Int(1))
+                    .with("v", Scalar::Int(ts))
+                    .with("w", Scalar::Int(2 * ts)),
+            ),
+        )
+    };
+    let joined = JoinedTuple::new(vec![part("A", 1), part("B", 2), part("C", 3)]);
+    let result = cosmos_engine::exec::ResultTuple { query: QueryId(1), joined };
+    measure(|| {
+        let flat = result.joined.flatten("res");
+        let projected = result.project(&projection, "res");
+        (flat.timestamp, projected.timestamp)
+    })
+}
+
+fn bench_predicate_eval() -> f64 {
+    // Selection-heavy single-relation workload: predicate evaluation and
+    // pushed-down filtering dominate.
+    let mut engine = StreamEngine::new();
+    for i in 0..50u64 {
+        engine.add_query(
+            QueryId(i),
+            parse_query(&format!("SELECT * FROM R [Now] WHERE R.v > {} AND R.k = 1", i * 2))
+                .unwrap(),
+        );
+    }
+    let mut ts = 0i64;
+    measure(|| {
+        ts += 10;
+        engine
+            .push(Tuple::new("R", ts).with("k", Scalar::Int(1)).with("v", Scalar::Int(ts % 100)))
+            .len()
+    })
+}
+
+fn main() {
+    type BenchFn = fn() -> f64;
+    let groups: Vec<(&str, BenchFn)> = vec![
+        ("engine/push-20-queries", bench_engine_push),
+        ("engine/flatten-project", bench_flatten_project),
+        ("engine/predicate-eval-50-queries", bench_predicate_eval),
+        ("broker/publish-50-subs", bench_broker_publish),
+    ];
+    let mut rows = Vec::new();
+    for (name, f) in groups {
+        let median = f();
+        println!("{name:<36} median {median:>12.1} ns/op");
+        rows.push(serde_json::json!({"name": name, "median_ns": median}));
+    }
+    let out = serde_json::json!({"benchmarks": rows});
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    match serde_json::to_string_pretty(&out) {
+        Ok(body) => {
+            std::fs::write(path, body + "\n").expect("write BENCH_micro.json");
+            println!("(wrote {path})");
+        }
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+}

@@ -36,8 +36,10 @@ fn main() {
     let mut adaptive_migrations = 0usize;
     let mut remap_migrations = 0usize;
 
-    println!("\n{:>6} {:>4} {:>13} {:>13} {:>13}   {:>8} {:>8} {:>8}", "event", "I/D",
-        "No-Adaptive", "Adaptive", "Remapping", "NA sd", "A sd", "R sd");
+    println!(
+        "\n{:>6} {:>4} {:>13} {:>13} {:>13}   {:>8} {:>8} {:>8}",
+        "event", "I/D", "No-Adaptive", "Adaptive", "Remapping", "NA sd", "A sd", "R sd"
+    );
     let mut rows = Vec::new();
     for (e, &kind) in PATTERN.iter().enumerate() {
         let seed = args.seed + 300 + e as u64;
@@ -61,8 +63,12 @@ fn main() {
 
         println!(
             "{e:>6} {kind:>4} {:>13.0} {:>13.0} {:>13.0}   {:>8.3} {:>8.3} {:>8.3}",
-            noad.comm_cost(), adaptive.comm_cost(), remap.comm_cost(),
-            noad.load_stddev(), adaptive.load_stddev(), remap.load_stddev(),
+            noad.comm_cost(),
+            adaptive.comm_cost(),
+            remap.comm_cost(),
+            noad.load_stddev(),
+            adaptive.load_stddev(),
+            remap.load_stddev(),
         );
         rows.push(serde_json::json!({
             "event": e, "kind": kind.to_string(),

@@ -33,8 +33,10 @@ fn main() {
     // COSMOS coordinator tree: "each cluster has 2-3 members" (paper §4.2).
     let tree = CoordinatorTree::build(&scenario.dep, 2);
 
-    println!("\n{:>8} {:>14} {:>14} {:>10} {:>12} {:>12}", "#queries",
-        "opplace cost", "COSMOS cost", "ratio", "opplace time", "COSMOS time");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>10} {:>12} {:>12}",
+        "#queries", "opplace cost", "COSMOS cost", "ratio", "opplace time", "COSMOS time"
+    );
     let mut rows = Vec::new();
     for n in [250usize, 1000, 4000] {
         let cql = scenario.generate_cql(n, args.seed + n as u64);
@@ -47,39 +49,32 @@ fn main() {
             &scenario.stream_source,
             &RateModel::default(),
         );
-        let placed = OperatorPlacement::default().place(
-            &graph,
-            &scenario.dep,
-            scenario.dep.processors(),
-        );
+        let placed =
+            OperatorPlacement::default().place(&graph, &scenario.dep, scenario.dep.processors());
         let opplace_time = t0.elapsed();
 
         // --- COSMOS: distribute the same queries, measure Pub/Sub cost.
-        let specs: Vec<QuerySpec> = cql
-            .iter()
-            .map(|(id, q, proxy)| scenario.to_spec(*id, q, *proxy))
-            .collect();
+        let specs: Vec<QuerySpec> =
+            cql.iter().map(|(id, q, proxy)| scenario.to_spec(*id, q, *proxy)).collect();
         let t1 = Instant::now();
         let d = Distributor::new(&scenario.dep, &tree, &scenario.table);
         let out = d.distribute(&specs, args.seed + 3);
         let cosmos_time = t1.elapsed();
         let model = TrafficModel::new(&scenario.dep, &scenario.table);
-        let interests = out.assignment.interests(
-            &specs,
-            scenario.dep.processors(),
-            scenario.table.len(),
-        );
-        let flows = specs.iter().filter_map(|q| {
-            out.assignment.processor_of(q.id).map(|p| (p, q.proxy, q.result_rate))
-        });
-        let cosmos_cost =
-            model.source_delivery_cost(&interests) + model.result_unicast_cost(flows);
+        let interests =
+            out.assignment.interests(&specs, scenario.dep.processors(), scenario.table.len());
+        let flows = specs
+            .iter()
+            .filter_map(|q| out.assignment.processor_of(q.id).map(|p| (p, q.proxy, q.result_rate)));
+        let cosmos_cost = model.source_delivery_cost(&interests) + model.result_unicast_cost(flows);
 
         let ratio = placed.cost / cosmos_cost;
         println!(
             "{n:>8} {:>14.0} {:>14.0} {ratio:>10.2} {:>11.3}s {:>11.3}s",
-            placed.cost, cosmos_cost,
-            opplace_time.as_secs_f64(), cosmos_time.as_secs_f64(),
+            placed.cost,
+            cosmos_cost,
+            opplace_time.as_secs_f64(),
+            cosmos_time.as_secs_f64(),
         );
         rows.push(serde_json::json!({
             "queries": n,
@@ -93,8 +88,8 @@ fn main() {
     println!("\nShape checks (paper Figure 11):");
     let first = &rows[0];
     let last = rows.last().expect("rows nonempty");
-    let comparable = last["cost_ratio"].as_f64().unwrap() > 0.4
-        && last["cost_ratio"].as_f64().unwrap() < 2.5;
+    let comparable =
+        last["cost_ratio"].as_f64().unwrap() > 0.4 && last["cost_ratio"].as_f64().unwrap() < 2.5;
     println!("  communication costs comparable (ratio within 0.4-2.5): {comparable}");
     let op_growth = last["opplace_time_s"].as_f64().unwrap()
         / first["opplace_time_s"].as_f64().unwrap().max(1e-9);

@@ -26,8 +26,14 @@ fn main() {
 
     println!(
         "\n{:>8} {:>14} {:>14} {:>14} {:>14}   {:>10} {:>10} {:>10}",
-        "#queries", "Naive", "Greedy", "Hierarchical", "Centralized",
-        "hier-resp", "hier-total", "cent-time"
+        "#queries",
+        "Naive",
+        "Greedy",
+        "Hierarchical",
+        "Centralized",
+        "hier-resp",
+        "hier-total",
+        "cent-time"
     );
     let mut rows = Vec::new();
     for &n in &sizes {

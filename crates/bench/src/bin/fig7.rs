@@ -36,14 +36,26 @@ fn main() {
     drop(d);
     aa.apply(initial.assignment);
 
-    println!("\n{:>6} {:>14} {:>14} {:>14}   {:>9} {:>9} {:>9}", "round",
-        "NA-Inacc cost", "A-Inacc cost", "A-Acc cost", "NA stddev", "A-I stddev", "A-A stddev");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>14}   {:>9} {:>9} {:>9}",
+        "round",
+        "NA-Inacc cost",
+        "A-Inacc cost",
+        "A-Acc cost",
+        "NA stddev",
+        "A-I stddev",
+        "A-A stddev"
+    );
     let mut rows = Vec::new();
     for round in 0..=rounds {
         println!(
             "{round:>6} {:>14.0} {:>14.0} {:>14.0}   {:>9.3} {:>9.3} {:>9.3}",
-            na.comm_cost(), ai.comm_cost(), aa.comm_cost(),
-            na.load_stddev(), ai.load_stddev(), aa.load_stddev(),
+            na.comm_cost(),
+            ai.comm_cost(),
+            aa.comm_cost(),
+            na.load_stddev(),
+            ai.load_stddev(),
+            aa.load_stddev(),
         );
         rows.push(serde_json::json!({
             "round": round,

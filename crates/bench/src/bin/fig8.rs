@@ -36,14 +36,20 @@ fn main() {
     let mut online = build(args.seed);
     let mut online_adaptive = build(args.seed);
 
-    println!("\n{:>8} {:>13} {:>13} {:>13}   {:>9} {:>9} {:>9}", "t(x200s)",
-        "Random", "Online", "Online-Adapt", "R stddev", "O stddev", "OA stddev");
+    println!(
+        "\n{:>8} {:>13} {:>13} {:>13}   {:>9} {:>9} {:>9}",
+        "t(x200s)", "Random", "Online", "Online-Adapt", "R stddev", "O stddev", "OA stddev"
+    );
     let mut rows = Vec::new();
     for t in 0..=intervals {
         println!(
             "{t:>8} {:>13.0} {:>13.0} {:>13.0}   {:>9.3} {:>9.3} {:>9.3}",
-            random.comm_cost(), online.comm_cost(), online_adaptive.comm_cost(),
-            random.load_stddev(), online.load_stddev(), online_adaptive.load_stddev(),
+            random.comm_cost(),
+            online.comm_cost(),
+            online_adaptive.comm_cost(),
+            random.load_stddev(),
+            online.load_stddev(),
+            online_adaptive.load_stddev(),
         );
         rows.push(serde_json::json!({
             "interval": t,

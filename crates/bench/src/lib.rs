@@ -13,7 +13,6 @@
 //! 4096-node / 20 000-substream / 60 000-query setup — hours of CPU);
 //! `--quick` is shorthand for `--scale 0.04` for smoke runs.
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
@@ -69,7 +68,7 @@ impl BenchArgs {
 
 /// Writes a JSON result record to `results/<name>.json` (relative to the
 /// workspace root when run via cargo).
-pub fn write_result<T: Serialize>(name: &str, value: &T) {
+pub fn write_result(name: &str, value: &serde_json::Value) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if fs::create_dir_all(&dir).is_err() {
         return;

@@ -27,7 +27,6 @@ use cosmos_util::rng::rng_for_indexed;
 use cosmos_util::solver::diffusion_solution;
 use rand::seq::SliceRandom;
 
-
 /// Tuning knobs for adaptation.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptConfig {
@@ -46,12 +45,7 @@ pub struct AdaptConfig {
 
 impl Default for AdaptConfig {
     fn default() -> Self {
-        Self {
-            x_fraction: 0.10,
-            fill_fraction: 0.90,
-            max_moves_factor: 8,
-            min_improvement: 0.002,
-        }
+        Self { x_fraction: 0.10, fill_fraction: 0.90, max_moves_factor: 8, min_improvement: 0.002 }
     }
 }
 
@@ -217,14 +211,13 @@ fn adapt_down(
             }
             // Violations compare lexicographically; WEC cost breaks ties.
             let viol = loads[k] + w - limits[k];
-            if fallback.is_none_or(|(vv, vc, _)| viol < vv - 1e-12 || (viol < vv + 1e-12 && cost < vc)) {
+            if fallback
+                .is_none_or(|(vv, vc, _)| viol < vv - 1e-12 || (viol < vv + 1e-12 && cost < vc))
+            {
                 fallback = Some((viol, cost, k));
             }
         }
-        let k = best
-            .map(|(_, k)| k)
-            .or(fallback.map(|(_, _, k)| k))
-            .expect("children exist");
+        let k = best.map(|(_, k)| k).or(fallback.map(|(_, _, k)| k)).expect("children exist");
         mapping[v] = k;
         loads[k] += w;
         dirty[v] = true;
@@ -237,9 +230,8 @@ fn adapt_down(
     // balance every round would migrate queries for nothing.
     let fair = |i: usize| ng.vertex(i).capability * total_load / total_cap.max(1e-12);
     let excess: Vec<f64> = (0..n_children).map(|i| loads[i] - fair(i)).collect();
-    let edges: Vec<(usize, usize)> = (0..n_children)
-        .flat_map(|i| ((i + 1)..n_children).map(move |j| (i, j)))
-        .collect();
+    let edges: Vec<(usize, usize)> =
+        (0..n_children).flat_map(|i| ((i + 1)..n_children).map(move |j| (i, j))).collect();
     let mut m = diffusion_solution(&excess, &edges);
     for (e, v) in m.iter_mut().enumerate() {
         let (i, j) = edges[e];
@@ -261,8 +253,7 @@ fn adapt_down(
     let mut moves = 0usize;
     let max_moves = config.max_moves_factor * qg.len().max(1);
     while moves < max_moves {
-        let open: Vec<usize> =
-            (0..pairs.len()).filter(|&p| m[pairs[p].2] > 1e-9).collect();
+        let open: Vec<usize> = (0..pairs.len()).filter(|&p| m[pairs[p].2] > 1e-9).collect();
         let Some(&pick) = open.as_slice().choose(&mut rng) else { break };
         let (from, to, eidx) = pairs[pick];
         // Benefits of moving each candidate from `from` to `to`.
@@ -273,9 +264,7 @@ fn adapt_down(
             .collect();
         let benefits: Vec<f64> = candidates
             .iter()
-            .map(|&v| {
-                cost_at(&qg, &ng, &mapping, v, from) - cost_at(&qg, &ng, &mapping, v, to)
-            })
+            .map(|&v| cost_at(&qg, &ng, &mapping, v, from) - cost_at(&qg, &ng, &mapping, v, to))
             .collect();
         let Some(&max_benefit) =
             benefits.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
@@ -291,19 +280,15 @@ fn adapt_down(
             .filter(|&(_, b)| *b >= threshold - 1e-12)
             .map(|(v, _)| v)
             .collect();
-        let dirty_in: Vec<usize> =
-            in_window.iter().copied().filter(|&v| dirty[v]).collect();
+        let dirty_in: Vec<usize> = in_window.iter().copied().filter(|&v| dirty[v]).collect();
         let pool = if dirty_in.is_empty() { in_window } else { dirty_in };
         // Largest load density among those fitting the 90% rule.
         let fit = |v: usize| m[eidx] > config.fill_fraction * qg.vertices[v].weight;
-        let chosen = pool
-            .into_iter()
-            .filter(|&v| fit(v))
-            .max_by(|&a, &b| {
-                let da = qg.vertices[a].weight / qg.vertices[a].state_size.max(1e-12);
-                let db = qg.vertices[b].weight / qg.vertices[b].state_size.max(1e-12);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let chosen = pool.into_iter().filter(|&v| fit(v)).max_by(|&a, &b| {
+            let da = qg.vertices[a].weight / qg.vertices[a].state_size.max(1e-12);
+            let db = qg.vertices[b].weight / qg.vertices[b].state_size.max(1e-12);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
         let Some(v) = chosen else {
             m[eidx] = 0.0; // no admissible vertex: give up on this pair
             continue;
@@ -323,42 +308,54 @@ fn adapt_down(
     // tolerance), not the full eqn 3.1 limit — otherwise WEC-greedy moves
     // re-pack processors to the limit and the paper's decreasing
     // load-deviation curves (Figure 7b) are unreproducible.
-    let band: Vec<f64> = (0..n_children)
-        .map(|i| fair(i) * (1.0 + (d.level_alpha() * 0.5)))
-        .collect();
-    let mut order = movable.clone();
-    order.shuffle(&mut rng);
-    for v in order {
-        let cur = mapping[v];
-        let w = qg.vertices[v].weight;
-        let c_cur = cost_at(&qg, &ng, &mapping, v, cur);
-        // (1) Move back home if it keeps balance and does not raise WEC.
-        let home = original[v];
-        if home != usize::MAX && home != cur {
-            let c_home = cost_at(&qg, &ng, &mapping, v, home);
-            if c_home <= c_cur + 1e-9 && loads[home] + w <= band[home] + 1e-9 {
-                mapping[v] = home;
+    let band: Vec<f64> =
+        (0..n_children).map(|i| fair(i) * (1.0 + (d.level_alpha() * 0.5))).collect();
+    // Refinement passes repeat (fresh shuffled order each time) until a
+    // pass moves nothing; a small cap bounds the worst case. One pass is
+    // very order-sensitive — an early vertex can block the profitable move
+    // of a later one — and iterating to a fixpoint removes most of that
+    // seed variance.
+    for _pass in 0..4 {
+        let mut order = movable.clone();
+        order.shuffle(&mut rng);
+        let mut moved = 0usize;
+        for v in order {
+            let cur = mapping[v];
+            let w = qg.vertices[v].weight;
+            let c_cur = cost_at(&qg, &ng, &mapping, v, cur);
+            // (1) Move back home if it keeps balance and does not raise WEC.
+            let home = original[v];
+            if home != usize::MAX && home != cur {
+                let c_home = cost_at(&qg, &ng, &mapping, v, home);
+                if c_home <= c_cur + 1e-9 && loads[home] + w <= band[home] + 1e-9 {
+                    mapping[v] = home;
+                    loads[cur] -= w;
+                    loads[home] += w;
+                    moved += 1;
+                    continue;
+                }
+            }
+            // (2) Any clearly-WEC-decreasing move that keeps balance.
+            let mut best: Option<(f64, usize)> = None;
+            let bar = c_cur - config.min_improvement * c_cur.abs() - 1e-9;
+            for k in 0..n_children {
+                if k == cur || loads[k] + w > band[k] + 1e-9 {
+                    continue;
+                }
+                let c = cost_at(&qg, &ng, &mapping, v, k);
+                if c < bar && best.is_none_or(|(bc, _)| c < bc) {
+                    best = Some((c, k));
+                }
+            }
+            if let Some((_, k)) = best {
+                mapping[v] = k;
                 loads[cur] -= w;
-                loads[home] += w;
-                continue;
+                loads[k] += w;
+                moved += 1;
             }
         }
-        // (2) Any clearly-WEC-decreasing move that keeps balance.
-        let mut best: Option<(f64, usize)> = None;
-        let bar = c_cur - config.min_improvement * c_cur.abs() - 1e-9;
-        for k in 0..n_children {
-            if k == cur || loads[k] + w > band[k] + 1e-9 {
-                continue;
-            }
-            let c = cost_at(&qg, &ng, &mapping, v, k);
-            if c < bar && best.is_none_or(|(bc, _)| c < bc) {
-                best = Some((c, k));
-            }
-        }
-        if let Some((_, k)) = best {
-            mapping[v] = k;
-            loads[cur] -= w;
-            loads[k] += w;
+        if moved == 0 {
+            break;
         }
     }
 
@@ -406,13 +403,17 @@ mod tests {
         (dep, table)
     }
 
-    fn random_specs(dep: &Deployment, table: &SubstreamTable, n: usize, seed: u64) -> Vec<QuerySpec> {
+    fn random_specs(
+        dep: &Deployment,
+        table: &SubstreamTable,
+        n: usize,
+        seed: u64,
+    ) -> Vec<QuerySpec> {
         let mut rng = rng_for(seed, "adapt-specs");
         (0..n)
             .map(|i| {
                 let k = rng.gen_range(3..9);
-                let interest =
-                    InterestSet::from_indices(U, (0..k).map(|_| rng.gen_range(0..U)));
+                let interest = InterestSet::from_indices(U, (0..k).map(|_| rng.gen_range(0..U)));
                 let load = interest.weighted_len(table.rates()) / 20.0;
                 QuerySpec {
                     id: QueryId(i as u64),
@@ -442,9 +443,7 @@ mod tests {
     ) -> f64 {
         let model = TrafficModel::new(dep, table);
         let interests = a.interests(specs, dep.processors(), U);
-        let flows = specs
-            .iter()
-            .map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
+        let flows = specs.iter().map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
         model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
     }
 
@@ -480,10 +479,7 @@ mod tests {
             a = adapt(&d, &specs, &a, &AdaptConfig::default(), 10 + round).assignment;
         }
         let after = stddev(&a.loads(&specs, dep.processors()));
-        assert!(
-            after < before * 0.5,
-            "load stddev should drop substantially: {before} -> {after}"
-        );
+        assert!(after < before * 0.5, "load stddev should drop substantially: {before} -> {after}");
     }
 
     #[test]
@@ -499,10 +495,7 @@ mod tests {
             a = adapt(&d, &specs, &a, &AdaptConfig::default(), 20 + round).assignment;
         }
         let after = comm_cost(&dep, &table, &specs, &a);
-        assert!(
-            after < before,
-            "adaptation should reduce communication cost: {before} -> {after}"
-        );
+        assert!(after < before, "adaptation should reduce communication cost: {before} -> {after}");
     }
 
     #[test]

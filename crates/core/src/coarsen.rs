@@ -61,19 +61,16 @@ pub fn coarsen(
 ) -> Coarsened {
     assert!(vmax > 0, "vmax must be positive");
     let n = input.len();
-    let mut vertices: Vec<Option<QgVertex>> =
-        input.vertices.iter().cloned().map(Some).collect();
-    let mut adj: Vec<std::collections::HashMap<usize, f64>> = (0..n)
-        .map(|i| input.neighbors(i).collect())
-        .collect();
+    let mut vertices: Vec<Option<QgVertex>> = input.vertices.iter().cloned().map(Some).collect();
+    let mut adj: Vec<std::collections::HashMap<usize, f64>> =
+        (0..n).map(|i| input.neighbors(i).collect()).collect();
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut alive = n;
     let mut rng = rng_for(seed, "coarsen");
 
     while alive > vmax {
         let mut matched = vec![false; n];
-        let mut order: Vec<usize> =
-            (0..n).filter(|&i| vertices[i].is_some()).collect();
+        let mut order: Vec<usize> = (0..n).filter(|&i| vertices[i].is_some()).collect();
         order.shuffle(&mut rng);
         let mut progress = false;
 
@@ -266,10 +263,7 @@ mod tests {
         for seed in 0..8 {
             let c = coarsen(&g, 2, &rates, &|_| None, seed);
             assert_eq!(c.graph.len(), 2);
-            let ok = c
-                .members
-                .iter()
-                .any(|m| m.contains(&0) && m.contains(&1) && m.len() == 2);
+            let ok = c.members.iter().any(|m| m.contains(&0) && m.contains(&1) && m.len() == 2);
             assert!(ok, "seed {seed}: heavy pairs should collapse: {:?}", c.members);
         }
     }
@@ -313,11 +307,8 @@ mod tests {
         let c = coarsen(&g, 1, &rates, &|_| None, 9);
         // Anchor survives alone; the two queries may merge.
         assert!(c.graph.len() >= 2);
-        let anchor_members = c
-            .members
-            .iter()
-            .find(|m| m.contains(&0))
-            .expect("anchor still present");
+        let anchor_members =
+            c.members.iter().find(|m| m.contains(&0)).expect("anchor still present");
         assert_eq!(anchor_members, &vec![0]);
     }
 

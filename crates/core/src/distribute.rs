@@ -287,17 +287,15 @@ impl<'a> Distributor<'a> {
                     }
                 }
             }
-            let mut partners: Vec<(u32, u32)> =
-                counts.iter().map(|(&j, &c)| (c, j)).collect();
+            let mut partners: Vec<(u32, u32)> = counts.iter().map(|(&j, &c)| (c, j)).collect();
             partners.sort_unstable_by(|a, b| b.cmp(a));
             for &(_, j) in partners.iter().take(top_e) {
                 let j = j as usize;
                 if graph.edge(i, j) > 0.0 {
                     continue;
                 }
-                let w = graph.vertices[i]
-                    .interest
-                    .weighted_overlap(&graph.vertices[j].interest, rates);
+                let w =
+                    graph.vertices[i].interest.weighted_overlap(&graph.vertices[j].interest, rates);
                 if w > 0.0 {
                     graph.set_edge(i, j, w);
                 }
@@ -379,9 +377,8 @@ impl<'a> Distributor<'a> {
         }
 
         // ---- Phase A: bottom-up graph construction and coarsening.
-        let mut per_coord = self.build_hierarchy_graphs(specs, seed, &mut timing, |spec| {
-            spec.proxy
-        });
+        let mut per_coord =
+            self.build_hierarchy_graphs(specs, seed, &mut timing, |spec| spec.proxy);
 
         // ---- Phase B: top-down mapping with one-level uncoarsening.
         let root = self.tree.root();
@@ -408,12 +405,8 @@ impl<'a> Distributor<'a> {
         sw.start();
         let vertices: Vec<QgVertex> = specs.iter().map(|s| self.vertex_for(s)).collect();
         let qg = self.graph_from_vertices(vertices, seed);
-        let targets: Vec<NetVertex> = self
-            .dep
-            .processors()
-            .iter()
-            .map(|&p| NetVertex { node: p, capability: 1.0 })
-            .collect();
+        let targets: Vec<NetVertex> =
+            self.dep.processors().iter().map(|&p| NetVertex { node: p, capability: 1.0 }).collect();
         let mut anchors: Vec<NetVertex> = Vec::new();
         for v in &qg.vertices {
             if let Some(n) = v.net_node() {
@@ -482,23 +475,14 @@ impl<'a> Distributor<'a> {
                     .map(|qs| qs.iter().map(|s| self.vertex_for(s)).collect())
                     .unwrap_or_default()
             } else {
-                node.children
-                    .iter()
-                    .flat_map(|&c| outputs[c].iter().cloned())
-                    .collect()
+                node.children.iter().flat_map(|&c| outputs[c].iter().cloned()).collect()
             };
             let coarse_seed = derive_seed_indexed(seed, "coarsen", coord as u64);
             let graph = self.graph_from_vertices(fine, coarse_seed);
             let tree = self.tree;
-            let cluster_of =
-                move |n: NodeId| -> Option<usize> { tree.covering_child(coord, n) };
-            let Coarsened { graph: coarse, members } = coarsen(
-                &graph,
-                self.config.vmax,
-                self.table.rates(),
-                &cluster_of,
-                coarse_seed,
-            );
+            let cluster_of = move |n: NodeId| -> Option<usize> { tree.covering_child(coord, n) };
+            let Coarsened { graph: coarse, members } =
+                coarsen(&graph, self.config.vmax, self.table.rates(), &cluster_of, coarse_seed);
             // Outputs exclude derived pure n-vertices (the parent re-derives
             // them); constituents keep only queryful fine vertices.
             let mut out = Vec::new();
@@ -636,16 +620,14 @@ mod tests {
         (0..n)
             .map(|i| {
                 let k = rng.gen_range(3..10);
-                let interest = InterestSet::from_indices(
-                    UNIVERSE,
-                    (0..k).map(|_| rng.gen_range(0..UNIVERSE)),
-                );
+                let interest =
+                    InterestSet::from_indices(UNIVERSE, (0..k).map(|_| rng.gen_range(0..UNIVERSE)));
                 let load = interest.weighted_len(fix.table.rates()) / 10.0;
                 QuerySpec {
                     id: QueryId(i as u64),
                     interest,
                     load,
-                    proxy: fix.dep.processors()[rng.gen_range(0..8)],
+                    proxy: fix.dep.processors()[rng.gen_range(0..8usize)],
                     result_rate: 1.0,
                     state_size: 1.0,
                 }
@@ -694,17 +676,12 @@ mod tests {
         let cost = |a: &Assignment| -> f64 {
             let model = cosmos_pubsub::TrafficModel::new(&fix.dep, &fix.table);
             let interests = a.interests(&qs, fix.dep.processors(), UNIVERSE);
-            let flows = qs.iter().map(|q| {
-                (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate)
-            });
+            let flows = qs.iter().map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
             model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
         };
         let cg = cost(&greedy.assignment);
         let cc = cost(&central.assignment);
-        assert!(
-            cc <= cg + 1e-6,
-            "refined centralized ({cc}) must not lose to greedy ({cg})"
-        );
+        assert!(cc <= cg + 1e-6, "refined centralized ({cc}) must not lose to greedy ({cg})");
     }
 
     #[test]
@@ -748,10 +725,7 @@ mod tests {
         for i in 0..g.len() {
             for (j, w) in g.neighbors(i) {
                 let expect = edge_weight(&g.vertices[i], &g.vertices[j], fix.table.rates());
-                assert!(
-                    (w - expect).abs() < 1e-9,
-                    "edge ({i},{j}) = {w}, formula gives {expect}"
-                );
+                assert!((w - expect).abs() < 1e-9, "edge ({i},{j}) = {w}, formula gives {expect}");
             }
         }
     }
@@ -774,10 +748,7 @@ mod tests {
         let a = d.distribute(&qs, 5);
         let b = d.distribute(&qs, 5);
         for q in &qs {
-            assert_eq!(
-                a.assignment.processor_of(q.id),
-                b.assignment.processor_of(q.id)
-            );
+            assert_eq!(a.assignment.processor_of(q.id), b.assignment.processor_of(q.id));
         }
     }
 
@@ -848,16 +819,11 @@ mod tests {
         let model = cosmos_pubsub::TrafficModel::new(&fix.dep, &fix.table);
         let cost = |a: &Assignment| {
             let interests = a.interests(&qs, fix.dep.processors(), UNIVERSE);
-            let flows = qs
-                .iter()
-                .map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
+            let flows = qs.iter().map(|q| (a.processor_of(q.id).unwrap(), q.proxy, q.result_rate));
             model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
         };
         let ch = cost(&hier.assignment);
         let cn = cost(&naive);
-        assert!(
-            ch <= cn * 1.05,
-            "hierarchical ({ch}) should not lose clearly to naive ({cn})"
-        );
+        assert!(ch <= cn * 1.05, "hierarchical ({ch}) should not lose clearly to naive ({cn})");
     }
 }

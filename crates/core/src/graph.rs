@@ -127,20 +127,10 @@ impl QgVertex {
 pub fn edge_weight(a: &QgVertex, b: &QgVertex, rates: &[f64]) -> f64 {
     let mut w = a.interest.weighted_overlap(&b.interest, rates);
     if let Some(node) = b.net_node() {
-        w += a
-            .result_flows
-            .iter()
-            .filter(|(p, _)| *p == node)
-            .map(|(_, r)| *r)
-            .sum::<f64>();
+        w += a.result_flows.iter().filter(|(p, _)| *p == node).map(|(_, r)| *r).sum::<f64>();
     }
     if let Some(node) = a.net_node() {
-        w += b
-            .result_flows
-            .iter()
-            .filter(|(p, _)| *p == node)
-            .map(|(_, r)| *r)
-            .sum::<f64>();
+        w += b.result_flows.iter().filter(|(p, _)| *p == node).map(|(_, r)| *r).sum::<f64>();
     }
     w
 }
@@ -262,11 +252,8 @@ impl NetworkGraph {
         let mut dist = vec![0.0; m * m];
         for i in 0..m {
             for j in 0..m {
-                dist[i * m + j] = if i == j {
-                    0.0
-                } else {
-                    distance(vertices[i].node, vertices[j].node)
-                };
+                dist[i * m + j] =
+                    if i == j { 0.0 } else { distance(vertices[i].node, vertices[j].node) };
             }
         }
         Self { vertices, n_targets, dist }

@@ -174,17 +174,12 @@ impl CoordinatorTree {
     /// The position (within `coord`'s children) of the child whose subtree
     /// covers `node`, if any.
     pub fn covering_child(&self, coord: usize, node: NodeId) -> Option<usize> {
-        self.nodes[coord]
-            .children
-            .iter()
-            .position(|&c| self.nodes[c].covers(node))
+        self.nodes[coord].children.iter().position(|&c| self.nodes[c].covers(node))
     }
 
     /// The level-0 node index of a processor.
     pub fn leaf_of(&self, processor: NodeId) -> Option<usize> {
-        self.nodes
-            .iter()
-            .position(|n| n.active && n.level == 0 && n.representative == processor)
+        self.nodes.iter().position(|n| n.active && n.level == 0 && n.representative == processor)
     }
 
     /// Incrementally admits a new processor (§3.3: "The tree is constructed
@@ -198,10 +193,7 @@ impl CoordinatorTree {
     /// Panics if `processor` is already in the tree or `k < 2`.
     pub fn join(&mut self, processor: NodeId, capability: f64, k: usize, dep: &Deployment) {
         assert!(k >= 2, "cluster size parameter k must be at least 2");
-        assert!(
-            self.leaf_of(processor).is_none(),
-            "{processor} is already part of the hierarchy"
-        );
+        assert!(self.leaf_of(processor).is_none(), "{processor} is already part of the hierarchy");
         // New level-0 node.
         let leaf = self.nodes.len();
         self.nodes.push(CoordNode {
@@ -218,12 +210,8 @@ impl CoordinatorTree {
         if self.nodes[self.root].level == 0 {
             let old_root = self.root;
             let new_root = self.nodes.len();
-            let processors: Vec<NodeId> = self.nodes[old_root]
-                .processors
-                .iter()
-                .copied()
-                .chain([processor])
-                .collect();
+            let processors: Vec<NodeId> =
+                self.nodes[old_root].processors.iter().copied().chain([processor]).collect();
             let proc_set = processors.iter().copied().collect();
             let capability = self.nodes[old_root].capability + capability;
             self.nodes.push(CoordNode {
@@ -274,10 +262,7 @@ impl CoordinatorTree {
         let Some(leaf) = self.leaf_of(processor) else {
             return false;
         };
-        assert!(
-            self.nodes[self.root].processors.len() > 1,
-            "cannot remove the last processor"
-        );
+        assert!(self.nodes[self.root].processors.len() > 1, "cannot remove the last processor");
         let Some(parent) = self.nodes[leaf].parent else {
             return false; // degenerate single-node tree guarded above
         };
@@ -288,16 +273,15 @@ impl CoordinatorTree {
         if self.nodes[parent].children.len() < k {
             let rep = self.nodes[parent].representative;
             let sibling = match self.nodes[parent].parent {
-                Some(gp) => self.nodes[gp]
-                    .children
-                    .iter()
-                    .copied()
-                    .filter(|&c| c != parent)
-                    .min_by(|&a, &b| {
-                        let da = dep.distance(rep, self.nodes[a].representative);
-                        let db = dep.distance(rep, self.nodes[b].representative);
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                    }),
+                Some(gp) => {
+                    self.nodes[gp].children.iter().copied().filter(|&c| c != parent).min_by(
+                        |&a, &b| {
+                            let da = dep.distance(rep, self.nodes[a].representative);
+                            let db = dep.distance(rep, self.nodes[b].representative);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        },
+                    )
+                }
                 None => None,
             };
             if let Some(sib) = sibling {
@@ -333,8 +317,7 @@ impl CoordinatorTree {
                 if a == b {
                     continue;
                 }
-                let d =
-                    dep.distance(self.nodes[a].representative, self.nodes[b].representative);
+                let d = dep.distance(self.nodes[a].representative, self.nodes[b].representative);
                 if d > best {
                     best = d;
                     s1 = a;
@@ -355,8 +338,7 @@ impl CoordinatorTree {
         for m in rest {
             let d1 = dep.distance(self.nodes[m].representative, self.nodes[s1].representative);
             let d2 = dep.distance(self.nodes[m].representative, self.nodes[s2].representative);
-            if (d1 <= d2 && half1.len() < members.len() - k) || half2.len() >= members.len() - k
-            {
+            if (d1 <= d2 && half1.len() < members.len() - k) || half2.len() >= members.len() - k {
                 half1.push(m);
             } else {
                 half2.push(m);
@@ -427,14 +409,10 @@ impl CoordinatorTree {
             .min_by(|&a, &b| {
                 let ra = self.nodes[a].representative;
                 let rb = self.nodes[b].representative;
-                let da: f64 = children
-                    .iter()
-                    .map(|&o| dep.distance(ra, self.nodes[o].representative))
-                    .sum();
-                let db: f64 = children
-                    .iter()
-                    .map(|&o| dep.distance(rb, self.nodes[o].representative))
-                    .sum();
+                let da: f64 =
+                    children.iter().map(|&o| dep.distance(ra, self.nodes[o].representative)).sum();
+                let db: f64 =
+                    children.iter().map(|&o| dep.distance(rb, self.nodes[o].representative)).sum();
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("internal nodes have children");
@@ -480,11 +458,7 @@ impl CoordinatorTree {
                 if procs != own {
                     return Err(format!("node {i} processor set out of sync"));
                 }
-                if !n
-                    .children
-                    .iter()
-                    .any(|&c| self.nodes[c].representative == n.representative)
-                {
+                if !n.children.iter().any(|&c| self.nodes[c].representative == n.representative) {
                     return Err(format!("node {i} representative is not a member median"));
                 }
             }
@@ -528,10 +502,7 @@ fn cluster_level(
         } else {
             // Too small for its own cluster: absorb into the last one
             // (size ≤ k + k − 1 ≤ 3k − 1? k + (k−1) = 2k−1 ✓).
-            clusters
-                .last_mut()
-                .expect("guarded by is_empty")
-                .extend(remaining);
+            clusters.last_mut().expect("guarded by is_empty").extend(remaining);
         }
     }
     clusters
@@ -630,12 +601,8 @@ mod tests {
             let child = tree.node(root).children[pos];
             assert!(tree.node(child).covers(p));
             // Exactly one child covers a processor.
-            let count = tree
-                .node(root)
-                .children
-                .iter()
-                .filter(|&&c| tree.node(c).covers(p))
-                .count();
+            let count =
+                tree.node(root).children.iter().filter(|&&c| tree.node(c).covers(p)).count();
             assert_eq!(count, 1);
         }
         // A non-processor node is covered by nobody.
@@ -680,11 +647,8 @@ mod tests {
         let topo = TransitStubConfig::small().generate(30);
         let dep = Deployment::assign(topo, 3, 14, 30);
         let first: Vec<_> = dep.processors()[..10].to_vec();
-        let dep_small = Deployment::with_roles(
-            dep.topology().clone(),
-            dep.sources().to_vec(),
-            first.clone(),
-        );
+        let dep_small =
+            Deployment::with_roles(dep.topology().clone(), dep.sources().to_vec(), first.clone());
         let mut tree = CoordinatorTree::build(&dep_small, 2);
         for &p in &dep.processors()[10..] {
             tree.join(p, 1.0, 2, &dep);
@@ -704,11 +668,8 @@ mod tests {
         let topo = TransitStubConfig::small().generate(31);
         let dep = Deployment::assign(topo, 3, 16, 31);
         let first: Vec<_> = dep.processors()[..4].to_vec();
-        let dep_small = Deployment::with_roles(
-            dep.topology().clone(),
-            dep.sources().to_vec(),
-            first,
-        );
+        let dep_small =
+            Deployment::with_roles(dep.topology().clone(), dep.sources().to_vec(), first);
         let k = 2;
         let mut tree = CoordinatorTree::build(&dep_small, k);
         for &p in &dep.processors()[4..] {
@@ -753,11 +714,8 @@ mod tests {
         let topo = TransitStubConfig::small().generate(33);
         let dep = Deployment::assign(topo, 3, 9, 33);
         let first: Vec<_> = dep.processors()[..8].to_vec();
-        let dep_small = Deployment::with_roles(
-            dep.topology().clone(),
-            dep.sources().to_vec(),
-            first,
-        );
+        let dep_small =
+            Deployment::with_roles(dep.topology().clone(), dep.sources().to_vec(), first);
         let mut tree = CoordinatorTree::build(&dep_small, 2);
         let extra = dep.processors()[8];
         tree.join(extra, 1.0, 2, &dep);

@@ -69,13 +69,7 @@ fn placement_cost(
 
 /// Is moving weight `w` onto target `k` admissible: within limit, or a
 /// strict improvement of the source target's violation?
-fn admissible(
-    loads: &[f64],
-    limits: &[f64],
-    from: Option<usize>,
-    to: usize,
-    w: f64,
-) -> bool {
+fn admissible(loads: &[f64], limits: &[f64], from: Option<usize>, to: usize, w: f64) -> bool {
     let new_violation = (loads[to] + w - limits[to]).max(0.0);
     if new_violation <= 1e-12 {
         return true;
@@ -143,9 +137,10 @@ pub fn map_graph(
         for k in 0..k_targets {
             let cost = placement_cost(qg, ng, &mapping, v, k);
             if loads[k] + w <= limits[k] + 1e-12
-                && best_feasible.is_none_or(|(c, bk)| cost < c || (cost == c && k < bk)) {
-                    best_feasible = Some((cost, k));
-                }
+                && best_feasible.is_none_or(|(c, bk)| cost < c || (cost == c && k < bk))
+            {
+                best_feasible = Some((cost, k));
+            }
             // Violations compare lexicographically; WEC cost breaks ties.
             let viol = loads[k] + w - limits[k];
             if best_violation
@@ -260,8 +255,7 @@ pub fn refine(
                     continue;
                 }
                 for t in 0..k_targets {
-                    cost[rj * k_targets + t] +=
-                        wj * (ng.distance(t, k) - ng.distance(t, from));
+                    cost[rj * k_targets + t] += wj * (ng.distance(t, k) - ng.distance(t, from));
                 }
             }
             if current_wec < min_wec - 1e-9 {
@@ -421,8 +415,7 @@ mod tests {
                 for c in 0..2 {
                     for d in 0..2 {
                         let scheme = [a, b, c, d];
-                        let loads: f64 =
-                            scheme.iter().filter(|&&k| k == 0).count() as f64 * 0.1;
+                        let loads: f64 = scheme.iter().filter(|&&k| k == 0).count() as f64 * 0.1;
                         // Balanced ⇔ 2 queries each ((1+α) · 0.2 = 0.22).
                         if !(0.19..=0.22).contains(&loads) {
                             continue;

@@ -175,9 +175,7 @@ impl<'a> OnlineRouter<'a> {
         assert!(n > 0, "route_at called on a leaf");
         let rates = self.table.rates();
         // Affinity with each child's strongest interest cluster.
-        let overlaps: Vec<f64> = (0..n)
-            .map(|i| state.affinity(i, &spec.interest, rates))
-            .collect();
+        let overlaps: Vec<f64> = (0..n).map(|i| state.affinity(i, &spec.interest, rates)).collect();
 
         let total_cap: f64 = node.children.iter().map(|&c| self.tree.node(c).capability).sum();
         let new_total = self.total_load + spec.load;
@@ -209,16 +207,15 @@ impl<'a> OnlineRouter<'a> {
             let share = new_total.min(subtree_load + spec.load); // local view
             let limit = (1.0 + self.alpha) * child.capability * share / total_cap.max(1e-12);
             let load = state.child_load[i] + spec.load;
-            if load <= limit + 1e-12
-                && best_feasible.is_none_or(|(c, _)| cost < c) {
-                    best_feasible = Some((cost, i));
-                }
+            if load <= limit + 1e-12 && best_feasible.is_none_or(|(c, _)| cost < c) {
+                best_feasible = Some((cost, i));
+            }
             // Violations compare lexicographically: least violation first,
             // WEC cost as the tie-breaker.
             let violation = load - limit;
-            if best_violation
-                .is_none_or(|(v, c, _)| violation < v - 1e-12 || (violation < v + 1e-12 && cost < c))
-            {
+            if best_violation.is_none_or(|(v, c, _)| {
+                violation < v - 1e-12 || (violation < v + 1e-12 && cost < c)
+            }) {
                 best_violation = Some((violation, cost, i));
             }
         }
@@ -327,7 +324,7 @@ mod tests {
         let mut per_proc: std::collections::HashMap<NodeId, f64> = Default::default();
         for i in 0..200 {
             let bits = [rng.gen_range(0..U), rng.gen_range(0..U)];
-            let q = spec(i, &bits, 1.0, dep.processors()[rng.gen_range(0..8)]);
+            let q = spec(i, &bits, 1.0, dep.processors()[rng.gen_range(0..8usize)]);
             let p = router.insert(&q);
             *per_proc.entry(p).or_insert(0.0) += 1.0;
         }
@@ -378,15 +375,9 @@ mod tests {
         // exact nearest processor is not guaranteed — but the choice must
         // clearly beat the average (i.e. random placement).
         let d_proxy = dep.distance(p, dep.processors()[5]);
-        let avg: f64 = dep
-            .processors()
-            .iter()
-            .map(|&o| dep.distance(o, dep.processors()[5]))
-            .sum::<f64>()
-            / dep.processors().len() as f64;
-        assert!(
-            d_proxy <= avg,
-            "proxy pull too weak: placed {d_proxy} away, average is {avg}"
-        );
+        let avg: f64 =
+            dep.processors().iter().map(|&o| dep.distance(o, dep.processors()[5])).sum::<f64>()
+                / dep.processors().len() as f64;
+        assert!(d_proxy <= avg, "proxy pull too weak: placed {d_proxy} away, average is {avg}");
     }
 }

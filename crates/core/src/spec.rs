@@ -94,10 +94,7 @@ impl Assignment {
     /// (queries present in both) — the migration count of an adaptation
     /// round.
     pub fn migrations_from(&self, other: &Assignment) -> usize {
-        self.map
-            .iter()
-            .filter(|(q, n)| other.map.get(q).is_some_and(|o| o != *n))
-            .count()
+        self.map.iter().filter(|(q, n)| other.map.get(q).is_some_and(|o| o != *n)).count()
     }
 
     /// Per-processor aggregate load, given the query set.
@@ -172,9 +169,8 @@ mod tests {
 
     #[test]
     fn migration_count() {
-        let a: Assignment = [(QueryId(1), NodeId(1)), (QueryId(2), NodeId(2))]
-            .into_iter()
-            .collect();
+        let a: Assignment =
+            [(QueryId(1), NodeId(1)), (QueryId(2), NodeId(2))].into_iter().collect();
         let mut b = a.clone();
         assert_eq!(b.migrations_from(&a), 0);
         b.place(QueryId(2), NodeId(3));
@@ -187,13 +183,10 @@ mod tests {
     fn loads_and_interests_aggregate() {
         let queries = vec![spec(1, 2.0, 0), spec(2, 3.0, 0), spec(3, 4.0, 0)];
         let procs = vec![NodeId(10), NodeId(11)];
-        let a: Assignment = [
-            (QueryId(1), NodeId(10)),
-            (QueryId(2), NodeId(10)),
-            (QueryId(3), NodeId(11)),
-        ]
-        .into_iter()
-        .collect();
+        let a: Assignment =
+            [(QueryId(1), NodeId(10)), (QueryId(2), NodeId(10)), (QueryId(3), NodeId(11))]
+                .into_iter()
+                .collect();
         assert_eq!(a.loads(&queries, &procs), vec![5.0, 4.0]);
         let interests = a.interests(&queries, &procs, 10);
         assert_eq!(interests[0].len(), 2); // substreams 1 and 2

@@ -18,22 +18,32 @@
 //! per-arrival istream behaviour of CQL windowed aggregates). Non-numeric
 //! values participate only in `COUNT`.
 
+use crate::exec::SingleView;
 use crate::tuple::Tuple;
-use cosmos_query::predicate::eval_predicate;
-use cosmos_query::{AggFunc, AttrRef, Predicate, Query, QueryId, Scalar};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate};
+use cosmos_query::{AggFunc, Query, QueryId, Scalar};
+use cosmos_util::intern::{Schema, Symbol};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// A compiled single-relation aggregate query.
+/// A compiled single-relation aggregate query. Names (stream, alias,
+/// aggregated attributes, output attribute labels, output stream) are
+/// resolved to symbols once at compile time; the per-tuple path allocates
+/// only the output payload.
 #[derive(Debug, Clone)]
 pub struct AggregateQuery {
     id: QueryId,
-    stream: String,
-    alias: String,
+    stream: Symbol,
+    alias: Symbol,
     /// Window width in ms; `None` = unbounded.
     width: Option<i64>,
-    selections: Vec<Predicate>,
-    aggs: Vec<(AggFunc, AttrRef)>,
+    selections: Vec<CompiledPredicate>,
+    /// `(function, aggregated attribute)` per output column.
+    aggs: Vec<(AggFunc, Symbol)>,
+    /// Output stream tag (`agg-<id>`), interned once.
+    out_stream: Symbol,
+    /// Output schema (`FUNC(alias.attr)` labels), interned once.
+    out_schema: Arc<Schema>,
     buffer: VecDeque<Arc<Tuple>>,
     emitted: u64,
     filtered: u64,
@@ -49,32 +59,35 @@ impl AggregateQuery {
     pub fn compile(id: QueryId, query: Query) -> Self {
         assert!(query.is_well_formed(), "aggregate query {id} is not well-formed");
         assert!(query.has_aggregates(), "query {id} has no aggregate items");
-        assert_eq!(
-            query.relations.len(),
-            1,
-            "aggregate queries are single-relation (query {id})"
-        );
+        assert_eq!(query.relations.len(), 1, "aggregate queries are single-relation (query {id})");
         assert_eq!(
             query.join_predicates().count(),
             0,
             "aggregate queries cannot contain join predicates (query {id})"
         );
         let rel = &query.relations[0];
-        let aggs: Vec<(AggFunc, AttrRef)> = query
-            .projection
-            .iter()
-            .filter_map(|p| match p {
-                cosmos_query::ProjItem::Agg { func, attr } => Some((*func, attr.clone())),
-                _ => None,
-            })
-            .collect();
+        let mut aggs = Vec::new();
+        let mut labels = Vec::new();
+        for p in &query.projection {
+            if let cosmos_query::ProjItem::Agg { func, attr } = p {
+                let label = Symbol::intern(&format!("{func}({attr})"));
+                // Repeated aggregate items collapse to one output column
+                // (schemas are positional indices; duplicates are rejected).
+                if !labels.contains(&label) {
+                    aggs.push((*func, Symbol::intern(&attr.attr)));
+                    labels.push(label);
+                }
+            }
+        }
         Self {
             id,
-            stream: rel.stream.clone(),
-            alias: rel.alias.clone(),
+            stream: Symbol::intern(&rel.stream),
+            alias: Symbol::intern(&rel.alias),
             width: rel.window.width_ms().map(|w| w as i64),
-            selections: query.selection_predicates().cloned().collect(),
+            selections: query.selection_predicates().map(CompiledPredicate::compile).collect(),
             aggs,
+            out_stream: Symbol::intern(&format!("agg-{}", id.0)),
+            out_schema: Schema::intern(&labels),
             buffer: VecDeque::new(),
             emitted: 0,
             filtered: 0,
@@ -96,11 +109,8 @@ impl AggregateQuery {
         self.buffer.len()
     }
 
-    fn evaluate(&self, func: AggFunc, attr: &AttrRef) -> Scalar {
-        let values = self
-            .buffer
-            .iter()
-            .filter_map(|t| t.get(&attr.attr).and_then(Scalar::as_f64));
+    fn evaluate(&self, func: AggFunc, attr: Symbol) -> Scalar {
+        let values = self.buffer.iter().filter_map(|t| t.get_sym(attr).and_then(Scalar::as_f64));
         match func {
             AggFunc::Count => Scalar::Int(self.buffer.len() as i64),
             AggFunc::Sum => Scalar::Float(values.sum()),
@@ -137,39 +147,16 @@ impl AggregateQuery {
                 }
             }
         }
-        let view = SingleView { alias: &self.alias, tuple: &tuple };
-        if !self.selections.iter().all(|p| eval_predicate(p, &view).unwrap_or(false)) {
+        let view = SingleView { alias: self.alias, tuple: &tuple };
+        if !eval_compiled(&self.selections, &view) {
             self.filtered += 1;
             return None;
         }
         self.buffer.push_back(tuple.clone());
         self.emitted += 1;
-        let mut out = Tuple::new(format!("agg-{}", self.id.0), now);
-        for (func, attr) in &self.aggs {
-            out = out.with(format!("{func}({attr})"), self.evaluate(*func, attr));
-        }
-        Some(out)
-    }
-}
-
-struct SingleView<'a> {
-    alias: &'a str,
-    tuple: &'a Tuple,
-}
-
-impl cosmos_query::predicate::AttrSource for SingleView<'_> {
-    fn value(&self, attr: &AttrRef) -> Option<Scalar> {
-        if attr.relation != self.alias {
-            return None;
-        }
-        if attr.attr == "timestamp" {
-            return Some(Scalar::Int(self.tuple.timestamp));
-        }
-        self.tuple.get(&attr.attr).cloned()
-    }
-
-    fn timestamp(&self, alias: &str) -> Option<i64> {
-        (alias == self.alias).then_some(self.tuple.timestamp)
+        let values: Vec<Scalar> =
+            self.aggs.iter().map(|&(func, attr)| self.evaluate(func, attr)).collect();
+        Some(Tuple::from_parts(self.out_stream, now, Arc::clone(&self.out_schema), values))
     }
 }
 
@@ -289,8 +276,8 @@ mod tests {
 
     #[test]
     fn parses_with_alias_and_display_round_trips() {
-        let q = parse_query("SELECT AVG(S1.snowHeight) FROM Station1 [Range 30 Minutes] S1")
-            .unwrap();
+        let q =
+            parse_query("SELECT AVG(S1.snowHeight) FROM Station1 [Range 30 Minutes] S1").unwrap();
         assert!(q.has_aggregates());
         let q2 = parse_query(&q.to_string()).unwrap();
         assert_eq!(q, q2);
@@ -313,10 +300,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "single-relation")]
     fn multi_relation_aggregate_rejected() {
-        let q = parse_query(
-            "SELECT COUNT(R.v) FROM R [Now], S [Now] WHERE R.k = S.k",
-        )
-        .unwrap();
+        let q = parse_query("SELECT COUNT(R.v) FROM R [Now], S [Now] WHERE R.k = S.k").unwrap();
         let _ = AggregateQuery::compile(QueryId(1), q);
     }
 
@@ -325,5 +309,15 @@ mod tests {
     fn plain_query_rejected() {
         let q = parse_query("SELECT * FROM R [Now]").unwrap();
         let _ = AggregateQuery::compile(QueryId(1), q);
+    }
+
+    #[test]
+    fn duplicate_aggregate_items_collapse_to_one_column() {
+        let mut e = engine("SELECT COUNT(R.v), COUNT(R.v), SUM(R.v) FROM R [Range 1 Minute]");
+        let out = e.push(t(0, 10));
+        let (_, agg) = &out[0];
+        assert_eq!(agg.len(), 2, "repeated COUNT collapses to one column");
+        assert_eq!(agg.get("COUNT(R.v)"), Some(&Scalar::Int(1)));
+        assert_eq!(agg.get("SUM(R.v)"), Some(&Scalar::Float(10.0)));
     }
 }

@@ -9,10 +9,60 @@
 //! (ties broken by relation position).
 
 use crate::tuple::{JoinedTuple, Tuple};
-use cosmos_query::predicate::{eval_conjunction, eval_predicate};
-use cosmos_query::{Predicate, ProjItem, Query, QueryId, Scalar};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
+use cosmos_query::{ProjItem, Query, QueryId, Scalar};
+use cosmos_util::intern::{sym_timestamp, Schema, Symbol};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A projection list with aliases and attributes resolved to symbols once,
+/// so applying it to a result tuple compares integers only.
+#[derive(Debug, Clone)]
+pub struct CompiledProjection {
+    /// Unique per compilation; keys the projected-schema cache. `u64` so
+    /// the per-call compat shim can never wrap it into an alias.
+    id: u64,
+    items: Vec<ProjSym>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProjSym {
+    All,
+    AllOf(Symbol),
+    Attr(Symbol, Symbol),
+}
+
+impl CompiledProjection {
+    /// Resolves a projection list. Aggregate items are skipped — they are
+    /// evaluated by the `AggregateEngine`, never by SPJ projection.
+    pub fn compile(items: &[ProjItem]) -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let items = items
+            .iter()
+            .filter_map(|item| match item {
+                ProjItem::All => Some(ProjSym::All),
+                ProjItem::AllOf(a) => Some(ProjSym::AllOf(Symbol::intern(a))),
+                ProjItem::Attr(ar) => {
+                    Some(ProjSym::Attr(Symbol::intern(&ar.relation), Symbol::intern(&ar.attr)))
+                }
+                ProjItem::Agg { .. } => None,
+            })
+            .collect();
+        Self { id, items }
+    }
+
+    #[inline]
+    fn keeps(&self, alias: Symbol, attr: Symbol) -> bool {
+        self.items.iter().any(|item| match item {
+            ProjSym::All => true,
+            ProjSym::AllOf(a) => *a == alias,
+            ProjSym::Attr(a, at) => *a == alias && *at == attr,
+        })
+    }
+}
 
 /// One emitted result.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,31 +78,100 @@ impl ResultTuple {
     /// `result_stream` with `alias.attr` names. Component timestamps are
     /// always retained (`alias.timestamp`) so residual filters downstream
     /// can re-check window bounds.
+    ///
+    /// Compat shim: compiles `projection` on the fly (uncached — each call
+    /// gets a fresh compilation, so it deliberately bypasses the plan
+    /// cache). Callers on the hot path should compile once and use
+    /// [`ResultTuple::project_compiled`].
     pub fn project(&self, projection: &[ProjItem], result_stream: &str) -> Tuple {
-        let flat = self.joined.flatten(result_stream);
-        let keep = |name: &str| -> bool {
-            let (alias, attr) = match name.split_once('.') {
-                Some(pair) => pair,
-                None => return false,
-            };
-            if attr == "timestamp" {
-                return true;
-            }
-            projection.iter().any(|item| match item {
-                ProjItem::All => true,
-                ProjItem::AllOf(a) => a == alias,
-                ProjItem::Attr(ar) => ar.relation == alias && ar.attr == attr,
-                // Aggregates are evaluated by the AggregateEngine, never by
-                // SPJ projection.
-                ProjItem::Agg { .. } => false,
-            })
-        };
-        Tuple {
-            stream: flat.stream,
-            timestamp: flat.timestamp,
-            values: flat.values.into_iter().filter(|(k, _)| keep(k)).collect(),
-        }
+        let plan = self.build_plan(&CompiledProjection::compile(projection));
+        self.apply_plan(&plan, result_stream)
     }
+
+    /// [`ResultTuple::project`] with a precompiled projection — symbol
+    /// compares, scalar copies, and one small cache-key allocation; no
+    /// string allocation. The output schema is determined by
+    /// `(projection, part aliases, part schemas)` and cached per thread,
+    /// so repeat shapes skip the schema interner.
+    /// Colliding output names (e.g. a stored `timestamp` attribute) keep
+    /// their first occurrence, matching the legacy shadowing behaviour.
+    pub fn project_compiled(
+        &self,
+        projection: &CompiledProjection,
+        result_stream: impl Into<Symbol>,
+    ) -> Tuple {
+        let key: ProjKey =
+            (projection.id, self.joined.parts().map(|(a, t)| (a, t.schema().id())).collect());
+        let plan = PROJECTED_SCHEMAS.with_borrow_mut(|cache| {
+            // Ids are minted per compilation, so entries for dropped
+            // projections (e.g. SharedEngine rebuilds) would otherwise
+            // accumulate; a periodic clear bounds per-thread memory.
+            if cache.len() > PLAN_CACHE_LIMIT {
+                cache.clear();
+            }
+            cache.entry(key).or_insert_with(|| self.build_plan(projection)).clone()
+        });
+        self.apply_plan(&plan, result_stream)
+    }
+
+    /// Builds the projection plan for this result's part shapes:
+    /// the output schema and an emit-mask over the concatenated
+    /// `[timestamp, attrs…]` column stream of all parts. Colliding names
+    /// keep their first occurrence (legacy shadowing behaviour).
+    fn build_plan(&self, projection: &CompiledProjection) -> ProjPlan {
+        let ts = sym_timestamp();
+        let mut attrs = Vec::new();
+        let mut mask = Vec::new();
+        let push = |attrs: &mut Vec<Symbol>, mask: &mut Vec<bool>, sym: Symbol, keep: bool| {
+            let emit = keep && !attrs.contains(&sym);
+            if emit {
+                attrs.push(sym);
+            }
+            mask.push(emit);
+        };
+        for (alias, t) in self.joined.parts() {
+            push(&mut attrs, &mut mask, Symbol::dotted(alias, ts), true);
+            for &attr in t.schema().attrs() {
+                let keep = projection.keeps(alias, attr);
+                push(&mut attrs, &mut mask, Symbol::dotted(alias, attr), keep);
+            }
+        }
+        ProjPlan { schema: Schema::intern(&attrs), mask: mask.into() }
+    }
+
+    fn apply_plan(&self, plan: &ProjPlan, result_stream: impl Into<Symbol>) -> Tuple {
+        let mut values = Vec::with_capacity(plan.schema.len());
+        let mut keep = plan.mask.iter();
+        for (_, t) in self.joined.parts() {
+            if *keep.next().expect("mask covers all columns") {
+                values.push(Scalar::Int(t.timestamp));
+            }
+            for v in t.values() {
+                if *keep.next().expect("mask covers all columns") {
+                    values.push(v.clone());
+                }
+            }
+        }
+        Tuple::from_parts(result_stream, self.joined.timestamp(), Arc::clone(&plan.schema), values)
+    }
+}
+
+/// Projected-schema cache key: projection id + per-part (alias, schema id).
+type ProjKey = (u64, Vec<(Symbol, u32)>);
+
+/// Cached projection plan: the output schema plus an emit-mask over the
+/// concatenated `[timestamp, attrs…]` column stream of all parts.
+#[derive(Clone)]
+struct ProjPlan {
+    schema: Arc<Schema>,
+    mask: Arc<[bool]>,
+}
+
+/// Per-thread plan-cache bound; far above any steady-state working set.
+const PLAN_CACHE_LIMIT: usize = 4096;
+
+thread_local! {
+    static PROJECTED_SCHEMAS: RefCell<HashMap<ProjKey, ProjPlan>> = RefCell::new(HashMap::new());
 }
 
 /// Execution counters for load estimation (§3.8 collects "the average CPU
@@ -70,17 +189,20 @@ pub struct EngineStats {
     pub filtered: u64,
 }
 
-/// A compiled continuous query.
+/// A compiled continuous query: names resolved to symbols, predicates
+/// compiled, so the per-tuple path never touches a string.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     id: QueryId,
     query: Query,
     /// Window width (ms) per relation; `None` = unbounded.
     widths: Vec<Option<i64>>,
-    /// Pushed-down selection predicates per relation.
-    selections: Vec<Vec<Predicate>>,
-    /// Join (and any other multi-relation) predicates.
-    cross: Vec<Predicate>,
+    /// Interned relation aliases, in `FROM` order.
+    aliases: Vec<Symbol>,
+    /// Pushed-down selection predicates per relation, symbol-compiled.
+    selections: Vec<Vec<CompiledPredicate>>,
+    /// Join (and any other multi-relation) predicates, symbol-compiled.
+    cross: Vec<CompiledPredicate>,
     /// Window buffers per relation, timestamp-ordered.
     buffers: Vec<VecDeque<Arc<Tuple>>>,
     stats: EngineStats,
@@ -99,30 +221,30 @@ impl CompiledQuery {
             "query {id} contains aggregates; use cosmos_engine::aggregate::AggregateQuery"
         );
         let n = query.relations.len();
-        let widths = query
-            .relations
-            .iter()
-            .map(|r| r.window.width_ms().map(|w| w as i64))
-            .collect();
+        let widths =
+            query.relations.iter().map(|r| r.window.width_ms().map(|w| w as i64)).collect();
+        let aliases: Vec<Symbol> =
+            query.relations.iter().map(|r| Symbol::intern(&r.alias)).collect();
         let mut selections = vec![Vec::new(); n];
         let mut cross = Vec::new();
         for p in &query.predicates {
             match p {
-                Predicate::Cmp { attr, .. } => {
+                cosmos_query::Predicate::Cmp { attr, .. } => {
                     let idx = query
                         .relations
                         .iter()
                         .position(|r| r.alias == attr.relation)
                         .expect("well-formed query has known aliases");
-                    selections[idx].push(p.clone());
+                    selections[idx].push(CompiledPredicate::compile(p));
                 }
-                _ => cross.push(p.clone()),
+                _ => cross.push(CompiledPredicate::compile(p)),
             }
         }
         Self {
             id,
             query,
             widths,
+            aliases,
             selections,
             cross,
             buffers: vec![VecDeque::new(); n],
@@ -176,12 +298,9 @@ impl CompiledQuery {
         let now = tuple.timestamp;
         self.prune(now);
         // Pushed-down selection: reject before the tuple enters the window.
-        let alias = self.query.relations[rel_idx].alias.clone();
-        let probe_view = SingleView { alias: &alias, tuple: &tuple };
-        if !self.selections[rel_idx]
-            .iter()
-            .all(|p| eval_predicate(p, &probe_view).unwrap_or(false))
-        {
+        let alias = self.aliases[rel_idx];
+        let probe_view = SingleView { alias, tuple: &tuple };
+        if !eval_compiled(&self.selections[rel_idx], &probe_view) {
             self.stats.filtered += 1;
             return;
         }
@@ -194,7 +313,7 @@ impl CompiledQuery {
             self.stats.emitted += 1;
             out.push(ResultTuple {
                 query: self.id,
-                joined: JoinedTuple::new(vec![(alias.clone(), tuple.clone())]),
+                joined: JoinedTuple::new(vec![(alias, tuple.clone())]),
             });
         } else {
             let mut combo: Vec<Option<Arc<Tuple>>> = vec![None; n];
@@ -215,15 +334,13 @@ impl CompiledQuery {
         let n = self.buffers.len();
         if rel == n {
             self.stats.probes += 1;
-            let parts: Vec<(String, Arc<Tuple>)> = combo
+            let parts: Vec<(Symbol, Arc<Tuple>)> = combo
                 .iter()
                 .enumerate()
-                .map(|(i, t)| {
-                    (self.query.relations[i].alias.clone(), t.clone().expect("combo complete"))
-                })
+                .map(|(i, t)| (self.aliases[i], t.clone().expect("combo complete")))
                 .collect();
             let joined = JoinedTuple::new(parts);
-            if eval_conjunction(&self.cross, &joined) {
+            if eval_compiled(&self.cross, &joined) {
                 self.stats.emitted += 1;
                 out.push(ResultTuple { query: self.id, joined });
             }
@@ -255,25 +372,25 @@ impl CompiledQuery {
     }
 }
 
-/// Evaluates single-relation predicates against a lone tuple under an alias.
-struct SingleView<'a> {
-    alias: &'a str,
-    tuple: &'a Tuple,
+/// Evaluates single-relation predicates against a lone tuple under an
+/// alias. Shared by the SPJ and aggregate engines.
+pub(crate) struct SingleView<'a> {
+    pub(crate) alias: Symbol,
+    pub(crate) tuple: &'a Tuple,
 }
 
-impl cosmos_query::predicate::AttrSource for SingleView<'_> {
-    fn value(&self, attr: &cosmos_query::AttrRef) -> Option<Scalar> {
-        if attr.relation != self.alias {
+impl SymSource for SingleView<'_> {
+    #[inline]
+    fn value(&self, rel: Symbol, attr: Symbol) -> Option<ScalarRef<'_>> {
+        if rel != self.alias {
             return None;
         }
-        if attr.attr == "timestamp" {
-            return Some(Scalar::Int(self.tuple.timestamp));
-        }
-        self.tuple.get(&attr.attr).cloned()
+        self.tuple.get_sym(attr).map(Into::into)
     }
 
-    fn timestamp(&self, alias: &str) -> Option<i64> {
-        (alias == self.alias).then_some(self.tuple.timestamp)
+    #[inline]
+    fn timestamp(&self, rel: Symbol) -> Option<i64> {
+        (rel == self.alias).then_some(self.tuple.timestamp)
     }
 }
 
@@ -283,8 +400,8 @@ impl cosmos_query::predicate::AttrSource for SingleView<'_> {
 #[derive(Debug, Default)]
 pub struct StreamEngine {
     queries: Vec<CompiledQuery>,
-    /// stream name → (query index, relation index) feeds.
-    feeds: HashMap<String, Vec<(usize, usize)>>,
+    /// stream symbol → (query index, relation index) feeds.
+    feeds: HashMap<Symbol, Vec<(usize, usize)>>,
 }
 
 impl StreamEngine {
@@ -302,7 +419,7 @@ impl StreamEngine {
         let compiled = CompiledQuery::compile(id, query);
         let qi = self.queries.len();
         for (ri, rel) in compiled.query.relations.iter().enumerate() {
-            self.feeds.entry(rel.stream.clone()).or_default().push((qi, ri));
+            self.feeds.entry(Symbol::intern(&rel.stream)).or_default().push((qi, ri));
         }
         self.queries.push(compiled);
     }
@@ -314,7 +431,7 @@ impl StreamEngine {
             self.feeds.clear();
             for (qi, q) in self.queries.iter().enumerate() {
                 for (ri, rel) in q.query.relations.iter().enumerate() {
-                    self.feeds.entry(rel.stream.clone()).or_default().push((qi, ri));
+                    self.feeds.entry(Symbol::intern(&rel.stream)).or_default().push((qi, ri));
                 }
             }
         }
@@ -386,9 +503,7 @@ mod tests {
 
     #[test]
     fn window_join_within_range() {
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k",
-        );
+        let mut e = engine_with("SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k");
         e.push(t("R", 0, &[("k", 1)]));
         e.push(t("R", 5_000, &[("k", 1)]));
         // S arrives at 8s: both R tuples are within 10s.
@@ -402,9 +517,7 @@ mod tests {
 
     #[test]
     fn join_key_mismatch_produces_nothing() {
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k",
-        );
+        let mut e = engine_with("SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k");
         e.push(t("R", 0, &[("k", 1)]));
         assert_eq!(e.push(t("S", 1_000, &[("k", 2)])).len(), 0);
     }
@@ -421,9 +534,8 @@ mod tests {
 
     #[test]
     fn each_pair_emitted_exactly_once() {
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 1 Minute], S [Range 1 Minute] WHERE R.k = S.k",
-        );
+        let mut e =
+            engine_with("SELECT * FROM R [Range 1 Minute], S [Range 1 Minute] WHERE R.k = S.k");
         let mut total = 0;
         total += e.push(t("R", 0, &[("k", 1)])).len();
         total += e.push(t("S", 0, &[("k", 1)])).len(); // pair (R@0, S@0)
@@ -434,9 +546,8 @@ mod tests {
 
     #[test]
     fn selection_pushdown_blocks_window_entry() {
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k AND R.a > 10",
-        );
+        let mut e =
+            engine_with("SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k AND R.a > 10");
         e.push(t("R", 0, &[("k", 1), ("a", 5)])); // filtered out
         assert_eq!(e.push(t("S", 1_000, &[("k", 1)])).len(), 0);
         e.push(t("R", 2_000, &[("k", 1), ("a", 20)]));
@@ -462,9 +573,7 @@ mod tests {
 
     #[test]
     fn inequality_join_predicate() {
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.v > S.v",
-        );
+        let mut e = engine_with("SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.v > S.v");
         e.push(t("R", 0, &[("v", 10)]));
         assert_eq!(e.push(t("S", 1_000, &[("v", 5)])).len(), 1);
         assert_eq!(e.push(t("S", 2_000, &[("v", 15)])).len(), 0);
@@ -473,9 +582,8 @@ mod tests {
     #[test]
     fn self_stream_two_relations() {
         // Same stream twice under different aliases.
-        let mut e = engine_with(
-            "SELECT * FROM R [Range 1 Minute] A, R [Range 1 Minute] B WHERE A.v < B.v",
-        );
+        let mut e =
+            engine_with("SELECT * FROM R [Range 1 Minute] A, R [Range 1 Minute] B WHERE A.v < B.v");
         e.push(t("R", 0, &[("v", 1)]));
         let out = e.push(t("R", 1_000, &[("v", 2)]));
         // A@0 (v=1) < B@1s (v=2): one pair. The reverse has v 2 < 1: no.
@@ -485,14 +593,15 @@ mod tests {
 
     #[test]
     fn projection_of_results() {
-        let mut e = engine_with(
-            "SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k",
-        );
+        let mut e = engine_with("SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k");
         e.push(t("R", 0, &[("k", 1), ("v", 42), ("x", 9)]));
         let out = e.push(t("S", 500, &[("k", 1), ("y", 3)]));
-        let projected = out[0].project(&parse_query(
-            "SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k",
-        ).unwrap().projection, "res");
+        let projected = out[0].project(
+            &parse_query("SELECT R.v FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k")
+                .unwrap()
+                .projection,
+            "res",
+        );
         assert_eq!(projected.get("R.v"), Some(&Scalar::Int(42)));
         assert_eq!(projected.get("R.x"), None);
         assert_eq!(projected.get("S.y"), None);

@@ -25,7 +25,7 @@ enum Command {
 
 struct Worker {
     sender: Sender<Command>,
-    streams: HashSet<String>,
+    streams: HashSet<cosmos_util::Symbol>,
     handle: Option<JoinHandle<EngineStats>>,
 }
 
@@ -74,7 +74,7 @@ impl ParallelEngine {
         let mut streams = HashSet::new();
         for (_, q) in &queries {
             for r in &q.relations {
-                streams.insert(r.stream.clone());
+                streams.insert(cosmos_util::Symbol::intern(&r.stream));
             }
         }
         let (tx, rx) = unbounded::<Command>();
@@ -115,9 +115,10 @@ impl ParallelEngine {
         let mut delivered = 0;
         for w in &self.workers {
             if w.streams.contains(&shared.stream)
-                && w.sender.send(Command::Tuple(shared.clone())).is_ok() {
-                    delivered += 1;
-                }
+                && w.sender.send(Command::Tuple(shared.clone())).is_ok()
+            {
+                delivered += 1;
+            }
         }
         delivered
     }
@@ -225,10 +226,8 @@ mod tests {
             pool.publish(tup.clone());
         }
         let (results, stats) = pool.finish_with_stats();
-        let got: BTreeSet<String> = results
-            .iter()
-            .map(|r| format!("{}@{}", r.query, r.joined.timestamp()))
-            .collect();
+        let got: BTreeSet<String> =
+            results.iter().map(|r| format!("{}@{}", r.query, r.joined.timestamp())).collect();
         assert_eq!(got, expect);
         assert!(stats.probes > 0);
     }

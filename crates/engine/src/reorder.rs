@@ -42,11 +42,7 @@ impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap by timestamp; FIFO (arrival sequence) on ties, so
         // equal-timestamp tuples come back out in arrival order.
-        other
-            .0
-            .timestamp
-            .cmp(&self.0.timestamp)
-            .then_with(|| other.1.cmp(&self.1))
+        other.0.timestamp.cmp(&self.0.timestamp).then_with(|| other.1.cmp(&self.1))
     }
 }
 

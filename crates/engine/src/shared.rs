@@ -13,32 +13,55 @@
 //! exactly the per-query results independent execution would* — is what the
 //! tests (including property tests) pin down.
 
-use crate::exec::{EngineStats, StreamEngine};
+use crate::exec::{CompiledProjection, EngineStats, StreamEngine};
 use crate::tuple::Tuple;
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate};
 use cosmos_query::containment::{merge_queries, MergedQuery};
-use cosmos_query::predicate::eval_conjunction;
 use cosmos_query::{Query, QueryId};
+use cosmos_util::intern::{Schema, Symbol};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A member record: `(member id, member query, merged→original alias
-/// pairs)`.
-type Member = (QueryId, Query, Vec<(String, String)>);
+/// A member's residual subscription, fully symbol-compiled at build time
+/// so splitting a shared result costs no string work per tuple.
+#[derive(Debug)]
+struct ResidualCompiled {
+    /// Unique per residual; keys the renamed-schema cache (`u64`: cannot
+    /// wrap into an alias).
+    id: u64,
+    /// The member query this residual recovers.
+    query: QueryId,
+    /// Residual filters over merged aliases.
+    filters: Vec<CompiledPredicate>,
+    /// The member's projection over merged aliases.
+    projection: CompiledProjection,
+    /// `(merged alias, member alias)` renames for the output schema.
+    pairs: Vec<(Symbol, Symbol)>,
+}
+
+fn next_residual_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One group of merged queries.
 #[derive(Debug)]
 struct Group {
     /// Engine-internal id of the merged (covering) query.
     merged_id: QueryId,
-    /// Name of the shared result stream (paper: derived from the processor's
+    /// Shared result stream tag (paper: derived from the processor's
     /// unique identifier).
-    result_stream: String,
+    result_stream: Symbol,
     merged: MergedQuery,
-    /// Member records with alias mappings.
-    members: Vec<Member>,
+    /// Per-member compiled residuals, in member order.
+    residuals: Vec<ResidualCompiled>,
 }
 
 /// Matches relations of `member` to `merged` by stream name in `FROM` order,
-/// returning `(merged_alias, member_alias)` pairs.
-fn alias_pairs(merged: &Query, member: &Query) -> Vec<(String, String)> {
+/// returning `(merged_alias, member_alias)` symbol pairs.
+fn alias_pairs(merged: &Query, member: &Query) -> Vec<(Symbol, Symbol)> {
     let mut used = vec![false; merged.relations.len()];
     let mut out = Vec::new();
     for mrel in &member.relations {
@@ -49,7 +72,7 @@ fn alias_pairs(merged: &Query, member: &Query) -> Vec<(String, String)> {
             .find(|(gi, grel)| !used[*gi] && grel.stream == mrel.stream)
         {
             used[gi] = true;
-            out.push((grel.alias.clone(), mrel.alias.clone()));
+            out.push((Symbol::intern(&grel.alias), Symbol::intern(&mrel.alias)));
         }
     }
     out
@@ -114,18 +137,29 @@ impl SharedEngine {
             // Internal ids live far above user ids to avoid collisions.
             let merged_id = QueryId(u64::MAX - gi as u64);
             engine.add_query(merged_id, merged.query.clone());
-            let with_alias: Vec<Member> = members
-                .into_iter()
-                .map(|(id, q)| {
-                    let pairs = alias_pairs(&merged.query, &q);
-                    (id, q, pairs)
+            // Compile every residual once: filters, projection, renames.
+            let residuals: Vec<ResidualCompiled> = merged
+                .residuals
+                .iter()
+                .map(|r| {
+                    let (_, member_query) = members
+                        .iter()
+                        .find(|(id, _)| *id == r.query)
+                        .expect("residual for unknown member");
+                    ResidualCompiled {
+                        id: next_residual_id(),
+                        query: r.query,
+                        filters: CompiledPredicate::compile_all(&r.filters),
+                        projection: CompiledProjection::compile(&r.projection),
+                        pairs: alias_pairs(&merged.query, member_query),
+                    }
                 })
                 .collect();
             groups.push(Group {
                 merged_id,
-                result_stream: format!("shared-{gi}"),
+                result_stream: Symbol::intern(&format!("shared-{gi}")),
                 merged,
-                members: with_alias,
+                residuals,
             });
         }
         Self { engine, groups }
@@ -157,36 +191,57 @@ impl SharedEngine {
                 .iter()
                 .find(|g| g.merged_id == r.query)
                 .expect("result from unknown merged query");
-            for residual in &group.merged.residuals {
+            for residual in &group.residuals {
                 // Residual filters are in merged aliases; the joined tuple
                 // exposes exactly those aliases.
-                if !eval_conjunction(&residual.filters, &r.joined) {
+                if !eval_compiled(&residual.filters, &r.joined) {
                     continue;
                 }
-                let projected = r.project(&residual.projection, &group.result_stream);
-                let (_, _, pairs) = group
-                    .members
-                    .iter()
-                    .find(|(id, _, _)| *id == residual.query)
-                    .expect("residual for unknown member");
-                out.push((residual.query, rename_aliases(projected, pairs)));
+                let projected = r.project_compiled(&residual.projection, group.result_stream);
+                out.push((residual.query, rename_aliases(projected, residual)));
             }
         }
         out
     }
 }
 
+thread_local! {
+    /// (input schema id, residual id) → renamed schema; the rename is a
+    /// pure function of both, so repeat shapes skip the schema interner.
+    static RENAMED_SCHEMAS: RefCell<HashMap<(u32, u64), Arc<Schema>>> =
+        RefCell::new(HashMap::new());
+}
+
 /// Renames `merged_alias.attr` attribute names back to the member query's
-/// own aliases, so users see the schema they asked for.
-fn rename_aliases(mut t: Tuple, pairs: &[(String, String)]) -> Tuple {
-    for (name, _) in t.values.iter_mut() {
-        if let Some((alias, attr)) = name.split_once('.') {
-            if let Some((_, orig)) = pairs.iter().find(|(m, _)| m == alias) {
-                *name = format!("{orig}.{attr}");
-            }
+/// own aliases, so users see the schema they asked for. Pure schema work:
+/// the payload is untouched, and the renamed schema is cached per
+/// (input schema, residual) and interned (so equal shapes keep sharing
+/// one schema).
+fn rename_aliases(t: Tuple, residual: &ResidualCompiled) -> Tuple {
+    let schema = RENAMED_SCHEMAS.with_borrow_mut(|cache| {
+        // Residual ids are minted per SharedEngine::build; bound the
+        // per-thread cache so engine rebuilds cannot grow it forever.
+        if cache.len() > 4096 {
+            cache.clear();
         }
-    }
-    t
+        Arc::clone(cache.entry((t.schema().id(), residual.id)).or_insert_with(|| {
+            let attrs: Vec<Symbol> = t
+                .schema()
+                .attrs()
+                .iter()
+                .map(|&name| match name.split_dotted() {
+                    Some((alias, attr)) => match residual.pairs.iter().find(|(m, _)| *m == alias) {
+                        Some((_, orig)) => Symbol::dotted(*orig, attr),
+                        None => name,
+                    },
+                    None => name,
+                })
+                .collect();
+            Schema::intern(&attrs)
+        }))
+    });
+    let (stream, timestamp) = (t.stream, t.timestamp);
+    Tuple::from_parts(stream, timestamp, schema, t.into_values())
 }
 
 #[cfg(test)]
@@ -237,11 +292,8 @@ mod tests {
         let mut shared_out = BTreeSet::new();
         for tup in &tuples {
             for (id, result) in shared.push(tup.clone()) {
-                let mut vals: Vec<String> = result
-                    .values
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect();
+                let mut vals: Vec<String> =
+                    result.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 vals.sort();
                 shared_out.insert(format!("{id}:{}", vals.join(",")));
             }
@@ -256,11 +308,8 @@ mod tests {
         for tup in &tuples {
             for r in indep.push(tup.clone()) {
                 let projected = r.project(&projections[&r.query], "x");
-                let mut vals: Vec<String> = projected
-                    .values
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect();
+                let mut vals: Vec<String> =
+                    projected.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 vals.sort();
                 indep_out.insert(format!("{}:{}", r.query, vals.join(",")));
             }
@@ -275,10 +324,7 @@ mod tests {
         let merged = shared.merged_queries().next().unwrap();
         // Q5: no selection filter, 1-hour window.
         assert_eq!(merged.selection_predicates().count(), 0);
-        assert_eq!(
-            merged.relation("S1").unwrap().window,
-            cosmos_query::Window::Range(3_600_000)
-        );
+        assert_eq!(merged.relation("S1").unwrap().window, cosmos_query::Window::Range(3_600_000));
     }
 
     #[test]
@@ -309,11 +355,7 @@ mod tests {
         let mut tuples = Vec::new();
         for i in 0..40i64 {
             tuples.push(t("Station1", i * 5 * 60_000, &[("snowHeight", (i * 7) % 25)]));
-            tuples.push(t(
-                "Station2",
-                i * 5 * 60_000 + 60_000,
-                &[("snowHeight", (i * 3) % 20)],
-            ));
+            tuples.push(t("Station2", i * 5 * 60_000 + 60_000, &[("snowHeight", (i * 3) % 20)]));
         }
         let (shared, indep) = run_both(paper_queries(), tuples);
         assert_eq!(shared, indep);

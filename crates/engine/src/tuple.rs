@@ -1,52 +1,140 @@
-//! Timestamped tuples and joined tuples.
+//! Schema-indexed tuples and joined tuples.
+//!
+//! # Performance architecture
+//!
+//! The tuple data plane is symbol-interned and schema-indexed:
+//!
+//! - A [`Tuple`] is `{ stream: Symbol, timestamp, values: Vec<Scalar> }`
+//!   plus a shared [`Arc<Schema>`] mapping attribute symbols to column
+//!   indices. Tuples of the same shape share one interned schema, so the
+//!   payload carries **no attribute names at all** — attribute lookup is a
+//!   linear scan over `u32`s in the schema (sensor schemas are narrow, so
+//!   this beats hashing), and cloning a tuple clones scalars only.
+//! - A [`JoinedTuple`] stores positional `(alias: Symbol, Arc<Tuple>)`
+//!   parts. Component tuples are `Arc`-shared because one window tuple
+//!   typically participates in many join outputs.
+//! - [`JoinedTuple::flatten`] emits a tuple on a **precomputed flattened
+//!   schema** (`alias.attr` names, built once per distinct combination of
+//!   part aliases and part schemas, then cached per thread). The per-tuple
+//!   work is copying scalars — no `format!`, no `String` allocation.
+//!
+//! String-based constructors (`Tuple::new("R", ts).with("k", v)`,
+//! `tuple.get("k")`) remain as thin compatibility shims: they intern on
+//! the way in, so tests and examples read naturally while the hot paths
+//! stay symbol-only.
 
+use cosmos_query::compiled::{ScalarRef, SymSource};
 use cosmos_query::predicate::AttrSource;
 use cosmos_query::{AttrRef, Scalar};
+use cosmos_util::intern::{sym_timestamp, Schema, Symbol};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// A single stream tuple: stream (or alias) tag, event timestamp, values.
-///
-/// Values are kept as name/value pairs — schemas in sensor settings are
-/// narrow (a handful of attributes), so linear scans beat a hash map.
+/// A single stream tuple: stream (or alias) tag, event timestamp, and a
+/// positional scalar payload indexed by a shared [`Schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     /// The stream this tuple belongs to.
-    pub stream: String,
+    pub stream: Symbol,
     /// Event time in milliseconds.
     pub timestamp: i64,
-    /// Attribute values.
-    pub values: Vec<(String, Scalar)>,
+    schema: Arc<Schema>,
+    values: Vec<Scalar>,
 }
 
 impl Tuple {
-    /// Creates an empty tuple.
-    pub fn new(stream: impl Into<String>, timestamp: i64) -> Self {
-        Self { stream: stream.into(), timestamp, values: Vec::new() }
+    /// Creates an empty tuple (compat shim; interns `stream`).
+    pub fn new(stream: impl Into<Symbol>, timestamp: i64) -> Self {
+        Self { stream: stream.into(), timestamp, schema: Schema::empty(), values: Vec::new() }
     }
 
-    /// Adds an attribute (builder-style).
-    pub fn with(mut self, name: impl Into<String>, value: Scalar) -> Self {
-        self.values.push((name.into(), value));
+    /// Builds a tuple directly on a schema — the hot-path constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `schema` disagree on arity.
+    pub fn from_parts(
+        stream: impl Into<Symbol>,
+        timestamp: i64,
+        schema: Arc<Schema>,
+        values: Vec<Scalar>,
+    ) -> Self {
+        assert_eq!(schema.len(), values.len(), "schema/values arity mismatch");
+        Self { stream: stream.into(), timestamp, schema, values }
+    }
+
+    /// Adds an attribute (builder-style compat shim; re-interns the
+    /// extended schema, so repeated shapes still share one schema).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already present — schemas are positional
+    /// indices, so duplicate names are rejected at construction (the old
+    /// string-keyed layout silently shadowed them).
+    pub fn with(mut self, name: impl Into<Symbol>, value: Scalar) -> Self {
+        self.schema = self.schema.with(name.into());
+        self.values.push(value);
         self
     }
 
-    /// Looks up an attribute value.
-    pub fn get(&self, name: &str) -> Option<&Scalar> {
-        self.values.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    /// The tuple's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
     }
 
-    /// Approximate wire size in bytes (16-byte header + 16 per attribute),
-    /// matching the Pub/Sub message model.
+    /// The positional payload.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Consumes the tuple, returning the payload (for schema-rewriting
+    /// transformations that keep the values).
+    pub fn into_values(self) -> Vec<Scalar> {
+        self.values
+    }
+
+    /// Looks up an attribute value by symbol — the hot path.
+    #[inline]
+    pub fn get_sym(&self, attr: Symbol) -> Option<&Scalar> {
+        self.schema.index_of(attr).map(|i| &self.values[i])
+    }
+
+    /// Looks up an attribute value by name (compat shim; never interns).
+    pub fn get(&self, name: &str) -> Option<&Scalar> {
+        self.get_sym(Symbol::lookup(name)?)
+    }
+
+    /// Iterates `(attribute, value)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Scalar)> {
+        self.schema.attrs().iter().copied().zip(self.values.iter())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the tuple has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Approximate wire size in bytes: a 16-byte header (stream tag +
+    /// timestamp), then per attribute a 4-byte symbol id plus the value's
+    /// actual payload — 8 bytes for numbers, length + 4-byte length prefix
+    /// for strings. The Pub/Sub `Message` uses the same model, keeping
+    /// engine-side and broker-side byte accounting consistent.
     pub fn wire_size(&self) -> usize {
-        16 + 16 * self.values.len()
+        16 + self.values.iter().map(|v| 4 + v.wire_size()).sum::<usize>()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}@{}{{", self.stream, self.timestamp)?;
-        for (i, (k, v)) in self.values.iter().enumerate() {
+        for (i, (k, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -56,29 +144,86 @@ impl fmt::Display for Tuple {
     }
 }
 
-/// A join output: one source tuple per relation alias.
-///
-/// Component tuples are shared (`Arc`) because one window tuple typically
-/// participates in many join outputs.
+/// Cache key for flattened schemas: `(alias, part schema id)` per part.
+type FlatKey = Vec<(Symbol, u32)>;
+
+/// A cached flattened schema: the interned schema plus, when any source
+/// column had to be dropped (a stored attribute colliding with the
+/// synthetic `alias.timestamp`, or a repeated name — first occurrence
+/// wins, matching the legacy string-keyed shadowing), a keep-mask over
+/// the concatenated `[timestamp, attrs…]` stream of all parts.
+#[derive(Clone)]
+struct FlatSchema {
+    schema: Arc<Schema>,
+    mask: Option<Arc<[bool]>>,
+}
+
+thread_local! {
+    /// (alias, part-schema-id) list → flattened schema. Schema identity
+    /// makes the key two `u32`s per part; hits are one hash over a short
+    /// slice, no locking.
+    static FLAT_SCHEMAS: RefCell<HashMap<FlatKey, FlatSchema>> = RefCell::new(HashMap::new());
+}
+
+/// The flattened schema for a list of `(alias, component)` parts:
+/// `alias.timestamp` followed by `alias.attr` for each component column.
+fn flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
+    let key: FlatKey = parts.iter().map(|(a, t)| (*a, t.schema.id())).collect();
+    FLAT_SCHEMAS.with_borrow_mut(|cache| {
+        cache
+            .entry(key)
+            .or_insert_with(|| {
+                let ts = sym_timestamp();
+                let mut attrs = Vec::new();
+                let mut mask = Vec::new();
+                let push = |attrs: &mut Vec<Symbol>, mask: &mut Vec<bool>, sym: Symbol| {
+                    let fresh = !attrs.contains(&sym);
+                    if fresh {
+                        attrs.push(sym);
+                    }
+                    mask.push(fresh);
+                };
+                for (alias, t) in parts {
+                    push(&mut attrs, &mut mask, Symbol::dotted(*alias, ts));
+                    for &attr in t.schema.attrs() {
+                        push(&mut attrs, &mut mask, Symbol::dotted(*alias, attr));
+                    }
+                }
+                FlatSchema {
+                    schema: Schema::intern(&attrs),
+                    mask: mask.contains(&false).then(|| mask.into()),
+                }
+            })
+            .clone()
+    })
+}
+
+/// A join output: one source tuple per relation alias, in join order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinedTuple {
-    parts: Vec<(String, Arc<Tuple>)>,
+    parts: Vec<(Symbol, Arc<Tuple>)>,
 }
 
 impl JoinedTuple {
     /// Builds a joined tuple from `(alias, tuple)` parts.
-    pub fn new(parts: Vec<(String, Arc<Tuple>)>) -> Self {
+    pub fn new(parts: Vec<(Symbol, Arc<Tuple>)>) -> Self {
         Self { parts }
     }
 
-    /// The component tuple bound to `alias`.
+    /// The component tuple bound to `alias` — the hot path.
+    #[inline]
+    pub fn part_sym(&self, alias: Symbol) -> Option<&Tuple> {
+        self.parts.iter().find(|(a, _)| *a == alias).map(|(_, t)| t.as_ref())
+    }
+
+    /// The component tuple bound to `alias` (compat shim; never interns).
     pub fn part(&self, alias: &str) -> Option<&Tuple> {
-        self.parts.iter().find(|(a, _)| a == alias).map(|(_, t)| t.as_ref())
+        self.part_sym(Symbol::lookup(alias)?)
     }
 
     /// Iterates over `(alias, tuple)` parts in join order.
-    pub fn parts(&self) -> impl Iterator<Item = (&str, &Tuple)> {
-        self.parts.iter().map(|(a, t)| (a.as_str(), t.as_ref()))
+    pub fn parts(&self) -> impl Iterator<Item = (Symbol, &Tuple)> {
+        self.parts.iter().map(|(a, t)| (*a, t.as_ref()))
     }
 
     /// The largest component timestamp — the output's event time.
@@ -86,19 +231,53 @@ impl JoinedTuple {
         self.parts.iter().map(|(_, t)| t.timestamp).max().unwrap_or(0)
     }
 
-    /// Flattens into a result tuple with `alias.attr` attribute names, plus
-    /// per-alias `alias.timestamp` attributes so downstream consumers (e.g.
-    /// residual window filters) retain the component times.
-    pub fn flatten(&self, result_stream: &str) -> Tuple {
-        let mut out = Tuple::new(result_stream, self.timestamp());
-        for (alias, t) in &self.parts {
-            out.values
-                .push((format!("{alias}.timestamp"), Scalar::Int(t.timestamp)));
-            for (k, v) in &t.values {
-                out.values.push((format!("{alias}.{k}"), v.clone()));
+    /// Flattens into a result tuple with `alias.attr` attribute names,
+    /// plus per-alias `alias.timestamp` attributes so downstream consumers
+    /// (e.g. residual window filters) retain the component times.
+    ///
+    /// The flattened schema is precomputed and cached per distinct
+    /// (aliases, part schemas) combination; per call this copies scalars
+    /// plus one small cache-key allocation — no string formatting or
+    /// name interning.
+    pub fn flatten(&self, result_stream: impl Into<Symbol>) -> Tuple {
+        let flat = flat_schema(&self.parts);
+        let mut values = Vec::with_capacity(flat.schema.len());
+        match &flat.mask {
+            None => {
+                for (_, t) in &self.parts {
+                    values.push(Scalar::Int(t.timestamp));
+                    values.extend(t.values.iter().cloned());
+                }
+            }
+            // Colliding names were dropped from the schema (first wins);
+            // drop the matching source columns.
+            Some(mask) => {
+                let mut keep = mask.iter();
+                for (_, t) in &self.parts {
+                    if *keep.next().expect("mask covers all columns") {
+                        values.push(Scalar::Int(t.timestamp));
+                    }
+                    for v in &t.values {
+                        if *keep.next().expect("mask covers all columns") {
+                            values.push(v.clone());
+                        }
+                    }
+                }
             }
         }
-        out
+        Tuple::from_parts(result_stream, self.timestamp(), flat.schema, values)
+    }
+}
+
+impl SymSource for JoinedTuple {
+    #[inline]
+    fn value(&self, rel: Symbol, attr: Symbol) -> Option<ScalarRef<'_>> {
+        self.part_sym(rel)?.get_sym(attr).map(Into::into)
+    }
+
+    #[inline]
+    fn timestamp(&self, rel: Symbol) -> Option<i64> {
+        self.part_sym(rel).map(|t| t.timestamp)
     }
 }
 
@@ -119,6 +298,7 @@ impl AttrSource for JoinedTuple {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cosmos_query::compiled::CompiledPredicate;
     use cosmos_query::predicate::eval_predicate;
     use cosmos_query::{CmpOp, Predicate};
 
@@ -138,12 +318,12 @@ mod tests {
     #[test]
     fn attr_source_resolves_alias_and_timestamp() {
         let j = joined();
+        assert_eq!(AttrSource::value(&j, &AttrRef::new("S1", "snowHeight")), Some(Scalar::Int(30)));
         assert_eq!(
-            j.value(&AttrRef::new("S1", "snowHeight")),
-            Some(Scalar::Int(30))
+            AttrSource::value(&j, &AttrRef::new("S1", "timestamp")),
+            Some(Scalar::Int(1_000))
         );
-        assert_eq!(j.value(&AttrRef::new("S1", "timestamp")), Some(Scalar::Int(1_000)));
-        assert_eq!(j.value(&AttrRef::new("S3", "snowHeight")), None);
+        assert_eq!(AttrSource::value(&j, &AttrRef::new("S3", "snowHeight")), None);
         assert_eq!(AttrSource::timestamp(&j, "S2"), Some(2_000));
         assert_eq!(j.timestamp(), 2_000);
     }
@@ -157,6 +337,7 @@ mod tests {
             right: AttrRef::new("S2", "snowHeight"),
         };
         assert_eq!(eval_predicate(&p, &j), Some(true));
+        assert_eq!(CompiledPredicate::compile(&p).eval(&j), Some(true));
         let td = Predicate::TimeDelta {
             left: "S1".into(),
             right: "S2".into(),
@@ -164,6 +345,7 @@ mod tests {
             max_ms: 0,
         };
         assert_eq!(eval_predicate(&td, &j), Some(true));
+        assert_eq!(CompiledPredicate::compile(&td).eval(&j), Some(true));
     }
 
     #[test]
@@ -178,11 +360,38 @@ mod tests {
     }
 
     #[test]
+    fn flatten_shares_schema_across_tuples_of_same_shape() {
+        let a = joined().flatten("res");
+        let b = joined().flatten("res");
+        assert_eq!(a.schema().id(), b.schema().id());
+        assert!(Arc::ptr_eq(a.schema(), b.schema()));
+    }
+
+    #[test]
     fn tuple_accessors() {
         let t = Tuple::new("R", 5).with("a", Scalar::Int(1));
         assert_eq!(t.get("a"), Some(&Scalar::Int(1)));
         assert_eq!(t.get("b"), None);
-        assert_eq!(t.wire_size(), 32);
+        assert_eq!(t.get_sym(Symbol::intern("a")), Some(&Scalar::Int(1)));
+        // 16-byte header + 4-byte symbol + 8-byte int payload.
+        assert_eq!(t.wire_size(), 28);
         assert!(t.to_string().contains("R@5"));
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn wire_size_charges_actual_string_payload() {
+        let small = Tuple::new("R", 0).with("s", Scalar::Str("ab".into()));
+        let big = Tuple::new("R", 0).with("s", Scalar::Str("a".repeat(100)));
+        assert_eq!(small.wire_size(), 16 + 4 + 4 + 2);
+        assert_eq!(big.wire_size(), 16 + 4 + 4 + 100);
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn tuples_of_same_shape_share_schema() {
+        let a = Tuple::new("R", 0).with("k", Scalar::Int(1)).with("v", Scalar::Int(2));
+        let b = Tuple::new("R", 1).with("k", Scalar::Int(3)).with("v", Scalar::Int(4));
+        assert!(Arc::ptr_eq(a.schema(), b.schema()));
     }
 }

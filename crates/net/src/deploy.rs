@@ -86,10 +86,7 @@ impl Deployment {
         }
         for &p in &processors {
             assert!(p.index() < n, "processor {p} out of range");
-            assert!(
-                roles[p.index()] != Role::Source,
-                "{p} cannot be both source and processor"
-            );
+            assert!(roles[p.index()] != Role::Source, "{p} cannot be both source and processor");
             roles[p.index()] = Role::Processor;
         }
         let source_trees = SptForest::compute(&topology, &sources);
@@ -125,9 +122,7 @@ impl Deployment {
     ///
     /// Panics if `source` is not a source node.
     pub fn source_tree(&self, source: NodeId) -> &crate::routing::ShortestPathTree {
-        self.source_trees
-            .tree(source)
-            .unwrap_or_else(|| panic!("{source} is not a source"))
+        self.source_trees.tree(source).unwrap_or_else(|| panic!("{source} is not a source"))
     }
 
     /// Shortest-path tree rooted at a processor (for result delivery).
@@ -179,11 +174,7 @@ mod tests {
             assert_eq!(dep.role(p), Role::Processor);
         }
         let end_systems = dep.sources().len() + dep.processors().len();
-        let routers = dep
-            .topology()
-            .nodes()
-            .filter(|&n| dep.role(n) == Role::Router)
-            .count();
+        let routers = dep.topology().nodes().filter(|&n| dep.role(n) == Role::Router).count();
         assert_eq!(routers + end_systems, dep.topology().node_count());
     }
 

@@ -103,9 +103,7 @@ impl Topology {
 
     /// Returns `true` if `u` and `v` are directly connected.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adjacency
-            .get(u.index())
-            .is_some_and(|adj| adj.iter().any(|(n, _)| *n == v))
+        self.adjacency.get(u.index()).is_some_and(|adj| adj.iter().any(|(n, _)| *n == v))
     }
 
     /// Latency of the direct edge between `u` and `v`, if present.

@@ -315,7 +315,10 @@ mod tests {
         for i in 0..5u32 {
             assert_eq!(spt.distance(NodeId(i)), Some(i as f64));
         }
-        assert_eq!(spt.path_to(NodeId(3)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            spt.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]
@@ -382,7 +385,11 @@ mod tests {
 
     /// Random connected graph strategy: a spanning path plus random extras.
     fn arb_graph() -> impl Strategy<Value = (Topology, u64)> {
-        (3usize..24, proptest::collection::vec((0usize..24, 0usize..24, 1u32..100), 0..40), 0u64..1000)
+        (
+            3usize..24,
+            proptest::collection::vec((0usize..24, 0usize..24, 1u32..100), 0..40),
+            0u64..1000,
+        )
             .prop_map(|(n, extra, seed)| {
                 let mut t = Topology::new(n);
                 for i in 0..n - 1 {

@@ -340,10 +340,7 @@ mod tests {
         let spt = ShortestPathTree::compute(&topo, a);
         let near = spt.distance(b).unwrap();
         let far = spt.distance(z).unwrap();
-        assert!(
-            far > near,
-            "cross-domain distance {far} should exceed intra-stub distance {near}"
-        );
+        assert!(far > near, "cross-domain distance {far} should exceed intra-stub distance {near}");
     }
 
     #[test]
@@ -352,10 +349,7 @@ mod tests {
         let topo = cfg.generate(11);
         assert!(topo.is_connected());
         let spt = ShortestPathTree::compute(&topo, NodeId(0));
-        let max = topo
-            .nodes()
-            .filter_map(|n| spt.distance(n))
-            .fold(0.0, f64::max);
+        let max = topo.nodes().filter_map(|n| spt.distance(n)).fold(0.0, f64::max);
         assert!(max >= 100.0, "expected some ≥100ms path, got {max}");
     }
 

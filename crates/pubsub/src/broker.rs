@@ -16,6 +16,7 @@
 
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
+use cosmos_util::Symbol;
 use std::collections::{BTreeSet, HashMap};
 
 /// Traffic counters for one undirected link.
@@ -76,19 +77,37 @@ struct RouteEntry {
     sub: Subscription,
     /// Next hop toward the subscriber; `None` = deliver locally.
     to: Option<NodeId>,
+    /// Per-stream needs projection (see [`needs`]), precomputed at install
+    /// so forwarding never rebuilds attribute sets per message.
+    needs: Vec<(Symbol, StreamProjection)>,
+}
+
+impl RouteEntry {
+    fn new(sub: Subscription, to: Option<NodeId>) -> Self {
+        let needs = sub
+            .streams
+            .keys()
+            .map(|&s| (s, needs(&sub, s).expect("own stream always has needs")))
+            .collect();
+        Self { sub, to, needs }
+    }
+
+    fn needs_for(&self, stream: Symbol) -> Option<&StreamProjection> {
+        self.needs.iter().find(|(s, _)| *s == stream).map(|(_, p)| p)
+    }
 }
 
 /// The attributes a subscription *needs* for a stream: projection plus any
 /// attribute its filters read. Routing-level covering must preserve needs,
 /// otherwise early projection upstream of a pruned propagation could strip
 /// attributes a downstream filter reads.
-fn needs(sub: &Subscription, stream: &str) -> Option<StreamProjection> {
-    let req = sub.streams.get(stream)?;
+fn needs(sub: &Subscription, stream: Symbol) -> Option<StreamProjection> {
+    let req = sub.streams.get(&stream)?;
     let mut proj = req.projection.clone();
-    let mut filter_attrs: BTreeSet<String> = BTreeSet::new();
-    for f in &req.filters {
+    let mut filter_attrs: BTreeSet<Symbol> = BTreeSet::new();
+    for f in req.filters() {
         if let cosmos_query::Predicate::Cmp { attr, .. } = f {
-            filter_attrs.insert(attr.attr.clone());
+            filter_attrs.insert(Symbol::intern(&attr.attr));
         }
     }
     if !filter_attrs.is_empty() {
@@ -103,11 +122,9 @@ fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
     if !general.covers(specific) {
         return false;
     }
-    specific.streams.keys().all(|s| {
-        match (needs(general, s), needs(specific, s)) {
-            (Some(g), Some(sp)) => g.covers(&sp),
-            _ => false,
-        }
+    specific.streams.keys().all(|&s| match (needs(general, s), needs(specific, s)) {
+        (Some(g), Some(sp)) => g.covers(&sp),
+        _ => false,
     })
 }
 
@@ -135,8 +152,8 @@ fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
 #[derive(Debug)]
 pub struct BrokerNetwork {
     topo: Topology,
-    /// stream name → advertising node.
-    stream_source: HashMap<String, NodeId>,
+    /// stream symbol → advertising node.
+    stream_source: HashMap<Symbol, NodeId>,
     /// advertising node → its shortest-path (dissemination) tree.
     adv_trees: HashMap<NodeId, ShortestPathTree>,
     /// Per-node routing tables.
@@ -178,7 +195,7 @@ impl BrokerNetwork {
     /// # Panics
     ///
     /// Panics if `source` is out of range.
-    pub fn advertise(&mut self, stream: impl Into<String>, source: NodeId) {
+    pub fn advertise(&mut self, stream: impl Into<Symbol>, source: NodeId) {
         let stream = stream.into();
         self.adv_trees
             .entry(source)
@@ -188,7 +205,7 @@ impl BrokerNetwork {
 
     /// The advertised source of `stream`, if any.
     pub fn source_of(&self, stream: &str) -> Option<NodeId> {
-        self.stream_source.get(stream).copied()
+        self.stream_source.get(&Symbol::lookup(stream)?).copied()
     }
 
     /// Installs a subscription, propagating it toward each advertised source
@@ -203,16 +220,16 @@ impl BrokerNetwork {
 
     fn install(&mut self, sub: Subscription) {
         // Local delivery entry at the subscriber.
-        self.tables[sub.subscriber.index()].push(RouteEntry { sub: sub.clone(), to: None });
+        self.tables[sub.subscriber.index()].push(RouteEntry::new(sub.clone(), None));
         // Per-stream propagation toward the source.
-        let streams: Vec<String> = sub.streams.keys().cloned().collect();
-        let mut per_source: HashMap<NodeId, Vec<String>> = HashMap::new();
+        let streams: Vec<Symbol> = sub.streams.keys().copied().collect();
+        let mut per_source: HashMap<NodeId, Vec<Symbol>> = HashMap::new();
         for s in streams {
             if let Some(&src) = self.stream_source.get(&s) {
                 per_source.entry(src).or_default().push(s);
             }
         }
-        let mut sources: Vec<(NodeId, Vec<String>)> = per_source.into_iter().collect();
+        let mut sources: Vec<(NodeId, Vec<Symbol>)> = per_source.into_iter().collect();
         sources.sort_by_key(|(n, _)| *n);
         for (src, stream_names) in sources {
             // Restrict the subscription to the streams this source serves.
@@ -222,7 +239,7 @@ impl BrokerNetwork {
                 streams: Default::default(),
             };
             for s in &stream_names {
-                restricted.streams.insert(s.clone(), sub.streams[s].clone());
+                restricted.streams.insert(*s, sub.streams[s].clone());
             }
             let Some(path) = self.adv_trees[&src].path_to(sub.subscriber) else {
                 continue; // unreachable subscriber
@@ -253,14 +270,11 @@ impl BrokerNetwork {
     /// for forwarding — one transmission per link regardless).
     fn add_forwarding_entry(&mut self, node: NodeId, sub: Subscription, downstream: NodeId) {
         let table = &mut self.tables[node.index()];
-        if table
-            .iter()
-            .any(|e| e.to == Some(downstream) && routing_covers(&e.sub, &sub))
-        {
+        if table.iter().any(|e| e.to == Some(downstream) && routing_covers(&e.sub, &sub)) {
             return;
         }
         table.retain(|e| !(e.to == Some(downstream) && routing_covers(&sub, &e.sub)));
-        table.push(RouteEntry { sub, to: Some(downstream) });
+        table.push(RouteEntry::new(sub, Some(downstream)));
     }
 
     /// Removes subscription `id` and rebuilds all routing state from the
@@ -308,16 +322,16 @@ impl BrokerNetwork {
                     if Some(next) == from {
                         continue;
                     }
-                    let need = needs(&entry.sub, &msg.stream)
-                        .unwrap_or(StreamProjection::All);
-                    hops.entry(next)
-                        .and_modify(|p| *p = p.union(&need))
-                        .or_insert(need);
+                    let need =
+                        entry.needs_for(msg.stream).cloned().unwrap_or(StreamProjection::All);
+                    hops.entry(next).and_modify(|p| *p = p.union(&need)).or_insert(need);
                 }
             }
         }
         for sub in locals {
-            if let Some(projected) = sub.project(&msg) {
+            // `matches` already held during the table scan; project without
+            // re-evaluating the filters.
+            if let Some(projected) = sub.project_unchecked(&msg) {
                 self.log.deliveries.push(Delivery { sub: sub.id, node, message: projected });
             }
         }
@@ -326,16 +340,7 @@ impl BrokerNetwork {
         for (next, proj) in next_hops {
             let fwd = match &proj {
                 StreamProjection::All => msg.clone(),
-                StreamProjection::Attrs(keep) => Message {
-                    stream: msg.stream.clone(),
-                    timestamp: msg.timestamp,
-                    attrs: msg
-                        .attrs
-                        .iter()
-                        .filter(|(k, _)| keep.contains(k))
-                        .cloned()
-                        .collect(),
-                },
+                StreamProjection::Attrs(keep) => msg.retaining(keep),
             };
             let key = if node <= next { (node, next) } else { (next, node) };
             let stats = self.link_stats.entry(key).or_default();
@@ -463,11 +468,7 @@ mod tests {
     }
 
     fn filter_gt(stream: &str, attr: &str, v: i64) -> Predicate {
-        Predicate::Cmp {
-            attr: AttrRef::new(stream, attr),
-            op: CmpOp::Gt,
-            value: Scalar::Int(v),
-        }
+        Predicate::Cmp { attr: AttrRef::new(stream, attr), op: CmpOp::Gt, value: Scalar::Int(v) }
     }
 
     fn sub_r(id: u64, node: u32, threshold: i64) -> Subscription {
@@ -526,10 +527,7 @@ mod tests {
         // n7's a>10 was forwarded to n1, n2, n3. n6's a>20 is covered by
         // a>10 at n1, so n2's table holds only one upstream entry for n1's
         // direction... i.e. table at n2 has exactly one entry pointing to n1.
-        let n2_entries_to_n1 = net.tables[2]
-            .iter()
-            .filter(|e| e.to == Some(NodeId(1)))
-            .count();
+        let n2_entries_to_n1 = net.tables[2].iter().filter(|e| e.to == Some(NodeId(1))).count();
         assert_eq!(n2_entries_to_n1, 1, "covered subscription must be pruned at n1");
         // But n1's table holds both (it is the merge point).
         assert_eq!(net.table_len(NodeId(1)), 2);
@@ -553,12 +551,13 @@ mod tests {
             .with("b", Scalar::Int(2))
             .with("c", Scalar::Int(3));
         net.publish(msg);
-        // Both links must carry the projected (1-attribute) message.
-        let small = 16 + 16;
+        // Both links must carry the projected (1-attribute) message:
+        // 16-byte header + 4-byte symbol + 8-byte int payload.
+        let small = 16 + 4 + 8;
         assert_eq!(net.link_stats(NodeId(0), NodeId(1)).bytes, small);
         assert_eq!(net.link_stats(NodeId(1), NodeId(2)).bytes, small);
         let d = &net.log().deliveries()[0];
-        assert_eq!(d.message.attrs.len(), 1);
+        assert_eq!(d.message.len(), 1);
     }
 
     #[test]
@@ -583,13 +582,11 @@ mod tests {
                 .stream("R", StreamProjection::attrs(["a"]), vec![filter_gt("R", "b", 5)])
                 .build(),
         );
-        let n = net.publish(
-            Message::new("R", 0).with("a", Scalar::Int(1)).with("b", Scalar::Int(10)),
-        );
+        let n =
+            net.publish(Message::new("R", 0).with("a", Scalar::Int(1)).with("b", Scalar::Int(10)));
         assert_eq!(n, 2, "both subscribers must receive the message");
-        let miss = net.publish(
-            Message::new("R", 1).with("a", Scalar::Int(1)).with("b", Scalar::Int(1)),
-        );
+        let miss =
+            net.publish(Message::new("R", 1).with("a", Scalar::Int(1)).with("b", Scalar::Int(1)));
         assert_eq!(miss, 1, "only the filterless subscriber receives b=1");
     }
 

@@ -13,10 +13,22 @@
 //! subscription upstream if nothing it already forwarded covers it.
 
 use cosmos_net::NodeId;
-use cosmos_query::predicate::{eval_predicate, implies, AttrSource};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
+use cosmos_query::predicate::{implies, AttrSource};
 use cosmos_query::{AttrRef, Predicate, Scalar};
-use std::collections::{BTreeMap, BTreeSet};
+use cosmos_util::intern::{Schema, Symbol};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
+
+/// Retained-schema cache key: input schema id + kept attribute set.
+type RetainKey = (u32, Vec<Symbol>);
+
+thread_local! {
+    static RETAINED_SCHEMAS: RefCell<HashMap<RetainKey, Arc<Schema>>> =
+        RefCell::new(HashMap::new());
+}
 
 /// Unique identifier of a subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -29,20 +41,23 @@ impl fmt::Display for SubId {
 }
 
 /// Which attributes of a stream a subscription requests.
+///
+/// Attribute names are interned [`Symbol`]s, so broker-side projection
+/// (the early-projection fast path) tests set membership on `u32`s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamProjection {
     /// All attributes (`S2.*`).
     All,
     /// A specific attribute set.
-    Attrs(BTreeSet<String>),
+    Attrs(BTreeSet<Symbol>),
 }
 
 impl StreamProjection {
-    /// Builds an attribute-set projection from names.
+    /// Builds an attribute-set projection from names (interned).
     pub fn attrs<I, S>(names: I) -> Self
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: Into<Symbol>,
     {
         StreamProjection::Attrs(names.into_iter().map(Into::into).collect())
     }
@@ -68,16 +83,54 @@ impl StreamProjection {
 }
 
 /// Per-stream request: projection plus conjunctive filters.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Filters are kept in AST form (covering/merging reason about them
+/// symbolically) *and* symbol-compiled once at construction, so matching a
+/// message never resolves a name. Mutate `filters` only through
+/// [`StreamRequest::set_filters`], which recompiles.
+#[derive(Debug, Clone)]
 pub struct StreamRequest {
     /// Attributes to keep.
     pub projection: StreamProjection,
-    /// Conjunctive filters over this stream's attributes. Predicates use the
-    /// stream name as the relation qualifier.
-    pub filters: Vec<Predicate>,
+    /// Conjunctive filters over this stream's attributes. Predicates use
+    /// the stream name as the relation qualifier. Private so the compiled
+    /// form below can never go stale; read via [`StreamRequest::filters`],
+    /// replace via [`StreamRequest::set_filters`].
+    filters: Vec<Predicate>,
+    /// The same filters, symbol-compiled (kept in sync by constructors).
+    compiled: Vec<CompiledPredicate>,
+}
+
+impl PartialEq for StreamRequest {
+    fn eq(&self, other: &Self) -> bool {
+        // `compiled` is derived state.
+        self.projection == other.projection && self.filters == other.filters
+    }
 }
 
 impl StreamRequest {
+    /// Builds a request, compiling `filters`.
+    pub fn new(projection: StreamProjection, filters: Vec<Predicate>) -> Self {
+        let compiled = CompiledPredicate::compile_all(&filters);
+        Self { projection, filters, compiled }
+    }
+
+    /// The filter conjunction (AST form, for covering/merging logic).
+    pub fn filters(&self) -> &[Predicate] {
+        &self.filters
+    }
+
+    /// Replaces the filter conjunction, recompiling.
+    pub fn set_filters(&mut self, filters: Vec<Predicate>) {
+        self.compiled = CompiledPredicate::compile_all(&filters);
+        self.filters = filters;
+    }
+
+    /// The symbol-compiled filters.
+    pub fn compiled_filters(&self) -> &[CompiledPredicate] {
+        &self.compiled
+    }
+
     /// Does this request's filter set admit every message `other`'s admits?
     /// (i.e. `other`'s conjunction implies this conjunction).
     pub fn filters_cover(&self, other: &StreamRequest) -> bool {
@@ -94,8 +147,9 @@ pub struct Subscription {
     pub id: SubId,
     /// The node where results must be delivered.
     pub subscriber: NodeId,
-    /// Requested streams with their projections and filters.
-    pub streams: BTreeMap<String, StreamRequest>,
+    /// Requested streams (interned) with their projections and filters.
+    /// Symbol-keyed so per-message stream lookups compare integers.
+    pub streams: BTreeMap<Symbol, StreamRequest>,
 }
 
 impl Subscription {
@@ -106,9 +160,9 @@ impl Subscription {
         }
     }
 
-    /// Stream names requested, in sorted order.
-    pub fn stream_names(&self) -> impl Iterator<Item = &str> {
-        self.streams.keys().map(String::as_str)
+    /// Stream names requested, in symbol order.
+    pub fn stream_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.streams.keys().map(|s| s.as_str())
     }
 
     /// Returns `true` when this subscription would deliver (at least) every
@@ -129,7 +183,7 @@ impl Subscription {
         for (name, o_req) in &other.streams {
             match streams.get_mut(name) {
                 None => {
-                    streams.insert(name.clone(), o_req.clone());
+                    streams.insert(*name, o_req.clone());
                 }
                 Some(s_req) => {
                     s_req.projection = s_req.projection.union(&o_req.projection);
@@ -146,7 +200,7 @@ impl Subscription {
                             }
                         }
                     }
-                    s_req.filters = merged;
+                    s_req.set_filters(merged);
                 }
             }
         }
@@ -154,11 +208,12 @@ impl Subscription {
     }
 
     /// Does `msg` match this subscription (stream requested + all filters
-    /// pass)?
+    /// pass)? Filter evaluation is symbol-compiled — no name resolution
+    /// per message.
     pub fn matches(&self, msg: &Message) -> bool {
         match self.streams.get(&msg.stream) {
             None => false,
-            Some(req) => req.filters.iter().all(|f| eval_predicate(f, msg).unwrap_or(false)),
+            Some(req) => eval_compiled(&req.compiled, msg),
         }
     }
 
@@ -166,17 +221,26 @@ impl Subscription {
     ///
     /// Returns `None` if the message does not match.
     pub fn project(&self, msg: &Message) -> Option<Message> {
-        if !self.matches(msg) {
+        let req = self.streams.get(&msg.stream)?;
+        if !eval_compiled(&req.compiled, msg) {
             return None;
         }
-        let req = &self.streams[&msg.stream];
-        let attrs = match &req.projection {
-            StreamProjection::All => msg.attrs.clone(),
-            StreamProjection::Attrs(keep) => {
-                msg.attrs.iter().filter(|(k, _)| keep.contains(k)).cloned().collect()
-            }
-        };
-        Some(Message { stream: msg.stream.clone(), timestamp: msg.timestamp, attrs })
+        Some(self.project_matched(req, msg))
+    }
+
+    /// Projects a message already known to match (the broker's local
+    /// delivery path checks `matches` during table scanning; this skips
+    /// the redundant second filter evaluation).
+    pub fn project_unchecked(&self, msg: &Message) -> Option<Message> {
+        let req = self.streams.get(&msg.stream)?;
+        Some(self.project_matched(req, msg))
+    }
+
+    fn project_matched(&self, req: &StreamRequest, msg: &Message) -> Message {
+        match &req.projection {
+            StreamProjection::All => msg.clone(),
+            StreamProjection::Attrs(keep) => msg.retaining(keep),
+        }
     }
 }
 
@@ -193,14 +257,15 @@ impl SubscriptionBuilder {
         self
     }
 
-    /// Adds a stream request.
+    /// Adds a stream request (name interned and filters symbol-compiled
+    /// here, once).
     pub fn stream(
         mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         projection: StreamProjection,
         filters: Vec<Predicate>,
     ) -> Self {
-        self.sub.streams.insert(name.into(), StreamRequest { projection, filters });
+        self.sub.streams.insert(name.into(), StreamRequest::new(projection, filters));
         self
     }
 
@@ -210,47 +275,159 @@ impl SubscriptionBuilder {
     }
 }
 
-/// A published message: stream name, timestamp, attribute/value pairs.
+/// A published message: stream tag, timestamp, and a positional scalar
+/// payload indexed by a shared, interned [`Schema`] — the same layout as
+/// the engine's `Tuple`, so a message crossing the broker→engine boundary
+/// needs no re-keying.
 ///
-/// "Each message is represented as a set of attribute/value pairs" (§1.2).
+/// "Each message is represented as a set of attribute/value pairs" (§1.2);
+/// here the *names* of those pairs live once in the interned schema rather
+/// than once per message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
-    /// Originating stream name.
-    pub stream: String,
+    /// Originating stream.
+    pub stream: Symbol,
     /// Event timestamp in milliseconds.
     pub timestamp: i64,
-    /// Attribute/value pairs.
-    pub attrs: Vec<(String, Scalar)>,
+    schema: Arc<Schema>,
+    values: Vec<Scalar>,
 }
 
 impl Message {
-    /// Creates a message.
-    pub fn new(stream: impl Into<String>, timestamp: i64) -> Self {
-        Self { stream: stream.into(), timestamp, attrs: Vec::new() }
+    /// Creates an empty message (compat shim; interns `stream`).
+    pub fn new(stream: impl Into<Symbol>, timestamp: i64) -> Self {
+        Self { stream: stream.into(), timestamp, schema: Schema::empty(), values: Vec::new() }
     }
 
-    /// Adds an attribute (builder-style).
-    pub fn with(mut self, name: impl Into<String>, value: Scalar) -> Self {
-        self.attrs.push((name.into(), value));
+    /// Builds a message directly on a schema — the hot-path constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `schema` disagree on arity.
+    pub fn from_parts(
+        stream: impl Into<Symbol>,
+        timestamp: i64,
+        schema: Arc<Schema>,
+        values: Vec<Scalar>,
+    ) -> Self {
+        assert_eq!(schema.len(), values.len(), "schema/values arity mismatch");
+        Self { stream: stream.into(), timestamp, schema, values }
+    }
+
+    /// Adds an attribute (builder-style compat shim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already present — schemas are positional
+    /// indices, so duplicate names are rejected at construction.
+    pub fn with(mut self, name: impl Into<Symbol>, value: Scalar) -> Self {
+        self.schema = self.schema.with(name.into());
+        self.values.push(value);
         self
     }
 
-    /// Approximate wire size in bytes: 16 bytes header + 16 per attribute.
+    /// The message's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The positional payload.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Attribute lookup by symbol — the hot path.
+    #[inline]
+    pub fn get_sym(&self, attr: Symbol) -> Option<&Scalar> {
+        self.schema.index_of(attr).map(|i| &self.values[i])
+    }
+
+    /// Attribute lookup by name (compat shim; never interns).
+    pub fn get(&self, name: &str) -> Option<&Scalar> {
+        self.get_sym(Symbol::lookup(name)?)
+    }
+
+    /// Iterates `(attribute, value)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Scalar)> {
+        self.schema.attrs().iter().copied().zip(self.values.iter())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the message carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The message restricted to the attributes in `keep` — the broker's
+    /// early-projection step. The projected schema is a pure function of
+    /// (input schema, keep set) and cached per thread, so repeat shapes
+    /// skip the schema interner; per call this copies kept scalars only.
+    pub fn retaining(&self, keep: &BTreeSet<Symbol>) -> Message {
+        let key: RetainKey = (self.schema.id(), keep.iter().copied().collect());
+        let schema = RETAINED_SCHEMAS.with_borrow_mut(|cache| {
+            if cache.len() > 4096 {
+                cache.clear();
+            }
+            Arc::clone(cache.entry(key).or_insert_with(|| {
+                let attrs: Vec<Symbol> =
+                    self.schema.attrs().iter().copied().filter(|a| keep.contains(a)).collect();
+                Schema::intern(&attrs)
+            }))
+        });
+        let mut values = Vec::with_capacity(schema.len());
+        for (a, v) in self.iter() {
+            if keep.contains(&a) {
+                values.push(v.clone());
+            }
+        }
+        Message { stream: self.stream, timestamp: self.timestamp, schema, values }
+    }
+
+    /// Approximate wire size in bytes: a 16-byte header, then per
+    /// attribute a 4-byte symbol id plus the value's actual payload —
+    /// 8 bytes for numbers, length plus a 4-byte length prefix for
+    /// strings. Identical to the engine's `Tuple::wire_size` model, so
+    /// broker traffic accounting and engine-side sizes agree.
     pub fn wire_size(&self) -> usize {
-        16 + 16 * self.attrs.len()
+        16 + self.values.iter().map(|v| 4 + v.wire_size()).sum::<usize>()
+    }
+}
+
+impl SymSource for Message {
+    #[inline]
+    fn value(&self, rel: Symbol, attr: Symbol) -> Option<ScalarRef<'_>> {
+        if rel != self.stream {
+            return None;
+        }
+        self.get_sym(attr).map(Into::into)
+    }
+
+    #[inline]
+    fn timestamp(&self, rel: Symbol) -> Option<i64> {
+        (rel == self.stream).then_some(self.timestamp)
     }
 }
 
 impl AttrSource for Message {
     fn value(&self, attr: &AttrRef) -> Option<Scalar> {
-        if attr.relation != self.stream {
+        if self.stream != attr.relation.as_str() {
             return None;
         }
-        self.attrs.iter().find(|(k, _)| *k == attr.attr).map(|(_, v)| v.clone())
+        // The `timestamp` pseudo-attribute resolves to the header, exactly
+        // as the compiled evaluator and the engine's tuple views do — so
+        // string-based and compiled filter evaluation agree on messages.
+        if attr.attr == "timestamp" {
+            return Some(Scalar::Int(self.timestamp));
+        }
+        self.get(&attr.attr).cloned()
     }
 
     fn timestamp(&self, alias: &str) -> Option<i64> {
-        (alias == self.stream).then_some(self.timestamp)
+        (self.stream == alias).then_some(self.timestamp)
     }
 }
 
@@ -265,9 +442,7 @@ mod tests {
     }
 
     fn sub(node: u32, stream: &str, filters: Vec<Predicate>) -> Subscription {
-        Subscription::builder(NodeId(node))
-            .stream(stream, StreamProjection::All, filters)
-            .build()
+        Subscription::builder(NodeId(node)).stream(stream, StreamProjection::All, filters).build()
     }
 
     #[test]
@@ -288,11 +463,11 @@ mod tests {
         let s = Subscription::builder(NodeId(1))
             .stream("R", StreamProjection::attrs(["a"]), vec![])
             .build();
-        let m = Message::new("R", 9)
-            .with("a", Scalar::Int(1))
-            .with("b", Scalar::Int(2));
+        let m = Message::new("R", 9).with("a", Scalar::Int(1)).with("b", Scalar::Int(2));
         let p = s.project(&m).unwrap();
-        assert_eq!(p.attrs, vec![("a".to_string(), Scalar::Int(1))]);
+        let attrs: Vec<(String, Scalar)> =
+            p.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        assert_eq!(attrs, vec![("a".to_string(), Scalar::Int(1))]);
         assert_eq!(p.timestamp, 9);
         assert!(p.wire_size() < m.wire_size());
     }
@@ -345,7 +520,7 @@ mod tests {
         assert!(m.covers(&a));
         assert!(m.covers(&b));
         // Filters weakened to a > 10.
-        assert_eq!(m.streams["R"].filters.len(), 1);
+        assert_eq!(m.streams[&Symbol::intern("R")].filters().len(), 1);
     }
 
     #[test]
@@ -353,7 +528,7 @@ mod tests {
         let a = sub(1, "R", vec![filter("R", "a", CmpOp::Gt, 10)]);
         let b = sub(1, "R", vec![filter("R", "a", CmpOp::Lt, 5)]);
         let m = a.merge(&b);
-        assert!(m.streams["R"].filters.is_empty());
+        assert!(m.streams[&Symbol::intern("R")].filters().is_empty());
         assert!(m.covers(&a) && m.covers(&b));
     }
 
@@ -361,8 +536,11 @@ mod tests {
     fn paper_example_p3_subscription() {
         // p3₁: S = {S1, S2}, P = {S2.*}, F = {S1.snowHeight > 10}
         let p31 = Subscription::builder(NodeId(1))
-            .stream("S1", StreamProjection::attrs(["snowHeight", "timestamp"]),
-                vec![filter("S1", "snowHeight", CmpOp::Gt, 10)])
+            .stream(
+                "S1",
+                StreamProjection::attrs(["snowHeight", "timestamp"]),
+                vec![filter("S1", "snowHeight", CmpOp::Gt, 10)],
+            )
             .stream("S2", StreamProjection::All, vec![])
             .build();
         let tall = Message::new("S1", 0).with("snowHeight", Scalar::Int(30));

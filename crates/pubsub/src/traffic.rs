@@ -161,13 +161,15 @@ impl<'a> TrafficModel<'a> {
     {
         flows
             .into_iter()
-            .map(|(from, to, rate)| {
-                if from == to {
-                    0.0
-                } else {
-                    rate * self.dep.distance(from, to)
-                }
-            })
+            .map(
+                |(from, to, rate)| {
+                    if from == to {
+                        0.0
+                    } else {
+                        rate * self.dep.distance(from, to)
+                    }
+                },
+            )
             .sum()
     }
 
@@ -198,10 +200,8 @@ mod tests {
         let dep = line_deployment();
         let table = SubstreamTable::from_parts(vec![0], vec![10.0]);
         let model = TrafficModel::new(&dep, &table);
-        let both = vec![
-            InterestSet::from_indices(1, [0usize]),
-            InterestSet::from_indices(1, [0usize]),
-        ];
+        let both =
+            vec![InterestSet::from_indices(1, [0usize]), InterestSet::from_indices(1, [0usize])];
         // Path to proc A: 2 links; to proc B: 4 links; union: 4 links.
         assert_eq!(model.source_delivery_cost(&both), 10.0 * 4.0);
         let only_a = vec![InterestSet::from_indices(1, [0usize]), InterestSet::new(1)];
@@ -230,17 +230,14 @@ mod tests {
         t.add_edge(NodeId(1), NodeId(2), 1.0);
         t.add_edge(NodeId(1), NodeId(4), 1.0);
         t.add_edge(NodeId(0), NodeId(3), 1.0);
-        let dep =
-            Deployment::with_roles(t, vec![NodeId(3)], vec![NodeId(0), NodeId(2), NodeId(4)]);
+        let dep = Deployment::with_roles(t, vec![NodeId(3)], vec![NodeId(0), NodeId(2), NodeId(4)]);
         let table = SubstreamTable::from_parts(vec![0], vec![1.0]);
         let model = TrafficModel::new(&dep, &table);
         let shared = model.result_multicast_cost(NodeId(0), &[NodeId(2), NodeId(4)], 2.0);
         // Union tree: 5 + 1 + 1 = 7 latency, times rate 2.
         assert_eq!(shared, 14.0);
-        let unshared = model.result_unicast_cost([
-            (NodeId(0), NodeId(2), 2.0),
-            (NodeId(0), NodeId(4), 2.0),
-        ]);
+        let unshared =
+            model.result_unicast_cost([(NodeId(0), NodeId(2), 2.0), (NodeId(0), NodeId(4), 2.0)]);
         assert_eq!(unshared, 24.0);
         assert!(shared < unshared);
     }

@@ -35,6 +35,16 @@ impl Scalar {
             Scalar::Str(_) => None,
         }
     }
+
+    /// Approximate wire bytes of the value payload: 8 for numbers, the
+    /// string length plus a 4-byte length prefix for strings. Shared by
+    /// the engine tuple and Pub/Sub message size models.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Scalar::Int(_) | Scalar::Float(_) => 8,
+            Scalar::Str(s) => 4 + s.len(),
+        }
+    }
 }
 
 impl fmt::Display for Scalar {
@@ -192,10 +202,9 @@ impl fmt::Display for Predicate {
         match self {
             Predicate::Cmp { attr, op, value } => write!(f, "{attr} {op} {value}"),
             Predicate::JoinCmp { left, op, right } => write!(f, "{left} {op} {right}"),
-            Predicate::TimeDelta { left, right, min_ms, max_ms } => write!(
-                f,
-                "{min_ms} <= {left}.timestamp - {right}.timestamp <= {max_ms}"
-            ),
+            Predicate::TimeDelta { left, right, min_ms, max_ms } => {
+                write!(f, "{min_ms} <= {left}.timestamp - {right}.timestamp <= {max_ms}")
+            }
         }
     }
 }
@@ -382,9 +391,7 @@ impl Query {
     /// Selection predicates restricted to one alias — these are what the
     /// Pub/Sub pushes toward the source for early filtering.
     pub fn selection_predicates_for(&self, alias: &str) -> Vec<&Predicate> {
-        self.selection_predicates()
-            .filter(|p| p.relations() == vec![alias])
-            .collect()
+        self.selection_predicates().filter(|p| p.relations() == vec![alias]).collect()
     }
 
     /// Projection items mentioning `alias` (plus `*`).

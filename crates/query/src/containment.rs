@@ -139,10 +139,8 @@ pub fn covers(general: &Query, specific: &Query) -> bool {
     // 2. Join predicates must agree (set equality up to flipping), after
     //    renaming the specific side into the general side's aliases.
     let gen_joins: Vec<&Predicate> = general.join_predicates().collect();
-    let spec_joins: Vec<Predicate> = specific
-        .join_predicates()
-        .map(|p| rename_predicate(p, &alias_of))
-        .collect();
+    let spec_joins: Vec<Predicate> =
+        specific.join_predicates().map(|p| rename_predicate(p, &alias_of)).collect();
     if gen_joins.len() != spec_joins.len() {
         return false;
     }
@@ -156,10 +154,8 @@ pub fn covers(general: &Query, specific: &Query) -> bool {
     // 3. Every selection filter of the general query must be implied by the
     //    specific query's conjunction (single-predicate witness suffices for
     //    the comparison fragment).
-    let spec_sels: Vec<Predicate> = specific
-        .selection_predicates()
-        .map(|p| rename_predicate(p, &alias_of))
-        .collect();
+    let spec_sels: Vec<Predicate> =
+        specific.selection_predicates().map(|p| rename_predicate(p, &alias_of)).collect();
     for g in general.selection_predicates() {
         if !spec_sels.iter().any(|s| implies(s, g)) {
             return false;
@@ -428,9 +424,10 @@ mod tests {
         assert!(equivalent(&merged.query, &q5()), "merged = {}", merged.query);
         // Residual for Q3 carries the snowHeight filter and the 30-minute bound.
         let r3 = &merged.residuals[0];
-        assert!(r3.filters.iter().any(
-            |f| matches!(f, Predicate::Cmp { attr, .. } if attr.attr == "snowHeight")
-        ));
+        assert!(r3
+            .filters
+            .iter()
+            .any(|f| matches!(f, Predicate::Cmp { attr, .. } if attr.attr == "snowHeight")));
         assert!(r3.filters.iter().any(|f| matches!(
             f,
             Predicate::TimeDelta { min_ms, max_ms, .. } if *min_ms == -30 * 60_000 && *max_ms == 0
@@ -523,7 +520,10 @@ mod tests {
         let m = merge_pair(&a, &b).unwrap();
         let sels: Vec<&Predicate> = m.selection_predicates().collect();
         assert_eq!(sels.len(), 1);
-        assert!(implies(&parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap().predicates[0], sels[0]));
+        assert!(implies(
+            &parse_query("SELECT * FROM R [Now] WHERE R.a > 10").unwrap().predicates[0],
+            sels[0]
+        ));
         assert!(covers(&m, &a));
         assert!(covers(&m, &b));
     }

@@ -37,10 +37,14 @@
 //! ```
 
 pub mod ast;
+pub mod compiled;
 pub mod containment;
 pub mod parser;
 pub mod predicate;
 
-pub use ast::{AggFunc, AttrRef, CmpOp, Predicate, ProjItem, Query, QueryId, RelationRef, Scalar, Window};
+pub use ast::{
+    AggFunc, AttrRef, CmpOp, Predicate, ProjItem, Query, QueryId, RelationRef, Scalar, Window,
+};
+pub use compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
 pub use containment::{covers, merge_queries, MergedQuery};
 pub use parser::{parse_query, ParseError};

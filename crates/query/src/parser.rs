@@ -341,9 +341,9 @@ impl Parser {
         }
         self.expect_keyword("RANGE")?;
         let n = match self.next() {
-            Some(Tok::Number(n)) => n
-                .parse::<u64>()
-                .map_err(|_| self.error(format!("invalid window length {n:?}")))?,
+            Some(Tok::Number(n)) => {
+                n.parse::<u64>().map_err(|_| self.error(format!("invalid window length {n:?}")))?
+            }
             _ => return Err(self.error("expected window length")),
         };
         let unit = self.expect_ident()?;
@@ -496,10 +496,8 @@ mod tests {
 
     #[test]
     fn parses_paper_q1() {
-        let q = parse_query(
-            "SELECT * FROM R [Now], S [Now] WHERE R.b = S.b AND R.a>10 AND S.c>10",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM R [Now], S [Now] WHERE R.b = S.b AND R.a>10 AND S.c>10")
+            .unwrap();
         assert_eq!(q.projection, vec![ProjItem::All]);
         assert_eq!(q.relations.len(), 2);
         assert_eq!(q.relations[0].window, Window::Now);
@@ -579,8 +577,7 @@ mod tests {
 
     #[test]
     fn float_and_string_literals() {
-        let q = parse_query("SELECT * FROM R [Now] WHERE R.x >= 1.5 AND R.name = 'alpha'")
-            .unwrap();
+        let q = parse_query("SELECT * FROM R [Now] WHERE R.x >= 1.5 AND R.name = 'alpha'").unwrap();
         assert_eq!(q.predicates.len(), 2);
         match &q.predicates[1] {
             Predicate::Cmp { value: Scalar::Str(s), .. } => assert_eq!(s, "alpha"),

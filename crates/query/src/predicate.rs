@@ -223,19 +223,11 @@ mod tests {
             right: AttrRef::new("S", "b"),
         };
         assert_eq!(eval_predicate(&join, &src), Some(true));
-        let td = Predicate::TimeDelta {
-            left: "R".into(),
-            right: "S".into(),
-            min_ms: -1_000,
-            max_ms: 0,
-        };
+        let td =
+            Predicate::TimeDelta { left: "R".into(), right: "S".into(), min_ms: -1_000, max_ms: 0 };
         assert_eq!(eval_predicate(&td, &src), Some(true));
-        let tight = Predicate::TimeDelta {
-            left: "R".into(),
-            right: "S".into(),
-            min_ms: -100,
-            max_ms: 0,
-        };
+        let tight =
+            Predicate::TimeDelta { left: "R".into(), right: "S".into(), min_ms: -100, max_ms: 0 };
         assert_eq!(eval_predicate(&tight, &src), Some(false));
     }
 
@@ -289,27 +281,15 @@ mod tests {
 
     #[test]
     fn timedelta_implication_widening() {
-        let narrow = Predicate::TimeDelta {
-            left: "A".into(),
-            right: "B".into(),
-            min_ms: -100,
-            max_ms: 0,
-        };
-        let wide = Predicate::TimeDelta {
-            left: "A".into(),
-            right: "B".into(),
-            min_ms: -500,
-            max_ms: 10,
-        };
+        let narrow =
+            Predicate::TimeDelta { left: "A".into(), right: "B".into(), min_ms: -100, max_ms: 0 };
+        let wide =
+            Predicate::TimeDelta { left: "A".into(), right: "B".into(), min_ms: -500, max_ms: 10 };
         assert!(implies(&narrow, &wide));
         assert!(!implies(&wide, &narrow));
         // Flipped orientation: −Δ bounds swap and negate.
-        let flipped = Predicate::TimeDelta {
-            left: "B".into(),
-            right: "A".into(),
-            min_ms: 0,
-            max_ms: 100,
-        };
+        let flipped =
+            Predicate::TimeDelta { left: "B".into(), right: "A".into(), min_ms: 0, max_ms: 100 };
         assert!(implies(&narrow, &flipped));
         assert!(implies(&flipped, &narrow));
     }

@@ -120,11 +120,7 @@ impl InterestSet {
     /// Panics if the universes differ.
     pub fn intersection_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Returns `true` if the two sets share at least one substream.

@@ -14,6 +14,11 @@
 //! - [`solver`]: a conjugate-gradient Laplacian solver used by the Hu–Blake
 //!   load-diffusion step of the adaptive redistribution algorithm (§3.7).
 //! - [`rng`]: seed-derivation helpers so every experiment is reproducible.
+//! - [`intern`]: global [`Symbol`] and [`Schema`] interners backing the
+//!   schema-indexed tuple data plane — stream/attribute names become `u32`
+//!   symbols, tuple shapes become shared `Arc<Schema>`s, and the per-tuple
+//!   hot paths (predicate evaluation, join flattening, broker filtering
+//!   and early projection) compare integers instead of strings.
 //!
 //! # Examples
 //!
@@ -29,6 +34,7 @@
 //! ```
 
 pub mod bitset;
+pub mod intern;
 pub mod rng;
 pub mod solver;
 pub mod stats;
@@ -36,4 +42,5 @@ pub mod timer;
 pub mod zipf;
 
 pub use bitset::InterestSet;
+pub use intern::{Schema, Symbol};
 pub use timer::Stopwatch;

@@ -50,13 +50,10 @@ impl SensorScenario {
         }
         let topo = cfg.generate(seed);
         let dep = Deployment::assign(topo, n_sources, n_processors, seed);
-        let table = SubstreamTable::from_parts(
-            (0..n_sensors).map(|s| s % n_sources).collect(),
-            {
-                let mut rng = rng_for(seed, "sensor-rates");
-                (0..n_sensors).map(|_| rng.gen_range(4.0..=16.0)).collect()
-            },
-        );
+        let table = SubstreamTable::from_parts((0..n_sensors).map(|s| s % n_sources).collect(), {
+            let mut rng = rng_for(seed, "sensor-rates");
+            (0..n_sensors).map(|_| rng.gen_range(4.0..=16.0)).collect()
+        });
         let streams: Vec<String> = (0..n_sensors).map(|i| format!("Sensor{i}")).collect();
         let mut stream_rate = HashMap::new();
         let mut stream_source = HashMap::new();
@@ -83,12 +80,9 @@ impl SensorScenario {
                 let n_sel = rng.gen_range(1..=3);
                 let mut preds: Vec<String> = Vec::new();
                 for _ in 0..n_sel {
-                    let (alias, attr) = if rng.gen_bool(0.5) {
-                        ("X", "snowHeight")
-                    } else {
-                        ("Y", "temperature")
-                    };
-                    let op = ["<", "<=", ">", ">="][rng.gen_range(0..4)];
+                    let (alias, attr) =
+                        if rng.gen_bool(0.5) { ("X", "snowHeight") } else { ("Y", "temperature") };
+                    let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
                     let c: i64 = if attr == "snowHeight" {
                         rng.gen_range(0..120)
                     } else {
@@ -139,15 +133,22 @@ impl SensorScenario {
     /// # Panics
     ///
     /// Panics if `sensor` is out of range.
-    pub fn readings(&self, sensor: usize, n: usize, t0_ms: i64, period_ms: i64, seed: u64) -> Vec<Tuple> {
+    pub fn readings(
+        &self,
+        sensor: usize,
+        n: usize,
+        t0_ms: i64,
+        period_ms: i64,
+        seed: u64,
+    ) -> Vec<Tuple> {
         assert!(sensor < self.streams.len(), "unknown sensor {sensor}");
         let mut rng = rng_for_indexed(seed, "readings", sensor as u64);
         let mut snow: f64 = rng.gen_range(0.0..80.0);
         let mut temp: f64 = rng.gen_range(-15.0..10.0);
         (0..n)
             .map(|i| {
-                snow = (snow + rng.gen_range(-3.0..3.0)).clamp(0.0, 150.0);
-                temp = (temp + rng.gen_range(-1.0..1.0)).clamp(-40.0, 35.0);
+                snow = (snow + rng.gen_range(-3.0f64..3.0)).clamp(0.0, 150.0);
+                temp = (temp + rng.gen_range(-1.0f64..1.0)).clamp(-40.0, 35.0);
                 Tuple::new(self.streams[sensor].clone(), t0_ms + i as i64 * period_ms)
                     .with("snowHeight", Scalar::Int(snow.round() as i64))
                     .with("temperature", Scalar::Int(temp.round() as i64))

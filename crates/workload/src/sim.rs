@@ -99,6 +99,12 @@ impl Simulation {
 
     /// One adaptation round (Algorithm 3 hierarchy-wide); applies and
     /// returns the outcome.
+    ///
+    /// A single round optimizes a local surrogate and can transiently
+    /// worsen the global communication cost while it rebalances load;
+    /// rounds compound (refinement iterates to a fixpoint inside
+    /// [`adapt`]), so periodic application converges — do not gate a round
+    /// on the global metric, or load rebalancing starves.
     pub fn adapt_round(&mut self, seed: u64) -> AdaptOutcome {
         let d = self.distributor();
         let out = adapt(&d, &self.specs, &self.assignment, &AdaptConfig::default(), seed);
@@ -135,13 +141,11 @@ impl Simulation {
     /// unicast back to the proxies.
     pub fn comm_cost_of(&self, assignment: &Assignment) -> f64 {
         let model = TrafficModel::new(&self.dep, &self.table);
-        let interests =
-            assignment.interests(&self.specs, self.dep.processors(), self.table.len());
-        let flows = self.specs.iter().filter_map(|q| {
-            assignment
-                .processor_of(q.id)
-                .map(|p| (p, q.proxy, q.result_rate))
-        });
+        let interests = assignment.interests(&self.specs, self.dep.processors(), self.table.len());
+        let flows = self
+            .specs
+            .iter()
+            .filter_map(|q| assignment.processor_of(q.id).map(|p| (p, q.proxy, q.result_rate)));
         model.source_delivery_cost(&interests) + model.result_unicast_cost(flows)
     }
 
@@ -158,8 +162,7 @@ impl Simulation {
     pub fn comm_cost_with_result_sharing(&self, assignment: &Assignment) -> f64 {
         use std::collections::HashMap;
         let model = TrafficModel::new(&self.dep, &self.table);
-        let interests =
-            assignment.interests(&self.specs, self.dep.processors(), self.table.len());
+        let interests = assignment.interests(&self.specs, self.dep.processors(), self.table.len());
         let mut cost = model.source_delivery_cost(&interests);
         // Group result flows by (processor, interest signature).
         let mut groups: HashMap<(cosmos_net::NodeId, &cosmos_util::InterestSet), Vec<&QuerySpec>> =
@@ -178,8 +181,7 @@ impl Simulation {
                 // every member's proxy; the splitting happens at the proxies
                 // via residual subscriptions.
                 let rate = members.iter().map(|q| q.result_rate).fold(0.0, f64::max);
-                let proxies: Vec<cosmos_net::NodeId> =
-                    members.iter().map(|q| q.proxy).collect();
+                let proxies: Vec<cosmos_net::NodeId> = members.iter().map(|q| q.proxy).collect();
                 cost += model.result_multicast_cost(proc, &proxies, rate);
             }
         }

@@ -20,11 +20,7 @@ fn main() {
     let initial = d.distribute(&queries, 3);
     drop(d);
     sim.apply(initial.assignment);
-    println!(
-        "initial: cost {:.0}, load stddev {:.3}",
-        sim.comm_cost(),
-        sim.load_stddev()
-    );
+    println!("initial: cost {:.0}, load stddev {:.3}", sim.comm_cost(), sim.load_stddev());
 
     let mut total_migrations = 0usize;
     for (event, &(kind, factor)) in

@@ -25,11 +25,8 @@ fn main() {
     // Start the hierarchy with only the first half of the processors.
     let half = sim.dep.processors().len() / 2;
     let initial: Vec<_> = sim.dep.processors()[..half].to_vec();
-    let dep_small = Deployment::with_roles(
-        sim.dep.topology().clone(),
-        sim.dep.sources().to_vec(),
-        initial,
-    );
+    let dep_small =
+        Deployment::with_roles(sim.dep.topology().clone(), sim.dep.sources().to_vec(), initial);
     let mut tree = CoordinatorTree::build(&dep_small, k);
     println!(
         "bootstrapped hierarchy: {} processors, height {}",

@@ -39,7 +39,8 @@ fn main() {
         &scenario.stream_source,
         &RateModel::default(),
     );
-    let placed = OperatorPlacement::default().place(&graph, &scenario.dep, scenario.dep.processors());
+    let placed =
+        OperatorPlacement::default().place(&graph, &scenario.dep, scenario.dep.processors());
     let op_time = t0.elapsed();
     let (scans, selects, joins, outputs) = graph.kind_counts();
     println!(
@@ -62,8 +63,7 @@ fn main() {
     let flows = specs
         .iter()
         .filter_map(|q| out.assignment.processor_of(q.id).map(|p| (p, q.proxy, q.result_rate)));
-    let cosmos_cost =
-        model.source_delivery_cost(&interests) + model.result_unicast_cost(flows);
+    let cosmos_cost = model.source_delivery_cost(&interests) + model.result_unicast_cost(flows);
     println!("COSMOS: cost {cosmos_cost:.0}, optimizer time {cosmos_time:?}");
     println!("  cost ratio opplace/COSMOS: {:.2}", placed.cost / cosmos_cost);
 

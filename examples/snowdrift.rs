@@ -19,8 +19,8 @@ use cosmos::engine::SharedEngine;
 use cosmos::net::{NodeId, Topology};
 use cosmos::pubsub::broker::BrokerNetwork;
 use cosmos::pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
-use cosmos::query::{covers, merge_queries, parse_query, AttrRef, CmpOp, Predicate, QueryId};
 use cosmos::query::Scalar;
+use cosmos::query::{covers, merge_queries, parse_query, AttrRef, CmpOp, Predicate, QueryId};
 
 fn main() {
     // --- Table 1 queries.
@@ -52,18 +52,15 @@ fn main() {
 
     // --- Shared execution: one engine query, two users' results.
     let mut shared = SharedEngine::build(vec![(QueryId(3), q3), (QueryId(4), q4)]);
-    println!(
-        "\nengine runs {} merged query (instead of 2 separate ones)",
-        shared.group_count()
-    );
+    println!("\nengine runs {} merged query (instead of 2 separate ones)", shared.group_count());
     let minute = 60_000i64;
     let feeds = [
         // (stream, t in minutes, snowHeight)
-        ("Station1", 0, 30),  // tall reading
-        ("Station2", 10, 5),  // joins with S1@0 for both queries
-        ("Station1", 20, 7),  // below Q3's 10cm filter
-        ("Station2", 25, 3),  // joins S1@20 (Q4 only) and S1@0 (both)
-        ("Station2", 50, 2),  // S1@0 is 50min old: within Q4's 1h only
+        ("Station1", 0, 30), // tall reading
+        ("Station2", 10, 5), // joins with S1@0 for both queries
+        ("Station1", 20, 7), // below Q3's 10cm filter
+        ("Station2", 25, 3), // joins S1@20 (Q4 only) and S1@0 (both)
+        ("Station2", 50, 2), // S1@0 is 50min old: within Q4's 1h only
     ];
     let mut counts = std::collections::BTreeMap::new();
     for (stream, t_min, snow) in feeds {
@@ -130,11 +127,13 @@ fn main() {
     );
     let mut last = None;
     for i in 0..8i64 {
-        let reading = Tuple::new("Station1", i * 5 * minute)
-            .with("snowHeight", Scalar::Int(10 + 3 * i));
+        let reading =
+            Tuple::new("Station1", i * 5 * minute).with("snowHeight", Scalar::Int(10 + 3 * i));
         last = dashboard.push(reading).pop();
     }
     let (_, rollup) = last.expect("dashboard emits on every reading");
-    println!("
-30-minute dashboard rollup: {rollup}");
+    println!(
+        "
+30-minute dashboard rollup: {rollup}"
+    );
 }

@@ -26,10 +26,7 @@ fn degraded_processor_capability_shifts_load_away() {
     let loads = out.assignment.loads(&specs, dep.processors());
     let weak = loads[0];
     let strongest = loads.iter().skip(1).cloned().fold(0.0, f64::max);
-    assert!(
-        weak < strongest / 2.0,
-        "degraded processor got load {weak} vs strongest {strongest}"
-    );
+    assert!(weak < strongest / 2.0, "degraded processor got load {weak} vs strongest {strongest}");
 }
 
 #[test]
@@ -134,8 +131,7 @@ fn adaptation_tolerates_partially_missing_placements() {
         }
     }
     sim.apply(partial);
-    let lost_specs: Vec<_> =
-        sim.specs.iter().filter(|q| lost.contains(&q.id)).cloned().collect();
+    let lost_specs: Vec<_> = sim.specs.iter().filter(|q| lost.contains(&q.id)).cloned().collect();
     sim.insert_online(&lost_specs);
     assert_eq!(sim.assignment.len(), 60);
 }
@@ -208,11 +204,7 @@ fn engine_with_reorder_buffer_handles_cross_stream_skew() {
         let ts = i * 1_000;
         // Unique key per pair: each B joins exactly its simultaneous A.
         feed(&mut engine, &mut buf, Tuple::new("A", ts).with("k", Scalar::Int(i)));
-        feed(
-            &mut engine,
-            &mut buf,
-            Tuple::new("B", ts).with("k", Scalar::Int(i)),
-        );
+        feed(&mut engine, &mut buf, Tuple::new("B", ts).with("k", Scalar::Int(i)));
     }
     for r in buf.flush() {
         results += engine.push(r).len();

@@ -55,8 +55,7 @@ fn shared_execution_equals_independent_on_sensor_readings() {
     let mut shared_results: BTreeSet<String> = BTreeSet::new();
     for t in &tuples {
         for (id, r) in shared.push(t.clone()) {
-            let mut vals: Vec<String> =
-                r.values.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let mut vals: Vec<String> = r.iter().map(|(k, v)| format!("{k}={v}")).collect();
             vals.sort();
             shared_results.insert(format!("{id}|{}", vals.join(",")));
         }
@@ -71,8 +70,7 @@ fn shared_execution_equals_independent_on_sensor_readings() {
         for r in indep.push(t.clone()) {
             let projection = &queries.iter().find(|(i, _)| *i == r.query).unwrap().1.projection;
             let p = r.project(projection, "x");
-            let mut vals: Vec<String> =
-                p.values.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let mut vals: Vec<String> = p.iter().map(|(k, v)| format!("{k}={v}")).collect();
             vals.sort();
             indep_results.insert(format!("{}|{}", r.query, vals.join(",")));
         }
@@ -119,9 +117,8 @@ fn broker_delivery_respects_covering_merges_end_to_end() {
     net.subscribe(weak);
     net.subscribe(strong);
     for (height, expect) in [(5, 0), (30, 1), (80, 2)] {
-        let n = net.publish(
-            Message::new("Sensor0", height).with("snowHeight", Scalar::Int(height)),
-        );
+        let n =
+            net.publish(Message::new("Sensor0", height).with("snowHeight", Scalar::Int(height)));
         assert_eq!(n, expect, "snowHeight {height} must reach {expect} subscribers");
     }
 }

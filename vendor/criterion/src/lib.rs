@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this stub provides
+//! the benchmarking surface `crates/bench/benches/micro.rs` uses:
+//! `Criterion`, `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is honest but simple: per
+//! benchmark it calibrates a batch size targeting a few milliseconds, takes
+//! a fixed number of samples, and reports the median ns/iteration.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"name": ..., "median_ns": ...}`) for ad-hoc machine
+//! consumption of a `cargo bench` run. (The repository's `bench_json`
+//! binary does not use this hook — it carries its own, more heavily
+//! sampled measurement loop.)
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE_NS: u128 = 5_000_000;
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Passed to the closure given to [`Bencher::iter`]-style entry points.
+pub struct Bencher {
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many calls fit the per-sample budget?
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1);
+        let batch = (TARGET_SAMPLE_NS / once).clamp(1, 1_000_000) as usize;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        println!("bench {name:<40} median {:>12.1} ns/iter", b.median_ns);
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ =
+                    writeln!(file, "{{\"name\": \"{name}\", \"median_ns\": {:.1}}}", b.median_ns);
+            }
+        }
+        self.results.push((name, b.median_ns));
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// All `(name, median ns)` results so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `group/name`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Runs `group/id` with an input value.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; prints happen per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].0, "g/f/7");
+    }
+}

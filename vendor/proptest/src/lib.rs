@@ -1,0 +1,373 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this stub provides
+//! the property-testing surface the workspace uses: the `proptest!` macro
+//! (with optional `#![proptest_config(...)]` header), `prop_assert!` /
+//! `prop_assert_eq!`, range / tuple / `collection::vec` / `sample::select`
+//! strategies, and `Strategy::prop_map`.
+//!
+//! Compared to upstream there is **no shrinking**: a failing case panics
+//! with its deterministic case index, which is enough to reproduce it (the
+//! generator is seeded from the test's module path and case number, so
+//! failures are stable across runs).
+
+pub mod test_runner {
+    /// Deterministic generator backing every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// A generator seeded from a test label and case index.
+        pub fn deterministic(label: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in label.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut state = h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Warm the state so nearby cases decorrelate.
+            splitmix64(&mut state);
+            Self { state }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+
+        /// A float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniform index in `[0, bound)`; `bound` must be non-zero.
+        pub fn index(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 128 }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Numeric types uniformly samplable from a half-open range.
+    pub trait RangeValue: Copy {
+        fn sample_in(range: &Range<Self>, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn sample_in(range: &Range<Self>, rng: &mut TestRng) -> Self {
+                    assert!(range.start < range.end, "empty strategy range");
+                    let span = (range.end as i128 - range.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (range.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_value_float {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn sample_in(range: &Range<Self>, rng: &mut TestRng) -> Self {
+                    range.start + (range.end - range.start) * rng.next_f64() as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_float!(f32, f64);
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_in(self, rng)
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F2)
+    }
+}
+
+pub use strategy::Strategy;
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with strategy-driven elements and random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy: `size` is a half-open length range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.index(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy yielding clones of elements of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = result {
+                        panic!(
+                            "property {} failed at case {case}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests; each parameter is drawn from its strategy.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_are_in_bounds(x in 3usize..17, y in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0usize..10, 0usize..10), 2..8),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn select_and_map(
+            s in crate::sample::select(vec![1u32, 2, 3]),
+            m in (0u32..5).prop_map(|x| x * 2),
+        ) {
+            prop_assert!([1, 2, 3].contains(&s));
+            prop_assert_eq!(m % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this stub provides
+//! the subset the workspace relies on: the `Serialize` / `Deserialize`
+//! *names* (trait + derive macro, importable with one `use`), with blanket
+//! impls so derive bounds are always satisfied. No actual serialization
+//! machinery is included — nothing in the workspace serializes through
+//! serde itself (JSON output is hand-rolled in `cosmos-bench`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

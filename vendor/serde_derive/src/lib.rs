@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface it uses. Derives are accepted and expand to
+//! nothing; the sibling `serde` stub provides blanket `Serialize` /
+//! `Deserialize` impls, so `T: Serialize` bounds still hold for every type.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

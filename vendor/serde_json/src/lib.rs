@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no access to crates.io, so this stub provides
+//! what the figure binaries use: a `Value` tree, the `json!` object/array
+//! macro, and `to_string` / `to_string_pretty`. There is no parser and no
+//! derive-driven serialization — values are built with `json!` and
+//! `From` conversions.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Int(v as i64) }
+        }
+    )*};
+}
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(f64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; `Null` for missing keys / non-objects.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&NULL)
+            }
+            _ => &NULL,
+        }
+    }
+}
+
+impl Value {
+    /// Numeric view, if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure floats stay floats on re-read.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, n: usize| {
+            if pretty {
+                out.push('\n');
+                for _ in 0..n {
+                    out.push_str("  ");
+                }
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(v) => out.push_str(&format_f64(*v)),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    escape_into(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization error (the stub never produces one; kept for signature
+/// compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact rendering.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Pretty rendering with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, 0, true);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal with expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt)* ]) => { $crate::json_array!([ $($item)* ]) };
+    ({ $($field:tt)* }) => { $crate::json_object!(@fields [] $($field)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@fields [$($done:tt)*]) => {
+        $crate::Value::Object(vec![$($done)*])
+    };
+    (@fields [$($done:tt)*] $key:literal : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@fields
+            [$($done)* ($key.to_string(), $crate::json!({$($inner)*})),]
+            $($($rest)*)?)
+    };
+    (@fields [$($done:tt)*] $key:literal : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@fields
+            [$($done)* ($key.to_string(), $crate::json!([$($inner)*])),]
+            $($($rest)*)?)
+    };
+    (@fields [$($done:tt)*] $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@fields
+            [$($done)* ($key.to_string(), $crate::Value::from($value)),]
+            $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_pretty() {
+        let rows = vec![1.5f64, 2.0];
+        let v = json!({"scale": 0.1, "rows": rows, "name": "x", "n": 3usize});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"scale\": 0.1"));
+        assert!(s.contains("\"rows\": ["));
+        assert!(s.contains("\"n\": 3"));
+        let compact = to_string(&v).unwrap();
+        assert!(compact.contains("\"name\":\"x\""));
+    }
+
+    #[test]
+    fn nested_objects() {
+        let v = json!({"outer": {"inner": 1, "list": [1, 2]}, "ok": true});
+        let s = v.to_string();
+        assert!(s.contains("\"inner\":1"));
+        assert!(s.contains("[1,2]"));
+        assert!(s.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn escaping() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        assert_eq!(v.to_string(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_type() {
+        assert_eq!(format_f64(2.0), "2.0");
+        assert_eq!(format_f64(0.25), "0.25");
+    }
+}
