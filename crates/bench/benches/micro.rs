@@ -124,11 +124,11 @@ fn bench_diffusion(c: &mut Criterion) {
     });
 }
 
-fn bench_broker(c: &mut Criterion) {
+fn broker_with_subs(n_subs: u64) -> BrokerNetwork {
     let topo = TransitStubConfig::small().generate(3);
     let mut net = BrokerNetwork::new(topo);
     net.advertise("R", NodeId(0));
-    for i in 0..50u64 {
+    for i in 0..n_subs {
         net.subscribe(
             Subscription::builder(NodeId(30 + (i % 30) as u32))
                 .id(SubId(i))
@@ -144,9 +144,39 @@ fn bench_broker(c: &mut Criterion) {
                 .build(),
         );
     }
-    c.bench_function("pubsub/publish-50-subs", |bench| {
-        bench.iter(|| black_box(net.publish(Message::new("R", 0).with("a", Scalar::Int(25)))))
-    });
+    net
+}
+
+fn bench_broker(c: &mut Criterion) {
+    // Scaling points for the sublinear-matching claim (the delivery log is
+    // drained periodically so long runs stay memory-bounded; the amortized
+    // cost is negligible).
+    for n_subs in [50u64, 500, 5000] {
+        let mut net = broker_with_subs(n_subs);
+        c.bench_function(&format!("pubsub/publish-{n_subs}-subs"), |bench| {
+            bench.iter(|| {
+                let n = net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
+                if net.log().len() > 250_000 {
+                    net.reset_stats();
+                }
+                black_box(n)
+            })
+        });
+    }
+    // The linear-scan reference points: the gap to the indexed
+    // `publish-*-subs` twins is the index's win.
+    for n_subs in [500u64, 5000] {
+        let mut net = broker_with_subs(n_subs);
+        c.bench_function(&format!("pubsub/publish-{n_subs}-subs-linear"), |bench| {
+            bench.iter(|| {
+                let n = net.publish_linear(Message::new("R", 0).with("a", Scalar::Int(25)));
+                if net.log().len() > 250_000 {
+                    net.reset_stats();
+                }
+                black_box(n)
+            })
+        });
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {

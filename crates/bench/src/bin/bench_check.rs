@@ -1,0 +1,137 @@
+//! Bench-regression guard for CI.
+//!
+//! Compares a freshly generated `BENCH_micro.json` against the committed
+//! baseline and fails (exit 1) when any benchmark present in **both**
+//! files regressed by more than the tolerance (default 25% on the
+//! median). New entries are reported but tolerated — adding benchmarks
+//! must not break CI — and entries missing from the current run only
+//! warn, so intentional renames (which land with a regenerated baseline)
+//! cannot wedge the pipeline.
+//!
+//! The committed baseline comes from whatever machine last regenerated
+//! it, which is rarely the CI runner: absolute nanoseconds are not
+//! comparable across hosts. The guard therefore normalizes by machine
+//! speed first — each benchmark's current/baseline ratio is divided by
+//! the **median ratio** across all shared benchmarks (clamped to
+//! [0.25, 4.0] so a pathological baseline cannot hide everything). A
+//! uniformly slower runner shifts every ratio equally and normalizes
+//! away; a genuine regression stands out against the others.
+//!
+//! ```text
+//! cargo run --release -p cosmos-bench --bin bench_check -- \
+//!     baseline.json BENCH_micro.json [tolerance-percent]
+//! ```
+//!
+//! The vendored `serde_json` stub has no parser, so this binary scans the
+//! snapshot's fixed shape directly: objects with a `"name"` string and a
+//! `"median_ns"` number.
+
+use std::process::ExitCode;
+
+/// Extracts `(name, median_ns)` pairs from a `BENCH_micro.json` body.
+fn parse(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"name\"") {
+        rest = &rest[at + "\"name\"".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let value = &rest[open + 1..];
+        let Some(close) = value.find('"') else { break };
+        let name = value[..close].to_string();
+        rest = &value[close + 1..];
+        let Some(med) = rest.find("\"median_ns\"") else { break };
+        let after = &rest[med + "\"median_ns\"".len()..];
+        let Some(colon) = after.find(':') else { break };
+        let num = after[colon + 1..].trim_start();
+        let end = num
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+            })
+            .unwrap_or(num.len());
+        if let Ok(v) = num[..end].parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = &num[end..];
+    }
+    out
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let rows = parse(&body);
+    assert!(!rows.is_empty(), "no benchmark entries found in {path}");
+    rows
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [tolerance-percent]");
+        return ExitCode::FAILURE;
+    }
+    let tolerance: f64 = args.get(3).map_or(25.0, |t| t.parse().expect("numeric tolerance"));
+    let baseline = load(&args[1]);
+    let current = load(&args[2]);
+    // Machine-speed factor: the median current/baseline ratio over shared
+    // benchmarks, clamped so the guard stays meaningful.
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter_map(|(name, base)| {
+            current.iter().find(|(n, _)| n == name).map(|(_, cur)| cur / base)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speed = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] }.clamp(0.25, 4.0);
+    println!("machine-speed factor (median ratio): {speed:.3}");
+    let mut failed = false;
+    for (name, base) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            None => println!("WARN  {name}: missing from current run (renamed or removed?)"),
+            Some((_, cur)) => {
+                let adjusted = base * speed;
+                let delta = (cur - adjusted) / adjusted * 100.0;
+                let verdict = if *cur > adjusted * (1.0 + tolerance / 100.0) {
+                    failed = true;
+                    "FAIL "
+                } else {
+                    "ok   "
+                };
+                println!(
+                    "{verdict}{name}: {base:.0} -> {cur:.0} ns ({delta:+.1}% vs speed-adjusted)"
+                );
+            }
+        }
+    }
+    for (name, cur) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("new   {name}: {cur:.0} ns (no baseline; tolerated)");
+        }
+    }
+    if failed {
+        eprintln!("bench_check: regression beyond {tolerance:.0}% tolerance");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: within {tolerance:.0}% tolerance");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+
+    #[test]
+    fn parses_snapshot_shape() {
+        let body = r#"{
+  "benchmarks": [
+    { "name": "a/b", "median_ns": 123.5 },
+    { "name": "c", "median_ns": 7 }
+  ]
+}"#;
+        assert_eq!(parse(body), vec![("a/b".to_string(), 123.5), ("c".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn tolerates_noise_text() {
+        assert!(parse("no benchmarks here").is_empty());
+    }
+}

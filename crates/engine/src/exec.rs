@@ -9,9 +9,10 @@
 //! (ties broken by relation position).
 
 use crate::tuple::{JoinedTuple, Tuple};
-use cosmos_query::compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, Operand, ScalarRef, SymSource};
 use cosmos_query::{ProjItem, Query, QueryId, Scalar};
 use cosmos_util::intern::{sym_timestamp, Schema, Symbol};
+use cosmos_util::PlanCache;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -114,6 +115,31 @@ impl ResultTuple {
         self.apply_plan(&plan, result_stream)
     }
 
+    /// [`ResultTuple::project_compiled`] with an owner-attached plan cache
+    /// (one cache per projection — part shapes key the lookup, the
+    /// projection's identity is implicit). The steady-state path compares
+    /// part shapes against stored keys directly and copies scalars only:
+    /// no cache-key allocation, no thread-local map probe.
+    pub fn project_cached(
+        &self,
+        projection: &CompiledProjection,
+        cache: &mut ProjPlanCache,
+        result_stream: impl Into<Symbol>,
+    ) -> Tuple {
+        let plan = cache.plans.get_or_insert_with(
+            |key| {
+                key.len() == self.joined.parts().count()
+                    && key
+                        .iter()
+                        .zip(self.joined.parts())
+                        .all(|(&(ka, ks), (pa, pt))| ka == pa && ks == pt.schema().id())
+            },
+            || self.joined.parts().map(|(a, t)| (a, t.schema().id())).collect(),
+            || self.build_plan(projection),
+        );
+        self.apply_plan(plan, result_stream)
+    }
+
     /// Builds the projection plan for this result's part shapes:
     /// the output schema and an emit-mask over the concatenated
     /// `[timestamp, attrs…]` column stream of all parts. Colliding names
@@ -161,10 +187,29 @@ type ProjKey = (u64, Vec<(Symbol, u32)>);
 
 /// Cached projection plan: the output schema plus an emit-mask over the
 /// concatenated `[timestamp, attrs…]` column stream of all parts.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct ProjPlan {
     schema: Arc<Schema>,
     mask: Arc<[bool]>,
+}
+
+/// Part-shape key of an owner-attached plan: `(alias, schema id)` pairs.
+type PartShapeKey = Box<[(Symbol, u32)]>;
+
+/// An owner-attached projection plan cache for one [`CompiledProjection`]
+/// (see [`ResultTuple::project_cached`]): hang it off whatever owns the
+/// projection — a compiled residual, a route entry — so repeat shapes
+/// never allocate a cache key.
+#[derive(Debug, Default)]
+pub struct ProjPlanCache {
+    plans: PlanCache<PartShapeKey, ProjPlan>,
+}
+
+impl ProjPlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Per-thread plan-cache bound; far above any steady-state working set.
@@ -181,12 +226,122 @@ thread_local! {
 pub struct EngineStats {
     /// Tuples accepted into windows (passed selection).
     pub ingested: u64,
-    /// Join combinations examined.
+    /// Join combinations materialized (candidates skipped by the equi-join
+    /// hash index never count — they are never formed).
     pub probes: u64,
     /// Results emitted.
     pub emitted: u64,
     /// Tuples rejected by pushed-down selections.
     pub filtered: u64,
+}
+
+/// A hashable view of an equi-join key value. Numeric values normalize
+/// through `f64` bits (with `-0.0` collapsed onto `0.0`), matching
+/// [`compare_ref`]'s equality semantics exactly: `Int(5)` and `Float(5.0)`
+/// are the same key because `5 = 5.0` evaluates true. `NaN` has no key —
+/// it is equal to nothing, so an un-indexed NaN tuple is correct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Num(u64),
+    Str(String),
+}
+
+fn join_key(v: &Scalar) -> Option<JoinKey> {
+    match v {
+        Scalar::Int(i) => Some(JoinKey::Num((*i as f64).to_bits())),
+        Scalar::Float(f) if f.is_nan() => None,
+        Scalar::Float(f) => Some(JoinKey::Num((if *f == 0.0 { 0.0 } else { *f }).to_bits())),
+        Scalar::Str(s) => Some(JoinKey::Str(s.clone())),
+    }
+}
+
+/// One equi-join constraint usable as a probe fast path: this relation's
+/// `attr` must equal `other`'s `other_attr`.
+#[derive(Debug, Clone)]
+struct EquiConstraint {
+    attr: Symbol,
+    other: usize,
+    other_attr: Symbol,
+}
+
+/// Buffer size at which the key index switches on: below it, a linear
+/// scan is cheaper than maintaining hash buckets (small and `[Now]`
+/// windows churn tuples constantly — per-tuple bucket upkeep would cost
+/// more than it saves).
+const INDEX_ACTIVATION: usize = 16;
+
+/// A window buffer with a lazily-activated `(join attr, key value)` hash
+/// index over the attributes that participate in equi-join predicates:
+/// once the buffer outgrows [`INDEX_ACTIVATION`], probing binds only
+/// candidates that can satisfy the join key instead of scanning (and
+/// `Arc`-cloning into) every buffered tuple.
+#[derive(Debug, Clone, Default)]
+struct WindowBuffer {
+    queue: VecDeque<Arc<Tuple>>,
+    /// `(attr, key)` → tuples in arrival (= timestamp) order. Populated
+    /// only while `active`.
+    buckets: HashMap<(Symbol, JoinKey), VecDeque<Arc<Tuple>>>,
+    /// Attributes of this relation appearing in equi-join predicates.
+    indexed_attrs: Vec<Symbol>,
+    /// Whether the key index is live (sticky once activated).
+    active: bool,
+}
+
+impl WindowBuffer {
+    fn new(indexed_attrs: Vec<Symbol>) -> Self {
+        Self { queue: VecDeque::new(), buckets: HashMap::new(), indexed_attrs, active: false }
+    }
+
+    fn index_tuple(
+        buckets: &mut HashMap<(Symbol, JoinKey), VecDeque<Arc<Tuple>>>,
+        indexed_attrs: &[Symbol],
+        tuple: &Arc<Tuple>,
+    ) {
+        for &attr in indexed_attrs {
+            if let Some(key) = tuple.get_sym(attr).and_then(join_key) {
+                buckets.entry((attr, key)).or_default().push_back(tuple.clone());
+            }
+        }
+    }
+
+    fn push(&mut self, tuple: Arc<Tuple>) {
+        if self.active {
+            Self::index_tuple(&mut self.buckets, &self.indexed_attrs, &tuple);
+        }
+        self.queue.push_back(tuple);
+        if !self.active && !self.indexed_attrs.is_empty() && self.queue.len() >= INDEX_ACTIVATION {
+            self.active = true;
+            for t in &self.queue {
+                Self::index_tuple(&mut self.buckets, &self.indexed_attrs, t);
+            }
+        }
+    }
+
+    /// Drops tuples older than `cutoff`. Bucket fronts mirror the queue
+    /// front (both are arrival-ordered), so each removal is O(1).
+    fn prune(&mut self, cutoff: i64) {
+        while let Some(front) = self.queue.front() {
+            if front.timestamp >= cutoff {
+                break;
+            }
+            let tuple = self.queue.pop_front().expect("front exists");
+            if !self.active {
+                continue;
+            }
+            for &attr in &self.indexed_attrs {
+                if let Some(key) = tuple.get_sym(attr).and_then(join_key) {
+                    if let std::collections::hash_map::Entry::Occupied(mut e) =
+                        self.buckets.entry((attr, key))
+                    {
+                        e.get_mut().pop_front();
+                        if e.get().is_empty() {
+                            e.remove();
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A compiled continuous query: names resolved to symbols, predicates
@@ -203,8 +358,10 @@ pub struct CompiledQuery {
     selections: Vec<Vec<CompiledPredicate>>,
     /// Join (and any other multi-relation) predicates, symbol-compiled.
     cross: Vec<CompiledPredicate>,
-    /// Window buffers per relation, timestamp-ordered.
-    buffers: Vec<VecDeque<Arc<Tuple>>>,
+    /// Per relation: equi-join constraints usable as probe fast paths.
+    equi: Vec<Vec<EquiConstraint>>,
+    /// Window buffers per relation, timestamp-ordered and key-indexed.
+    buffers: Vec<WindowBuffer>,
     stats: EngineStats,
 }
 
@@ -240,6 +397,37 @@ impl CompiledQuery {
                 _ => cross.push(CompiledPredicate::compile(p)),
             }
         }
+        // Equality joins between stored attributes become probe fast
+        // paths: each side's buffer indexes the join attribute.
+        let mut equi: Vec<Vec<EquiConstraint>> = vec![Vec::new(); n];
+        for p in &cross {
+            let CompiledPredicate::JoinCmp {
+                left: Operand::Attr { rel: lr, attr: la },
+                op: cosmos_query::CmpOp::Eq,
+                right: Operand::Attr { rel: rr, attr: ra },
+            } = p
+            else {
+                continue;
+            };
+            let (Some(li), Some(ri)) =
+                (aliases.iter().position(|a| a == lr), aliases.iter().position(|a| a == rr))
+            else {
+                continue;
+            };
+            if li == ri {
+                continue;
+            }
+            equi[li].push(EquiConstraint { attr: *la, other: ri, other_attr: *ra });
+            equi[ri].push(EquiConstraint { attr: *ra, other: li, other_attr: *la });
+        }
+        let buffers = (0..n)
+            .map(|i| {
+                let mut attrs: Vec<Symbol> = equi[i].iter().map(|c| c.attr).collect();
+                attrs.sort_unstable();
+                attrs.dedup();
+                WindowBuffer::new(attrs)
+            })
+            .collect();
         Self {
             id,
             query,
@@ -247,7 +435,8 @@ impl CompiledQuery {
             aliases,
             selections,
             cross,
-            buffers: vec![VecDeque::new(); n],
+            equi,
+            buffers,
             stats: EngineStats::default(),
         }
     }
@@ -282,13 +471,7 @@ impl CompiledQuery {
     fn prune(&mut self, now: i64) {
         for (i, buf) in self.buffers.iter_mut().enumerate() {
             if let Some(w) = self.widths[i] {
-                while let Some(front) = buf.front() {
-                    if front.timestamp < now - w {
-                        buf.pop_front();
-                    } else {
-                        break;
-                    }
-                }
+                buf.prune(now - w);
             }
         }
     }
@@ -318,57 +501,97 @@ impl CompiledQuery {
         } else {
             let mut combo: Vec<Option<Arc<Tuple>>> = vec![None; n];
             combo[rel_idx] = Some(tuple.clone());
-            self.probe_recursive(0, rel_idx, now, &mut combo, out);
+            let mut ctx = ProbeCtx {
+                id: self.id,
+                buffers: &self.buffers,
+                widths: &self.widths,
+                aliases: &self.aliases,
+                cross: &self.cross,
+                equi: &self.equi,
+                stats: &mut self.stats,
+            };
+            probe_recursive(&mut ctx, 0, rel_idx, now, &mut combo, out);
         }
-        self.buffers[rel_idx].push_back(tuple);
+        self.buffers[rel_idx].push(tuple);
     }
+}
 
-    fn probe_recursive(
-        &mut self,
-        rel: usize,
-        arriving: usize,
-        now: i64,
-        combo: &mut Vec<Option<Arc<Tuple>>>,
-        out: &mut Vec<ResultTuple>,
-    ) {
-        let n = self.buffers.len();
-        if rel == n {
-            self.stats.probes += 1;
-            let parts: Vec<(Symbol, Arc<Tuple>)> = combo
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (self.aliases[i], t.clone().expect("combo complete")))
-                .collect();
-            let joined = JoinedTuple::new(parts);
-            if eval_compiled(&self.cross, &joined) {
-                self.stats.emitted += 1;
-                out.push(ResultTuple { query: self.id, joined });
-            }
-            return;
+/// Borrowed probe state: buffers are shared (so candidate iterators can
+/// outlive recursive calls), stats are the only mutation.
+struct ProbeCtx<'a> {
+    id: QueryId,
+    buffers: &'a [WindowBuffer],
+    widths: &'a [Option<i64>],
+    aliases: &'a [Symbol],
+    cross: &'a [CompiledPredicate],
+    equi: &'a [Vec<EquiConstraint>],
+    stats: &'a mut EngineStats,
+}
+
+fn probe_recursive(
+    ctx: &mut ProbeCtx<'_>,
+    rel: usize,
+    arriving: usize,
+    now: i64,
+    combo: &mut Vec<Option<Arc<Tuple>>>,
+    out: &mut Vec<ResultTuple>,
+) {
+    let n = ctx.buffers.len();
+    if rel == n {
+        ctx.stats.probes += 1;
+        let parts: Vec<(Symbol, Arc<Tuple>)> = combo
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ctx.aliases[i], t.clone().expect("combo complete")))
+            .collect();
+        let joined = JoinedTuple::new(parts);
+        if eval_compiled(ctx.cross, &joined) {
+            ctx.stats.emitted += 1;
+            out.push(ResultTuple { query: ctx.id, joined });
         }
-        if rel == arriving {
-            self.probe_recursive(rel + 1, arriving, now, combo, out);
-            return;
-        }
-        // Iterate a snapshot of indices; buffer content is not mutated
-        // during probing.
-        for k in 0..self.buffers[rel].len() {
-            let cand = self.buffers[rel][k].clone();
-            // Window check relative to the arriving tuple's time.
-            if let Some(w) = self.widths[rel] {
-                if cand.timestamp < now - w {
-                    continue;
-                }
-            }
-            // Emit-once rule: the arriving tuple must be the latest of the
-            // combination; ties broken by relation position.
-            if cand.timestamp > now || (cand.timestamp == now && rel > arriving) {
+        return;
+    }
+    if rel == arriving {
+        probe_recursive(ctx, rel + 1, arriving, now, combo, out);
+        return;
+    }
+    // Fast path: if the buffer's key index is live and an equi-join
+    // constraint links this relation to an already-bound one, probe only
+    // the matching key bucket. A bound tuple missing the key attribute
+    // (or carrying NaN) satisfies no equality, so there are no candidates
+    // at all.
+    let buffers = ctx.buffers;
+    let fast = if buffers[rel].active {
+        ctx.equi[rel]
+            .iter()
+            .find_map(|c| combo[c.other].as_ref().map(|b| (c.attr, b.get_sym(c.other_attr))))
+    } else {
+        None
+    };
+    let candidates = match fast {
+        Some((attr, Some(v))) => match join_key(v) {
+            Some(key) => buffers[rel].buckets.get(&(attr, key)),
+            None => None,
+        },
+        Some((_, None)) => None,
+        None => Some(&buffers[rel].queue),
+    };
+    let Some(candidates) = candidates else { return };
+    for cand in candidates {
+        // Window check relative to the arriving tuple's time.
+        if let Some(w) = ctx.widths[rel] {
+            if cand.timestamp < now - w {
                 continue;
             }
-            combo[rel] = Some(cand);
-            self.probe_recursive(rel + 1, arriving, now, combo, out);
-            combo[rel] = None;
         }
+        // Emit-once rule: the arriving tuple must be the latest of the
+        // combination; ties broken by relation position.
+        if cand.timestamp > now || (cand.timestamp == now && rel > arriving) {
+            continue;
+        }
+        combo[rel] = Some(cand.clone());
+        probe_recursive(ctx, rel + 1, arriving, now, combo, out);
+        combo[rel] = None;
     }
 }
 
@@ -622,6 +845,84 @@ mod tests {
         e.remove_query(QueryId(1));
         assert_eq!(e.push(t("R", 1, &[])).len(), 0);
         assert_eq!(e.query_count(), 0);
+    }
+
+    #[test]
+    fn equi_index_joins_int_and_float_keys() {
+        // compare_ref says Int(1) = Float(1.0); the key index must agree.
+        let mut e = engine_with("SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k");
+        e.push(Tuple::new("R", 0).with("k", Scalar::Float(1.0)));
+        e.push(Tuple::new("R", 100).with("k", Scalar::Float(-0.0)));
+        assert_eq!(e.push(t("S", 1_000, &[("k", 1)])).len(), 1);
+        assert_eq!(e.push(Tuple::new("S", 2_000).with("k", Scalar::Float(0.0))).len(), 1);
+    }
+
+    #[test]
+    fn equi_index_skips_non_matching_candidates() {
+        let mut e = engine_with("SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.k = S.k");
+        for i in 0..50 {
+            e.push(t("R", i, &[("k", i % 10)]));
+        }
+        let out = e.push(t("S", 1_000, &[("k", 3)]));
+        assert_eq!(out.len(), 5);
+        // Probes count only materialized combinations: 5 candidates from
+        // the key bucket (plus 50 single-relation ingests probed nothing).
+        assert_eq!(e.total_stats().probes, 5);
+    }
+
+    #[test]
+    fn equi_index_survives_window_pruning() {
+        let mut e = engine_with("SELECT * FROM R [Range 10 Seconds], S [Now] WHERE R.k = S.k");
+        e.push(t("R", 0, &[("k", 1)]));
+        e.push(t("R", 5_000, &[("k", 1)]));
+        e.push(t("R", 11_000, &[("k", 1)]));
+        // R@0 expired; the bucket must have dropped it too.
+        let out = e.push(t("S", 12_000, &[("k", 1)]));
+        assert_eq!(out.len(), 2);
+        let times: Vec<i64> = out.iter().map(|r| r.joined.part("R").unwrap().timestamp).collect();
+        assert_eq!(times, vec![5_000, 11_000]);
+    }
+
+    #[test]
+    fn string_join_keys_use_the_index() {
+        let mut e = engine_with("SELECT * FROM R [Range 1 Minute], S [Now] WHERE R.name = S.name");
+        e.push(Tuple::new("R", 0).with("name", Scalar::Str("a".into())));
+        e.push(Tuple::new("R", 1).with("name", Scalar::Str("b".into())));
+        let out = e.push(Tuple::new("S", 1_000).with("name", Scalar::Str("b".into())));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].joined.part("R").unwrap().timestamp, 1);
+    }
+
+    #[test]
+    fn indexed_probe_equals_full_scan_on_mixed_predicates() {
+        // Differential test: `A.k = B.k` is rewritten for the reference
+        // engine as `A.k <= B.k AND A.k >= B.k` — semantically identical,
+        // but never recognized as an equi-join, so the reference always
+        // probes by full window scan. Both engines must emit exactly the
+        // same results in the same order; a bucket-index bug that drops
+        // valid candidates diverges here.
+        let mut indexed = engine_with(
+            "SELECT * FROM A [Range 1 Minute], B [Range 1 Minute], C [Now] \
+             WHERE A.k = B.k AND B.v < C.v",
+        );
+        let mut reference = engine_with(
+            "SELECT * FROM A [Range 1 Minute], B [Range 1 Minute], C [Now] \
+             WHERE A.k <= B.k AND A.k >= B.k AND B.v < C.v",
+        );
+        let mut indexed_out = Vec::new();
+        let mut reference_out = Vec::new();
+        for i in 0..30i64 {
+            for tup in [
+                t("A", i * 100, &[("k", i % 4), ("v", i)]),
+                t("B", i * 100 + 10, &[("k", i % 3), ("v", i % 7)]),
+                t("C", i * 100 + 20, &[("k", i % 5), ("v", 5)]),
+            ] {
+                indexed_out.extend(indexed.push(tup.clone()).into_iter().map(|r| r.joined));
+                reference_out.extend(reference.push(tup).into_iter().map(|r| r.joined));
+            }
+        }
+        assert!(!indexed_out.is_empty(), "workload must produce joins");
+        assert_eq!(indexed_out, reference_out);
     }
 
     #[test]

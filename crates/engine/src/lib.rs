@@ -50,8 +50,8 @@ pub mod shared;
 pub mod tuple;
 
 pub use aggregate::{AggregateEngine, AggregateQuery};
-pub use exec::{CompiledQuery, EngineStats, ResultTuple, StreamEngine};
+pub use exec::{CompiledQuery, EngineStats, ProjPlanCache, ResultTuple, StreamEngine};
 pub use parallel::ParallelEngine;
 pub use reorder::ReorderBuffer;
 pub use shared::SharedEngine;
-pub use tuple::{JoinedTuple, Tuple};
+pub use tuple::{FlattenCache, JoinedTuple, Tuple};

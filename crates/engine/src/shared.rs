@@ -13,7 +13,7 @@
 //! exactly the per-query results independent execution would* — is what the
 //! tests (including property tests) pin down.
 
-use crate::exec::{CompiledProjection, EngineStats, StreamEngine};
+use crate::exec::{CompiledProjection, EngineStats, ProjPlanCache, StreamEngine};
 use crate::tuple::Tuple;
 use cosmos_query::compiled::{eval_compiled, CompiledPredicate};
 use cosmos_query::containment::{merge_queries, MergedQuery};
@@ -37,6 +37,9 @@ struct ResidualCompiled {
     filters: Vec<CompiledPredicate>,
     /// The member's projection over merged aliases.
     projection: CompiledProjection,
+    /// Resolved projection plans per part shape — splitting a shared
+    /// result allocates nothing beyond the output payload.
+    plans: ProjPlanCache,
     /// `(merged alias, member alias)` renames for the output schema.
     pairs: Vec<(Symbol, Symbol)>,
 }
@@ -151,6 +154,7 @@ impl SharedEngine {
                         query: r.query,
                         filters: CompiledPredicate::compile_all(&r.filters),
                         projection: CompiledProjection::compile(&r.projection),
+                        plans: ProjPlanCache::new(),
                         pairs: alias_pairs(&merged.query, member_query),
                     }
                 })
@@ -188,16 +192,18 @@ impl SharedEngine {
         for r in results {
             let group = self
                 .groups
-                .iter()
+                .iter_mut()
                 .find(|g| g.merged_id == r.query)
                 .expect("result from unknown merged query");
-            for residual in &group.residuals {
+            let result_stream = group.result_stream;
+            for residual in &mut group.residuals {
                 // Residual filters are in merged aliases; the joined tuple
                 // exposes exactly those aliases.
                 if !eval_compiled(&residual.filters, &r.joined) {
                     continue;
                 }
-                let projected = r.project_compiled(&residual.projection, group.result_stream);
+                let projected =
+                    r.project_cached(&residual.projection, &mut residual.plans, result_stream);
                 out.push((residual.query, rename_aliases(projected, residual)));
             }
         }

@@ -27,6 +27,7 @@ use cosmos_query::compiled::{ScalarRef, SymSource};
 use cosmos_query::predicate::AttrSource;
 use cosmos_query::{AttrRef, Scalar};
 use cosmos_util::intern::{sym_timestamp, Schema, Symbol};
+use cosmos_util::PlanCache;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -152,7 +153,7 @@ type FlatKey = Vec<(Symbol, u32)>;
 /// synthetic `alias.timestamp`, or a repeated name — first occurrence
 /// wins, matching the legacy string-keyed shadowing), a keep-mask over
 /// the concatenated `[timestamp, attrs…]` stream of all parts.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct FlatSchema {
     schema: Arc<Schema>,
     mask: Option<Arc<[bool]>>,
@@ -165,37 +166,69 @@ thread_local! {
     static FLAT_SCHEMAS: RefCell<HashMap<FlatKey, FlatSchema>> = RefCell::new(HashMap::new());
 }
 
-/// The flattened schema for a list of `(alias, component)` parts:
+/// Builds the flattened schema for a list of `(alias, component)` parts:
 /// `alias.timestamp` followed by `alias.attr` for each component column.
+fn build_flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
+    let ts = sym_timestamp();
+    let mut attrs = Vec::new();
+    let mut mask = Vec::new();
+    let push = |attrs: &mut Vec<Symbol>, mask: &mut Vec<bool>, sym: Symbol| {
+        let fresh = !attrs.contains(&sym);
+        if fresh {
+            attrs.push(sym);
+        }
+        mask.push(fresh);
+    };
+    for (alias, t) in parts {
+        push(&mut attrs, &mut mask, Symbol::dotted(*alias, ts));
+        for &attr in t.schema.attrs() {
+            push(&mut attrs, &mut mask, Symbol::dotted(*alias, attr));
+        }
+    }
+    FlatSchema { schema: Schema::intern(&attrs), mask: mask.contains(&false).then(|| mask.into()) }
+}
+
+/// The flattened schema for `parts`, via the shared thread-local cache
+/// (allocates a small key `Vec` per probe — see [`FlattenCache`] for the
+/// allocation-free owner-attached variant).
 fn flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
     let key: FlatKey = parts.iter().map(|(a, t)| (*a, t.schema.id())).collect();
     FLAT_SCHEMAS.with_borrow_mut(|cache| {
-        cache
-            .entry(key)
-            .or_insert_with(|| {
-                let ts = sym_timestamp();
-                let mut attrs = Vec::new();
-                let mut mask = Vec::new();
-                let push = |attrs: &mut Vec<Symbol>, mask: &mut Vec<bool>, sym: Symbol| {
-                    let fresh = !attrs.contains(&sym);
-                    if fresh {
-                        attrs.push(sym);
-                    }
-                    mask.push(fresh);
-                };
-                for (alias, t) in parts {
-                    push(&mut attrs, &mut mask, Symbol::dotted(*alias, ts));
-                    for &attr in t.schema.attrs() {
-                        push(&mut attrs, &mut mask, Symbol::dotted(*alias, attr));
-                    }
-                }
-                FlatSchema {
-                    schema: Schema::intern(&attrs),
-                    mask: mask.contains(&false).then(|| mask.into()),
-                }
-            })
-            .clone()
+        cache.entry(key).or_insert_with(|| build_flat_schema(parts)).clone()
     })
+}
+
+/// An owner-attached flatten plan cache: hang one off whatever repeatedly
+/// flattens joined tuples (a compiled query's consumer, a bench loop) and
+/// call [`JoinedTuple::flatten_cached`]. Hits compare the part shapes
+/// against stored keys directly — no per-call key allocation, unlike the
+/// thread-local cache behind [`JoinedTuple::flatten`].
+#[derive(Debug, Clone, Default)]
+pub struct FlattenCache {
+    plans: PlanCache<FlatKey, FlatSchema>,
+}
+
+impl FlattenCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lookup(&mut self, parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
+        self.plans
+            .get_or_insert_with(
+                |key| {
+                    key.len() == parts.len()
+                        && key
+                            .iter()
+                            .zip(parts)
+                            .all(|(&(ka, ks), (pa, pt))| ka == *pa && ks == pt.schema.id())
+                },
+                || parts.iter().map(|(a, t)| (*a, t.schema.id())).collect(),
+                || build_flat_schema(parts),
+            )
+            .clone()
+    }
 }
 
 /// A join output: one source tuple per relation alias, in join order.
@@ -241,6 +274,21 @@ impl JoinedTuple {
     /// name interning.
     pub fn flatten(&self, result_stream: impl Into<Symbol>) -> Tuple {
         let flat = flat_schema(&self.parts);
+        self.apply_flat(&flat, result_stream)
+    }
+
+    /// [`JoinedTuple::flatten`] with an owner-attached plan cache: the
+    /// steady-state path copies scalars only — no cache-key allocation.
+    pub fn flatten_cached(
+        &self,
+        cache: &mut FlattenCache,
+        result_stream: impl Into<Symbol>,
+    ) -> Tuple {
+        let flat = cache.lookup(&self.parts);
+        self.apply_flat(&flat, result_stream)
+    }
+
+    fn apply_flat(&self, flat: &FlatSchema, result_stream: impl Into<Symbol>) -> Tuple {
         let mut values = Vec::with_capacity(flat.schema.len());
         match &flat.mask {
             None => {
@@ -265,7 +313,7 @@ impl JoinedTuple {
                 }
             }
         }
-        Tuple::from_parts(result_stream, self.timestamp(), flat.schema, values)
+        Tuple::from_parts(result_stream, self.timestamp(), Arc::clone(&flat.schema), values)
     }
 }
 

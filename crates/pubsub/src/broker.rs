@@ -14,10 +14,11 @@
 //! the rate-based [`crate::traffic::TrafficModel`] charges for, keeping the
 //! two cost views consistent.
 
+use crate::index::RoutingTable;
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
 use cosmos_util::Symbol;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 /// Traffic counters for one undirected link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,57 +73,13 @@ impl DeliveryLog {
     }
 }
 
-#[derive(Debug, Clone)]
-struct RouteEntry {
-    sub: Subscription,
-    /// Next hop toward the subscriber; `None` = deliver locally.
-    to: Option<NodeId>,
-    /// Per-stream needs projection (see [`needs`]), precomputed at install
-    /// so forwarding never rebuilds attribute sets per message.
-    needs: Vec<(Symbol, StreamProjection)>,
-}
-
-impl RouteEntry {
-    fn new(sub: Subscription, to: Option<NodeId>) -> Self {
-        let needs = sub
-            .streams
-            .keys()
-            .map(|&s| (s, needs(&sub, s).expect("own stream always has needs")))
-            .collect();
-        Self { sub, to, needs }
-    }
-
-    fn needs_for(&self, stream: Symbol) -> Option<&StreamProjection> {
-        self.needs.iter().find(|(s, _)| *s == stream).map(|(_, p)| p)
-    }
-}
-
-/// The attributes a subscription *needs* for a stream: projection plus any
-/// attribute its filters read. Routing-level covering must preserve needs,
-/// otherwise early projection upstream of a pruned propagation could strip
-/// attributes a downstream filter reads.
-fn needs(sub: &Subscription, stream: Symbol) -> Option<StreamProjection> {
-    let req = sub.streams.get(&stream)?;
-    let mut proj = req.projection.clone();
-    let mut filter_attrs: BTreeSet<Symbol> = BTreeSet::new();
-    for f in req.filters() {
-        if let cosmos_query::Predicate::Cmp { attr, .. } = f {
-            filter_attrs.insert(Symbol::intern(&attr.attr));
-        }
-    }
-    if !filter_attrs.is_empty() {
-        proj = proj.union(&StreamProjection::Attrs(filter_attrs));
-    }
-    Some(proj)
-}
-
 /// Covering as used for *routing-table pruning*: semantic covering plus
-/// needs preservation (see [`needs`]).
+/// needs preservation (see [`Subscription::needs`]).
 fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
     if !general.covers(specific) {
         return false;
     }
-    specific.streams.keys().all(|&s| match (needs(general, s), needs(specific, s)) {
+    specific.streams.keys().all(|&s| match (general.needs(s), specific.needs(s)) {
         (Some(g), Some(sp)) => g.covers(&sp),
         _ => false,
     })
@@ -156,8 +113,9 @@ pub struct BrokerNetwork {
     stream_source: HashMap<Symbol, NodeId>,
     /// advertising node → its shortest-path (dissemination) tree.
     adv_trees: HashMap<NodeId, ShortestPathTree>,
-    /// Per-node routing tables.
-    tables: Vec<Vec<RouteEntry>>,
+    /// Per-node routing tables (stream-partitioned counting indexes; see
+    /// [`crate::index`]).
+    tables: Vec<RoutingTable>,
     /// Per-node, per-source: subscriptions already forwarded toward that
     /// source (for covering-based pruning).
     forwarded_up: Vec<HashMap<NodeId, Vec<Subscription>>>,
@@ -175,7 +133,7 @@ impl BrokerNetwork {
             topo,
             stream_source: HashMap::new(),
             adv_trees: HashMap::new(),
-            tables: vec![Vec::new(); n],
+            tables: (0..n).map(|_| RoutingTable::new()).collect(),
             forwarded_up: vec![HashMap::new(); n],
             active: Vec::new(),
             link_stats: HashMap::new(),
@@ -220,7 +178,7 @@ impl BrokerNetwork {
 
     fn install(&mut self, sub: Subscription) {
         // Local delivery entry at the subscriber.
-        self.tables[sub.subscriber.index()].push(RouteEntry::new(sub.clone(), None));
+        self.tables[sub.subscriber.index()].insert(sub.clone(), None);
         // Per-stream propagation toward the source.
         let streams: Vec<Symbol> = sub.streams.keys().copied().collect();
         let mut per_source: HashMap<NodeId, Vec<Symbol>> = HashMap::new();
@@ -270,11 +228,11 @@ impl BrokerNetwork {
     /// for forwarding — one transmission per link regardless).
     fn add_forwarding_entry(&mut self, node: NodeId, sub: Subscription, downstream: NodeId) {
         let table = &mut self.tables[node.index()];
-        if table.iter().any(|e| e.to == Some(downstream) && routing_covers(&e.sub, &sub)) {
+        if table.entries().any(|(e, to)| to == Some(downstream) && routing_covers(e, &sub)) {
             return;
         }
-        table.retain(|e| !(e.to == Some(downstream) && routing_covers(&sub, &e.sub)));
-        table.push(RouteEntry::new(sub, Some(downstream)));
+        table.remove_toward(downstream, |e| routing_covers(&sub, e));
+        table.insert(sub, Some(downstream));
     }
 
     /// Removes subscription `id` and rebuilds all routing state from the
@@ -309,44 +267,91 @@ impl BrokerNetwork {
     }
 
     fn forward(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {
-        // Local deliveries.
-        let mut locals: Vec<Subscription> = Vec::new();
-        let mut hops: HashMap<NodeId, StreamProjection> = HashMap::new();
-        for entry in &self.tables[node.index()] {
-            if !entry.sub.matches(&msg) {
-                continue;
-            }
-            match entry.to {
-                None => locals.push(entry.sub.clone()),
-                Some(next) => {
-                    if Some(next) == from {
-                        continue;
-                    }
-                    let need =
-                        entry.needs_for(msg.stream).cloned().unwrap_or(StreamProjection::All);
-                    hops.entry(next).and_modify(|p| *p = p.union(&need)).or_insert(need);
-                }
-            }
+        // Indexed matching: counting pass + residuals, with local and
+        // per-hop projections applied from their cached plans.
+        let out = self.tables[node.index()].match_message(&msg, from);
+        for (sub, message) in out.deliveries {
+            self.log.deliveries.push(Delivery { sub, node, message });
         }
-        for sub in locals {
-            // `matches` already held during the table scan; project without
-            // re-evaluating the filters.
-            if let Some(projected) = sub.project_unchecked(&msg) {
-                self.log.deliveries.push(Delivery { sub: sub.id, node, message: projected });
-            }
-        }
-        let mut next_hops: Vec<(NodeId, StreamProjection)> = hops.into_iter().collect();
-        next_hops.sort_by_key(|(n, _)| *n);
-        for (next, proj) in next_hops {
-            let fwd = match &proj {
-                StreamProjection::All => msg.clone(),
-                StreamProjection::Attrs(keep) => msg.retaining(keep),
-            };
+        for (next, fwd) in out.forwards {
             let key = if node <= next { (node, next) } else { (next, node) };
             let stats = self.link_stats.entry(key).or_default();
             stats.messages += 1;
             stats.bytes += fwd.wire_size() as u64;
             self.forward(next, Some(node), fwd);
+        }
+    }
+
+    /// [`BrokerNetwork::publish`] via a reference linear table scan —
+    /// matching evaluates every entry's full compiled filter conjunction
+    /// and hop projections are re-unioned per message. Semantically
+    /// identical to the indexed path (same deliveries, same link traffic);
+    /// kept as the differential-testing oracle and the benchmark baseline
+    /// the sublinear claim is measured against.
+    pub fn publish_linear(&mut self, msg: Message) -> usize {
+        let Some(&src) = self.stream_source.get(&msg.stream) else {
+            return 0;
+        };
+        let before = self.log.len();
+        self.forward_linear(src, None, msg);
+        self.log.len() - before
+    }
+
+    fn forward_linear(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {
+        let mut matched_hops: Vec<NodeId> = Vec::new();
+        let mut forwards: Vec<(NodeId, Message)> = Vec::new();
+        {
+            let table = &self.tables[node.index()];
+            for (sub, to) in table.entries() {
+                if !sub.matches(&msg) {
+                    continue;
+                }
+                match to {
+                    None => {
+                        if let Some(projected) = sub.project_unchecked(&msg) {
+                            self.log.deliveries.push(Delivery {
+                                sub: sub.id,
+                                node,
+                                message: projected,
+                            });
+                        }
+                    }
+                    Some(next) => {
+                        if Some(next) != from && !matched_hops.contains(&next) {
+                            matched_hops.push(next);
+                        }
+                    }
+                }
+            }
+            matched_hops.sort_unstable();
+            for &next in &matched_hops {
+                // Same union semantics as the index's hop groups: needs of
+                // *every* entry toward this hop requesting the stream.
+                let mut union: Option<StreamProjection> = None;
+                for (sub, to) in table.entries() {
+                    if to != Some(next) {
+                        continue;
+                    }
+                    if let Some(needs) = sub.needs(msg.stream) {
+                        union = Some(match union {
+                            None => needs,
+                            Some(u) => u.union(&needs),
+                        });
+                    }
+                }
+                let fwd = match union.expect("matched hop has at least one member") {
+                    StreamProjection::All => msg.clone(),
+                    StreamProjection::Attrs(keep) => msg.retaining(&keep),
+                };
+                forwards.push((next, fwd));
+            }
+        }
+        for (next, fwd) in forwards {
+            let key = if node <= next { (node, next) } else { (next, node) };
+            let stats = self.link_stats.entry(key).or_default();
+            stats.messages += 1;
+            stats.bytes += fwd.wire_size() as u64;
+            self.forward_linear(next, Some(node), fwd);
         }
     }
 
@@ -393,6 +398,19 @@ impl BrokerNetwork {
     /// Number of routing entries at `node` (diagnostics).
     pub fn table_len(&self, node: NodeId) -> usize {
         self.tables[node.index()].len()
+    }
+
+    /// All per-link traffic counters, sorted by link (diagnostics and
+    /// differential testing).
+    pub fn all_link_stats(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        let mut all: Vec<_> = self
+            .link_stats
+            .iter()
+            .filter(|(_, s)| s.messages > 0 || s.bytes > 0)
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
     }
 
     /// Handles the failure of link `{a, b}`: the link is removed from the
@@ -527,7 +545,8 @@ mod tests {
         // n7's a>10 was forwarded to n1, n2, n3. n6's a>20 is covered by
         // a>10 at n1, so n2's table holds only one upstream entry for n1's
         // direction... i.e. table at n2 has exactly one entry pointing to n1.
-        let n2_entries_to_n1 = net.tables[2].iter().filter(|e| e.to == Some(NodeId(1))).count();
+        let n2_entries_to_n1 =
+            net.tables[2].entries().filter(|(_, to)| *to == Some(NodeId(1))).count();
         assert_eq!(n2_entries_to_n1, 1, "covered subscription must be pruned at n1");
         // But n1's table holds both (it is the merge point).
         assert_eq!(net.table_len(NodeId(1)), 2);

@@ -1,0 +1,663 @@
+//! Per-node routing index: stream partitioning plus a counting-based
+//! predicate index, making broker matching sublinear in table size.
+//!
+//! # Why
+//!
+//! The paper's Pub/Sub substrate assumes brokers match each published
+//! message against *massive* subscription populations. A flat routing
+//! table walks every entry per message and re-evaluates its compiled
+//! filters — linear in table size with a large constant. This module
+//! replaces the flat table with a [`RoutingTable`] that matches in time
+//! proportional to the number of *satisfied predicates* plus the number of
+//! unconstrained entries, in the spirit of Siena's counting algorithm.
+//!
+//! # Structure
+//!
+//! Three layers, built incrementally as entries are installed:
+//!
+//! 1. **Stream partition.** Entries are grouped by the stream symbols
+//!    their subscriptions request, so a published message only ever sees
+//!    the partition for its own stream — entries for other streams cost
+//!    nothing.
+//! 2. **Counting predicate index.** Within a partition, every compiled
+//!    filter that is an indexable constant comparison (`attr op constant`
+//!    with a numeric constant and an order/equality operator — see
+//!    [`CompiledPredicate::indexable_for`]) contributes its threshold to a
+//!    sorted list keyed by `(attribute, operator)`. Matching a message
+//!    resolves each message attribute **once**, binary-searches each
+//!    relevant list, and walks only the satisfied range, incrementing a
+//!    per-entry counter (epoch-versioned, so no per-message reset). An
+//!    entry whose counter reaches its indexable-predicate count has its
+//!    whole indexable prefix satisfied.
+//! 3. **Residual fallback.** Non-indexable predicates (join comparisons,
+//!    time deltas, string equality, `!=`, foreign-relation references) are
+//!    kept on the entry and evaluated **only** for entries whose indexable
+//!    prefix passed; entries with no indexable predicates are tracked in a
+//!    small always-candidate list. Entries whose indexable prefix fails
+//!    are never touched individually.
+//!
+//! # Forwarding projections
+//!
+//! The flat implementation unioned per-entry "needs" projections into a
+//! `HashMap<NodeId, StreamProjection>` per message. The index instead
+//! precomputes, per `(next hop, stream)` group, the union of member needs
+//! at install time ([`HopGroup`]): per message it only marks matched
+//! groups and applies the cached union plan (a [`CachedProjection`], so
+//! repeat message shapes copy scalars by precomputed column index). The
+//! forwarded attribute set is therefore the union over **all** entries of
+//! the group rather than only the matching ones — a superset, so delivery
+//! content is unchanged (final projection happens per subscription at the
+//! delivery node); only intermediate link bytes can be marginally higher
+//! when entries of the same hop match selectively.
+//!
+//! # Maintenance
+//!
+//! `subscribe`/`add_forwarding_entry` extend the index incrementally
+//! (sorted-insert into threshold lists). Removals (covering merges)
+//! tombstone the entry — dead members are skipped during counting — and
+//! the table compacts itself once tombstones outnumber live entries.
+//! `unsubscribe`/`fail_link` rebuild tables wholesale through the same
+//! incremental path, restoring exactly the state fresh installation would
+//! produce.
+
+use crate::subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
+use cosmos_net::NodeId;
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexOperand};
+use cosmos_query::CmpOp;
+use cosmos_util::Symbol;
+use std::collections::HashMap;
+
+/// One installed routing entry: a subscription plus its forwarding
+/// direction (`None` = deliver locally at this node).
+#[derive(Debug, Clone)]
+struct Entry {
+    sub: Subscription,
+    to: Option<NodeId>,
+    dead: bool,
+}
+
+/// A per-`(next hop)` group within one stream partition: the precomputed
+/// union of member needs-projections, applied once per message when any
+/// member matches.
+#[derive(Debug)]
+struct HopGroup {
+    to: NodeId,
+    /// Union of `Subscription::needs` over live members, with a cached
+    /// per-input-schema projection plan.
+    union: CachedProjection,
+    /// Last epoch in which a member of this group matched.
+    epoch: u64,
+}
+
+/// What a matched member does: local delivery (project per the
+/// subscription's own request) or marking its hop group.
+#[derive(Debug)]
+enum MemberAction {
+    Local { sub: SubId, projection: CachedProjection },
+    Hop(u32),
+}
+
+/// One `(entry, stream)` pair in a stream partition.
+#[derive(Debug)]
+struct Member {
+    /// Slot of the owning entry in `RoutingTable::entries`.
+    entry: u32,
+    /// Number of indexable predicates that must be satisfied.
+    target: u32,
+    /// Predicates evaluated only when the indexable prefix passed.
+    residual: Vec<CompiledPredicate>,
+    /// Satisfied-predicate counter, valid when `epoch` is current.
+    count: u32,
+    epoch: u64,
+    dead: bool,
+    action: MemberAction,
+}
+
+/// Sorted `(threshold, member)` lists for one attribute, one per operator
+/// class. Ascending by threshold; never contains NaN (a NaN threshold is
+/// unsatisfiable, so it only counts toward the member's target).
+#[derive(Debug, Default)]
+struct OpLists {
+    lt: Vec<(f64, u32)>,
+    le: Vec<(f64, u32)>,
+    gt: Vec<(f64, u32)>,
+    ge: Vec<(f64, u32)>,
+    eq: Vec<(f64, u32)>,
+}
+
+impl OpLists {
+    fn list_mut(&mut self, op: CmpOp) -> &mut Vec<(f64, u32)> {
+        match op {
+            CmpOp::Lt => &mut self.lt,
+            CmpOp::Le => &mut self.le,
+            CmpOp::Gt => &mut self.gt,
+            CmpOp::Ge => &mut self.ge,
+            CmpOp::Eq => &mut self.eq,
+            CmpOp::Ne => unreachable!("Ne is never indexable"),
+        }
+    }
+
+    fn insert(&mut self, op: CmpOp, threshold: f64, member: u32) {
+        let list = self.list_mut(op);
+        let at = list.partition_point(|(t, _)| t.total_cmp(&threshold).is_lt());
+        list.insert(at, (threshold, member));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lt.is_empty()
+            && self.le.is_empty()
+            && self.gt.is_empty()
+            && self.ge.is_empty()
+            && self.eq.is_empty()
+    }
+
+    /// Bumps the counter of every member whose predicate is satisfied by
+    /// attribute value `v` (non-NaN): binary search for the satisfied
+    /// range, then walk only that range.
+    fn bump_satisfied(&self, v: f64, members: &mut [Member], touched: &mut Vec<u32>, epoch: u64) {
+        // `attr > t` holds for thresholds t < v: an ascending prefix.
+        let end = self.gt.partition_point(|(t, _)| *t < v);
+        bump(&self.gt[..end], members, touched, epoch);
+        // `attr >= t` holds for t <= v.
+        let end = self.ge.partition_point(|(t, _)| *t <= v);
+        bump(&self.ge[..end], members, touched, epoch);
+        // `attr < t` holds for t > v: an ascending suffix.
+        let start = self.lt.partition_point(|(t, _)| *t <= v);
+        bump(&self.lt[start..], members, touched, epoch);
+        // `attr <= t` holds for t >= v.
+        let start = self.le.partition_point(|(t, _)| *t < v);
+        bump(&self.le[start..], members, touched, epoch);
+        // `attr = t` holds for the equal range.
+        let lo = self.eq.partition_point(|(t, _)| *t < v);
+        let hi = self.eq.partition_point(|(t, _)| *t <= v);
+        bump(&self.eq[lo..hi], members, touched, epoch);
+    }
+}
+
+/// Increments the epoch-versioned counters of `satisfied` members.
+fn bump(satisfied: &[(f64, u32)], members: &mut [Member], touched: &mut Vec<u32>, epoch: u64) {
+    for &(_, m) in satisfied {
+        let member = &mut members[m as usize];
+        if member.dead {
+            continue;
+        }
+        if member.epoch == epoch {
+            member.count += 1;
+        } else {
+            member.epoch = epoch;
+            member.count = 1;
+            touched.push(m);
+        }
+    }
+}
+
+/// The index over one stream's entries at one node.
+#[derive(Debug, Default)]
+struct StreamIndex {
+    members: Vec<Member>,
+    /// Threshold lists per stored attribute.
+    attr_lists: HashMap<Symbol, OpLists>,
+    /// Threshold lists over the event-time pseudo-attribute.
+    ts_lists: OpLists,
+    /// Members with no indexable predicates (always candidates).
+    zero_target: Vec<u32>,
+    hops: Vec<HopGroup>,
+    epoch: u64,
+    /// Scratch: members bumped this epoch.
+    touched: Vec<u32>,
+    /// Scratch: fully-satisfied members, sorted to table order.
+    candidates: Vec<u32>,
+}
+
+/// The outcome of matching one message at one node.
+#[derive(Debug, Default)]
+pub struct MatchOutput {
+    /// Local deliveries: `(subscription, projected message)` in table
+    /// order.
+    pub deliveries: Vec<(SubId, Message)>,
+    /// Forwards: `(next hop, projected message)` sorted by node id.
+    pub forwards: Vec<(NodeId, Message)>,
+}
+
+/// A node's routing table: entries partitioned by stream, each partition
+/// carrying a counting predicate index (see the module docs).
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    entries: Vec<Entry>,
+    streams: HashMap<Symbol, StreamIndex>,
+    dead: usize,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.dead
+    }
+
+    /// `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live entries in installation order, as `(subscription, next hop)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&Subscription, Option<NodeId>)> {
+        self.entries.iter().filter(|e| !e.dead).map(|e| (&e.sub, e.to))
+    }
+
+    /// Drops all entries and index state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.streams.clear();
+        self.dead = 0;
+    }
+
+    /// Installs an entry, extending every affected stream partition
+    /// incrementally.
+    pub fn insert(&mut self, sub: Subscription, to: Option<NodeId>) {
+        let entry_id = u32::try_from(self.entries.len()).expect("routing table overflow");
+        for (&stream, req) in &sub.streams {
+            let index = self.streams.entry(stream).or_default();
+            let member_id = u32::try_from(index.members.len()).expect("partition overflow");
+            let (indexable, residual) = req.split_for_index(stream);
+            let target = u32::try_from(indexable.len()).expect("filter count overflow");
+            for cmp in &indexable {
+                // NaN thresholds are unsatisfiable (every comparison with
+                // NaN is false): they count toward `target` but never
+                // enter a list, so the member simply can never match.
+                if cmp.threshold.is_nan() {
+                    continue;
+                }
+                let lists = match cmp.operand {
+                    IndexOperand::Attr(attr) => index.attr_lists.entry(attr).or_default(),
+                    IndexOperand::Timestamp => &mut index.ts_lists,
+                };
+                lists.insert(cmp.op, cmp.threshold, member_id);
+            }
+            let needs = sub.needs(stream).expect("own stream always has needs");
+            let action = match to {
+                None => MemberAction::Local {
+                    sub: sub.id,
+                    projection: CachedProjection::new(req.projection.clone()),
+                },
+                Some(next) => {
+                    let g = match index.hops.iter().position(|h| h.to == next) {
+                        Some(g) => {
+                            let group = &mut index.hops[g];
+                            let union = group.union.projection().union(&needs);
+                            if &union != group.union.projection() {
+                                group.union = CachedProjection::new(union);
+                            }
+                            g
+                        }
+                        None => {
+                            index.hops.push(HopGroup {
+                                to: next,
+                                union: CachedProjection::new(needs.clone()),
+                                epoch: 0,
+                            });
+                            index.hops.len() - 1
+                        }
+                    };
+                    MemberAction::Hop(u32::try_from(g).expect("hop group overflow"))
+                }
+            };
+            if target == 0 {
+                index.zero_target.push(member_id);
+            }
+            index.members.push(Member {
+                entry: entry_id,
+                target,
+                residual,
+                count: 0,
+                epoch: 0,
+                dead: false,
+                action,
+            });
+        }
+        self.entries.push(Entry { sub, to, dead: false });
+    }
+
+    /// Tombstones every live entry toward `downstream` for which `covered`
+    /// holds (covering-based merge removal). Hop-group unions are
+    /// recomputed from the surviving members; threshold lists keep stale
+    /// references that the dead flag neutralizes, and the table compacts
+    /// once tombstones outnumber live entries.
+    pub fn remove_toward(
+        &mut self,
+        downstream: NodeId,
+        mut covered: impl FnMut(&Subscription) -> bool,
+    ) {
+        let victims: Vec<u32> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.dead && e.to == Some(downstream) && covered(&e.sub))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for id in victims {
+            self.tombstone(id);
+        }
+        self.maybe_compact();
+    }
+
+    fn tombstone(&mut self, entry_id: u32) {
+        let entry = &mut self.entries[entry_id as usize];
+        entry.dead = true;
+        self.dead += 1;
+        let streams: Vec<Symbol> = entry.sub.streams.keys().copied().collect();
+        for stream in streams {
+            let Some(index) = self.streams.get_mut(&stream) else { continue };
+            let Some(m) = index.members.iter().position(|m| !m.dead && m.entry == entry_id) else {
+                continue;
+            };
+            index.members[m].dead = true;
+            index.zero_target.retain(|&z| z != m as u32);
+            if let MemberAction::Hop(g) = index.members[m].action {
+                // Recompute the union over surviving members of the group
+                // (a union cannot be shrunk incrementally).
+                let mut union: Option<StreamProjection> = None;
+                for member in &index.members {
+                    if member.dead || !matches!(member.action, MemberAction::Hop(h) if h == g) {
+                        continue;
+                    }
+                    let needs = self.entries[member.entry as usize]
+                        .sub
+                        .needs(stream)
+                        .expect("member stream always has needs");
+                    union = Some(match union {
+                        None => needs,
+                        Some(u) => u.union(&needs),
+                    });
+                }
+                // A fully-emptied group keeps an empty union; it can never
+                // be marked matched again (no member bumps it), and
+                // compaction eventually drops it.
+                index.hops[g as usize].union = CachedProjection::new(
+                    union.unwrap_or(StreamProjection::Attrs(Default::default())),
+                );
+            }
+        }
+    }
+
+    /// Rebuilds the table from its live entries once tombstones dominate,
+    /// bounding memory and keeping threshold lists dense.
+    fn maybe_compact(&mut self) {
+        if self.dead <= 16 || self.dead * 2 < self.entries.len() {
+            return;
+        }
+        let live: Vec<(Subscription, Option<NodeId>)> =
+            self.entries.drain(..).filter(|e| !e.dead).map(|e| (e.sub, e.to)).collect();
+        self.clear();
+        for (sub, to) in live {
+            self.insert(sub, to);
+        }
+    }
+
+    /// Matches `msg` against this table: counting pass over the message's
+    /// attributes, residual evaluation for fully-counted candidates, local
+    /// projections and per-hop union projections applied from their cached
+    /// plans. `from` suppresses the reverse hop.
+    pub fn match_message(&mut self, msg: &Message, from: Option<NodeId>) -> MatchOutput {
+        let mut out = MatchOutput::default();
+        let Some(index) = self.streams.get_mut(&msg.stream) else {
+            return out;
+        };
+        index.epoch += 1;
+        let epoch = index.epoch;
+        let StreamIndex {
+            members,
+            attr_lists,
+            ts_lists,
+            zero_target,
+            hops,
+            touched,
+            candidates,
+            ..
+        } = index;
+        touched.clear();
+        candidates.clear();
+
+        // Counting pass: resolve each message attribute once, walk the
+        // satisfied threshold ranges.
+        if !attr_lists.is_empty() {
+            for (i, &attr) in msg.schema().attrs().iter().enumerate() {
+                let Some(lists) = attr_lists.get(&attr) else { continue };
+                let Some(v) = cosmos_query::compiled::ScalarRef::from(&msg.values()[i]).as_f64()
+                else {
+                    continue; // string value: numeric comparisons are false
+                };
+                if v.is_nan() {
+                    continue;
+                }
+                lists.bump_satisfied(v, members, touched, epoch);
+            }
+        }
+        if !ts_lists.is_empty() {
+            ts_lists.bump_satisfied(msg.timestamp as f64, members, touched, epoch);
+        }
+
+        // Candidates: fully-counted members plus filter-free members, in
+        // table order (sorted member ids == insertion order).
+        candidates.extend(zero_target.iter().copied());
+        candidates.extend(touched.iter().copied().filter(|&m| {
+            let member = &members[m as usize];
+            member.count == member.target
+        }));
+        candidates.sort_unstable();
+
+        for &m in candidates.iter() {
+            let member = &mut members[m as usize];
+            if member.dead || !eval_compiled(&member.residual, msg) {
+                continue;
+            }
+            match &mut member.action {
+                MemberAction::Local { sub, projection } => {
+                    out.deliveries.push((*sub, projection.apply(msg)));
+                }
+                MemberAction::Hop(g) => hops[*g as usize].epoch = epoch,
+            }
+        }
+        for group in hops.iter_mut() {
+            if group.epoch != epoch || Some(group.to) == from {
+                continue;
+            }
+            out.forwards.push((group.to, group.union.apply(msg)));
+        }
+        out.forwards.sort_by_key(|(n, _)| *n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::{AttrRef, Predicate, Scalar};
+
+    fn cmp(stream: &str, attr: &str, op: CmpOp, v: Scalar) -> Predicate {
+        Predicate::Cmp { attr: AttrRef::new(stream, attr), op, value: v }
+    }
+
+    fn sub(id: u64, filters: Vec<Predicate>) -> Subscription {
+        Subscription::builder(NodeId(0))
+            .id(SubId(id))
+            .stream("R", StreamProjection::All, filters)
+            .build()
+    }
+
+    fn local_matches(table: &mut RoutingTable, msg: &Message) -> Vec<SubId> {
+        table.match_message(msg, None).deliveries.into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// Pads the partition with entries whose thresholds can never match
+    /// the test probes, so assertions run against non-trivial threshold
+    /// lists rather than near-empty ones.
+    fn pad(table: &mut RoutingTable) {
+        for i in 0..25u64 {
+            table.insert(
+                sub(10_000 + i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(1_000_000))]),
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn counting_matches_all_operator_classes() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), None);
+        table.insert(sub(2, vec![cmp("R", "a", CmpOp::Ge, Scalar::Int(15))]), None);
+        table.insert(sub(3, vec![cmp("R", "a", CmpOp::Lt, Scalar::Int(15))]), None);
+        table.insert(sub(4, vec![cmp("R", "a", CmpOp::Le, Scalar::Int(15))]), None);
+        table.insert(sub(5, vec![cmp("R", "a", CmpOp::Eq, Scalar::Int(15))]), None);
+        table.insert(sub(6, vec![]), None);
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(15)));
+        assert_eq!(ids, vec![SubId(1), SubId(2), SubId(4), SubId(5), SubId(6)]);
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(3)));
+        assert_eq!(ids, vec![SubId(3), SubId(4), SubId(6)]);
+    }
+
+    #[test]
+    fn conjunction_requires_every_indexed_predicate() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(
+            sub(
+                1,
+                vec![
+                    cmp("R", "a", CmpOp::Gt, Scalar::Int(10)),
+                    cmp("R", "b", CmpOp::Lt, Scalar::Int(5)),
+                ],
+            ),
+            None,
+        );
+        let hit = Message::new("R", 0).with("a", Scalar::Int(20)).with("b", Scalar::Int(1));
+        let miss = Message::new("R", 0).with("a", Scalar::Int(20)).with("b", Scalar::Int(9));
+        let missing = Message::new("R", 0).with("a", Scalar::Int(20));
+        assert_eq!(local_matches(&mut table, &hit), vec![SubId(1)]);
+        assert!(local_matches(&mut table, &miss).is_empty());
+        assert!(local_matches(&mut table, &missing).is_empty(), "missing attr is false");
+    }
+
+    #[test]
+    fn residual_predicates_gate_indexed_candidates() {
+        // String equality is residual; numeric part is indexed.
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(
+            sub(
+                1,
+                vec![
+                    cmp("R", "a", CmpOp::Gt, Scalar::Int(10)),
+                    cmp("R", "s", CmpOp::Eq, Scalar::Str("x".into())),
+                ],
+            ),
+            None,
+        );
+        let hit =
+            Message::new("R", 0).with("a", Scalar::Int(20)).with("s", Scalar::Str("x".into()));
+        let miss =
+            Message::new("R", 0).with("a", Scalar::Int(20)).with("s", Scalar::Str("y".into()));
+        assert_eq!(local_matches(&mut table, &hit), vec![SubId(1)]);
+        assert!(local_matches(&mut table, &miss).is_empty());
+    }
+
+    #[test]
+    fn ne_and_foreign_relation_fall_back_to_residual() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Ne, Scalar::Int(7))]), None);
+        // A filter qualified with a different relation can never hold.
+        table.insert(sub(2, vec![cmp("S", "a", CmpOp::Gt, Scalar::Int(0))]), None);
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(3)));
+        assert_eq!(ids, vec![SubId(1)]);
+        assert!(
+            local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(7))).is_empty()
+        );
+    }
+
+    #[test]
+    fn timestamp_predicates_are_indexed() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(sub(1, vec![cmp("R", "timestamp", CmpOp::Ge, Scalar::Int(1_000))]), None);
+        assert!(local_matches(&mut table, &Message::new("R", 500)).is_empty());
+        assert_eq!(local_matches(&mut table, &Message::new("R", 1_000)), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn float_int_mixing_matches_eval_semantics() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Eq, Scalar::Float(5.0))]), None);
+        table.insert(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(4.5))]), None);
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(5)));
+        assert_eq!(ids, vec![SubId(1), SubId(2)]);
+    }
+
+    #[test]
+    fn nan_threshold_never_matches() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(f64::NAN))]), None);
+        table.insert(sub(2, vec![]), None);
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(999)));
+        assert_eq!(ids, vec![SubId(2)]);
+    }
+
+    #[test]
+    fn tombstoned_entries_stop_matching_and_table_compacts() {
+        let mut table = RoutingTable::new();
+        for i in 0..40u64 {
+            let mut s = sub(i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(i as i64))]);
+            s.subscriber = NodeId(9);
+            table.insert(s, Some(NodeId(1)));
+        }
+        assert_eq!(table.len(), 40);
+        table.remove_toward(NodeId(1), |s| s.id.0 % 2 == 0);
+        assert_eq!(table.len(), 20, "every even entry removed");
+        // Compaction triggered (tombstones > live): entries list is dense.
+        assert_eq!(table.entries.len(), 20);
+        let out = table.match_message(&Message::new("R", 0).with("a", Scalar::Int(100)), None);
+        assert_eq!(out.forwards.len(), 1, "one hop group toward node 1");
+    }
+
+    #[test]
+    fn hop_union_shrinks_after_removal() {
+        let mut table = RoutingTable::new();
+        let narrow = Subscription::builder(NodeId(5))
+            .id(SubId(1))
+            .stream("R", StreamProjection::attrs(["a"]), vec![])
+            .build();
+        let wide = Subscription::builder(NodeId(6))
+            .id(SubId(2))
+            .stream("R", StreamProjection::attrs(["a", "b"]), vec![])
+            .build();
+        table.insert(narrow, Some(NodeId(1)));
+        table.insert(wide, Some(NodeId(1)));
+        let msg = Message::new("R", 0)
+            .with("a", Scalar::Int(1))
+            .with("b", Scalar::Int(2))
+            .with("c", Scalar::Int(3));
+        let out = table.match_message(&msg, None);
+        assert_eq!(out.forwards[0].1.len(), 2, "union {{a,b}} before removal");
+        table.remove_toward(NodeId(1), |s| s.id == SubId(2));
+        let out = table.match_message(&msg, None);
+        assert_eq!(out.forwards[0].1.len(), 1, "union shrinks to {{a}}");
+    }
+
+    #[test]
+    fn reverse_hop_is_suppressed() {
+        let mut table = RoutingTable::new();
+        let mut s = sub(1, vec![]);
+        s.subscriber = NodeId(9);
+        table.insert(s, Some(NodeId(3)));
+        let msg = Message::new("R", 0);
+        assert_eq!(table.match_message(&msg, None).forwards.len(), 1);
+        assert!(table.match_message(&msg, Some(NodeId(3))).forwards.is_empty());
+    }
+}

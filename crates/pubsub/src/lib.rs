@@ -6,16 +6,19 @@
 //! each link at most once, (2) messages are filtered and projected as early
 //! as possible, and (3) sources and consumers stay loosely coupled.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - [`subscription`]: subscription content — per-stream projections and
 //!   filters exactly as §2.1 describes (`S`, `P`, `F` lists) — plus the
 //!   covering relation used to merge subscriptions inside the network.
+//! - [`index`]: the per-node routing index — stream partitioning plus a
+//!   Siena-style counting predicate index over filter constants — that
+//!   makes broker matching sublinear in routing-table size.
 //! - [`broker`]: a message-level broker network over a physical topology:
 //!   advertisement-guided subscription propagation with covering-based
-//!   pruning, routing tables per node, reverse-path message forwarding with
-//!   per-link traffic accounting (Figure 2's behaviour, reproducible in
-//!   tests).
+//!   pruning, indexed routing tables per node, reverse-path message
+//!   forwarding with per-link traffic accounting (Figure 2's behaviour,
+//!   reproducible in tests).
 //! - [`traffic`]: the rate-based cost model the large-scale experiments use:
 //!   each substream's delivery cost is its rate times the latency-weighted
 //!   multicast tree connecting its source to every interested processor,
@@ -39,9 +42,11 @@
 //! ```
 
 pub mod broker;
+pub mod index;
 pub mod subscription;
 pub mod traffic;
 
 pub use broker::{BrokerNetwork, DeliveryLog, LinkStats};
-pub use subscription::{Message, StreamProjection, SubId, Subscription};
+pub use index::RoutingTable;
+pub use subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 pub use traffic::{SubstreamTable, TrafficModel};

@@ -13,10 +13,13 @@
 //! subscription upstream if nothing it already forwarded covers it.
 
 use cosmos_net::NodeId;
-use cosmos_query::compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
+use cosmos_query::compiled::{
+    eval_compiled, CompiledPredicate, IndexableCmp, ScalarRef, SymSource,
+};
 use cosmos_query::predicate::{implies, AttrSource};
 use cosmos_query::{AttrRef, Predicate, Scalar};
 use cosmos_util::intern::{Schema, Symbol};
+use cosmos_util::PlanCache;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -138,6 +141,24 @@ impl StreamRequest {
             .iter()
             .all(|f_general| other.filters.iter().any(|f_specific| implies(f_specific, f_general)))
     }
+
+    /// Splits the compiled filter conjunction for a counting index over
+    /// `stream`: the indexable constant comparisons (as thresholds) and the
+    /// residual predicates that must still be evaluated per message (string
+    /// equality, `!=`, join/time-delta forms, foreign relations). A message
+    /// satisfies this request iff every indexable comparison *and* every
+    /// residual predicate holds.
+    pub fn split_for_index(&self, stream: Symbol) -> (Vec<IndexableCmp>, Vec<CompiledPredicate>) {
+        let mut indexable = Vec::new();
+        let mut residual = Vec::new();
+        for p in &self.compiled {
+            match p.indexable_for(stream) {
+                Some(cmp) => indexable.push(cmp),
+                None => residual.push(p.clone()),
+            }
+        }
+        (indexable, residual)
+    }
 }
 
 /// A subscription: the subscriber's proxy node plus per-stream requests.
@@ -205,6 +226,26 @@ impl Subscription {
             }
         }
         Subscription { id: self.id, subscriber: self.subscriber, streams }
+    }
+
+    /// The attributes this subscription *needs* for `stream`: its requested
+    /// projection plus any attribute its filters read. Routing-level
+    /// covering must preserve needs — early projection upstream of a pruned
+    /// propagation could otherwise strip attributes a downstream filter
+    /// reads. `None` when the stream is not requested.
+    pub fn needs(&self, stream: Symbol) -> Option<StreamProjection> {
+        let req = self.streams.get(&stream)?;
+        let mut proj = req.projection.clone();
+        let mut filter_attrs: BTreeSet<Symbol> = BTreeSet::new();
+        for f in req.filters() {
+            if let Predicate::Cmp { attr, .. } = f {
+                filter_attrs.insert(Symbol::intern(&attr.attr));
+            }
+        }
+        if !filter_attrs.is_empty() {
+            proj = proj.union(&StreamProjection::Attrs(filter_attrs));
+        }
+        Some(proj)
     }
 
     /// Does `msg` match this subscription (stream requested + all filters
@@ -394,6 +435,73 @@ impl Message {
     /// broker traffic accounting and engine-side sizes agree.
     pub fn wire_size(&self) -> usize {
         16 + self.values.iter().map(|v| 4 + v.wire_size()).sum::<usize>()
+    }
+}
+
+/// A [`StreamProjection`] with its resolved per-input-schema plan cached
+/// inline — the "hang the plan off the route entry" optimization. The
+/// thread-local cache behind [`Message::retaining`] still allocates a small
+/// key `Vec` per call to probe it; a `CachedProjection` lives on the route
+/// entry (or hop group) that owns the projection, so applying it to a
+/// message of an already-seen shape copies scalars by precomputed column
+/// index — no per-message allocation beyond the output payload.
+#[derive(Debug, Clone)]
+pub struct CachedProjection {
+    proj: StreamProjection,
+    /// Plans keyed by input schema id. A stream sees a handful of shapes,
+    /// so the cache's linear scan beats hashing and hits never allocate.
+    plans: PlanCache<u32, RetainPlan>,
+}
+
+/// A resolved projection plan for one input schema: the output schema and
+/// the kept input column indices, in output order.
+#[derive(Debug, Clone)]
+struct RetainPlan {
+    schema: Arc<Schema>,
+    cols: Arc<[u32]>,
+}
+
+impl CachedProjection {
+    /// Wraps a projection with an empty plan cache.
+    pub fn new(proj: StreamProjection) -> Self {
+        Self { proj, plans: PlanCache::new() }
+    }
+
+    /// The wrapped projection.
+    pub fn projection(&self) -> &StreamProjection {
+        &self.proj
+    }
+
+    /// Applies the projection to `msg`, resolving (and caching) the plan
+    /// for `msg`'s schema on first sight.
+    pub fn apply(&mut self, msg: &Message) -> Message {
+        let keep = match &self.proj {
+            StreamProjection::All => return msg.clone(),
+            StreamProjection::Attrs(keep) => keep,
+        };
+        let id = msg.schema.id();
+        let plan = self.plans.get_or_insert_with(
+            |sid| *sid == id,
+            || id,
+            || {
+                let mut attrs = Vec::new();
+                let mut cols = Vec::new();
+                for (i, &a) in msg.schema.attrs().iter().enumerate() {
+                    if keep.contains(&a) {
+                        attrs.push(a);
+                        cols.push(i as u32);
+                    }
+                }
+                RetainPlan { schema: Schema::intern(&attrs), cols: cols.into() }
+            },
+        );
+        let values = plan.cols.iter().map(|&i| msg.values[i as usize].clone()).collect();
+        Message {
+            stream: msg.stream,
+            timestamp: msg.timestamp,
+            schema: Arc::clone(&plan.schema),
+            values,
+        }
     }
 }
 

@@ -1,0 +1,270 @@
+//! Differential testing of the routing index: indexed broker matching
+//! must be observationally identical to the linear-scan reference
+//! ([`BrokerNetwork::publish_linear`]) — same `DeliveryLog`, same
+//! per-link traffic — across random topologies, subscription populations
+//! (indexable and residual filters, projections), message streams,
+//! interleaved unsubscribes, and link failures.
+
+use cosmos_net::{NodeId, Topology};
+use cosmos_pubsub::broker::BrokerNetwork;
+use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_query::{AttrRef, CmpOp, Predicate, Scalar};
+use cosmos_util::rng::rng_for;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const STREAMS: [&str; 3] = ["A", "B", "C"];
+const ATTRS: [&str; 3] = ["a", "b", "c"];
+const STRINGS: [&str; 3] = ["x", "y", "z"];
+const OPS: [CmpOp; 6] = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+
+/// A random connected topology: a spanning tree plus a few extra edges.
+fn random_topology(rng: &mut StdRng) -> Topology {
+    let n = rng.gen_range(4u32..12);
+    let mut topo = Topology::new(n as usize);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        topo.add_edge(NodeId(i), NodeId(j), rng.gen_range(1.0..5.0));
+    }
+    for _ in 0..rng.gen_range(0..4) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && topo.edge_latency(NodeId(a), NodeId(b)).is_none() {
+            topo.add_edge(NodeId(a), NodeId(b), rng.gen_range(1.0..5.0));
+        }
+    }
+    topo
+}
+
+fn random_scalar(rng: &mut StdRng) -> Scalar {
+    if rng.gen_bool(0.3) {
+        Scalar::Float(rng.gen_range(-5.0..45.0))
+    } else {
+        Scalar::Int(rng.gen_range(-5i64..45))
+    }
+}
+
+/// A random filter: mostly indexable numeric comparisons, plus the
+/// residual classes (string equality, `!=` included via OPS, timestamp
+/// comparisons, foreign-relation references that can never hold).
+fn random_predicate(rng: &mut StdRng, stream: &str) -> Predicate {
+    let roll = rng.gen_range(0u32..10);
+    if roll < 7 {
+        Predicate::Cmp {
+            attr: AttrRef::new(stream, ATTRS[rng.gen_range(0..ATTRS.len())]),
+            op: OPS[rng.gen_range(0..OPS.len())],
+            value: random_scalar(rng),
+        }
+    } else if roll < 8 {
+        Predicate::Cmp {
+            attr: AttrRef::new(stream, "s"),
+            op: if rng.gen_bool(0.5) { CmpOp::Eq } else { CmpOp::Ne },
+            value: Scalar::Str(STRINGS[rng.gen_range(0..STRINGS.len())].to_string()),
+        }
+    } else if roll < 9 {
+        Predicate::Cmp {
+            attr: AttrRef::new(stream, "timestamp"),
+            op: if rng.gen_bool(0.5) { CmpOp::Ge } else { CmpOp::Lt },
+            value: Scalar::Int(rng.gen_range(0i64..60_000)),
+        }
+    } else {
+        // Qualified with a different stream: never satisfiable, must be
+        // handled identically by both paths.
+        let other = STREAMS[rng.gen_range(0..STREAMS.len())];
+        Predicate::Cmp {
+            attr: AttrRef::new(format!("not-{other}"), "a"),
+            op: CmpOp::Gt,
+            value: Scalar::Int(0),
+        }
+    }
+}
+
+fn random_projection(rng: &mut StdRng) -> StreamProjection {
+    if rng.gen_bool(0.5) {
+        StreamProjection::All
+    } else {
+        let mut attrs: Vec<&str> = Vec::new();
+        for a in ATTRS.iter().chain(std::iter::once(&"s")) {
+            if rng.gen_bool(0.5) {
+                attrs.push(a);
+            }
+        }
+        StreamProjection::attrs(attrs)
+    }
+}
+
+fn random_sub(rng: &mut StdRng, id: u64, nodes: u32) -> Subscription {
+    let mut builder = Subscription::builder(NodeId(rng.gen_range(0..nodes))).id(SubId(id));
+    let first = rng.gen_range(0..STREAMS.len());
+    let take_second = rng.gen_bool(0.3);
+    for (i, stream) in STREAMS.iter().enumerate() {
+        if i != first && (!take_second || i != (first + 1) % STREAMS.len()) {
+            continue;
+        }
+        let filters = (0..rng.gen_range(0..4)).map(|_| random_predicate(rng, stream)).collect();
+        builder = builder.stream(*stream, random_projection(rng), filters);
+    }
+    builder.build()
+}
+
+fn random_message(rng: &mut StdRng, ts: i64) -> Message {
+    let stream =
+        if rng.gen_bool(0.9) { STREAMS[rng.gen_range(0..STREAMS.len())] } else { "unadvertised" };
+    let mut msg = Message::new(stream, ts);
+    for attr in ATTRS {
+        if rng.gen_bool(0.75) {
+            msg = msg.with(attr, random_scalar(rng));
+        }
+    }
+    if rng.gen_bool(0.5) {
+        msg = msg.with("s", Scalar::Str(STRINGS[rng.gen_range(0..STRINGS.len())].to_string()));
+    }
+    msg
+}
+
+fn edges_of(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for u in topo.nodes() {
+        for (v, _) in topo.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// The full random driver: every step either publishes (comparing delivery
+/// counts immediately), unsubscribes, or fails a link — on both networks —
+/// and the complete delivery logs and link counters must agree at the end.
+#[test]
+fn indexed_matching_equals_linear_scan() {
+    for trial in 0..25u64 {
+        let mut rng = rng_for(trial, "index-equivalence");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut indexed = BrokerNetwork::new(topo.clone());
+        let mut linear = BrokerNetwork::new(topo);
+        for stream in STREAMS {
+            let src = NodeId(rng.gen_range(0..nodes));
+            indexed.advertise(stream, src);
+            linear.advertise(stream, src);
+        }
+        let mut live: Vec<u64> = Vec::new();
+        for id in 0..rng.gen_range(5u64..80) {
+            let sub = random_sub(&mut rng, id, nodes);
+            indexed.subscribe(sub.clone());
+            linear.subscribe(sub);
+            live.push(id);
+        }
+        let mut ts = 0i64;
+        for step in 0..rng.gen_range(40u32..120) {
+            let roll = rng.gen_range(0u32..100);
+            if roll < 5 && !live.is_empty() {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                indexed.unsubscribe(SubId(id));
+                linear.unsubscribe(SubId(id));
+            } else if roll < 8 {
+                let edges = edges_of(indexed.topology());
+                if !edges.is_empty() {
+                    let (a, b) = edges[rng.gen_range(0..edges.len())];
+                    assert!(indexed.fail_link(a, b));
+                    assert!(linear.fail_link(a, b));
+                }
+            } else {
+                ts += rng.gen_range(1i64..1_000);
+                let msg = random_message(&mut rng, ts);
+                let di = indexed.publish(msg.clone());
+                let dl = linear.publish_linear(msg);
+                assert_eq!(di, dl, "delivery count diverged (trial {trial}, step {step})");
+            }
+        }
+        assert_eq!(
+            indexed.log().deliveries(),
+            linear.log().deliveries(),
+            "delivery logs diverged (trial {trial})"
+        );
+        assert_eq!(
+            indexed.all_link_stats(),
+            linear.all_link_stats(),
+            "link traffic diverged (trial {trial})"
+        );
+    }
+}
+
+/// Unsubscribing must leave the index in exactly the state a fresh network
+/// holding only the surviving subscriptions would build.
+#[test]
+fn unsubscribe_rebuild_matches_fresh_network() {
+    let mut rng = rng_for(7, "index-rebuild");
+    let topo = random_topology(&mut rng);
+    let nodes = topo.node_count() as u32;
+    let mut rebuilt = BrokerNetwork::new(topo.clone());
+    let mut fresh = BrokerNetwork::new(topo);
+    let src = NodeId(0);
+    rebuilt.advertise("A", src);
+    fresh.advertise("A", src);
+    let subs: Vec<Subscription> = (0..12).map(|i| random_sub(&mut rng, i, nodes)).collect();
+    for sub in &subs {
+        rebuilt.subscribe(sub.clone());
+    }
+    for (i, sub) in subs.iter().enumerate() {
+        if i % 3 == 0 {
+            rebuilt.unsubscribe(sub.id);
+        } else {
+            fresh.subscribe(sub.clone());
+        }
+    }
+    let mut ts = 0;
+    for _ in 0..40 {
+        ts += rng.gen_range(1i64..500);
+        let msg = random_message(&mut rng, ts);
+        assert_eq!(rebuilt.publish(msg.clone()), fresh.publish(msg));
+    }
+    assert_eq!(rebuilt.log().deliveries(), fresh.log().deliveries());
+    assert_eq!(rebuilt.all_link_stats(), fresh.all_link_stats());
+}
+
+/// Link failure re-propagates through the indexed tables; the surviving
+/// routes must deliver exactly what a fresh network over the surviving
+/// topology delivers.
+#[test]
+fn fail_link_rebuild_matches_fresh_network() {
+    let mut rng = rng_for(11, "index-fail-link");
+    // A ring guarantees an alternate path for any single failure.
+    let n = 6u32;
+    let mut topo = Topology::new(n as usize);
+    for i in 0..n {
+        topo.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0);
+    }
+    let mut failed = BrokerNetwork::new(topo);
+    failed.advertise("A", NodeId(0));
+    failed.advertise("B", NodeId(2));
+    let subs: Vec<Subscription> = (0..8).map(|i| random_sub(&mut rng, i, n)).collect();
+    for sub in &subs {
+        failed.subscribe(sub.clone());
+    }
+    assert!(failed.fail_link(NodeId(0), NodeId(1)));
+
+    let mut survivor_topo = Topology::new(n as usize);
+    for i in 0..n {
+        if i == 0 {
+            continue; // the failed link {0, 1}
+        }
+        survivor_topo.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0);
+    }
+    let mut fresh = BrokerNetwork::new(survivor_topo);
+    fresh.advertise("A", NodeId(0));
+    fresh.advertise("B", NodeId(2));
+    for sub in &subs {
+        fresh.subscribe(sub.clone());
+    }
+    let mut ts = 0;
+    for _ in 0..40 {
+        ts += rng.gen_range(1i64..500);
+        let msg = random_message(&mut rng, ts);
+        assert_eq!(failed.publish(msg.clone()), fresh.publish(msg));
+    }
+    assert_eq!(failed.log().deliveries(), fresh.log().deliveries());
+    assert_eq!(failed.all_link_stats(), fresh.all_link_stats());
+}

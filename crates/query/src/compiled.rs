@@ -205,6 +205,59 @@ pub fn eval_compiled<S: SymSource>(preds: &[CompiledPredicate], src: &S) -> bool
     preds.iter().all(|p| p.eval(src).unwrap_or(false))
 }
 
+/// The left-hand side of an indexable comparison: a stored attribute or
+/// the event-time pseudo-attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexOperand {
+    /// A stored attribute of the indexed relation.
+    Attr(Symbol),
+    /// The relation's event timestamp.
+    Timestamp,
+}
+
+/// An extracted `attr op constant` comparison suitable for a sorted
+/// threshold index (Siena-style counting index): the operand addresses the
+/// indexed relation, the operator is an order/equality comparison (never
+/// `!=` — its satisfied set is a complement, which a counting index cannot
+/// represent as a contiguous range), and the constant is numeric.
+///
+/// The threshold is the constant's `f64` view. This is exactly faithful to
+/// evaluation semantics: [`compare_ref`] also compares mixed numerics
+/// through `f64`, so an index over `f64` thresholds satisfies a predicate
+/// if and only if [`CompiledPredicate::eval`] would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexableCmp {
+    /// What the predicate reads from the message/tuple.
+    pub operand: IndexOperand,
+    /// The comparison operator (`Lt`/`Le`/`Gt`/`Ge`/`Eq`).
+    pub op: CmpOp,
+    /// The constant right-hand side as `f64`.
+    pub threshold: f64,
+}
+
+impl CompiledPredicate {
+    /// Extracts the indexable form of this predicate for relation `rel`,
+    /// or `None` when it must be evaluated residually: join and time-delta
+    /// predicates, `!=`, string constants, and comparisons addressing a
+    /// different relation (which can never hold on `rel`'s messages, but
+    /// residual evaluation reports that honestly).
+    pub fn indexable_for(&self, rel: Symbol) -> Option<IndexableCmp> {
+        let CompiledPredicate::Cmp { operand, op, value } = self else {
+            return None;
+        };
+        if matches!(op, CmpOp::Ne) {
+            return None;
+        }
+        let threshold = value.as_f64()?;
+        let operand = match *operand {
+            Operand::Attr { rel: r, attr } if r == rel => IndexOperand::Attr(attr),
+            Operand::Timestamp { rel: r } if r == rel => IndexOperand::Timestamp,
+            _ => return None,
+        };
+        Some(IndexableCmp { operand, op: *op, threshold })
+    }
+}
+
 /// The timestamp pseudo-attribute symbol (re-exported for tuple sources).
 pub fn timestamp_symbol() -> Symbol {
     sym_timestamp()

@@ -35,6 +35,7 @@
 
 pub mod bitset;
 pub mod intern;
+pub mod plancache;
 pub mod rng;
 pub mod solver;
 pub mod stats;
@@ -43,4 +44,5 @@ pub mod zipf;
 
 pub use bitset::InterestSet;
 pub use intern::{Schema, Symbol};
+pub use plancache::PlanCache;
 pub use timer::Stopwatch;
