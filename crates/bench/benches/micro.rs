@@ -6,6 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cosmos_bench::fixtures::{
+    broad_message, broker_with_broad_subs, broker_with_subs, scaling_message, shared_split_queries,
+};
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
 use cosmos_core::graph::{edge_weight, QgVertex, QueryGraph};
@@ -14,9 +17,7 @@ use cosmos_core::online::OnlineRouter;
 use cosmos_core::spec::QuerySpec;
 use cosmos_engine::exec::StreamEngine;
 use cosmos_engine::tuple::Tuple;
-use cosmos_net::{Deployment, NodeId, TransitStubConfig};
-use cosmos_pubsub::broker::BrokerNetwork;
-use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_net::Deployment;
 use cosmos_pubsub::SubstreamTable;
 use cosmos_query::{parse_query, QueryId, Scalar};
 use cosmos_util::rng::rng_for;
@@ -124,29 +125,6 @@ fn bench_diffusion(c: &mut Criterion) {
     });
 }
 
-fn broker_with_subs(n_subs: u64) -> BrokerNetwork {
-    let topo = TransitStubConfig::small().generate(3);
-    let mut net = BrokerNetwork::new(topo);
-    net.advertise("R", NodeId(0));
-    for i in 0..n_subs {
-        net.subscribe(
-            Subscription::builder(NodeId(30 + (i % 30) as u32))
-                .id(SubId(i))
-                .stream(
-                    "R",
-                    StreamProjection::All,
-                    vec![cosmos_query::Predicate::Cmp {
-                        attr: cosmos_query::AttrRef::new("R", "a"),
-                        op: cosmos_query::CmpOp::Gt,
-                        value: Scalar::Int((i % 40) as i64),
-                    }],
-                )
-                .build(),
-        );
-    }
-    net
-}
-
 fn bench_broker(c: &mut Criterion) {
     // Scaling points for the sublinear-matching claim (the delivery log is
     // drained periodically so long runs stay memory-bounded; the amortized
@@ -155,7 +133,7 @@ fn bench_broker(c: &mut Criterion) {
         let mut net = broker_with_subs(n_subs);
         c.bench_function(&format!("pubsub/publish-{n_subs}-subs"), |bench| {
             bench.iter(|| {
-                let n = net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
+                let n = net.publish(scaling_message());
                 if net.log().len() > 250_000 {
                     net.reset_stats();
                 }
@@ -169,7 +147,7 @@ fn bench_broker(c: &mut Criterion) {
         let mut net = broker_with_subs(n_subs);
         c.bench_function(&format!("pubsub/publish-{n_subs}-subs-linear"), |bench| {
             bench.iter(|| {
-                let n = net.publish_linear(Message::new("R", 0).with("a", Scalar::Int(25)));
+                let n = net.publish_linear(scaling_message());
                 if net.log().len() > 250_000 {
                     net.reset_stats();
                 }
@@ -177,6 +155,48 @@ fn bench_broker(c: &mut Criterion) {
             })
         });
     }
+    // High-match-rate points: delivery volume dominates, so the gap
+    // between the indexed path and its linear twin is the projection-class
+    // dedup plus zero-copy delivery.
+    let mut net = broker_with_broad_subs(500);
+    c.bench_function("pubsub/publish-500-subs-broad", |bench| {
+        bench.iter(|| {
+            let n = net.publish(broad_message());
+            if net.log().len() > 250_000 {
+                net.reset_stats();
+            }
+            black_box(n)
+        })
+    });
+    let mut net = broker_with_broad_subs(500);
+    c.bench_function("pubsub/publish-500-subs-broad-linear", |bench| {
+        bench.iter(|| {
+            let n = net.publish_linear(broad_message());
+            if net.log().len() > 250_000 {
+                net.reset_stats();
+            }
+            black_box(n)
+        })
+    });
+}
+
+/// Shared execution with heavily duplicated residuals: 50 members, one
+/// merged group, two distinct residual conjunctions.
+fn bench_shared_split(c: &mut Criterion) {
+    let mut shared = cosmos_engine::SharedEngine::build(shared_split_queries(50));
+    assert_eq!(shared.group_count(), 1);
+    let mut ts = 0i64;
+    c.bench_function("engine/shared-split-50-members", |bench| {
+        bench.iter(|| {
+            ts += 100;
+            let r =
+                Tuple::new("R", ts).with("k", Scalar::Int(ts % 10)).with("v", Scalar::Int(ts % 40));
+            let s =
+                Tuple::new("S", ts + 50).with("k", Scalar::Int(ts % 10)).with("v", Scalar::Int(1));
+            shared.push(r);
+            black_box(shared.push(s).len())
+        })
+    });
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -233,6 +253,7 @@ criterion_group!(
     bench_diffusion,
     bench_broker,
     bench_engine,
+    bench_shared_split,
     bench_containment,
 );
 criterion_main!(benches);

@@ -4,9 +4,11 @@
 //! baseline and fails (exit 1) when any benchmark present in **both**
 //! files regressed by more than the tolerance (default 25% on the
 //! median). New entries are reported but tolerated — adding benchmarks
-//! must not break CI — and entries missing from the current run only
-//! warn, so intentional renames (which land with a regenerated baseline)
-//! cannot wedge the pipeline.
+//! must not break CI. Entries present in the baseline but **missing**
+//! from the current run are a hard failure (listed by name): a silently
+//! disappearing benchmark is exactly how coverage regresses unnoticed.
+//! Intentional renames land with a regenerated baseline, so they never
+//! trip this.
 //!
 //! The committed baseline comes from whatever machine last regenerated
 //! it, which is rarely the CI runner: absolute nanoseconds are not
@@ -84,9 +86,10 @@ fn main() -> ExitCode {
     let speed = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] }.clamp(0.25, 4.0);
     println!("machine-speed factor (median ratio): {speed:.3}");
     let mut failed = false;
+    let mut missing: Vec<&str> = Vec::new();
     for (name, base) in &baseline {
         match current.iter().find(|(n, _)| n == name) {
-            None => println!("WARN  {name}: missing from current run (renamed or removed?)"),
+            None => missing.push(name),
             Some((_, cur)) => {
                 let adjusted = base * speed;
                 let delta = (cur - adjusted) / adjusted * 100.0;
@@ -106,6 +109,17 @@ fn main() -> ExitCode {
         if !baseline.iter().any(|(n, _)| n == name) {
             println!("new   {name}: {cur:.0} ns (no baseline; tolerated)");
         }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_check: {} baseline benchmark(s) missing from the current run:",
+            missing.len()
+        );
+        for name in &missing {
+            eprintln!("  MISSING {name}");
+        }
+        eprintln!("(removed or renamed? regenerate and commit the baseline alongside)");
+        return ExitCode::FAILURE;
     }
     if failed {
         eprintln!("bench_check: regression beyond {tolerance:.0}% tolerance");

@@ -11,12 +11,12 @@
 //! cargo run --release -p cosmos-bench --bin bench_json
 //! ```
 
+use cosmos_bench::fixtures::{
+    broad_message, broker_with_broad_subs, broker_with_subs, scaling_message, shared_split_queries,
+};
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
-use cosmos_engine::ProjPlanCache;
-use cosmos_net::{NodeId, TransitStubConfig};
-use cosmos_pubsub::broker::BrokerNetwork;
-use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_engine::{ProjPlanCache, SharedEngine};
 use cosmos_query::{parse_query, QueryId, Scalar};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -90,39 +90,9 @@ fn bench_engine_push() -> f64 {
     })
 }
 
-/// A 66-node transit-stub broker network with `n_subs` subscriptions
-/// spread over 30 subscriber nodes, thresholds cycling over 40 distinct
-/// values — the scaling workload behind the sublinear-matching claim.
-fn broker_with_subs(n_subs: u64) -> BrokerNetwork {
-    let topo = TransitStubConfig::small().generate(3);
-    let mut net = BrokerNetwork::new(topo);
-    net.advertise("R", NodeId(0));
-    for i in 0..n_subs {
-        net.subscribe(
-            Subscription::builder(NodeId(30 + (i % 30) as u32))
-                .id(SubId(i))
-                .stream(
-                    "R",
-                    StreamProjection::All,
-                    vec![cosmos_query::Predicate::Cmp {
-                        attr: cosmos_query::AttrRef::new("R", "a"),
-                        op: cosmos_query::CmpOp::Gt,
-                        value: Scalar::Int((i % 40) as i64),
-                    }],
-                )
-                .build(),
-        );
-    }
-    net
-}
-
 fn bench_broker_publish(n_subs: u64) -> f64 {
     let mut net = broker_with_subs(n_subs);
-    measure_with_reset(
-        &mut net,
-        |net| net.publish(Message::new("R", 0).with("a", Scalar::Int(25))),
-        |net| net.reset_stats(),
-    )
+    measure_with_reset(&mut net, |net| net.publish(scaling_message()), |net| net.reset_stats())
 }
 
 /// The linear-scan reference on the same workload: the baseline the
@@ -131,9 +101,37 @@ fn bench_broker_publish_linear(n_subs: u64) -> f64 {
     let mut net = broker_with_subs(n_subs);
     measure_with_reset(
         &mut net,
-        |net| net.publish_linear(Message::new("R", 0).with("a", Scalar::Int(25))),
+        |net| net.publish_linear(scaling_message()),
         |net| net.reset_stats(),
     )
+}
+
+fn bench_broker_publish_broad(n_subs: u64) -> f64 {
+    let mut net = broker_with_broad_subs(n_subs);
+    measure_with_reset(&mut net, |net| net.publish(broad_message()), |net| net.reset_stats())
+}
+
+fn bench_broker_publish_broad_linear(n_subs: u64) -> f64 {
+    let mut net = broker_with_broad_subs(n_subs);
+    measure_with_reset(&mut net, |net| net.publish_linear(broad_message()), |net| net.reset_stats())
+}
+
+/// Shared execution with heavily duplicated residuals: 50 members merge
+/// into one covering query with only two distinct residual conjunctions,
+/// so residual-group splitting evaluates 2 filter sets per shared result
+/// instead of 50.
+fn bench_shared_split(members: u64) -> f64 {
+    let mut shared = SharedEngine::build(shared_split_queries(members));
+    assert_eq!(shared.group_count(), 1, "bench members must merge into one group");
+    assert!(shared.residual_set_count() <= 3, "residuals must deduplicate");
+    let mut ts = 0i64;
+    measure(|| {
+        ts += 100;
+        let r = Tuple::new("R", ts).with("k", Scalar::Int(ts % 10)).with("v", Scalar::Int(ts % 40));
+        let s = Tuple::new("S", ts + 50).with("k", Scalar::Int(ts % 10)).with("v", Scalar::Int(1));
+        shared.push(r);
+        shared.push(s).len()
+    })
 }
 
 fn bench_flatten_project() -> f64 {
@@ -200,6 +198,9 @@ fn main() {
         ("broker/publish-5000-subs", || bench_broker_publish(5000)),
         ("broker/publish-500-subs-linear", || bench_broker_publish_linear(500)),
         ("broker/publish-5000-subs-linear", || bench_broker_publish_linear(5000)),
+        ("broker/publish-500-subs-broad", || bench_broker_publish_broad(500)),
+        ("broker/publish-500-subs-broad-linear", || bench_broker_publish_broad_linear(500)),
+        ("engine/shared-split-50-members", || bench_shared_split(50)),
     ];
     let mut rows = Vec::new();
     for (name, f) in groups {

@@ -13,6 +13,10 @@
 //! 4096-node / 20 000-substream / 60 000-query setup — hours of CPU);
 //! `--quick` is shorthand for `--scale 0.04` for smoke runs.
 
+use cosmos_net::{NodeId, TransitStubConfig};
+use cosmos_pubsub::broker::BrokerNetwork;
+use cosmos_pubsub::subscription::{Message, StreamProjection, SubId, Subscription};
+use cosmos_query::{parse_query, Query, QueryId, Scalar};
 use std::fs;
 use std::path::PathBuf;
 
@@ -90,6 +94,116 @@ pub fn write_result(name: &str, value: &serde_json::Value) {
 pub fn banner(figure: &str, what: &str, args: &BenchArgs) {
     println!("=== {figure}: {what}");
     println!("    scale {} seed {}  (paper scale = 1.0)", args.scale, args.seed);
+}
+
+/// Shared micro-benchmark fixtures, used by **both** the criterion bench
+/// (`benches/micro.rs`) and the snapshot runner (`src/bin/bench_json.rs`)
+/// so the two always measure the identical workload — a population tweak
+/// applied to one cannot silently desynchronize the other.
+pub mod fixtures {
+    use super::*;
+
+    /// A 66-node transit-stub broker network with `n_subs` subscriptions
+    /// spread over 30 subscriber nodes, thresholds cycling over 40
+    /// distinct values — the scaling workload behind the
+    /// sublinear-matching claim (~62% of subscriptions match
+    /// [`scaling_message`]).
+    pub fn broker_with_subs(n_subs: u64) -> BrokerNetwork {
+        let topo = TransitStubConfig::small().generate(3);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        for i in 0..n_subs {
+            net.subscribe(
+                Subscription::builder(NodeId(30 + (i % 30) as u32))
+                    .id(SubId(i))
+                    .stream(
+                        "R",
+                        StreamProjection::All,
+                        vec![cosmos_query::Predicate::Cmp {
+                            attr: cosmos_query::AttrRef::new("R", "a"),
+                            op: cosmos_query::CmpOp::Gt,
+                            value: Scalar::Int((i % 40) as i64),
+                        }],
+                    )
+                    .build(),
+            );
+        }
+        net
+    }
+
+    /// The probe message for [`broker_with_subs`].
+    pub fn scaling_message() -> Message {
+        Message::new("R", 0).with("a", Scalar::Int(25))
+    }
+
+    /// A *broad* population: ≥90% of subscriptions match
+    /// [`broad_message`] (thresholds cycle over 0..10 against `a = 9`),
+    /// and the projections cycle over 8 distinct shapes — the
+    /// delivery-volume-bound workload the projection-class dedup targets.
+    /// The linear twin pays per-match clone + projection; the indexed
+    /// path pays one projection per class plus a refcount bump per
+    /// delivery.
+    pub fn broker_with_broad_subs(n_subs: u64) -> BrokerNetwork {
+        let topo = TransitStubConfig::small().generate(3);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        let projections: [StreamProjection; 8] = [
+            StreamProjection::All,
+            StreamProjection::attrs(["a"]),
+            StreamProjection::attrs(["a", "b"]),
+            StreamProjection::attrs(["a", "b", "c"]),
+            StreamProjection::attrs(["b", "d"]),
+            StreamProjection::attrs(["c", "d"]),
+            StreamProjection::attrs(["a", "d"]),
+            StreamProjection::attrs(["b", "c", "d"]),
+        ];
+        for i in 0..n_subs {
+            net.subscribe(
+                Subscription::builder(NodeId(30 + (i % 30) as u32))
+                    .id(SubId(i))
+                    .stream(
+                        "R",
+                        projections[(i % 8) as usize].clone(),
+                        vec![cosmos_query::Predicate::Cmp {
+                            attr: cosmos_query::AttrRef::new("R", "a"),
+                            op: cosmos_query::CmpOp::Gt,
+                            value: Scalar::Int((i % 10) as i64 - 1),
+                        }],
+                    )
+                    .build(),
+            );
+        }
+        net
+    }
+
+    /// The probe message for [`broker_with_broad_subs`]: every broad
+    /// filter resolves and passes.
+    pub fn broad_message() -> Message {
+        Message::new("R", 0)
+            .with("a", Scalar::Int(9))
+            .with("b", Scalar::Int(1))
+            .with("c", Scalar::Int(2))
+            .with("d", Scalar::Int(3))
+    }
+
+    /// `members` mergeable queries with exactly two distinct residual
+    /// conjunctions (alternating thresholds) — the duplicated-residual
+    /// workload behind `engine/shared-split-*`.
+    pub fn shared_split_queries(members: u64) -> Vec<(QueryId, Query)> {
+        (0..members)
+            .map(|i| {
+                let th = if i % 2 == 0 { 10 } else { 20 };
+                (
+                    QueryId(i),
+                    parse_query(&format!(
+                        "SELECT R.v FROM R [Range 5 Seconds], S [Now] \
+                         WHERE R.k = S.k AND R.v > {th}"
+                    ))
+                    .unwrap(),
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

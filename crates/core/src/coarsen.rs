@@ -20,6 +20,8 @@ use crate::graph::{edge_weight, QgVertex, QueryGraph};
 use cosmos_net::NodeId;
 use cosmos_util::rng::rng_for;
 use rand::seq::SliceRandom;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// The result of coarsening: the coarse graph plus, per coarse vertex, the
 /// indices of the input vertices it contains.
@@ -44,8 +46,79 @@ fn is_anchor(v: &QgVertex, cluster_of: &ClusterOf) -> bool {
     v.is_net() && clu(v, cluster_of).is_none()
 }
 
+/// A candidate edge in a vertex's selection heap, ordered max-weight
+/// first with ties broken toward the **smaller** neighbor index — exactly
+/// the choice the linear reference scan makes, so heap-based selection is
+/// output-identical to it.
+#[derive(Debug, PartialEq)]
+struct Cand {
+    w: f64,
+    j: usize,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher weight wins; equal weights prefer smaller j.
+        self.w.total_cmp(&other.w).then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pops `heap` down to the best *eligible* neighbor of `u` under lazy
+/// deletion: entries whose neighbor died or whose weight no longer mirrors
+/// the live adjacency are discarded for good; entries that are merely
+/// ineligible **this pass** (already matched, an anchor, a cluster
+/// conflict) are stashed and re-pushed, because they may become mergeable
+/// in a later pass. Returns the chosen neighbor, if any.
+#[allow(clippy::too_many_arguments)]
+fn best_candidate(
+    heap: &mut BinaryHeap<Cand>,
+    adj_u: &std::collections::HashMap<usize, f64>,
+    vertices: &[Option<QgVertex>],
+    matched: &[bool],
+    u_is_net: bool,
+    u_clu: Option<usize>,
+    cluster_of: &ClusterOf,
+    stash: &mut Vec<Cand>,
+) -> Option<usize> {
+    stash.clear();
+    let mut best = None;
+    while let Some(cand) = heap.pop() {
+        let Some(v_vert) = vertices[cand.j].as_ref() else { continue };
+        if !adj_u.get(&cand.j).is_some_and(|w| w.total_cmp(&cand.w).is_eq()) {
+            continue; // stale weight: the live entry is elsewhere in the heap
+        }
+        let eligible = !(matched[cand.j]
+            || is_anchor(v_vert, cluster_of)
+            || (u_is_net && v_vert.is_net() && u_clu != clu(v_vert, cluster_of)));
+        let chosen = eligible.then_some(cand.j);
+        stash.push(cand);
+        if chosen.is_some() {
+            best = chosen;
+            break;
+        }
+    }
+    heap.extend(stash.drain(..));
+    best
+}
+
 /// Runs Algorithm 1 until at most `vmax` vertices remain (or no further
 /// collapse is possible — e.g. everything left is an anchor).
+///
+/// Candidate selection keeps a lazy-deletion binary heap of `(weight,
+/// neighbor)` per vertex instead of re-scanning the adjacency per pass:
+/// a vertex's best eligible neighbor is a few heap pops (stale entries —
+/// dead neighbors, superseded weights — are discarded on sight), and edge
+/// re-estimation after a collapse pushes the new weights without touching
+/// the old entries. Output-identical to the linear scan (same max-weight,
+/// smallest-index tie-break), which the differential test pins.
 ///
 /// Deterministic for a given `seed`.
 ///
@@ -64,6 +137,9 @@ pub fn coarsen(
     let mut vertices: Vec<Option<QgVertex>> = input.vertices.iter().cloned().map(Some).collect();
     let mut adj: Vec<std::collections::HashMap<usize, f64>> =
         (0..n).map(|i| input.neighbors(i).collect()).collect();
+    let mut heaps: Vec<BinaryHeap<Cand>> =
+        adj.iter().map(|edges| edges.iter().map(|(&j, &w)| Cand { w, j }).collect()).collect();
+    let mut stash: Vec<Cand> = Vec::new();
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut alive = n;
     let mut rng = rng_for(seed, "coarsen");
@@ -88,25 +164,18 @@ pub fn coarsen(
             }
             let u_is_net = u_vert.is_net();
             let u_clu = clu(u_vert, cluster_of);
-            // Candidate selection (Algorithm 1, lines 5-7).
-            let mut best: Option<(usize, f64)> = None;
-            for (&j, &w) in &adj[u] {
-                let Some(v_vert) = vertices[j].as_ref() else { continue };
-                if matched[j] {
-                    continue;
-                }
-                if is_anchor(v_vert, cluster_of) {
-                    continue; // deviation documented above
-                }
-                if u_is_net && v_vert.is_net() && u_clu != clu(v_vert, cluster_of) {
-                    continue; // n-vertices of different clusters cannot merge
-                }
-                match best {
-                    Some((bj, bw)) if w < bw || (w == bw && j > bj) => {}
-                    _ => best = Some((j, w)),
-                }
-            }
-            let Some((v, _)) = best else {
+            // Candidate selection (Algorithm 1, lines 5-7) via the heap.
+            let best = best_candidate(
+                &mut heaps[u],
+                &adj[u],
+                &vertices,
+                &matched,
+                u_is_net,
+                u_clu,
+                cluster_of,
+                &mut stash,
+            );
+            let Some(v) = best else {
                 matched[u] = true;
                 continue;
             };
@@ -129,8 +198,11 @@ pub fn coarsen(
                 }
             }
             adj[v].clear();
+            heaps[v] = BinaryHeap::new(); // v can never be selected again
             adj[u].remove(&u);
-            // Re-estimate every edge of the merged vertex (line 11).
+            // Re-estimate every edge of the merged vertex (line 11); new
+            // weights are pushed onto both endpoint heaps, superseded
+            // entries fall to lazy deletion.
             let neighbors: Vec<usize> = adj[u].keys().copied().collect();
             for x in neighbors {
                 let w = edge_weight(
@@ -141,6 +213,8 @@ pub fn coarsen(
                 if w > 0.0 {
                     adj[u].insert(x, w);
                     adj[x].insert(u, w);
+                    heaps[u].push(Cand { w, j: x });
+                    heaps[x].push(Cand { w, j: u });
                 } else {
                     adj[u].remove(&x);
                     adj[x].remove(&u);
@@ -188,6 +262,168 @@ mod tests {
     use proptest::prelude::*;
 
     const U: usize = 32;
+
+    /// The pre-heap reference: Algorithm 1 with candidate selection by a
+    /// full linear scan of the adjacency. Kept verbatim as the oracle the
+    /// heap-based [`coarsen`] must be output-identical to.
+    fn coarsen_reference(
+        input: &QueryGraph,
+        vmax: usize,
+        rates: &[f64],
+        cluster_of: &ClusterOf,
+        seed: u64,
+    ) -> Coarsened {
+        assert!(vmax > 0, "vmax must be positive");
+        let n = input.len();
+        let mut vertices: Vec<Option<QgVertex>> =
+            input.vertices.iter().cloned().map(Some).collect();
+        let mut adj: Vec<std::collections::HashMap<usize, f64>> =
+            (0..n).map(|i| input.neighbors(i).collect()).collect();
+        let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut alive = n;
+        let mut rng = rng_for(seed, "coarsen");
+
+        while alive > vmax {
+            let mut matched = vec![false; n];
+            let mut order: Vec<usize> = (0..n).filter(|&i| vertices[i].is_some()).collect();
+            order.shuffle(&mut rng);
+            let mut progress = false;
+
+            for u in order {
+                if alive <= vmax {
+                    break;
+                }
+                if vertices[u].is_none() || matched[u] {
+                    continue;
+                }
+                let u_vert = vertices[u].as_ref().expect("checked alive");
+                if is_anchor(u_vert, cluster_of) {
+                    matched[u] = true;
+                    continue;
+                }
+                let u_is_net = u_vert.is_net();
+                let u_clu = clu(u_vert, cluster_of);
+                let mut best: Option<(usize, f64)> = None;
+                for (&j, &w) in &adj[u] {
+                    let Some(v_vert) = vertices[j].as_ref() else { continue };
+                    if matched[j] || is_anchor(v_vert, cluster_of) {
+                        continue;
+                    }
+                    if u_is_net && v_vert.is_net() && u_clu != clu(v_vert, cluster_of) {
+                        continue;
+                    }
+                    match best {
+                        Some((bj, bw)) if w < bw || (w == bw && j > bj) => {}
+                        _ => best = Some((j, w)),
+                    }
+                }
+                let Some((v, _)) = best else {
+                    matched[u] = true;
+                    continue;
+                };
+                let v_vert = vertices[v].take().expect("candidate alive");
+                let v_members = std::mem::take(&mut members[v]);
+                vertices[u].as_mut().expect("u alive").absorb(&v_vert);
+                members[u].extend(v_members);
+                let v_edges: Vec<usize> = adj[v].keys().copied().collect();
+                for x in v_edges {
+                    adj[x].remove(&v);
+                    if x != u {
+                        adj[u].entry(x).or_insert(0.0);
+                        adj[x].entry(u).or_insert(0.0);
+                    }
+                }
+                adj[v].clear();
+                adj[u].remove(&u);
+                let neighbors: Vec<usize> = adj[u].keys().copied().collect();
+                for x in neighbors {
+                    let w = edge_weight(
+                        vertices[u].as_ref().expect("u alive"),
+                        vertices[x].as_ref().expect("neighbor alive"),
+                        rates,
+                    );
+                    if w > 0.0 {
+                        adj[u].insert(x, w);
+                        adj[x].insert(u, w);
+                    } else {
+                        adj[u].remove(&x);
+                        adj[x].remove(&u);
+                    }
+                }
+                matched[u] = true;
+                alive -= 1;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        let mut index_map = vec![usize::MAX; n];
+        let mut out_vertices = Vec::with_capacity(alive);
+        let mut out_members = Vec::with_capacity(alive);
+        for i in 0..n {
+            if let Some(v) = vertices[i].take() {
+                index_map[i] = out_vertices.len();
+                out_vertices.push(v);
+                out_members.push(std::mem::take(&mut members[i]));
+            }
+        }
+        let mut graph = QueryGraph::new(out_vertices);
+        for i in 0..n {
+            if index_map[i] == usize::MAX {
+                continue;
+            }
+            for (&j, &w) in &adj[i] {
+                if j > i && index_map[j] != usize::MAX {
+                    graph.set_edge(index_map[i], index_map[j], w);
+                }
+            }
+        }
+        Coarsened { graph, members: out_members }
+    }
+
+    /// The heap-based selection must coarsen a seeded random graph to
+    /// exactly the output the linear-scan reference produces — members,
+    /// vertex weights, and edges.
+    #[test]
+    fn heap_selection_is_output_identical_to_linear_scan() {
+        use rand::Rng;
+        for seed in 0..12u64 {
+            let mut rng = rng_for(seed, "coarsen-heap-diff");
+            let rates: Vec<f64> = (0..U).map(|i| 1.0 + (i % 5) as f64).collect();
+            let n = rng.gen_range(12..36);
+            let vertices: Vec<QgVertex> = (0..n)
+                .map(|i| {
+                    let bits: Vec<usize> =
+                        (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..U)).collect();
+                    if i % 7 == 3 {
+                        nv(i as u32, &bits)
+                    } else {
+                        qv(i as u64, &bits, rng.gen_range(0.5..4.0))
+                    }
+                })
+                .collect();
+            let g = with_edges(vertices, &rates);
+            // Some n-vertices clustered, some anchors (cluster unknown).
+            let cluster_of = |node: NodeId| -> Option<usize> {
+                (!node.0.is_multiple_of(3)).then_some((node.0 % 2) as usize)
+            };
+            let vmax = rng.gen_range(2..10);
+            let fast = coarsen(&g, vmax, &rates, &cluster_of, seed);
+            let slow = coarsen_reference(&g, vmax, &rates, &cluster_of, seed);
+            assert_eq!(fast.members, slow.members, "seed {seed}: members diverged");
+            assert_eq!(fast.graph.len(), slow.graph.len());
+            for i in 0..fast.graph.len() {
+                assert_eq!(fast.graph.vertices[i].weight, slow.graph.vertices[i].weight);
+                let mut fe: Vec<(usize, f64)> = fast.graph.neighbors(i).collect();
+                let mut se: Vec<(usize, f64)> = slow.graph.neighbors(i).collect();
+                fe.sort_by_key(|e| e.0);
+                se.sort_by_key(|e| e.0);
+                assert_eq!(fe, se, "seed {seed}: edges of vertex {i} diverged");
+            }
+        }
+    }
 
     fn qv(id: u64, bits: &[usize], load: f64) -> QgVertex {
         QgVertex::for_query(

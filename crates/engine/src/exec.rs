@@ -166,19 +166,19 @@ impl ResultTuple {
     }
 
     fn apply_plan(&self, plan: &ProjPlan, result_stream: impl Into<Symbol>) -> Tuple {
-        let mut values = Vec::with_capacity(plan.schema.len());
-        let mut keep = plan.mask.iter();
-        for (_, t) in self.joined.parts() {
-            if *keep.next().expect("mask covers all columns") {
-                values.push(Scalar::Int(t.timestamp));
-            }
-            for v in t.values() {
+        Tuple::build(result_stream, self.joined.timestamp(), Arc::clone(&plan.schema), |values| {
+            let mut keep = plan.mask.iter();
+            for (_, t) in self.joined.parts() {
                 if *keep.next().expect("mask covers all columns") {
-                    values.push(v.clone());
+                    values.push(Scalar::Int(t.timestamp));
+                }
+                for v in t.values() {
+                    if *keep.next().expect("mask covers all columns") {
+                        values.push(v.clone());
+                    }
                 }
             }
-        }
-        Tuple::from_parts(result_stream, self.joined.timestamp(), Arc::clone(&plan.schema), values)
+        })
     }
 }
 

@@ -25,7 +25,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A member's residual subscription, fully symbol-compiled at build time
-/// so splitting a shared result costs no string work per tuple.
+/// so splitting a shared result costs no string work per tuple. The
+/// residual *filters* live in the owning group's deduplicated filter-set
+/// table ([`Group::filter_sets`]): members with identical residual
+/// conjunctions share one set, evaluated once per shared result.
 #[derive(Debug)]
 struct ResidualCompiled {
     /// Unique per residual; keys the renamed-schema cache (`u64`: cannot
@@ -33,8 +36,9 @@ struct ResidualCompiled {
     id: u64,
     /// The member query this residual recovers.
     query: QueryId,
-    /// Residual filters over merged aliases.
-    filters: Vec<CompiledPredicate>,
+    /// Index into [`Group::filter_sets`] of this member's residual
+    /// conjunction.
+    filter_set: u32,
     /// The member's projection over merged aliases.
     projection: CompiledProjection,
     /// Resolved projection plans per part shape — splitting a shared
@@ -60,6 +64,16 @@ struct Group {
     merged: MergedQuery,
     /// Per-member compiled residuals, in member order.
     residuals: Vec<ResidualCompiled>,
+    /// Distinct residual filter conjunctions (structural equality of the
+    /// compiled predicates). Many members of a merged group carry the
+    /// *same* residual — e.g. every member that contributed the weakest
+    /// threshold — so each distinct conjunction is evaluated once per
+    /// shared result and the verdict fans out to the whole equivalence
+    /// class.
+    filter_sets: Vec<Vec<CompiledPredicate>>,
+    /// Scratch: per-result verdict per filter set (`None` = not yet
+    /// evaluated for the current result).
+    verdicts: Vec<Option<bool>>,
 }
 
 /// Matches relations of `member` to `merged` by stream name in `FROM` order,
@@ -141,6 +155,10 @@ impl SharedEngine {
             let merged_id = QueryId(u64::MAX - gi as u64);
             engine.add_query(merged_id, merged.query.clone());
             // Compile every residual once: filters, projection, renames.
+            // Identical residual conjunctions collapse into one shared
+            // filter set, so splitting evaluates each distinct conjunction
+            // once per result.
+            let mut filter_sets: Vec<Vec<CompiledPredicate>> = Vec::new();
             let residuals: Vec<ResidualCompiled> = merged
                 .residuals
                 .iter()
@@ -149,21 +167,32 @@ impl SharedEngine {
                         .iter()
                         .find(|(id, _)| *id == r.query)
                         .expect("residual for unknown member");
+                    let compiled = CompiledPredicate::compile_all(&r.filters);
+                    let filter_set = match filter_sets.iter().position(|s| *s == compiled) {
+                        Some(s) => s,
+                        None => {
+                            filter_sets.push(compiled);
+                            filter_sets.len() - 1
+                        }
+                    };
                     ResidualCompiled {
                         id: next_residual_id(),
                         query: r.query,
-                        filters: CompiledPredicate::compile_all(&r.filters),
+                        filter_set: u32::try_from(filter_set).expect("filter set overflow"),
                         projection: CompiledProjection::compile(&r.projection),
                         plans: ProjPlanCache::new(),
                         pairs: alias_pairs(&merged.query, member_query),
                     }
                 })
                 .collect();
+            let verdicts = vec![None; filter_sets.len()];
             groups.push(Group {
                 merged_id,
                 result_stream: Symbol::intern(&format!("shared-{gi}")),
                 merged,
                 residuals,
+                filter_sets,
+                verdicts,
             });
         }
         Self { engine, groups }
@@ -172,6 +201,13 @@ impl SharedEngine {
     /// Number of merged groups (= queries actually running in the engine).
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of distinct residual filter conjunctions across all groups —
+    /// the number of residual evaluations one shared result can cost at
+    /// most. With heavy duplication this is far below the member count.
+    pub fn residual_set_count(&self) -> usize {
+        self.groups.iter().map(|g| g.filter_sets.len()).sum()
     }
 
     /// The covering query of each group.
@@ -186,6 +222,9 @@ impl SharedEngine {
 
     /// Pushes a tuple; returns `(query, result)` pairs after splitting the
     /// shared result streams with each member's residual subscription.
+    /// Each distinct residual conjunction is evaluated once per shared
+    /// result; its verdict fans out to every member of the equivalence
+    /// class (member output order is unchanged).
     pub fn push(&mut self, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
         let results = self.engine.push(tuple);
         let mut out = Vec::new();
@@ -195,11 +234,16 @@ impl SharedEngine {
                 .iter_mut()
                 .find(|g| g.merged_id == r.query)
                 .expect("result from unknown merged query");
-            let result_stream = group.result_stream;
-            for residual in &mut group.residuals {
+            let Group { result_stream, residuals, filter_sets, verdicts, .. } = group;
+            let result_stream = *result_stream;
+            verdicts.iter_mut().for_each(|v| *v = None);
+            for residual in residuals.iter_mut() {
                 // Residual filters are in merged aliases; the joined tuple
                 // exposes exactly those aliases.
-                if !eval_compiled(&residual.filters, &r.joined) {
+                let set = residual.filter_set as usize;
+                let passes = *verdicts[set]
+                    .get_or_insert_with(|| eval_compiled(&filter_sets[set], &r.joined));
+                if !passes {
                     continue;
                 }
                 let projected =
@@ -220,9 +264,9 @@ thread_local! {
 
 /// Renames `merged_alias.attr` attribute names back to the member query's
 /// own aliases, so users see the schema they asked for. Pure schema work:
-/// the payload is untouched, and the renamed schema is cached per
-/// (input schema, residual) and interned (so equal shapes keep sharing
-/// one schema).
+/// the `Arc`-shared payload is reused untouched, and the renamed schema is
+/// cached per (input schema, residual) and interned (so equal shapes keep
+/// sharing one schema).
 fn rename_aliases(t: Tuple, residual: &ResidualCompiled) -> Tuple {
     let schema = RENAMED_SCHEMAS.with_borrow_mut(|cache| {
         // Residual ids are minted per SharedEngine::build; bound the
@@ -246,8 +290,7 @@ fn rename_aliases(t: Tuple, residual: &ResidualCompiled) -> Tuple {
             Schema::intern(&attrs)
         }))
     });
-    let (stream, timestamp) = (t.stream, t.timestamp);
-    Tuple::from_parts(stream, timestamp, schema, t.into_values())
+    t.with_schema(schema)
 }
 
 #[cfg(test)]
@@ -366,6 +409,43 @@ mod tests {
         let (shared, indep) = run_both(paper_queries(), tuples);
         assert_eq!(shared, indep);
         assert!(!shared.is_empty(), "workload should produce results");
+    }
+
+    #[test]
+    fn identical_residuals_share_one_filter_set() {
+        // 20 members, two distinct selection thresholds: the members with
+        // the same threshold carry identical residual conjunctions, so the
+        // group holds far fewer filter sets than members — and splitting
+        // still recovers exactly the per-member results.
+        let queries: Vec<(QueryId, Query)> = (0..20u64)
+            .map(|i| {
+                let th = if i % 2 == 0 { 10 } else { 20 };
+                (
+                    QueryId(i),
+                    parse_query(&format!(
+                        "SELECT R.v FROM R [Range 60 Seconds], S [Now] \
+                         WHERE R.k = S.k AND R.v > {th}"
+                    ))
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let mut shared = SharedEngine::build(queries.clone());
+        assert_eq!(shared.group_count(), 1);
+        assert!(
+            shared.residual_set_count() <= 3,
+            "two distinct thresholds must collapse to at most a handful of \
+             filter sets, got {}",
+            shared.residual_set_count()
+        );
+        shared.push(t("R", 0, &[("k", 1), ("v", 15)]));
+        let out = shared.push(t("S", 500, &[("k", 1)]));
+        let ids: Vec<QueryId> = out.iter().map(|(id, _)| *id).collect();
+        // v = 15 passes only the even members' threshold (10).
+        assert_eq!(ids, (0..20).filter(|i| i % 2 == 0).map(QueryId).collect::<Vec<_>>());
+        shared.push(t("R", 1_000, &[("k", 2), ("v", 25)]));
+        let out = shared.push(t("S", 1_500, &[("k", 2)]));
+        assert_eq!(out.len(), 20, "v = 25 passes both thresholds");
     }
 
     #[test]

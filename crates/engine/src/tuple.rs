@@ -2,14 +2,17 @@
 //!
 //! # Performance architecture
 //!
-//! The tuple data plane is symbol-interned and schema-indexed:
+//! The tuple data plane is symbol-interned, schema-indexed, and
+//! payload-shared:
 //!
-//! - A [`Tuple`] is `{ stream: Symbol, timestamp, values: Vec<Scalar> }`
-//!   plus a shared [`Arc<Schema>`] mapping attribute symbols to column
-//!   indices. Tuples of the same shape share one interned schema, so the
-//!   payload carries **no attribute names at all** — attribute lookup is a
-//!   linear scan over `u32`s in the schema (sensor schemas are narrow, so
-//!   this beats hashing), and cloning a tuple clones scalars only.
+//! - A [`Tuple`] **is** a [`cosmos_query::record::Record`] — `{ stream:
+//!   Symbol, timestamp, Arc<Schema>, Arc<[Scalar]> }`. Tuples of the same
+//!   shape share one interned schema, so the payload carries **no
+//!   attribute names at all** — attribute lookup is a linear scan over
+//!   `u32`s in the schema (sensor schemas are narrow, so this beats
+//!   hashing) — and cloning a tuple bumps two reference counts. The
+//!   Pub/Sub `Message` is the same type, so records cross the
+//!   broker→engine boundary without conversion.
 //! - A [`JoinedTuple`] stores positional `(alias: Symbol, Arc<Tuple>)`
 //!   parts. Component tuples are `Arc`-shared because one window tuple
 //!   typically participates in many join outputs.
@@ -30,120 +33,11 @@ use cosmos_util::intern::{sym_timestamp, Schema, Symbol};
 use cosmos_util::PlanCache;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::Arc;
 
-/// A single stream tuple: stream (or alias) tag, event timestamp, and a
-/// positional scalar payload indexed by a shared [`Schema`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct Tuple {
-    /// The stream this tuple belongs to.
-    pub stream: Symbol,
-    /// Event time in milliseconds.
-    pub timestamp: i64,
-    schema: Arc<Schema>,
-    values: Vec<Scalar>,
-}
-
-impl Tuple {
-    /// Creates an empty tuple (compat shim; interns `stream`).
-    pub fn new(stream: impl Into<Symbol>, timestamp: i64) -> Self {
-        Self { stream: stream.into(), timestamp, schema: Schema::empty(), values: Vec::new() }
-    }
-
-    /// Builds a tuple directly on a schema — the hot-path constructor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` and `schema` disagree on arity.
-    pub fn from_parts(
-        stream: impl Into<Symbol>,
-        timestamp: i64,
-        schema: Arc<Schema>,
-        values: Vec<Scalar>,
-    ) -> Self {
-        assert_eq!(schema.len(), values.len(), "schema/values arity mismatch");
-        Self { stream: stream.into(), timestamp, schema, values }
-    }
-
-    /// Adds an attribute (builder-style compat shim; re-interns the
-    /// extended schema, so repeated shapes still share one schema).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is already present — schemas are positional
-    /// indices, so duplicate names are rejected at construction (the old
-    /// string-keyed layout silently shadowed them).
-    pub fn with(mut self, name: impl Into<Symbol>, value: Scalar) -> Self {
-        self.schema = self.schema.with(name.into());
-        self.values.push(value);
-        self
-    }
-
-    /// The tuple's schema.
-    pub fn schema(&self) -> &Arc<Schema> {
-        &self.schema
-    }
-
-    /// The positional payload.
-    pub fn values(&self) -> &[Scalar] {
-        &self.values
-    }
-
-    /// Consumes the tuple, returning the payload (for schema-rewriting
-    /// transformations that keep the values).
-    pub fn into_values(self) -> Vec<Scalar> {
-        self.values
-    }
-
-    /// Looks up an attribute value by symbol — the hot path.
-    #[inline]
-    pub fn get_sym(&self, attr: Symbol) -> Option<&Scalar> {
-        self.schema.index_of(attr).map(|i| &self.values[i])
-    }
-
-    /// Looks up an attribute value by name (compat shim; never interns).
-    pub fn get(&self, name: &str) -> Option<&Scalar> {
-        self.get_sym(Symbol::lookup(name)?)
-    }
-
-    /// Iterates `(attribute, value)` pairs in column order.
-    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Scalar)> {
-        self.schema.attrs().iter().copied().zip(self.values.iter())
-    }
-
-    /// Number of attributes.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// `true` when the tuple has no attributes.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// Approximate wire size in bytes: a 16-byte header (stream tag +
-    /// timestamp), then per attribute a 4-byte symbol id plus the value's
-    /// actual payload — 8 bytes for numbers, length + 4-byte length prefix
-    /// for strings. The Pub/Sub `Message` uses the same model, keeping
-    /// engine-side and broker-side byte accounting consistent.
-    pub fn wire_size(&self) -> usize {
-        16 + self.values.iter().map(|v| 4 + v.wire_size()).sum::<usize>()
-    }
-}
-
-impl fmt::Display for Tuple {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}{{", self.stream, self.timestamp)?;
-        for (i, (k, v)) in self.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{k}={v}")?;
-        }
-        write!(f, "}}")
-    }
-}
+/// A single stream tuple — the engine-side name of the unified,
+/// `Arc`-shared [`cosmos_query::record::Record`].
+pub type Tuple = cosmos_query::record::Record;
 
 /// Cache key for flattened schemas: `(alias, part schema id)` per part.
 type FlatKey = Vec<(Symbol, u32)>;
@@ -181,7 +75,7 @@ fn build_flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
     };
     for (alias, t) in parts {
         push(&mut attrs, &mut mask, Symbol::dotted(*alias, ts));
-        for &attr in t.schema.attrs() {
+        for &attr in t.schema().attrs() {
             push(&mut attrs, &mut mask, Symbol::dotted(*alias, attr));
         }
     }
@@ -192,7 +86,7 @@ fn build_flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
 /// (allocates a small key `Vec` per probe — see [`FlattenCache`] for the
 /// allocation-free owner-attached variant).
 fn flat_schema(parts: &[(Symbol, Arc<Tuple>)]) -> FlatSchema {
-    let key: FlatKey = parts.iter().map(|(a, t)| (*a, t.schema.id())).collect();
+    let key: FlatKey = parts.iter().map(|(a, t)| (*a, t.schema().id())).collect();
     FLAT_SCHEMAS.with_borrow_mut(|cache| {
         cache.entry(key).or_insert_with(|| build_flat_schema(parts)).clone()
     })
@@ -222,9 +116,9 @@ impl FlattenCache {
                         && key
                             .iter()
                             .zip(parts)
-                            .all(|(&(ka, ks), (pa, pt))| ka == *pa && ks == pt.schema.id())
+                            .all(|(&(ka, ks), (pa, pt))| ka == *pa && ks == pt.schema().id())
                 },
-                || parts.iter().map(|(a, t)| (*a, t.schema.id())).collect(),
+                || parts.iter().map(|(a, t)| (*a, t.schema().id())).collect(),
                 || build_flat_schema(parts),
             )
             .clone()
@@ -289,31 +183,31 @@ impl JoinedTuple {
     }
 
     fn apply_flat(&self, flat: &FlatSchema, result_stream: impl Into<Symbol>) -> Tuple {
-        let mut values = Vec::with_capacity(flat.schema.len());
-        match &flat.mask {
-            None => {
-                for (_, t) in &self.parts {
-                    values.push(Scalar::Int(t.timestamp));
-                    values.extend(t.values.iter().cloned());
-                }
-            }
-            // Colliding names were dropped from the schema (first wins);
-            // drop the matching source columns.
-            Some(mask) => {
-                let mut keep = mask.iter();
-                for (_, t) in &self.parts {
-                    if *keep.next().expect("mask covers all columns") {
+        Tuple::build(result_stream, self.timestamp(), Arc::clone(&flat.schema), |values| {
+            match &flat.mask {
+                None => {
+                    for (_, t) in &self.parts {
                         values.push(Scalar::Int(t.timestamp));
+                        values.extend(t.values().iter().cloned());
                     }
-                    for v in &t.values {
+                }
+                // Colliding names were dropped from the schema (first
+                // wins); drop the matching source columns.
+                Some(mask) => {
+                    let mut keep = mask.iter();
+                    for (_, t) in &self.parts {
                         if *keep.next().expect("mask covers all columns") {
-                            values.push(v.clone());
+                            values.push(Scalar::Int(t.timestamp));
+                        }
+                        for v in t.values() {
+                            if *keep.next().expect("mask covers all columns") {
+                                values.push(v.clone());
+                            }
                         }
                     }
                 }
             }
-        }
-        Tuple::from_parts(result_stream, self.timestamp(), Arc::clone(&flat.schema), values)
+        })
     }
 }
 
@@ -349,6 +243,8 @@ mod tests {
     use cosmos_query::compiled::CompiledPredicate;
     use cosmos_query::predicate::eval_predicate;
     use cosmos_query::{CmpOp, Predicate};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
 
     fn joined() -> JoinedTuple {
         JoinedTuple::new(vec![
@@ -441,5 +337,69 @@ mod tests {
         let a = Tuple::new("R", 0).with("k", Scalar::Int(1)).with("v", Scalar::Int(2));
         let b = Tuple::new("R", 1).with("k", Scalar::Int(3)).with("v", Scalar::Int(4));
         assert!(Arc::ptr_eq(a.schema(), b.schema()));
+    }
+
+    proptest! {
+        /// Payload sharing must be invisible to byte accounting: a clone
+        /// (refcount bump) costs the same wire bytes as its source, a
+        /// retained projection charges exactly the kept attributes, and
+        /// flattening `Arc`-shared parts charges the same bytes as
+        /// flattening freshly built deep copies of the same content.
+        #[test]
+        fn prop_sharing_preserves_wire_size(
+            vals in proptest::collection::vec(-100i64..100, 1..6),
+            str_lens in proptest::collection::vec(0usize..13, 0..3),
+            keep_mask in proptest::collection::vec(0u32..2, 1..10),
+        ) {
+            let mut t = Tuple::new("R", 7);
+            let mut names = Vec::new();
+            for (i, v) in vals.iter().enumerate() {
+                let name = format!("n{i}");
+                t = t.with(name.as_str(), Scalar::Int(*v));
+                names.push(name);
+            }
+            for (i, len) in str_lens.iter().enumerate() {
+                let name = format!("s{i}");
+                t = t.with(name.as_str(), Scalar::Str("x".repeat(*len)));
+                names.push(name);
+            }
+            // Clone: refcount bump, identical bytes.
+            prop_assert_eq!(t.clone().wire_size(), t.wire_size());
+            // Retain: the shared source charges exactly the kept content.
+            let keep: BTreeSet<Symbol> = names
+                .iter()
+                .zip(keep_mask.iter().cycle())
+                .filter(|(_, k)| **k == 1)
+                .map(|(n, _)| Symbol::intern(n))
+                .collect();
+            let kept_payload: usize = t
+                .iter()
+                .filter(|(a, _)| keep.contains(a))
+                .map(|(_, v)| 4 + v.wire_size())
+                .sum();
+            prop_assert_eq!(t.retaining(&keep).wire_size(), 16 + kept_payload);
+            // Flatten: Arc-shared parts vs deep-copied parts, same bytes.
+            let deep = Tuple::from_parts(
+                t.stream,
+                t.timestamp,
+                Arc::clone(t.schema()),
+                t.values().to_vec(),
+            );
+            let part = Arc::new(t.clone());
+            let shared_parts = JoinedTuple::new(vec![
+                ("A".into(), Arc::clone(&part)),
+                ("B".into(), Arc::clone(&part)),
+            ]);
+            let deep_parts = JoinedTuple::new(vec![
+                ("A".into(), Arc::new(deep.clone())),
+                ("B".into(), Arc::new(deep)),
+            ]);
+            let f_shared = shared_parts.flatten("res");
+            let f_deep = deep_parts.flatten("res");
+            prop_assert_eq!(f_shared.wire_size(), f_deep.wire_size());
+            prop_assert_eq!(f_shared, f_deep);
+            // The source is untouched by all of the above.
+            prop_assert_eq!(t.clone().wire_size(), t.wire_size());
+        }
     }
 }

@@ -18,7 +18,7 @@ use crate::index::RoutingTable;
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
 use cosmos_util::Symbol;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Traffic counters for one undirected link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -298,10 +298,14 @@ impl BrokerNetwork {
     }
 
     fn forward_linear(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {
-        let mut matched_hops: Vec<NodeId> = Vec::new();
         let mut forwards: Vec<(NodeId, Message)> = Vec::new();
         {
             let table = &self.tables[node.index()];
+            // Matched hops keyed by node id (a `BTreeMap` iterates them in
+            // sorted order, as the old sorted `Vec` did); the needs unions
+            // for every matched hop accumulate in one further pass over the
+            // table instead of one full re-scan per hop.
+            let mut matched_hops: BTreeMap<NodeId, Option<StreamProjection>> = BTreeMap::new();
             for (sub, to) in table.entries() {
                 if !sub.matches(&msg) {
                     continue;
@@ -317,28 +321,28 @@ impl BrokerNetwork {
                         }
                     }
                     Some(next) => {
-                        if Some(next) != from && !matched_hops.contains(&next) {
-                            matched_hops.push(next);
+                        if Some(next) != from {
+                            matched_hops.entry(next).or_insert(None);
                         }
                     }
                 }
             }
-            matched_hops.sort_unstable();
-            for &next in &matched_hops {
+            if !matched_hops.is_empty() {
                 // Same union semantics as the index's hop groups: needs of
-                // *every* entry toward this hop requesting the stream.
-                let mut union: Option<StreamProjection> = None;
+                // *every* entry toward a matched hop requesting the stream.
                 for (sub, to) in table.entries() {
-                    if to != Some(next) {
+                    let Some(union) = to.and_then(|next| matched_hops.get_mut(&next)) else {
                         continue;
-                    }
+                    };
                     if let Some(needs) = sub.needs(msg.stream) {
-                        union = Some(match union {
+                        *union = Some(match union.take() {
                             None => needs,
                             Some(u) => u.union(&needs),
                         });
                     }
                 }
+            }
+            for (next, union) in matched_hops {
                 let fwd = match union.expect("matched hop has at least one member") {
                     StreamProjection::All => msg.clone(),
                     StreamProjection::Attrs(keep) => msg.retaining(&keep),

@@ -36,6 +36,19 @@
 //!    small always-candidate list. Entries whose indexable prefix fails
 //!    are never touched individually.
 //!
+//! # Delivery fan-out: projection classes
+//!
+//! Matching is sublinear, but a high-match-rate message still pays a
+//! *linear-in-matches* delivery term. The index bounds its constant with
+//! **projection classes**: local-delivery members of a partition are
+//! grouped at install time by their exact retained-attribute set
+//! ([`ProjClass`]), each distinct projection is computed **once per
+//! message**, and every matched member of the class receives the same
+//! `Arc`-shared [`Message`] — per delivery, a refcount bump and a log
+//! push, no scalar copies. A population of thousands of subscribers
+//! usually requests a handful of distinct projections, so the projection
+//! work per message is O(classes), not O(matches).
+//!
 //! # Forwarding projections
 //!
 //! The flat implementation unioned per-entry "needs" projections into a
@@ -89,11 +102,25 @@ struct HopGroup {
     epoch: u64,
 }
 
-/// What a matched member does: local delivery (project per the
-/// subscription's own request) or marking its hop group.
+/// A projection class: all local-delivery members of one stream partition
+/// that request the **same** retained-attribute set (or `All`). The
+/// projection is computed once per message per class; every matched member
+/// of the class receives the same `Arc`-shared record — the per-match cost
+/// drops from clone+project to a refcount bump.
+#[derive(Debug)]
+struct ProjClass {
+    proj: CachedProjection,
+    /// Epoch in which `cached` was produced.
+    epoch: u64,
+    /// The projected record for the current epoch's message.
+    cached: Option<Message>,
+}
+
+/// What a matched member does: local delivery (share its projection
+/// class's record) or marking its hop group.
 #[derive(Debug)]
 enum MemberAction {
-    Local { sub: SubId, projection: CachedProjection },
+    Local { sub: SubId, class: u32 },
     Hop(u32),
 }
 
@@ -202,6 +229,8 @@ struct StreamIndex {
     /// Members with no indexable predicates (always candidates).
     zero_target: Vec<u32>,
     hops: Vec<HopGroup>,
+    /// Local-delivery projection classes (deduplicated projections).
+    classes: Vec<ProjClass>,
     epoch: u64,
     /// Scratch: members bumped this epoch.
     touched: Vec<u32>,
@@ -280,10 +309,31 @@ impl RoutingTable {
             }
             let needs = sub.needs(stream).expect("own stream always has needs");
             let action = match to {
-                None => MemberAction::Local {
-                    sub: sub.id,
-                    projection: CachedProjection::new(req.projection.clone()),
-                },
+                None => {
+                    // Join (or open) the projection class for this exact
+                    // retained-attribute set — the class's plan cache and
+                    // per-message projected record are shared by every
+                    // member requesting the same attributes.
+                    let c = match index
+                        .classes
+                        .iter()
+                        .position(|c| c.proj.projection() == &req.projection)
+                    {
+                        Some(c) => c,
+                        None => {
+                            index.classes.push(ProjClass {
+                                proj: CachedProjection::new(req.projection.clone()),
+                                epoch: 0,
+                                cached: None,
+                            });
+                            index.classes.len() - 1
+                        }
+                    };
+                    MemberAction::Local {
+                        sub: sub.id,
+                        class: u32::try_from(c).expect("projection class overflow"),
+                    }
+                }
                 Some(next) => {
                     let g = match index.hops.iter().position(|h| h.to == next) {
                         Some(g) => {
@@ -415,6 +465,7 @@ impl RoutingTable {
             ts_lists,
             zero_target,
             hops,
+            classes,
             touched,
             candidates,
             ..
@@ -455,9 +506,18 @@ impl RoutingTable {
             if member.dead || !eval_compiled(&member.residual, msg) {
                 continue;
             }
-            match &mut member.action {
-                MemberAction::Local { sub, projection } => {
-                    out.deliveries.push((*sub, projection.apply(msg)));
+            match &member.action {
+                MemberAction::Local { sub, class } => {
+                    // Projection-class dedup: the first matched member of a
+                    // class computes the projection; the rest of the class
+                    // shares the record (a refcount bump per delivery).
+                    let class = &mut classes[*class as usize];
+                    if class.epoch != epoch {
+                        class.epoch = epoch;
+                        class.cached = Some(class.proj.apply(msg));
+                    }
+                    let record = class.cached.clone().expect("projected this epoch");
+                    out.deliveries.push((*sub, record));
                 }
                 MemberAction::Hop(g) => hops[*g as usize].epoch = epoch,
             }

@@ -13,25 +13,14 @@
 //! subscription upstream if nothing it already forwarded covers it.
 
 use cosmos_net::NodeId;
-use cosmos_query::compiled::{
-    eval_compiled, CompiledPredicate, IndexableCmp, ScalarRef, SymSource,
-};
-use cosmos_query::predicate::{implies, AttrSource};
-use cosmos_query::{AttrRef, Predicate, Scalar};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexableCmp};
+use cosmos_query::predicate::implies;
+use cosmos_query::{Predicate, Scalar};
 use cosmos_util::intern::{Schema, Symbol};
 use cosmos_util::PlanCache;
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
-
-/// Retained-schema cache key: input schema id + kept attribute set.
-type RetainKey = (u32, Vec<Symbol>);
-
-thread_local! {
-    static RETAINED_SCHEMAS: RefCell<HashMap<RetainKey, Arc<Schema>>> =
-        RefCell::new(HashMap::new());
-}
 
 /// Unique identifier of a subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -316,127 +305,17 @@ impl SubscriptionBuilder {
     }
 }
 
-/// A published message: stream tag, timestamp, and a positional scalar
-/// payload indexed by a shared, interned [`Schema`] — the same layout as
-/// the engine's `Tuple`, so a message crossing the broker→engine boundary
-/// needs no re-keying.
+/// A published message — the broker-side name of the unified, `Arc`-shared
+/// [`cosmos_query::record::Record`]. The engine's `Tuple` is the same
+/// type, so a message crossing the broker→engine boundary needs no
+/// re-keying (and no copy: it is the same value).
 ///
 /// "Each message is represented as a set of attribute/value pairs" (§1.2);
 /// here the *names* of those pairs live once in the interned schema rather
-/// than once per message.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Message {
-    /// Originating stream.
-    pub stream: Symbol,
-    /// Event timestamp in milliseconds.
-    pub timestamp: i64,
-    schema: Arc<Schema>,
-    values: Vec<Scalar>,
-}
-
-impl Message {
-    /// Creates an empty message (compat shim; interns `stream`).
-    pub fn new(stream: impl Into<Symbol>, timestamp: i64) -> Self {
-        Self { stream: stream.into(), timestamp, schema: Schema::empty(), values: Vec::new() }
-    }
-
-    /// Builds a message directly on a schema — the hot-path constructor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` and `schema` disagree on arity.
-    pub fn from_parts(
-        stream: impl Into<Symbol>,
-        timestamp: i64,
-        schema: Arc<Schema>,
-        values: Vec<Scalar>,
-    ) -> Self {
-        assert_eq!(schema.len(), values.len(), "schema/values arity mismatch");
-        Self { stream: stream.into(), timestamp, schema, values }
-    }
-
-    /// Adds an attribute (builder-style compat shim).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is already present — schemas are positional
-    /// indices, so duplicate names are rejected at construction.
-    pub fn with(mut self, name: impl Into<Symbol>, value: Scalar) -> Self {
-        self.schema = self.schema.with(name.into());
-        self.values.push(value);
-        self
-    }
-
-    /// The message's schema.
-    pub fn schema(&self) -> &Arc<Schema> {
-        &self.schema
-    }
-
-    /// The positional payload.
-    pub fn values(&self) -> &[Scalar] {
-        &self.values
-    }
-
-    /// Attribute lookup by symbol — the hot path.
-    #[inline]
-    pub fn get_sym(&self, attr: Symbol) -> Option<&Scalar> {
-        self.schema.index_of(attr).map(|i| &self.values[i])
-    }
-
-    /// Attribute lookup by name (compat shim; never interns).
-    pub fn get(&self, name: &str) -> Option<&Scalar> {
-        self.get_sym(Symbol::lookup(name)?)
-    }
-
-    /// Iterates `(attribute, value)` pairs in column order.
-    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Scalar)> {
-        self.schema.attrs().iter().copied().zip(self.values.iter())
-    }
-
-    /// Number of attributes.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// `true` when the message carries no attributes.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// The message restricted to the attributes in `keep` — the broker's
-    /// early-projection step. The projected schema is a pure function of
-    /// (input schema, keep set) and cached per thread, so repeat shapes
-    /// skip the schema interner; per call this copies kept scalars only.
-    pub fn retaining(&self, keep: &BTreeSet<Symbol>) -> Message {
-        let key: RetainKey = (self.schema.id(), keep.iter().copied().collect());
-        let schema = RETAINED_SCHEMAS.with_borrow_mut(|cache| {
-            if cache.len() > 4096 {
-                cache.clear();
-            }
-            Arc::clone(cache.entry(key).or_insert_with(|| {
-                let attrs: Vec<Symbol> =
-                    self.schema.attrs().iter().copied().filter(|a| keep.contains(a)).collect();
-                Schema::intern(&attrs)
-            }))
-        });
-        let mut values = Vec::with_capacity(schema.len());
-        for (a, v) in self.iter() {
-            if keep.contains(&a) {
-                values.push(v.clone());
-            }
-        }
-        Message { stream: self.stream, timestamp: self.timestamp, schema, values }
-    }
-
-    /// Approximate wire size in bytes: a 16-byte header, then per
-    /// attribute a 4-byte symbol id plus the value's actual payload —
-    /// 8 bytes for numbers, length plus a 4-byte length prefix for
-    /// strings. Identical to the engine's `Tuple::wire_size` model, so
-    /// broker traffic accounting and engine-side sizes agree.
-    pub fn wire_size(&self) -> usize {
-        16 + self.values.iter().map(|v| 4 + v.wire_size()).sum::<usize>()
-    }
-}
+/// than once per message, and the payload is shared — delivering one
+/// message to many subscribers bumps reference counts instead of cloning
+/// scalars.
+pub type Message = cosmos_query::record::Record;
 
 /// A [`StreamProjection`] with its resolved per-input-schema plan cached
 /// inline — the "hang the plan off the route entry" optimization. The
@@ -473,20 +352,21 @@ impl CachedProjection {
     }
 
     /// Applies the projection to `msg`, resolving (and caching) the plan
-    /// for `msg`'s schema on first sight.
+    /// for `msg`'s schema on first sight. `All` is a refcount bump; an
+    /// attribute set copies the kept scalars into one shared payload.
     pub fn apply(&mut self, msg: &Message) -> Message {
         let keep = match &self.proj {
             StreamProjection::All => return msg.clone(),
             StreamProjection::Attrs(keep) => keep,
         };
-        let id = msg.schema.id();
+        let id = msg.schema().id();
         let plan = self.plans.get_or_insert_with(
             |sid| *sid == id,
             || id,
             || {
                 let mut attrs = Vec::new();
                 let mut cols = Vec::new();
-                for (i, &a) in msg.schema.attrs().iter().enumerate() {
+                for (i, &a) in msg.schema().attrs().iter().enumerate() {
                     if keep.contains(&a) {
                         attrs.push(a);
                         cols.push(i as u32);
@@ -495,54 +375,16 @@ impl CachedProjection {
                 RetainPlan { schema: Schema::intern(&attrs), cols: cols.into() }
             },
         );
-        let values = plan.cols.iter().map(|&i| msg.values[i as usize].clone()).collect();
-        Message {
-            stream: msg.stream,
-            timestamp: msg.timestamp,
-            schema: Arc::clone(&plan.schema),
-            values,
-        }
-    }
-}
-
-impl SymSource for Message {
-    #[inline]
-    fn value(&self, rel: Symbol, attr: Symbol) -> Option<ScalarRef<'_>> {
-        if rel != self.stream {
-            return None;
-        }
-        self.get_sym(attr).map(Into::into)
-    }
-
-    #[inline]
-    fn timestamp(&self, rel: Symbol) -> Option<i64> {
-        (rel == self.stream).then_some(self.timestamp)
-    }
-}
-
-impl AttrSource for Message {
-    fn value(&self, attr: &AttrRef) -> Option<Scalar> {
-        if self.stream != attr.relation.as_str() {
-            return None;
-        }
-        // The `timestamp` pseudo-attribute resolves to the header, exactly
-        // as the compiled evaluator and the engine's tuple views do — so
-        // string-based and compiled filter evaluation agree on messages.
-        if attr.attr == "timestamp" {
-            return Some(Scalar::Int(self.timestamp));
-        }
-        self.get(&attr.attr).cloned()
-    }
-
-    fn timestamp(&self, alias: &str) -> Option<i64> {
-        (self.stream == alias).then_some(self.timestamp)
+        let payload: std::sync::Arc<[Scalar]> =
+            plan.cols.iter().map(|&i| msg.values()[i as usize].clone()).collect();
+        Message::from_shared(msg.stream, msg.timestamp, Arc::clone(&plan.schema), payload)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cosmos_query::CmpOp;
+    use cosmos_query::{AttrRef, CmpOp};
     use proptest::prelude::*;
 
     fn filter(stream: &str, attr: &str, op: CmpOp, v: i64) -> Predicate {

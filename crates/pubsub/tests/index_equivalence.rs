@@ -192,6 +192,105 @@ fn indexed_matching_equals_linear_scan() {
     }
 }
 
+/// A *broad* subscription: a weak threshold (or none), so ≥90% of
+/// published messages match, and a projection drawn from a small set of
+/// shapes — many subscribers share a projection class, which is exactly
+/// the population the delivery-side dedup must stay oracle-identical on.
+fn broad_sub(rng: &mut StdRng, id: u64, nodes: u32) -> Subscription {
+    let stream = STREAMS[rng.gen_range(0..STREAMS.len())];
+    // Thresholds in [-10, -5]: message values are drawn from [-5, 45], so
+    // an `a > threshold` filter passes whenever `a` is present (~90%+ of
+    // messages carry each attribute). A tenth of the population is
+    // filter-free and matches everything.
+    let filters = if rng.gen_bool(0.9) {
+        vec![Predicate::Cmp {
+            attr: AttrRef::new(stream, ATTRS[rng.gen_range(0..ATTRS.len())]),
+            op: CmpOp::Gt,
+            value: Scalar::Int(rng.gen_range(-10i64..-5)),
+        }]
+    } else {
+        vec![]
+    };
+    let proj = match rng.gen_range(0u32..4) {
+        0 => StreamProjection::All,
+        1 => StreamProjection::attrs(["a"]),
+        2 => StreamProjection::attrs(["a", "b"]),
+        _ => StreamProjection::attrs(["b", "c", "s"]),
+    };
+    Subscription::builder(NodeId(rng.gen_range(0..nodes)))
+        .id(SubId(id))
+        .stream(stream, proj, filters)
+        .build()
+}
+
+/// A message carrying *every* attribute, so a broad subscription's weak
+/// filter always resolves (and passes): ≥90% of same-stream subscribers
+/// match each message.
+fn broad_message(rng: &mut StdRng, ts: i64) -> Message {
+    let stream = STREAMS[rng.gen_range(0..STREAMS.len())];
+    let mut msg = Message::new(stream, ts);
+    for attr in ATTRS {
+        msg = msg.with(attr, random_scalar(rng));
+    }
+    msg.with("s", Scalar::Str(STRINGS[rng.gen_range(0..STRINGS.len())].to_string()))
+}
+
+/// High-match-rate populations: hundreds of broad subscriptions sharing a
+/// handful of projection classes, nearly every message delivered to most
+/// of them. This drives the projection-class dedup path hard; the indexed
+/// network must still produce the identical delivery log (contents *and*
+/// order) and identical link traffic as the linear oracle.
+#[test]
+fn high_match_rate_equals_linear_scan() {
+    for trial in 0..8u64 {
+        let mut rng = rng_for(trial, "index-equivalence-broad");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut indexed = BrokerNetwork::new(topo.clone());
+        let mut linear = BrokerNetwork::new(topo);
+        for stream in STREAMS {
+            let src = NodeId(rng.gen_range(0..nodes));
+            indexed.advertise(stream, src);
+            linear.advertise(stream, src);
+        }
+        let n_subs = rng.gen_range(120u64..250);
+        for id in 0..n_subs {
+            let sub = broad_sub(&mut rng, id, nodes);
+            indexed.subscribe(sub.clone());
+            linear.subscribe(sub);
+        }
+        let mut ts = 0i64;
+        let (mut published, mut delivered) = (0u64, 0u64);
+        for step in 0..60 {
+            ts += rng.gen_range(1i64..1_000);
+            let msg = broad_message(&mut rng, ts);
+            let di = indexed.publish(msg.clone());
+            let dl = linear.publish_linear(msg);
+            assert_eq!(di, dl, "delivery count diverged (trial {trial}, step {step})");
+            published += 1;
+            delivered += di as u64;
+        }
+        // The population splits evenly over three streams and every
+        // broad filter passes: each publish must reach ≥90% of the ~n/3
+        // same-stream subscribers.
+        assert!(
+            delivered * 10 >= published * (n_subs / 3) * 9,
+            "population must be ≥90% match (trial {trial}: {delivered} deliveries \
+             over {published} publishes of {n_subs} subs)"
+        );
+        assert_eq!(
+            indexed.log().deliveries(),
+            linear.log().deliveries(),
+            "delivery logs diverged (trial {trial})"
+        );
+        assert_eq!(
+            indexed.all_link_stats(),
+            linear.all_link_stats(),
+            "link traffic diverged (trial {trial})"
+        );
+    }
+}
+
 /// Unsubscribing must leave the index in exactly the state a fresh network
 /// holding only the surviving subscriptions would build.
 #[test]

@@ -41,6 +41,7 @@ pub mod compiled;
 pub mod containment;
 pub mod parser;
 pub mod predicate;
+pub mod record;
 
 pub use ast::{
     AggFunc, AttrRef, CmpOp, Predicate, ProjItem, Query, QueryId, RelationRef, Scalar, Window,
@@ -48,3 +49,4 @@ pub use ast::{
 pub use compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
 pub use containment::{covers, merge_queries, MergedQuery};
 pub use parser::{parse_query, ParseError};
+pub use record::Record;
