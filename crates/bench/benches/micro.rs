@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cosmos_bench::fixtures::{
-    broad_message, broker_with_broad_subs, broker_with_subs, scaling_message, shared_split_queries,
+    broad_message, broker_with_broad_subs, broker_with_subs, churn_link, scaling_message,
+    scaling_sub, shared_split_queries,
 };
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
@@ -18,6 +19,7 @@ use cosmos_core::spec::QuerySpec;
 use cosmos_engine::exec::StreamEngine;
 use cosmos_engine::tuple::Tuple;
 use cosmos_net::Deployment;
+use cosmos_pubsub::subscription::SubId;
 use cosmos_pubsub::SubstreamTable;
 use cosmos_query::{parse_query, QueryId, Scalar};
 use cosmos_util::rng::rng_for;
@@ -180,6 +182,57 @@ fn bench_broker(c: &mut Criterion) {
     });
 }
 
+/// Control-plane churn against a 5000-subscription standing population:
+/// departure + identical re-arrival, and stub-link failure + recovery.
+/// The incremental ledger touches only the victim's footprint (plus its
+/// covering dependents); the `-wholesale` twins rebuild the world and are
+/// the baseline the sublinear-churn claim is measured against.
+fn bench_broker_churn(c: &mut Criterion) {
+    let n_subs = 5000u64;
+    let window = n_subs / 5;
+    let mut net = broker_with_subs(n_subs);
+    let mut step = 0u64;
+    c.bench_function("pubsub/unsubscribe-5000-pop", |bench| {
+        bench.iter(|| {
+            let id = n_subs - window + (step % window);
+            step += 1;
+            net.unsubscribe(SubId(id));
+            net.subscribe(scaling_sub(id));
+        })
+    });
+    let mut net = broker_with_subs(n_subs);
+    let mut step = 0u64;
+    let mut group = c.benchmark_group("pubsub-churn-wholesale");
+    group.sample_size(10);
+    group.bench_function("unsubscribe-5000-pop-wholesale", |bench| {
+        bench.iter(|| {
+            let id = n_subs - window + (step % window);
+            step += 1;
+            net.unsubscribe_wholesale(SubId(id));
+            net.subscribe(scaling_sub(id));
+        })
+    });
+    group.finish();
+    let mut net = broker_with_subs(n_subs);
+    let (a, b, lat) = churn_link(&net);
+    c.bench_function("pubsub/fail-link-5000-pop", |bench| {
+        bench.iter(|| {
+            assert!(net.fail_link(a, b));
+            assert!(net.restore_link(a, b, lat));
+        })
+    });
+    let mut net = broker_with_subs(n_subs);
+    let mut group = c.benchmark_group("pubsub-churn-wholesale");
+    group.sample_size(10);
+    group.bench_function("fail-link-5000-pop-wholesale", |bench| {
+        bench.iter(|| {
+            assert!(net.fail_link_wholesale(a, b));
+            assert!(net.restore_link_wholesale(a, b, lat));
+        })
+    });
+    group.finish();
+}
+
 /// Shared execution with heavily duplicated residuals: 50 members, one
 /// merged group, two distinct residual conjunctions.
 fn bench_shared_split(c: &mut Criterion) {
@@ -252,6 +305,7 @@ criterion_group!(
     bench_online_routing,
     bench_diffusion,
     bench_broker,
+    bench_broker_churn,
     bench_engine,
     bench_shared_split,
     bench_containment,

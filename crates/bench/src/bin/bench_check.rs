@@ -65,6 +65,33 @@ fn load(path: &str) -> Vec<(String, f64)> {
     rows
 }
 
+/// One compared benchmark: name, baseline ns, current ns, and the
+/// speed-adjusted delta percentage (the single place that formula lives).
+struct Row {
+    name: String,
+    base: f64,
+    cur: f64,
+    delta: f64,
+}
+
+impl Row {
+    fn new(name: &str, base: f64, cur: f64, speed: f64) -> Self {
+        let adjusted = base * speed;
+        let delta = (cur - adjusted) / adjusted * 100.0;
+        Self { name: name.to_string(), base, cur, delta }
+    }
+}
+
+/// The benchmarks that got *faster*, best first — the rows whose adjusted
+/// delta is negative. Reported alongside regressions so wins — e.g. a
+/// churn optimization landing a 10× drop — are visible in CI output, not
+/// just silently "ok".
+fn top_improvements(rows: &[Row]) -> Vec<&Row> {
+    let mut wins: Vec<&Row> = rows.iter().filter(|r| r.delta < 0.0).collect();
+    wins.sort_by(|a, b| a.delta.total_cmp(&b.delta));
+    wins
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
@@ -87,27 +114,33 @@ fn main() -> ExitCode {
     println!("machine-speed factor (median ratio): {speed:.3}");
     let mut failed = false;
     let mut missing: Vec<&str> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for (name, base) in &baseline {
         match current.iter().find(|(n, _)| n == name) {
             None => missing.push(name),
-            Some((_, cur)) => {
-                let adjusted = base * speed;
-                let delta = (cur - adjusted) / adjusted * 100.0;
-                let verdict = if *cur > adjusted * (1.0 + tolerance / 100.0) {
-                    failed = true;
-                    "FAIL "
-                } else {
-                    "ok   "
-                };
-                println!(
-                    "{verdict}{name}: {base:.0} -> {cur:.0} ns ({delta:+.1}% vs speed-adjusted)"
-                );
-            }
+            Some((_, cur)) => rows.push(Row::new(name, *base, *cur, speed)),
         }
+    }
+    for row in &rows {
+        let Row { name, base, cur, delta } = row;
+        let verdict = if *delta > tolerance {
+            failed = true;
+            "FAIL "
+        } else {
+            "ok   "
+        };
+        println!("{verdict}{name}: {base:.0} -> {cur:.0} ns ({delta:+.1}% vs speed-adjusted)");
     }
     for (name, cur) in &current {
         if !baseline.iter().any(|(n, _)| n == name) {
             println!("new   {name}: {cur:.0} ns (no baseline; tolerated)");
+        }
+    }
+    let wins = top_improvements(&rows);
+    if !wins.is_empty() {
+        println!("top improvements (speed-adjusted):");
+        for Row { name, base, cur, delta } in wins.iter().take(3) {
+            println!("  {name}: {base:.0} -> {cur:.0} ns ({delta:+.1}%)");
         }
     }
     if !missing.is_empty() {
@@ -147,5 +180,28 @@ mod tests {
     #[test]
     fn tolerates_noise_text() {
         assert!(parse("no benchmarks here").is_empty());
+    }
+
+    #[test]
+    fn improvements_ranked_best_first() {
+        let rows = |speed: f64| {
+            vec![
+                super::Row::new("steady", 100.0, 100.0, speed),
+                super::Row::new("small-win", 100.0, 80.0, speed),
+                super::Row::new("big-win", 1000.0, 100.0, speed),
+                super::Row::new("regressed", 100.0, 150.0, speed),
+            ]
+        };
+        let rows_even = rows(1.0);
+        let wins = super::top_improvements(&rows_even);
+        let names: Vec<&str> = wins.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["big-win", "small-win"], "best first; non-wins excluded");
+        assert!((wins[0].delta - -90.0).abs() < 1e-9);
+        // A speed factor below 1 (baseline machine was slower) turns the
+        // small win into a wash; only the big one survives adjustment.
+        let rows_adjusted = rows(0.5);
+        let wins = super::top_improvements(&rows_adjusted);
+        let names: Vec<&str> = wins.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["big-win"]);
     }
 }

@@ -12,11 +12,13 @@
 //! ```
 
 use cosmos_bench::fixtures::{
-    broad_message, broker_with_broad_subs, broker_with_subs, scaling_message, shared_split_queries,
+    broad_message, broker_with_broad_subs, broker_with_subs, churn_link, scaling_message,
+    scaling_sub, shared_split_queries,
 };
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
 use cosmos_engine::{ProjPlanCache, SharedEngine};
+use cosmos_pubsub::subscription::SubId;
 use cosmos_query::{parse_query, QueryId, Scalar};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -104,6 +106,46 @@ fn bench_broker_publish_linear(n_subs: u64) -> f64 {
         |net| net.publish_linear(scaling_message()),
         |net| net.reset_stats(),
     )
+}
+
+/// Subscription churn against a standing population: one departure plus
+/// one (identical) re-arrival per op, victims cycling through the
+/// most-recent fifth of the population. The incremental path tears down
+/// only the victim's ledgered footprint and re-propagates only its
+/// covering dependents; the `-wholesale` twin re-installs the world.
+fn bench_broker_unsubscribe(n_subs: u64, wholesale: bool) -> f64 {
+    let mut net = broker_with_subs(n_subs);
+    let window = (n_subs / 5).max(1);
+    let mut step = 0u64;
+    measure(|| {
+        let id = n_subs - window + (step % window);
+        step += 1;
+        if wholesale {
+            net.unsubscribe_wholesale(SubId(id));
+        } else {
+            net.unsubscribe(SubId(id));
+        }
+        net.subscribe(scaling_sub(id));
+    })
+}
+
+/// Link churn against a standing population: one failure plus one
+/// recovery of a dissemination-tree stub link per op. The incremental
+/// path recomputes one source tree and re-routes only the subtree's
+/// subscribers; the `-wholesale` twin recomputes everything and
+/// re-installs the world — twice per op.
+fn bench_broker_fail_link(n_subs: u64, wholesale: bool) -> f64 {
+    let mut net = broker_with_subs(n_subs);
+    let (a, b, lat) = churn_link(&net);
+    measure(|| {
+        if wholesale {
+            assert!(net.fail_link_wholesale(a, b));
+            assert!(net.restore_link_wholesale(a, b, lat));
+        } else {
+            assert!(net.fail_link(a, b));
+            assert!(net.restore_link(a, b, lat));
+        }
+    })
 }
 
 fn bench_broker_publish_broad(n_subs: u64) -> f64 {
@@ -200,6 +242,10 @@ fn main() {
         ("broker/publish-5000-subs-linear", || bench_broker_publish_linear(5000)),
         ("broker/publish-500-subs-broad", || bench_broker_publish_broad(500)),
         ("broker/publish-500-subs-broad-linear", || bench_broker_publish_broad_linear(500)),
+        ("broker/unsubscribe-5000-pop", || bench_broker_unsubscribe(5000, false)),
+        ("broker/unsubscribe-5000-pop-wholesale", || bench_broker_unsubscribe(5000, true)),
+        ("broker/fail-link-5000-pop", || bench_broker_fail_link(5000, false)),
+        ("broker/fail-link-5000-pop-wholesale", || bench_broker_fail_link(5000, true)),
         ("engine/shared-split-50-members", || bench_shared_split(50)),
     ];
     let mut rows = Vec::new();

@@ -103,6 +103,24 @@ pub fn banner(figure: &str, what: &str, args: &BenchArgs) {
 pub mod fixtures {
     use super::*;
 
+    /// The `i`-th subscription of [`broker_with_subs`]' population —
+    /// exposed so the churn benchmarks can re-subscribe exactly the shape
+    /// they remove, keeping the population in steady state.
+    pub fn scaling_sub(i: u64) -> Subscription {
+        Subscription::builder(NodeId(30 + (i % 30) as u32))
+            .id(SubId(i))
+            .stream(
+                "R",
+                StreamProjection::All,
+                vec![cosmos_query::Predicate::Cmp {
+                    attr: cosmos_query::AttrRef::new("R", "a"),
+                    op: cosmos_query::CmpOp::Gt,
+                    value: Scalar::Int((i % 40) as i64),
+                }],
+            )
+            .build()
+    }
+
     /// A 66-node transit-stub broker network with `n_subs` subscriptions
     /// spread over 30 subscriber nodes, thresholds cycling over 40
     /// distinct values — the scaling workload behind the
@@ -113,22 +131,23 @@ pub mod fixtures {
         let mut net = BrokerNetwork::new(topo);
         net.advertise("R", NodeId(0));
         for i in 0..n_subs {
-            net.subscribe(
-                Subscription::builder(NodeId(30 + (i % 30) as u32))
-                    .id(SubId(i))
-                    .stream(
-                        "R",
-                        StreamProjection::All,
-                        vec![cosmos_query::Predicate::Cmp {
-                            attr: cosmos_query::AttrRef::new("R", "a"),
-                            op: cosmos_query::CmpOp::Gt,
-                            value: Scalar::Int((i % 40) as i64),
-                        }],
-                    )
-                    .build(),
-            );
+            net.subscribe(scaling_sub(i));
         }
         net
+    }
+
+    /// A link of the scaling topology suitable for fail/restore churn:
+    /// the dissemination-tree edge directly above subscriber node 45,
+    /// with its latency. Failing it re-routes (or partitions) only that
+    /// subtree's subscribers — the typical single-link incident the
+    /// incremental path should handle without touching the rest of the
+    /// population.
+    pub fn churn_link(net: &BrokerNetwork) -> (NodeId, NodeId, f64) {
+        let tree = cosmos_net::ShortestPathTree::compute(net.topology(), NodeId(0));
+        let leaf = NodeId(45);
+        let parent = tree.parent(leaf).expect("subscriber node must be reachable");
+        let lat = net.topology().edge_latency(leaf, parent).expect("tree edge exists");
+        (leaf, parent, lat)
     }
 
     /// The probe message for [`broker_with_subs`].

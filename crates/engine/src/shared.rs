@@ -122,6 +122,10 @@ fn alias_pairs(merged: &Query, member: &Query) -> Vec<(Symbol, Symbol)> {
 pub struct SharedEngine {
     engine: StreamEngine,
     groups: Vec<Group>,
+    /// Merged-query id → slot in `groups`. Splitting a shared result
+    /// resolves its group in O(1); a linear scan over groups would start
+    /// to bite once a processor hosts hundreds of merged groups.
+    by_query: HashMap<QueryId, u32>,
 }
 
 impl SharedEngine {
@@ -195,7 +199,12 @@ impl SharedEngine {
                 verdicts,
             });
         }
-        Self { engine, groups }
+        let by_query = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.merged_id, u32::try_from(i).expect("group count overflow")))
+            .collect();
+        Self { engine, groups, by_query }
     }
 
     /// Number of merged groups (= queries actually running in the engine).
@@ -229,11 +238,8 @@ impl SharedEngine {
         let results = self.engine.push(tuple);
         let mut out = Vec::new();
         for r in results {
-            let group = self
-                .groups
-                .iter_mut()
-                .find(|g| g.merged_id == r.query)
-                .expect("result from unknown merged query");
+            let slot = *self.by_query.get(&r.query).expect("result from unknown merged query");
+            let group = &mut self.groups[slot as usize];
             let Group { result_stream, residuals, filter_sets, verdicts, .. } = group;
             let result_stream = *result_stream;
             verdicts.iter_mut().for_each(|v| *v = None);
@@ -446,6 +452,34 @@ mod tests {
         shared.push(t("R", 1_000, &[("k", 2), ("v", 25)]));
         let out = shared.push(t("S", 1_500, &[("k", 2)]));
         assert_eq!(out.len(), 20, "v = 25 passes both thresholds");
+    }
+
+    #[test]
+    fn group_lookup_preserves_output_order() {
+        // Two groups (different relation sets) plus a duplicated member in
+        // the first: one R tuple completes results for *both* merged
+        // queries. The map-based group lookup must leave the output order
+        // exactly as the scan produced it — merged queries in engine
+        // registration order, members in group member order.
+        let queries = vec![
+            (QueryId(1), parse_query("SELECT R.v FROM R [Now] WHERE R.v > 0").unwrap()),
+            (
+                QueryId(2),
+                parse_query("SELECT R.v, S.v FROM R [Now], S [Range 10 Seconds] WHERE R.k = S.k")
+                    .unwrap(),
+            ),
+            (QueryId(3), parse_query("SELECT R.v FROM R [Now] WHERE R.v > 0").unwrap()),
+        ];
+        let mut shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 2);
+        shared.push(t("S", 0, &[("k", 1), ("v", 7)]));
+        let out = shared.push(t("R", 500, &[("k", 1), ("v", 4)]));
+        let ids: Vec<QueryId> = out.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            ids,
+            vec![QueryId(1), QueryId(3), QueryId(2)],
+            "group order then member order, unchanged by the keyed lookup"
+        );
     }
 
     #[test]

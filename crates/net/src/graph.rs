@@ -101,6 +101,21 @@ impl Topology {
         self.edge_count += 1;
     }
 
+    /// Removes the undirected edge `{u, v}`. Returns `false` when the edge
+    /// does not exist (out-of-range endpoints included). Used by the broker
+    /// network's link-failure handling; experiment topologies themselves
+    /// never shrink.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(adj) = self.adjacency.get_mut(u.index()) else { return false };
+        let Some(at) = adj.iter().position(|(n, _)| *n == v) else { return false };
+        adj.swap_remove(at);
+        let back = &mut self.adjacency[v.index()];
+        let at = back.iter().position(|(n, _)| *n == u).expect("asymmetric adjacency");
+        back.swap_remove(at);
+        self.edge_count -= 1;
+        true
+    }
+
     /// Returns `true` if `u` and `v` are directly connected.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.adjacency.get(u.index()).is_some_and(|adj| adj.iter().any(|(n, _)| *n == v))
@@ -182,6 +197,23 @@ mod tests {
         assert_eq!(t.edge_count(), 1);
         assert_eq!(t.edge_latency(NodeId(0), NodeId(1)), Some(3.0));
         assert_eq!(t.edge_latency(NodeId(1), NodeId(0)), Some(3.0));
+    }
+
+    #[test]
+    fn remove_edge_round_trips() {
+        let mut t = Topology::new(3);
+        t.add_edge(NodeId(0), NodeId(1), 3.0);
+        t.add_edge(NodeId(1), NodeId(2), 1.0);
+        assert!(t.remove_edge(NodeId(1), NodeId(0)));
+        assert_eq!(t.edge_count(), 1);
+        assert!(!t.has_edge(NodeId(0), NodeId(1)));
+        assert!(t.has_edge(NodeId(1), NodeId(2)));
+        // Already gone / never existed / out of range: false, no change.
+        assert!(!t.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!t.remove_edge(NodeId(0), NodeId(2)));
+        assert!(!t.remove_edge(NodeId(7), NodeId(0)));
+        t.add_edge(NodeId(0), NodeId(1), 3.0);
+        assert_eq!(t.edge_count(), 2);
     }
 
     #[test]

@@ -124,6 +124,62 @@ impl ShortestPathTree {
         Some(rev)
     }
 
+    /// Returns `true` when `{a, b}` is a tree edge of this shortest-path
+    /// tree — i.e. some node's root path traverses it.
+    pub fn uses_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.parent(b) == Some(a) || self.parent(a) == Some(b)
+    }
+
+    /// Path provenance: every node whose root path traverses tree edge
+    /// `{a, b}` — the subtree hanging below the edge. Returns `None` when
+    /// `{a, b}` is not a tree edge (no path uses it, so removing that
+    /// link from the topology leaves this tree exact).
+    ///
+    /// This is what lets a broker network re-route *only* the
+    /// subscriptions whose installed paths crossed a failed link, instead
+    /// of re-propagating the whole population.
+    pub fn nodes_via_edge(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        let child = if self.parent(b) == Some(a) {
+            b
+        } else if self.parent(a) == Some(b) {
+            a
+        } else {
+            return None;
+        };
+        // Memoized parent-chain walk: 1 = below the edge, 2 = not.
+        let mut mark = vec![0u8; self.parent.len()];
+        mark[child.index()] = 1;
+        let mut below = vec![child];
+        let mut chain = Vec::new();
+        for i in 0..self.parent.len() {
+            let node = NodeId(i as u32);
+            if mark[i] != 0 || self.distance(node).is_none() {
+                continue;
+            }
+            chain.clear();
+            let mut cur = node;
+            let verdict = loop {
+                match mark[cur.index()] {
+                    0 => {}
+                    m => break m,
+                }
+                chain.push(cur);
+                match self.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break 2, // reached the root without crossing
+                }
+            };
+            for &n in &chain {
+                mark[n.index()] = verdict;
+                if verdict == 1 {
+                    below.push(n);
+                }
+            }
+        }
+        below.sort_unstable();
+        Some(below)
+    }
+
     /// Total latency of the multicast tree spanning the root and `dests`:
     /// the union of root-to-destination tree paths, each edge counted once.
     ///
@@ -331,6 +387,43 @@ mod tests {
         let spt = ShortestPathTree::compute(&t, NodeId(0));
         assert_eq!(spt.distance(NodeId(1)), Some(2.0));
         assert_eq!(spt.parent(NodeId(1)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn nodes_via_edge_returns_the_subtree() {
+        // 0 - 1 - 2 and 1 - 3: edge (1, 2)'s subtree is {2}; edge (0, 1)
+        // carries everything but the root.
+        let mut t = Topology::new(5);
+        t.add_edge(NodeId(0), NodeId(1), 5.0);
+        t.add_edge(NodeId(1), NodeId(2), 1.0);
+        t.add_edge(NodeId(1), NodeId(3), 2.0);
+        let spt = ShortestPathTree::compute(&t, NodeId(0));
+        assert!(spt.uses_edge(NodeId(1), NodeId(2)));
+        assert_eq!(spt.nodes_via_edge(NodeId(1), NodeId(2)), Some(vec![NodeId(2)]));
+        assert_eq!(spt.nodes_via_edge(NodeId(2), NodeId(1)), Some(vec![NodeId(2)]));
+        assert_eq!(
+            spt.nodes_via_edge(NodeId(0), NodeId(1)),
+            Some(vec![NodeId(1), NodeId(2), NodeId(3)])
+        );
+        // Unreachable node 4 never appears in any subtree.
+        assert!(!spt.nodes_via_edge(NodeId(0), NodeId(1)).unwrap().contains(&NodeId(4)));
+        // Not a tree edge (not even a graph edge): no path uses it.
+        assert!(!spt.uses_edge(NodeId(2), NodeId(3)));
+        assert_eq!(spt.nodes_via_edge(NodeId(2), NodeId(3)), None);
+    }
+
+    #[test]
+    fn nodes_via_edge_skips_non_tree_graph_edges() {
+        // Ring 0-1-2-3-0: the tree from 0 reaches 2 via 1 (id tie-break),
+        // so graph edge (2, 3) exists but carries no tree path.
+        let mut t = Topology::new(4);
+        for i in 0..4u32 {
+            t.add_edge(NodeId(i), NodeId((i + 1) % 4), 1.0);
+        }
+        let spt = ShortestPathTree::compute(&t, NodeId(0));
+        assert_eq!(spt.nodes_via_edge(NodeId(2), NodeId(3)), None);
+        assert_eq!(spt.nodes_via_edge(NodeId(1), NodeId(2)), Some(vec![NodeId(2)]));
+        assert_eq!(spt.nodes_via_edge(NodeId(0), NodeId(3)), Some(vec![NodeId(3)]));
     }
 
     #[test]

@@ -13,12 +13,30 @@
 //! dissemination tree per source is its shortest-path tree — the same tree
 //! the rate-based [`crate::traffic::TrafficModel`] charges for, keeping the
 //! two cost views consistent.
+//!
+//! # Incremental routing-state maintenance
+//!
+//! At massive scale the control plane churns continuously: subscriptions
+//! arrive and depart, links fail and recover. The network therefore keeps
+//! a per-subscription **installation ledger** ([`InstallRecord`]):
+//! every `(node, direction)` entry a subscription contributed, every
+//! forwarded-up record backing covering-based pruning, and the covering
+//! **dependencies** between subscriptions (who suppressed whose
+//! propagation). [`BrokerNetwork::unsubscribe`] tears down exactly the
+//! departing subscription's footprint and re-propagates only its
+//! transitive covering dependents; [`BrokerNetwork::fail_link`] /
+//! [`BrokerNetwork::restore_link`] re-route only the subscriptions whose
+//! installed paths traverse the changed link (per-source subtree
+//! provenance from [`ShortestPathTree::nodes_via_edge`]). Both are
+//! sublinear in population size; the `*_wholesale` twins keep the old
+//! rebuild-the-world behaviour as the differential oracle and benchmark
+//! baseline.
 
-use crate::index::RoutingTable;
+use crate::index::{MatchOutput, RoutingTable};
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
 use cosmos_util::Symbol;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Traffic counters for one undirected link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,6 +91,41 @@ impl DeliveryLog {
     }
 }
 
+/// The per-subscription installation ledger: everything one subscription
+/// contributed to the network's routing state, plus the covering
+/// dependencies that gate incremental teardown (see
+/// [`BrokerNetwork::unsubscribe`]).
+#[derive(Debug)]
+struct InstallRecord {
+    /// Installation sequence number (subscribe order). Routing entries
+    /// carry it, so delivery order survives removal and re-installation.
+    seq: u64,
+    /// The subscription itself — the ledger is the population store, so
+    /// teardown and wave re-installation never scan a population list.
+    sub: Subscription,
+    /// Every `(node, direction)` whose routing table holds an entry this
+    /// subscription contributed (`None` = the local delivery entry).
+    entries: Vec<(NodeId, Option<NodeId>)>,
+    /// `(node, source)` pairs whose forwarded-up list records this
+    /// subscription (the covering-prune state).
+    forwarded: Vec<(NodeId, NodeId)>,
+    /// Subscriptions whose presence suppressed part of this installation —
+    /// a covering entry made ours redundant, or a covering forward pruned
+    /// our upstream propagation. If any of them leaves or re-routes, this
+    /// subscription must be re-propagated.
+    depends_on: BTreeSet<SubId>,
+}
+
+/// The outcome of one forwarding-entry insert during propagation.
+enum ForwardInsert {
+    /// Entry installed; these subscriptions' covered same-direction
+    /// entries were dropped (they now depend on the inserter).
+    Inserted { dropped: Vec<SubId> },
+    /// An existing covering entry of subscription `by` made the insert
+    /// redundant (the inserter now depends on `by`).
+    Skipped { by: SubId },
+}
+
 /// Covering as used for *routing-table pruning*: semantic covering plus
 /// needs preservation (see [`Subscription::needs`]).
 fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
@@ -119,8 +172,22 @@ pub struct BrokerNetwork {
     /// Per-node, per-source: subscriptions already forwarded toward that
     /// source (for covering-based pruning).
     forwarded_up: Vec<HashMap<NodeId, Vec<Subscription>>>,
-    /// All live subscriptions (used to rebuild tables on unsubscribe).
-    active: Vec<Subscription>,
+    /// Per-subscription installation ledgers, keyed by id — the
+    /// population store (subscribe order is each record's `seq`).
+    records: HashMap<SubId, InstallRecord>,
+    /// Live subscription ids per subscriber node: the re-route set of a
+    /// link incident is found by walking the moved subtree's nodes, not
+    /// the population.
+    subs_at: Vec<Vec<SubId>>,
+    /// Reverse covering-dependency index: `dependents[y]` = subscriptions
+    /// whose installation was suppressed by `y` and must re-propagate
+    /// when `y`'s routing state is torn down.
+    dependents: HashMap<SubId, BTreeSet<SubId>>,
+    /// Next installation sequence number.
+    next_seq: u64,
+    /// Pool of match-output buffers reused across [`BrokerNetwork::forward`]
+    /// recursion depths (steady-state publishing allocates nothing here).
+    scratch: Vec<MatchOutput>,
     link_stats: HashMap<(NodeId, NodeId), LinkStats>,
     log: DeliveryLog,
 }
@@ -135,7 +202,11 @@ impl BrokerNetwork {
             adv_trees: HashMap::new(),
             tables: (0..n).map(|_| RoutingTable::new()).collect(),
             forwarded_up: vec![HashMap::new(); n],
-            active: Vec::new(),
+            records: HashMap::new(),
+            subs_at: vec![Vec::new(); n],
+            dependents: HashMap::new(),
+            next_seq: 0,
+            scratch: Vec::new(),
             link_stats: HashMap::new(),
             log: DeliveryLog::default(),
         }
@@ -170,15 +241,43 @@ impl BrokerNetwork {
     /// of its streams with covering-based pruning and table merging (covered
     /// same-direction entries are replaced — the merge at `n1` in Figure 2).
     /// Streams without an advertisement are ignored (nothing can be routed
-    /// for them yet).
+    /// for them yet). Subscription ids key the installation ledger:
+    /// re-subscribing an id that is already live *replaces* the previous
+    /// subscription (its installation is torn down first).
     pub fn subscribe(&mut self, sub: Subscription) {
-        self.active.push(sub.clone());
+        if self.records.contains_key(&sub.id) {
+            self.unsubscribe(sub.id);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.subs_at[sub.subscriber.index()].push(sub.id);
+        self.records.insert(
+            sub.id,
+            InstallRecord {
+                seq,
+                sub: sub.clone(),
+                entries: Vec::new(),
+                forwarded: Vec::new(),
+                depends_on: BTreeSet::new(),
+            },
+        );
         self.install(sub);
     }
 
+    /// Propagates `sub` through the network, recording in its ledger every
+    /// entry and forwarded-up record it contributes and every covering
+    /// dependency its propagation runs into.
     fn install(&mut self, sub: Subscription) {
+        let id = sub.id;
+        let seq = self.records[&id].seq;
+        let mut rec_entries: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+        let mut rec_forwarded: Vec<(NodeId, NodeId)> = Vec::new();
+        // Dependency edges discovered during propagation: `(x, y)` = `x`
+        // must re-propagate if `y`'s routing state is torn down.
+        let mut deps: Vec<(SubId, SubId)> = Vec::new();
         // Local delivery entry at the subscriber.
-        self.tables[sub.subscriber.index()].insert(sub.clone(), None);
+        self.tables[sub.subscriber.index()].insert(sub.clone(), None, seq);
+        rec_entries.push((sub.subscriber, None));
         // Per-stream propagation toward the source.
         let streams: Vec<Symbol> = sub.streams.keys().copied().collect();
         let mut per_source: HashMap<NodeId, Vec<Symbol>> = HashMap::new();
@@ -208,16 +307,49 @@ impl BrokerNetwork {
             for i in (0..path.len().saturating_sub(1)).rev() {
                 let u = path[i];
                 let downstream = path[i + 1];
-                self.add_forwarding_entry(u, restricted.clone(), downstream);
+                match self.add_forwarding_entry(u, restricted.clone(), downstream, seq) {
+                    ForwardInsert::Inserted { dropped } => {
+                        rec_entries.push((u, Some(downstream)));
+                        for victim in dropped {
+                            if victim != id {
+                                deps.push((victim, id));
+                            }
+                        }
+                    }
+                    ForwardInsert::Skipped { by } => {
+                        if by != id {
+                            deps.push((id, by));
+                        }
+                    }
+                }
                 let fwd = self.forwarded_up[u.index()].entry(src).or_default();
-                if fwd.iter().any(|f| routing_covers(f, &restricted)) {
+                if let Some(coverer) = fwd.iter().find(|f| routing_covers(f, &restricted)) {
+                    if coverer.id != id {
+                        deps.push((id, coverer.id));
+                    }
                     pruned = true;
                 } else {
                     fwd.push(restricted.clone());
+                    rec_forwarded.push((u, src));
                 }
                 if pruned {
                     break;
                 }
+            }
+        }
+        let rec = self.records.get_mut(&id).expect("installing an unregistered subscription");
+        rec.entries.extend(rec_entries);
+        rec.forwarded.extend(rec_forwarded);
+        for (x, y) in deps {
+            self.depend(x, y);
+        }
+    }
+
+    /// Records the dependency `x` → `y` (both directions of the index).
+    fn depend(&mut self, x: SubId, y: SubId) {
+        if let Some(rec) = self.records.get_mut(&x) {
+            if rec.depends_on.insert(y) {
+                self.dependents.entry(y).or_default().insert(x);
             }
         }
     }
@@ -225,32 +357,144 @@ impl BrokerNetwork {
     /// Adds a forwarding entry at `node` toward `downstream`, merging with
     /// existing same-direction entries: skipped if an existing entry already
     /// covers it; existing entries it covers are dropped (they are redundant
-    /// for forwarding — one transmission per link regardless).
-    fn add_forwarding_entry(&mut self, node: NodeId, sub: Subscription, downstream: NodeId) {
+    /// for forwarding — one transmission per link regardless). The outcome
+    /// reports the covering relationships so the caller can ledger them.
+    fn add_forwarding_entry(
+        &mut self,
+        node: NodeId,
+        sub: Subscription,
+        downstream: NodeId,
+        seq: u64,
+    ) -> ForwardInsert {
         let table = &mut self.tables[node.index()];
-        if table.entries().any(|(e, to)| to == Some(downstream) && routing_covers(e, &sub)) {
-            return;
+        if let Some((e, _)) =
+            table.entries().find(|(e, to)| *to == Some(downstream) && routing_covers(e, &sub))
+        {
+            return ForwardInsert::Skipped { by: e.id };
         }
-        table.remove_toward(downstream, |e| routing_covers(&sub, e));
-        table.insert(sub, Some(downstream));
+        let dropped = table.remove_toward(downstream, |e| routing_covers(&sub, e));
+        table.insert(sub, Some(downstream), seq);
+        ForwardInsert::Inserted { dropped }
     }
 
-    /// Removes subscription `id` and rebuilds all routing state from the
-    /// remaining active subscriptions (covered entries that were merged away
-    /// are restored exactly).
+    /// Tears down everything `id` installed — its table entries (via the
+    /// ledger, not a population scan), its forwarded-up records, and its
+    /// outgoing dependency edges. The record itself survives with its
+    /// sequence number, so the subscription can be re-installed.
+    fn uninstall(&mut self, id: SubId) {
+        let Some(rec) = self.records.get_mut(&id) else { return };
+        let entries = std::mem::take(&mut rec.entries);
+        let forwarded = std::mem::take(&mut rec.forwarded);
+        let depends_on = std::mem::take(&mut rec.depends_on);
+        for (node, to) in entries {
+            self.tables[node.index()].remove_entry(id, to);
+        }
+        for (node, src) in forwarded {
+            if let Some(fwd) = self.forwarded_up[node.index()].get_mut(&src) {
+                fwd.retain(|f| f.id != id);
+            }
+        }
+        for y in depends_on {
+            if let Some(d) = self.dependents.get_mut(&y) {
+                d.remove(&id);
+            }
+        }
+    }
+
+    /// The set of subscriptions that must be re-propagated when every
+    /// member of `roots` is torn down: the transitive closure over
+    /// recorded covering dependencies.
+    fn dependent_closure(&self, roots: impl IntoIterator<Item = SubId>) -> BTreeSet<SubId> {
+        let mut wave: BTreeSet<SubId> = roots.into_iter().collect();
+        let mut work: Vec<SubId> = wave.iter().copied().collect();
+        while let Some(y) = work.pop() {
+            if let Some(ds) = self.dependents.get(&y) {
+                for &x in ds {
+                    if wave.insert(x) {
+                        work.push(x);
+                    }
+                }
+            }
+        }
+        wave
+    }
+
+    /// Uninstalls every wave member, then re-installs the survivors in
+    /// subscribe (sequence) order, re-deriving their paths under the
+    /// current trees and coverage — exactly the state a wholesale rebuild
+    /// would leave them in, without touching anyone else. Cost is
+    /// O(wave), never O(population): the subscriptions come out of their
+    /// own ledger records.
+    fn repropagate(&mut self, wave: &BTreeSet<SubId>) {
+        for &w in wave {
+            self.uninstall(w);
+        }
+        let mut reinstall: Vec<(u64, Subscription)> = wave
+            .iter()
+            .filter_map(|w| self.records.get(w).map(|r| (r.seq, r.sub.clone())))
+            .collect();
+        reinstall.sort_unstable_by_key(|(seq, _)| *seq);
+        for (_, sub) in reinstall {
+            self.install(sub);
+        }
+    }
+
+    /// Drops `id` from the ledger and the per-node index (not from the
+    /// routing tables — that is [`BrokerNetwork::uninstall`]'s job).
+    fn forget(&mut self, id: SubId) {
+        if let Some(rec) = self.records.remove(&id) {
+            self.subs_at[rec.sub.subscriber.index()].retain(|&s| s != id);
+        }
+    }
+
+    /// Removes subscription `id` **incrementally**: its ledger names every
+    /// entry it installed, so teardown touches only those, and only the
+    /// subscriptions whose propagation it had suppressed (covering
+    /// dependents, transitively) are re-propagated — their merged-away or
+    /// pruned routing state is restored exactly. Cost is proportional to
+    /// the departing subscription's footprint plus its dependents', never
+    /// to the population size.
     pub fn unsubscribe(&mut self, id: SubId) {
-        self.active.retain(|s| s.id != id);
+        let mut wave = self.dependent_closure([id]);
+        self.uninstall(id);
+        wave.remove(&id);
+        self.forget(id);
+        self.dependents.remove(&id);
+        self.repropagate(&wave);
+    }
+
+    /// [`BrokerNetwork::unsubscribe`] via the reference wholesale rebuild:
+    /// all routing state is discarded and the entire surviving population
+    /// re-installed. Kept as the differential-testing oracle and the
+    /// churn-benchmark baseline the incremental ledger is measured
+    /// against.
+    pub fn unsubscribe_wholesale(&mut self, id: SubId) {
+        self.forget(id);
+        self.rebuild_all();
+    }
+
+    /// Discards all routing state and re-installs every live
+    /// subscription in subscribe order (sequence numbers preserved, so
+    /// observable order is unchanged) — the wholesale maintenance path.
+    fn rebuild_all(&mut self) {
         for table in &mut self.tables {
             table.clear();
         }
         for fwd in &mut self.forwarded_up {
             fwd.clear();
         }
-        let active = std::mem::take(&mut self.active);
-        for sub in &active {
-            self.install(sub.clone());
+        self.dependents.clear();
+        let mut all: Vec<(u64, Subscription)> = Vec::with_capacity(self.records.len());
+        for rec in self.records.values_mut() {
+            rec.entries.clear();
+            rec.forwarded.clear();
+            rec.depends_on.clear();
+            all.push((rec.seq, rec.sub.clone()));
         }
-        self.active = active;
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        for (_, sub) in all {
+            self.install(sub);
+        }
     }
 
     /// Publishes a message from its advertised source, forwarding it along
@@ -268,18 +512,22 @@ impl BrokerNetwork {
 
     fn forward(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {
         // Indexed matching: counting pass + residuals, with local and
-        // per-hop projections applied from their cached plans.
-        let out = self.tables[node.index()].match_message(&msg, from);
-        for (sub, message) in out.deliveries {
+        // per-hop projections applied from their cached plans. The output
+        // buffers come from a per-network pool keyed by recursion depth,
+        // so steady-state publishing allocates nothing here.
+        let mut out = self.scratch.pop().unwrap_or_default();
+        self.tables[node.index()].match_message_into(&msg, from, &mut out);
+        for (sub, message) in out.deliveries.drain(..) {
             self.log.deliveries.push(Delivery { sub, node, message });
         }
-        for (next, fwd) in out.forwards {
+        for (next, fwd) in out.forwards.drain(..) {
             let key = if node <= next { (node, next) } else { (next, node) };
             let stats = self.link_stats.entry(key).or_default();
             stats.messages += 1;
             stats.bytes += fwd.wire_size() as u64;
             self.forward(next, Some(node), fwd);
         }
+        self.scratch.push(out);
     }
 
     /// [`BrokerNetwork::publish`] via a reference linear table scan —
@@ -417,56 +665,134 @@ impl BrokerNetwork {
         all
     }
 
-    /// Handles the failure of link `{a, b}`: the link is removed from the
-    /// topology, advertisement trees are recomputed over the surviving
-    /// links, and every active subscription is re-propagated (the
-    /// brokers' recovery protocol, condensed to its observable effect).
+    /// Handles the failure of link `{a, b}` **incrementally**: the link is
+    /// removed from the topology, dissemination trees are recomputed only
+    /// for sources whose shortest paths actually traversed it, and only
+    /// the subscriptions whose installed paths crossed the link (the
+    /// subscribers in the failed edge's subtree, per source — see
+    /// [`ShortestPathTree::nodes_via_edge`]) plus their transitive
+    /// covering dependents are re-propagated. Every other node's shortest
+    /// path is provably unchanged by the removal, so its routing state is
+    /// left untouched.
     ///
     /// Returns `false` when the link did not exist. Subscribers that
     /// became unreachable from a source silently stop receiving that
     /// source's messages — exactly the partition semantics a CBN exhibits.
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> bool {
-        let removed = self.remove_edge(a, b);
-        if !removed {
+        if !self.topo.remove_edge(a, b) {
             return false;
         }
-        // Recompute dissemination trees for every advertising source.
+        let wave = self.affected_by_link(a, b, None);
+        self.repropagate(&wave);
+        true
+    }
+
+    /// Restores a previously failed link `{a, b}` with the given latency —
+    /// the inverse of [`BrokerNetwork::fail_link`], equally incremental:
+    /// trees are recomputed only for sources whose shortest paths adopt
+    /// the restored link, and only the subscriptions routed through it
+    /// (plus covering dependents) re-propagate. Returns `false` when the
+    /// link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, on a self-loop, or on a
+    /// non-positive / non-finite latency (see [`Topology::add_edge`]).
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId, latency: f64) -> bool {
+        if self.topo.edge_latency(a, b).is_some() {
+            return false;
+        }
+        self.topo.add_edge(a, b, latency);
+        let wave = self.affected_by_link(a, b, Some(latency));
+        self.repropagate(&wave);
+        true
+    }
+
+    /// [`BrokerNetwork::fail_link`] via the reference wholesale rebuild
+    /// (every tree recomputed, the whole population re-installed) — the
+    /// differential oracle and churn-benchmark baseline.
+    pub fn fail_link_wholesale(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !self.topo.remove_edge(a, b) {
+            return false;
+        }
+        self.recompute_all_trees();
+        self.rebuild_all();
+        true
+    }
+
+    /// [`BrokerNetwork::restore_link`] via the reference wholesale
+    /// rebuild.
+    pub fn restore_link_wholesale(&mut self, a: NodeId, b: NodeId, latency: f64) -> bool {
+        if self.topo.edge_latency(a, b).is_some() {
+            return false;
+        }
+        self.topo.add_edge(a, b, latency);
+        self.recompute_all_trees();
+        self.rebuild_all();
+        true
+    }
+
+    fn recompute_all_trees(&mut self) {
         let sources: Vec<NodeId> = self.adv_trees.keys().copied().collect();
         for src in sources {
             self.adv_trees.insert(src, ShortestPathTree::compute(&self.topo, src));
         }
-        // Rebuild all routing state from the active subscriptions.
-        for table in &mut self.tables {
-            table.clear();
-        }
-        for fwd in &mut self.forwarded_up {
-            fwd.clear();
-        }
-        let active = std::mem::take(&mut self.active);
-        for sub in &active {
-            self.install(sub.clone());
-        }
-        self.active = active;
-        true
     }
 
-    /// Removes an undirected edge from the owned topology. `Topology` has
-    /// no removal API (experiments never shrink graphs), so the broker
-    /// rebuilds its copy without the failed link.
-    fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        if self.topo.edge_latency(a, b).is_none() {
-            return false;
-        }
-        let mut rebuilt = Topology::new(self.topo.node_count());
-        for u in self.topo.nodes() {
-            for (v, lat) in self.topo.neighbors(u) {
-                if u < v && !(u == a && v == b) && !(u == b && v == a) {
-                    rebuilt.add_edge(u, v, lat);
+    /// Recomputes the dissemination trees affected by a change to link
+    /// `{a, b}` (already applied to the topology) and returns the re-route
+    /// set: subscriptions whose installed paths are — or become — routed
+    /// through the link, closed over covering dependents. `restored` is
+    /// `None` for a failure, `Some(latency)` for a restoration.
+    ///
+    /// A failed link moves exactly the nodes below it in the **old**
+    /// tree; a restored link moves exactly the nodes below it in the
+    /// **new** one. In both cases every other node's shortest path (and,
+    /// with this tree's deterministic tie-breaking, its parent chain) is
+    /// unchanged, so a source whose tree never touches the link keeps its
+    /// tree, and subscribers outside the moved subtree keep their
+    /// installed entries. For a restoration, whether the link can be
+    /// adopted at all is decided from the **old** tree's endpoint
+    /// distances before paying a shortest-path recomputation: the edge
+    /// can enter the canonical tree only by strictly improving one
+    /// endpoint, *tying* one endpoint (a tie is adopted when the edge's
+    /// relaxation fires first in pop order — the fresh tree decides), or
+    /// connecting a previously unreachable one.
+    fn affected_by_link(&mut self, a: NodeId, b: NodeId, restored: Option<f64>) -> BTreeSet<SubId> {
+        let sources: Vec<NodeId> = self.adv_trees.keys().copied().collect();
+        let mut roots: BTreeSet<SubId> = BTreeSet::new();
+        for src in sources {
+            let moved = if let Some(latency) = restored {
+                let old = &self.adv_trees[&src];
+                let adoptable = match (old.distance(a), old.distance(b)) {
+                    (None, None) => false,
+                    (Some(_), None) | (None, Some(_)) => true,
+                    (Some(da), Some(db)) => da + latency <= db || db + latency <= da,
+                };
+                if !adoptable {
+                    continue;
+                }
+                let fresh = ShortestPathTree::compute(&self.topo, src);
+                let Some(moved) = fresh.nodes_via_edge(a, b) else { continue };
+                self.adv_trees.insert(src, fresh);
+                moved
+            } else {
+                let Some(moved) = self.adv_trees[&src].nodes_via_edge(a, b) else { continue };
+                self.adv_trees.insert(src, ShortestPathTree::compute(&self.topo, src));
+                moved
+            };
+            // Walk the moved subtree's nodes, not the population: the
+            // per-node index yields exactly the subscribers that re-route.
+            for n in &moved {
+                for &id in &self.subs_at[n.index()] {
+                    let sub = &self.records[&id].sub;
+                    if sub.streams.keys().any(|s| self.stream_source.get(s) == Some(&src)) {
+                        roots.insert(id);
+                    }
                 }
             }
         }
-        self.topo = rebuilt;
-        true
+        self.dependent_closure(roots)
     }
 }
 
@@ -621,6 +947,122 @@ mod tests {
         assert_eq!(d, 0);
         let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
         assert_eq!(d, 1); // n6 still there
+    }
+
+    #[test]
+    fn unsubscribe_restores_merged_away_entries() {
+        // In figure2, n7's a>10 *replaced* n6's a>20 forwarding entries at
+        // n2 and n3 (covering merge). Unsubscribing n7 must restore
+        // exactly n6's entries — via the ledgered dependency, not a
+        // population rebuild.
+        let mut net = figure2_network();
+        net.unsubscribe(SubId(7));
+        let n2_to_n1: Vec<SubId> = net.tables[2]
+            .entries()
+            .filter(|(_, to)| *to == Some(NodeId(1)))
+            .map(|(s, _)| s.id)
+            .collect();
+        assert_eq!(n2_to_n1, vec![SubId(6)], "n6's merged-away entry restored at n2");
+        net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
+        assert_eq!(net.log().deliveries().len(), 1);
+        assert_eq!(net.log().deliveries()[0].node, NodeId(6));
+        assert_eq!(net.link_stats(NodeId(3), NodeId(2)).messages, 1, "path to n6 intact");
+    }
+
+    #[test]
+    fn unsubscribe_repropagates_pruned_subscription() {
+        // Reverse install order: n7's broad a>10 goes in first, so n6's
+        // a>20 is pruned at n1 (nothing installed at n2/n3 for it). When
+        // n7 leaves, n6 must be re-propagated all the way to the source.
+        let mut net = BrokerNetwork::new(paper_topology());
+        net.advertise("R", NodeId(3));
+        net.subscribe(sub_r(7, 7, 10));
+        net.subscribe(sub_r(6, 6, 20));
+        net.unsubscribe(SubId(7));
+        let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(25)));
+        assert_eq!(d, 1, "n6 must receive after its coverer departed");
+        assert_eq!(net.link_stats(NodeId(2), NodeId(1)).messages, 1);
+    }
+
+    #[test]
+    fn restore_link_reroutes_incrementally() {
+        // Ring: 0 - 1 - 2 - 3 - 0; source at 0, subscriber at 2.
+        let mut topo = Topology::new(4);
+        for i in 0..4u32 {
+            topo.add_edge(NodeId(i), NodeId((i + 1) % 4), 1.0);
+        }
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(2))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .build(),
+        );
+        assert!(net.fail_link(NodeId(0), NodeId(1)));
+        assert_eq!(net.publish(Message::new("R", 0)), 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(3)).messages, 1, "detour in use");
+        // Restoring the link re-routes back through the short side.
+        assert!(net.restore_link(NodeId(0), NodeId(1), 1.0));
+        assert!(!net.restore_link(NodeId(0), NodeId(1), 1.0), "already present");
+        net.reset_stats();
+        assert_eq!(net.publish(Message::new("R", 1)), 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(2)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(3)).messages, 0, "detour abandoned");
+        // Restoring after a partition heals it.
+        assert!(net.fail_link(NodeId(0), NodeId(1)));
+        assert!(net.fail_link(NodeId(0), NodeId(3)));
+        assert_eq!(net.publish(Message::new("R", 2)), 0, "partitioned");
+        assert!(net.restore_link(NodeId(0), NodeId(3), 1.0));
+        assert_eq!(net.publish(Message::new("R", 3)), 1, "healed via the detour");
+    }
+
+    #[test]
+    fn restore_link_reclaims_equal_cost_path() {
+        // 0-1 (1), 1-2 (1), 0-2 (2): the direct edge *ties* the detour.
+        // The canonical tree uses the direct edge (node 0's relaxation of
+        // node 2 fires first), so a fail+restore round-trip must return
+        // to it even though the restored edge only equals the detour
+        // distance — the adoptable check must treat ties as adoptable.
+        let mut topo = Topology::new(3);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        topo.add_edge(NodeId(0), NodeId(2), 2.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(
+            Subscription::builder(NodeId(2))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![])
+                .build(),
+        );
+        net.publish(Message::new("R", 0));
+        assert_eq!(net.link_stats(NodeId(0), NodeId(2)).messages, 1, "direct edge wins the tie");
+        assert!(net.fail_link(NodeId(0), NodeId(2)));
+        assert!(net.restore_link(NodeId(0), NodeId(2), 2.0));
+        net.reset_stats();
+        net.publish(Message::new("R", 1));
+        assert_eq!(net.link_stats(NodeId(0), NodeId(2)).messages, 1, "tie reclaimed");
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 0);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(2)).messages, 0);
+    }
+
+    #[test]
+    fn resubscribing_a_live_id_replaces_it() {
+        // The ledger is keyed by id: subscribing an id that is already
+        // live tears the old installation down first, so no orphaned
+        // entries survive and a later unsubscribe removes everything.
+        let mut net = figure2_network();
+        net.subscribe(sub_r(7, 7, 30)); // replaces n7's a>10 with a>30
+        let d = net.publish(Message::new("R", 0).with("a", Scalar::Int(15)));
+        assert_eq!(d, 0, "the old a>10 subscription must be gone");
+        let d = net.publish(Message::new("R", 1).with("a", Scalar::Int(35)));
+        assert_eq!(d, 2, "replacement and n6 both match");
+        net.unsubscribe(SubId(7));
+        let d = net.publish(Message::new("R", 2).with("a", Scalar::Int(35)));
+        assert_eq!(d, 1, "only n6 remains, nothing orphaned");
+        assert_eq!(net.table_len(NodeId(7)), 0);
     }
 
     #[test]

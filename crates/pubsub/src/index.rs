@@ -65,13 +65,32 @@
 //!
 //! # Maintenance
 //!
-//! `subscribe`/`add_forwarding_entry` extend the index incrementally
-//! (sorted-insert into threshold lists). Removals (covering merges)
-//! tombstone the entry — dead members are skipped during counting — and
-//! the table compacts itself once tombstones outnumber live entries.
-//! `unsubscribe`/`fail_link` rebuild tables wholesale through the same
-//! incremental path, restoring exactly the state fresh installation would
-//! produce.
+//! The table is maintained **incrementally in both directions**:
+//!
+//! - **Install**: `subscribe`/`add_forwarding_entry` extend every affected
+//!   stream partition in place (sorted-insert into threshold lists, hop
+//!   groups union-extended, projection classes joined or opened). Each
+//!   entry carries the owning subscription's installation sequence number,
+//!   so delivery order stays the population's subscribe order no matter
+//!   how entries are later removed and re-added.
+//! - **Remove**: [`RoutingTable::remove_entry`] is first-class removal by
+//!   `(subscription id, direction)` — the primitive the broker's
+//!   per-subscription [`crate::broker::BrokerNetwork`] ledger drives on
+//!   unsubscribe and link failure/recovery. Removal tombstones the entry:
+//!   threshold lists keep stale references that the dead flag neutralizes
+//!   during counting, the affected hop group's needs-union is recomputed
+//!   from its surviving members **only** (no other group is touched), and
+//!   emptied projection classes simply stop being filled. Once tombstones
+//!   outnumber live entries the table compacts — threshold lists are
+//!   rebuilt dense, dead hop groups and emptied projection classes are
+//!   dropped, and surviving entries re-group — preserving each entry's
+//!   sequence number so observable order never changes.
+//!
+//! Wholesale rebuilds still exist, but only as the *differential oracle*:
+//! the broker's `*_wholesale` maintenance hooks clear and re-install
+//! through this same incremental path, and the churn equivalence suite
+//! asserts the incremental ledger ends in an observationally identical
+//! state.
 
 use crate::subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 use cosmos_net::NodeId;
@@ -86,6 +105,11 @@ use std::collections::HashMap;
 struct Entry {
     sub: Subscription,
     to: Option<NodeId>,
+    /// The owning subscription's installation sequence number. Local
+    /// deliveries are emitted in ascending `seq`, so re-installing an
+    /// entry (incremental repair appends it at the end of the partition)
+    /// cannot reorder the delivery log relative to a fresh build.
+    seq: u64,
     dead: bool,
 }
 
@@ -129,6 +153,10 @@ enum MemberAction {
 struct Member {
     /// Slot of the owning entry in `RoutingTable::entries`.
     entry: u32,
+    /// The owning entry's installation sequence number, cached here so
+    /// ordering candidates never chases the entry indirection on the
+    /// match hot path.
+    seq: u64,
     /// Number of indexable predicates that must be satisfied.
     target: u32,
     /// Predicates evaluated only when the indexable prefix passed.
@@ -234,18 +262,30 @@ struct StreamIndex {
     epoch: u64,
     /// Scratch: members bumped this epoch.
     touched: Vec<u32>,
-    /// Scratch: fully-satisfied members, sorted to table order.
-    candidates: Vec<u32>,
+    /// Scratch: fully-satisfied `(seq, member)` pairs, sorted to
+    /// subscribe order — flat keys, so the sort never chases pointers.
+    candidates: Vec<(u64, u32)>,
 }
 
-/// The outcome of matching one message at one node.
+/// The outcome of matching one message at one node. Designed for reuse:
+/// the broker keeps a small pool of these and passes them back into
+/// [`RoutingTable::match_message_into`], so the per-message vectors are
+/// allocated once and recycled.
 #[derive(Debug, Default)]
 pub struct MatchOutput {
-    /// Local deliveries: `(subscription, projected message)` in table
-    /// order.
+    /// Local deliveries: `(subscription, projected message)` in
+    /// installation-sequence order.
     pub deliveries: Vec<(SubId, Message)>,
     /// Forwards: `(next hop, projected message)` sorted by node id.
     pub forwards: Vec<(NodeId, Message)>,
+}
+
+impl MatchOutput {
+    /// Empties both buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.forwards.clear();
+    }
 }
 
 /// A node's routing table: entries partitioned by stream, each partition
@@ -286,8 +326,11 @@ impl RoutingTable {
     }
 
     /// Installs an entry, extending every affected stream partition
-    /// incrementally.
-    pub fn insert(&mut self, sub: Subscription, to: Option<NodeId>) {
+    /// incrementally. `seq` is the owning subscription's installation
+    /// sequence number: local deliveries are emitted in ascending `seq`,
+    /// keeping delivery order stable across incremental removal and
+    /// re-installation.
+    pub fn insert(&mut self, sub: Subscription, to: Option<NodeId>, seq: u64) {
         let entry_id = u32::try_from(self.entries.len()).expect("routing table overflow");
         for (&stream, req) in &sub.streams {
             let index = self.streams.entry(stream).or_default();
@@ -361,6 +404,7 @@ impl RoutingTable {
             }
             index.members.push(Member {
                 entry: entry_id,
+                seq,
                 target,
                 residual,
                 count: 0,
@@ -369,19 +413,45 @@ impl RoutingTable {
                 action,
             });
         }
-        self.entries.push(Entry { sub, to, dead: false });
+        self.entries.push(Entry { sub, to, seq, dead: false });
+    }
+
+    /// First-class incremental removal: tombstones every live entry of
+    /// subscription `id` pointing `to` the given direction (all of them —
+    /// one subscription can contribute several stream-restricted entries
+    /// at a node toward the same hop). Hop-group unions and projection
+    /// classes are updated only where the removed entries were members;
+    /// the table compacts once tombstones dominate. Returns the number of
+    /// entries removed.
+    pub fn remove_entry(&mut self, id: SubId, to: Option<NodeId>) -> usize {
+        let victims: Vec<u32> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.dead && e.to == to && e.sub.id == id)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let n = victims.len();
+        for v in victims {
+            self.tombstone(v);
+        }
+        self.maybe_compact();
+        n
     }
 
     /// Tombstones every live entry toward `downstream` for which `covered`
-    /// holds (covering-based merge removal). Hop-group unions are
-    /// recomputed from the surviving members; threshold lists keep stale
-    /// references that the dead flag neutralizes, and the table compacts
-    /// once tombstones outnumber live entries.
+    /// holds (covering-based merge removal), returning the owning
+    /// subscription ids of the dropped entries — the broker records them
+    /// as covering dependencies so the victims are re-propagated if the
+    /// coverer ever leaves. Hop-group unions are recomputed from the
+    /// surviving members; threshold lists keep stale references that the
+    /// dead flag neutralizes, and the table compacts once tombstones
+    /// outnumber live entries.
     pub fn remove_toward(
         &mut self,
         downstream: NodeId,
         mut covered: impl FnMut(&Subscription) -> bool,
-    ) {
+    ) -> Vec<SubId> {
         let victims: Vec<u32> = self
             .entries
             .iter()
@@ -389,10 +459,13 @@ impl RoutingTable {
             .filter(|(_, e)| !e.dead && e.to == Some(downstream) && covered(&e.sub))
             .map(|(i, _)| i as u32)
             .collect();
+        let dropped: Vec<SubId> =
+            victims.iter().map(|&v| self.entries[v as usize].sub.id).collect();
         for id in victims {
             self.tombstone(id);
         }
         self.maybe_compact();
+        dropped
     }
 
     fn tombstone(&mut self, entry_id: u32) {
@@ -435,27 +508,45 @@ impl RoutingTable {
     }
 
     /// Rebuilds the table from its live entries once tombstones dominate,
-    /// bounding memory and keeping threshold lists dense.
+    /// bounding memory and keeping threshold lists dense: stale threshold
+    /// references disappear, dead hop groups and emptied projection
+    /// classes are dropped, and survivors re-group. Sequence numbers are
+    /// preserved, so observable delivery order is unchanged.
     fn maybe_compact(&mut self) {
         if self.dead <= 16 || self.dead * 2 < self.entries.len() {
             return;
         }
-        let live: Vec<(Subscription, Option<NodeId>)> =
-            self.entries.drain(..).filter(|e| !e.dead).map(|e| (e.sub, e.to)).collect();
+        let live: Vec<(Subscription, Option<NodeId>, u64)> =
+            self.entries.drain(..).filter(|e| !e.dead).map(|e| (e.sub, e.to, e.seq)).collect();
         self.clear();
-        for (sub, to) in live {
-            self.insert(sub, to);
+        for (sub, to, seq) in live {
+            self.insert(sub, to, seq);
         }
+    }
+
+    /// [`RoutingTable::match_message_into`] into a fresh buffer —
+    /// convenience for tests and one-shot callers.
+    pub fn match_message(&mut self, msg: &Message, from: Option<NodeId>) -> MatchOutput {
+        let mut out = MatchOutput::default();
+        self.match_message_into(msg, from, &mut out);
+        out
     }
 
     /// Matches `msg` against this table: counting pass over the message's
     /// attributes, residual evaluation for fully-counted candidates, local
     /// projections and per-hop union projections applied from their cached
-    /// plans. `from` suppresses the reverse hop.
-    pub fn match_message(&mut self, msg: &Message, from: Option<NodeId>) -> MatchOutput {
-        let mut out = MatchOutput::default();
+    /// plans. `from` suppresses the reverse hop. Results are written into
+    /// `out` (cleared first); reusing one `MatchOutput` across calls keeps
+    /// the broker's forwarding path allocation-free after warm-up.
+    pub fn match_message_into(
+        &mut self,
+        msg: &Message,
+        from: Option<NodeId>,
+        out: &mut MatchOutput,
+    ) {
+        out.clear();
         let Some(index) = self.streams.get_mut(&msg.stream) else {
-            return out;
+            return;
         };
         index.epoch += 1;
         let epoch = index.epoch;
@@ -493,15 +584,19 @@ impl RoutingTable {
         }
 
         // Candidates: fully-counted members plus filter-free members, in
-        // table order (sorted member ids == insertion order).
-        candidates.extend(zero_target.iter().copied());
-        candidates.extend(touched.iter().copied().filter(|&m| {
+        // installation-sequence order — the population's subscribe order,
+        // stable across incremental removal and re-installation (member
+        // ids are only partition insertion order, which repair churns).
+        // The seq rides along in the scratch pairs, so the sort compares
+        // flat keys without chasing member or entry indirections.
+        candidates.extend(zero_target.iter().map(|&m| (members[m as usize].seq, m)));
+        candidates.extend(touched.iter().filter_map(|&m| {
             let member = &members[m as usize];
-            member.count == member.target
+            (member.count == member.target).then_some((member.seq, m))
         }));
         candidates.sort_unstable();
 
-        for &m in candidates.iter() {
+        for &(_, m) in candidates.iter() {
             let member = &mut members[m as usize];
             if member.dead || !eval_compiled(&member.residual, msg) {
                 continue;
@@ -529,7 +624,6 @@ impl RoutingTable {
             out.forwards.push((group.to, group.union.apply(msg)));
         }
         out.forwards.sort_by_key(|(n, _)| *n);
-        out
     }
 }
 
@@ -540,6 +634,19 @@ mod tests {
 
     fn cmp(stream: &str, attr: &str, op: CmpOp, v: Scalar) -> Predicate {
         Predicate::Cmp { attr: AttrRef::new(stream, attr), op, value: v }
+    }
+
+    /// Test insert: the subscription id doubles as the sequence number,
+    /// so delivery order matches insertion order as before.
+    trait TestInsert {
+        fn ins(&mut self, sub: Subscription, to: Option<NodeId>);
+    }
+
+    impl TestInsert for RoutingTable {
+        fn ins(&mut self, sub: Subscription, to: Option<NodeId>) {
+            let seq = sub.id.0;
+            self.insert(sub, to, seq);
+        }
     }
 
     fn sub(id: u64, filters: Vec<Predicate>) -> Subscription {
@@ -558,10 +665,8 @@ mod tests {
     /// lists rather than near-empty ones.
     fn pad(table: &mut RoutingTable) {
         for i in 0..25u64 {
-            table.insert(
-                sub(10_000 + i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(1_000_000))]),
-                None,
-            );
+            table
+                .ins(sub(10_000 + i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(1_000_000))]), None);
         }
     }
 
@@ -569,12 +674,12 @@ mod tests {
     fn counting_matches_all_operator_classes() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), None);
-        table.insert(sub(2, vec![cmp("R", "a", CmpOp::Ge, Scalar::Int(15))]), None);
-        table.insert(sub(3, vec![cmp("R", "a", CmpOp::Lt, Scalar::Int(15))]), None);
-        table.insert(sub(4, vec![cmp("R", "a", CmpOp::Le, Scalar::Int(15))]), None);
-        table.insert(sub(5, vec![cmp("R", "a", CmpOp::Eq, Scalar::Int(15))]), None);
-        table.insert(sub(6, vec![]), None);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), None);
+        table.ins(sub(2, vec![cmp("R", "a", CmpOp::Ge, Scalar::Int(15))]), None);
+        table.ins(sub(3, vec![cmp("R", "a", CmpOp::Lt, Scalar::Int(15))]), None);
+        table.ins(sub(4, vec![cmp("R", "a", CmpOp::Le, Scalar::Int(15))]), None);
+        table.ins(sub(5, vec![cmp("R", "a", CmpOp::Eq, Scalar::Int(15))]), None);
+        table.ins(sub(6, vec![]), None);
         let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(15)));
         assert_eq!(ids, vec![SubId(1), SubId(2), SubId(4), SubId(5), SubId(6)]);
         let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(3)));
@@ -585,7 +690,7 @@ mod tests {
     fn conjunction_requires_every_indexed_predicate() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(
+        table.ins(
             sub(
                 1,
                 vec![
@@ -608,7 +713,7 @@ mod tests {
         // String equality is residual; numeric part is indexed.
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(
+        table.ins(
             sub(
                 1,
                 vec![
@@ -630,9 +735,9 @@ mod tests {
     fn ne_and_foreign_relation_fall_back_to_residual() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Ne, Scalar::Int(7))]), None);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Ne, Scalar::Int(7))]), None);
         // A filter qualified with a different relation can never hold.
-        table.insert(sub(2, vec![cmp("S", "a", CmpOp::Gt, Scalar::Int(0))]), None);
+        table.ins(sub(2, vec![cmp("S", "a", CmpOp::Gt, Scalar::Int(0))]), None);
         let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(3)));
         assert_eq!(ids, vec![SubId(1)]);
         assert!(
@@ -644,7 +749,7 @@ mod tests {
     fn timestamp_predicates_are_indexed() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(sub(1, vec![cmp("R", "timestamp", CmpOp::Ge, Scalar::Int(1_000))]), None);
+        table.ins(sub(1, vec![cmp("R", "timestamp", CmpOp::Ge, Scalar::Int(1_000))]), None);
         assert!(local_matches(&mut table, &Message::new("R", 500)).is_empty());
         assert_eq!(local_matches(&mut table, &Message::new("R", 1_000)), vec![SubId(1)]);
     }
@@ -653,8 +758,8 @@ mod tests {
     fn float_int_mixing_matches_eval_semantics() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Eq, Scalar::Float(5.0))]), None);
-        table.insert(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(4.5))]), None);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Eq, Scalar::Float(5.0))]), None);
+        table.ins(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(4.5))]), None);
         let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(5)));
         assert_eq!(ids, vec![SubId(1), SubId(2)]);
     }
@@ -663,8 +768,8 @@ mod tests {
     fn nan_threshold_never_matches() {
         let mut table = RoutingTable::new();
         pad(&mut table);
-        table.insert(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(f64::NAN))]), None);
-        table.insert(sub(2, vec![]), None);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(f64::NAN))]), None);
+        table.ins(sub(2, vec![]), None);
         let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(999)));
         assert_eq!(ids, vec![SubId(2)]);
     }
@@ -675,7 +780,7 @@ mod tests {
         for i in 0..40u64 {
             let mut s = sub(i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(i as i64))]);
             s.subscriber = NodeId(9);
-            table.insert(s, Some(NodeId(1)));
+            table.ins(s, Some(NodeId(1)));
         }
         assert_eq!(table.len(), 40);
         table.remove_toward(NodeId(1), |s| s.id.0 % 2 == 0);
@@ -697,8 +802,8 @@ mod tests {
             .id(SubId(2))
             .stream("R", StreamProjection::attrs(["a", "b"]), vec![])
             .build();
-        table.insert(narrow, Some(NodeId(1)));
-        table.insert(wide, Some(NodeId(1)));
+        table.ins(narrow, Some(NodeId(1)));
+        table.ins(wide, Some(NodeId(1)));
         let msg = Message::new("R", 0)
             .with("a", Scalar::Int(1))
             .with("b", Scalar::Int(2))
@@ -711,11 +816,121 @@ mod tests {
     }
 
     #[test]
+    fn remove_entry_removes_only_that_subscription() {
+        let mut table = RoutingTable::new();
+        pad(&mut table);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), None);
+        table.ins(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), None);
+        let probe = Message::new("R", 0).with("a", Scalar::Int(20));
+        assert_eq!(local_matches(&mut table, &probe), vec![SubId(1), SubId(2)]);
+        assert_eq!(table.remove_entry(SubId(1), None), 1);
+        assert_eq!(local_matches(&mut table, &probe), vec![SubId(2)]);
+        // Removing again (or a different direction) is a no-op.
+        assert_eq!(table.remove_entry(SubId(1), None), 0);
+        assert_eq!(table.remove_entry(SubId(2), Some(NodeId(9))), 0);
+        assert_eq!(local_matches(&mut table, &probe), vec![SubId(2)]);
+    }
+
+    #[test]
+    fn remove_entry_compacts_threshold_lists() {
+        let mut table = RoutingTable::new();
+        for i in 0..40u64 {
+            table.ins(sub(i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(i as i64))]), None);
+        }
+        let stream: Symbol = "R".into();
+        let attr: Symbol = "a".into();
+        assert_eq!(table.streams[&stream].attr_lists[&attr].gt.len(), 40);
+        // Tombstone one at a time: the dead flags keep the stale threshold
+        // references inert, and once tombstones reach half the table (at
+        // the 20th removal) compaction rebuilds the lists dense. The last
+        // 4 removals sit below the tombstone threshold again.
+        for i in 0..24u64 {
+            assert_eq!(table.remove_entry(SubId(i), None), 1);
+        }
+        assert_eq!(table.len(), 16);
+        assert_eq!(table.entries.len(), 20, "compacted at tombstone majority; 4 tombstones since");
+        assert_eq!(
+            table.streams[&stream].attr_lists[&attr].gt.len(),
+            20,
+            "threshold list rebuilt dense at compaction (was 40)"
+        );
+        let ids = local_matches(&mut table, &Message::new("R", 0).with("a", Scalar::Int(100)));
+        assert_eq!(ids, (24..40).map(SubId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hop_union_shrinks_after_remove_entry() {
+        let mut table = RoutingTable::new();
+        let narrow = Subscription::builder(NodeId(5))
+            .id(SubId(1))
+            .stream("R", StreamProjection::attrs(["a"]), vec![])
+            .build();
+        let wide = Subscription::builder(NodeId(6))
+            .id(SubId(2))
+            .stream("R", StreamProjection::attrs(["a", "b"]), vec![])
+            .build();
+        table.ins(narrow, Some(NodeId(1)));
+        table.ins(wide, Some(NodeId(1)));
+        let msg = Message::new("R", 0)
+            .with("a", Scalar::Int(1))
+            .with("b", Scalar::Int(2))
+            .with("c", Scalar::Int(3));
+        assert_eq!(table.match_message(&msg, None).forwards[0].1.len(), 2);
+        // First-class removal of the wide member shrinks the union to {a};
+        // only this hop group is recomputed.
+        assert_eq!(table.remove_entry(SubId(2), Some(NodeId(1))), 1);
+        let out = table.match_message(&msg, None);
+        assert_eq!(out.forwards[0].1.len(), 1, "union shrinks to {{a}}");
+        // Removing the last member silences the hop entirely.
+        assert_eq!(table.remove_entry(SubId(1), Some(NodeId(1))), 1);
+        assert!(table.match_message(&msg, None).forwards.is_empty());
+    }
+
+    #[test]
+    fn projection_class_regroups_when_a_class_empties() {
+        let mut table = RoutingTable::new();
+        let local = |id: u64, proj: StreamProjection| {
+            Subscription::builder(NodeId(0)).id(SubId(id)).stream("R", proj, vec![]).build()
+        };
+        // 40 members keep {a}; 18 keep {b}: two projection classes.
+        for i in 0..40u64 {
+            table.ins(local(i, StreamProjection::attrs(["a"])), None);
+        }
+        for i in 40..58u64 {
+            table.ins(local(i, StreamProjection::attrs(["b"])), None);
+        }
+        let stream: Symbol = "R".into();
+        assert_eq!(table.streams[&stream].classes.len(), 2);
+        // Empty the {b} class entirely, then shed enough {a} members that
+        // tombstones reach half the table: compaction re-groups and the
+        // emptied class is not reopened.
+        for i in 40..58u64 {
+            assert_eq!(table.remove_entry(SubId(i), None), 1);
+        }
+        assert_eq!(table.streams[&stream].classes.len(), 2, "emptied class lingers as a tombstone");
+        for i in 0..11u64 {
+            assert_eq!(table.remove_entry(SubId(i), None), 1);
+        }
+        assert_eq!(table.len(), 29);
+        assert_eq!(
+            table.streams[&stream].classes.len(),
+            1,
+            "emptied projection class dropped at re-grouping"
+        );
+        let msg = Message::new("R", 0).with("a", Scalar::Int(7)).with("b", Scalar::Int(8));
+        let out = table.match_message(&msg, None);
+        assert_eq!(out.deliveries.len(), 29);
+        assert!(out.deliveries.iter().all(|(_, m)| m.len() == 1), "survivors still get {{a}}");
+        let ids: Vec<SubId> = out.deliveries.iter().map(|(s, _)| *s).collect();
+        assert_eq!(ids, (11..40).map(SubId).collect::<Vec<_>>(), "order preserved");
+    }
+
+    #[test]
     fn reverse_hop_is_suppressed() {
         let mut table = RoutingTable::new();
         let mut s = sub(1, vec![]);
         s.subscriber = NodeId(9);
-        table.insert(s, Some(NodeId(3)));
+        table.ins(s, Some(NodeId(3)));
         let msg = Message::new("R", 0);
         assert_eq!(table.match_message(&msg, None).forwards.len(), 1);
         assert!(table.match_message(&msg, Some(NodeId(3))).forwards.is_empty());

@@ -137,6 +137,10 @@ fn edges_of(topo: &Topology) -> Vec<(NodeId, NodeId)> {
 /// The full random driver: every step either publishes (comparing delivery
 /// counts immediately), unsubscribes, or fails a link — on both networks —
 /// and the complete delivery logs and link counters must agree at the end.
+/// The indexed network maintains its routing state *incrementally* (ledger
+/// teardown + dependent re-propagation); the linear oracle uses the
+/// reference `*_wholesale` rebuilds, so the comparison also pins the
+/// incremental maintenance against the rebuild-the-world semantics.
 #[test]
 fn indexed_matching_equals_linear_scan() {
     for trial in 0..25u64 {
@@ -163,13 +167,13 @@ fn indexed_matching_equals_linear_scan() {
             if roll < 5 && !live.is_empty() {
                 let id = live.swap_remove(rng.gen_range(0..live.len()));
                 indexed.unsubscribe(SubId(id));
-                linear.unsubscribe(SubId(id));
+                linear.unsubscribe_wholesale(SubId(id));
             } else if roll < 8 {
                 let edges = edges_of(indexed.topology());
                 if !edges.is_empty() {
                     let (a, b) = edges[rng.gen_range(0..edges.len())];
                     assert!(indexed.fail_link(a, b));
-                    assert!(linear.fail_link(a, b));
+                    assert!(linear.fail_link_wholesale(a, b));
                 }
             } else {
                 ts += rng.gen_range(1i64..1_000);
@@ -187,6 +191,90 @@ fn indexed_matching_equals_linear_scan() {
         assert_eq!(
             indexed.all_link_stats(),
             linear.all_link_stats(),
+            "link traffic diverged (trial {trial})"
+        );
+    }
+}
+
+/// Heavy-churn driver: the incrementally maintained indexed network
+/// against the wholesale linear oracle under *bursty* control-plane load —
+/// waves of unsubscribes, fresh arrivals, link failures, and link
+/// recoveries interleaved with publishes — across 22 randomized trials.
+/// This is the acceptance suite for the installation-ledger design: after
+/// every interleaving the complete delivery log (contents *and* order) and
+/// every link's traffic counters must equal the rebuild-the-world
+/// reference.
+#[test]
+fn heavy_churn_equals_wholesale_oracle() {
+    for trial in 0..22u64 {
+        let mut rng = rng_for(trial, "index-heavy-churn");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut incremental = BrokerNetwork::new(topo.clone());
+        let mut oracle = BrokerNetwork::new(topo);
+        for stream in STREAMS {
+            let src = NodeId(rng.gen_range(0..nodes));
+            incremental.advertise(stream, src);
+            oracle.advertise(stream, src);
+        }
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..rng.gen_range(30u64..90) {
+            let sub = random_sub(&mut rng, next_id, nodes);
+            incremental.subscribe(sub.clone());
+            oracle.subscribe(sub);
+            live.push(next_id);
+            next_id += 1;
+        }
+        let mut failed: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let mut ts = 0i64;
+        for step in 0..rng.gen_range(60u32..140) {
+            let roll = rng.gen_range(0u32..100);
+            if roll < 12 && !live.is_empty() {
+                // A wave of departures (bursty churn).
+                for _ in 0..rng.gen_range(1usize..4).min(live.len()) {
+                    let id = live.swap_remove(rng.gen_range(0..live.len()));
+                    incremental.unsubscribe(SubId(id));
+                    oracle.unsubscribe_wholesale(SubId(id));
+                }
+            } else if roll < 17 {
+                // Fresh arrivals keep the population churning both ways.
+                for _ in 0..rng.gen_range(1u32..3) {
+                    let sub = random_sub(&mut rng, next_id, nodes);
+                    incremental.subscribe(sub.clone());
+                    oracle.subscribe(sub);
+                    live.push(next_id);
+                    next_id += 1;
+                }
+            } else if roll < 22 {
+                let edges = edges_of(incremental.topology());
+                if !edges.is_empty() {
+                    let (a, b) = edges[rng.gen_range(0..edges.len())];
+                    let lat = incremental.topology().edge_latency(a, b).unwrap();
+                    assert!(incremental.fail_link(a, b));
+                    assert!(oracle.fail_link_wholesale(a, b));
+                    failed.push((a, b, lat));
+                }
+            } else if roll < 27 && !failed.is_empty() {
+                let (a, b, lat) = failed.swap_remove(rng.gen_range(0..failed.len()));
+                assert!(incremental.restore_link(a, b, lat));
+                assert!(oracle.restore_link_wholesale(a, b, lat));
+            } else {
+                ts += rng.gen_range(1i64..1_000);
+                let msg = random_message(&mut rng, ts);
+                let di = incremental.publish(msg.clone());
+                let dl = oracle.publish_linear(msg);
+                assert_eq!(di, dl, "delivery count diverged (trial {trial}, step {step})");
+            }
+        }
+        assert_eq!(
+            incremental.log().deliveries(),
+            oracle.log().deliveries(),
+            "delivery logs diverged (trial {trial})"
+        );
+        assert_eq!(
+            incremental.all_link_stats(),
+            oracle.all_link_stats(),
             "link traffic diverged (trial {trial})"
         );
     }
