@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cosmos_bench::fixtures::{
-    broad_message, broker_with_broad_subs, broker_with_subs, churn_link, scaling_message,
-    scaling_sub, shared_split_queries,
+    arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
+    broker_with_subs, churn_link, scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
@@ -189,6 +189,30 @@ fn bench_broker(c: &mut Criterion) {
 /// the baseline the sublinear-churn claim is measured against.
 fn bench_broker_churn(c: &mut Criterion) {
     let n_subs = 5000u64;
+    // Subscription arrival against a covering-sparse standing population
+    // (one fresh distinct subscription installed and incrementally
+    // removed per op): the covering buckets resolve every path hop's
+    // covering queries from binary-searched threshold skeletons; the
+    // -linear twin runs the reference scans over the same (identical)
+    // routing state.
+    let mut net = broker_with_distinct_subs(n_subs);
+    c.bench_function("pubsub/subscribe-5000-pop", |bench| {
+        bench.iter(|| {
+            net.subscribe(arrival_sub(n_subs));
+            net.unsubscribe(SubId(n_subs));
+        })
+    });
+    let mut net = broker_with_distinct_subs(n_subs);
+    net.set_linear_install(true);
+    let mut group = c.benchmark_group("pubsub-subscribe-linear");
+    group.sample_size(10);
+    group.bench_function("subscribe-5000-pop-linear", |bench| {
+        bench.iter(|| {
+            net.subscribe(arrival_sub(n_subs));
+            net.unsubscribe(SubId(n_subs));
+        })
+    });
+    group.finish();
     let window = n_subs / 5;
     let mut net = broker_with_subs(n_subs);
     let mut step = 0u64;

@@ -12,8 +12,8 @@
 //! ```
 
 use cosmos_bench::fixtures::{
-    broad_message, broker_with_broad_subs, broker_with_subs, churn_link, scaling_message,
-    scaling_sub, shared_split_queries,
+    arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
+    broker_with_subs, churn_link, scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
@@ -126,6 +126,23 @@ fn bench_broker_unsubscribe(n_subs: u64, wholesale: bool) -> f64 {
             net.unsubscribe(SubId(id));
         }
         net.subscribe(scaling_sub(id));
+    })
+}
+
+/// Subscription *arrival* against a covering-sparse standing population:
+/// one fresh distinct subscription installed and incrementally removed
+/// per op. Install cost is the covering resolution at every path hop —
+/// the covering buckets answer it from binary-searched threshold
+/// skeletons; the `-linear` twin runs the reference scans over the
+/// node's entries and the forwarded-up population, which grow with the
+/// population. The departure half is identical in both twins, so the
+/// gap isolates the install.
+fn bench_broker_subscribe(n_subs: u64, linear: bool) -> f64 {
+    let mut net = broker_with_distinct_subs(n_subs);
+    net.set_linear_install(linear);
+    measure(|| {
+        net.subscribe(arrival_sub(n_subs));
+        net.unsubscribe(SubId(n_subs));
     })
 }
 
@@ -242,6 +259,8 @@ fn main() {
         ("broker/publish-5000-subs-linear", || bench_broker_publish_linear(5000)),
         ("broker/publish-500-subs-broad", || bench_broker_publish_broad(500)),
         ("broker/publish-500-subs-broad-linear", || bench_broker_publish_broad_linear(500)),
+        ("broker/subscribe-5000-pop", || bench_broker_subscribe(5000, false)),
+        ("broker/subscribe-5000-pop-linear", || bench_broker_subscribe(5000, true)),
         ("broker/unsubscribe-5000-pop", || bench_broker_unsubscribe(5000, false)),
         ("broker/unsubscribe-5000-pop-wholesale", || bench_broker_unsubscribe(5000, true)),
         ("broker/fail-link-5000-pop", || bench_broker_fail_link(5000, false)),

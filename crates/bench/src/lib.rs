@@ -155,6 +155,45 @@ pub mod fixtures {
         Message::new("R", 0).with("a", Scalar::Int(25))
     }
 
+    /// The `i`-th subscription of [`broker_with_distinct_subs`]'
+    /// population: a point constraint `a = i`, so no pair covers another
+    /// and covering merges never collapse the tables — the
+    /// covering-sparse population shape that makes subscription *arrival*
+    /// expensive (every install probes tables and forwarded-up sets that
+    /// grow with the population).
+    pub fn arrival_sub(i: u64) -> Subscription {
+        Subscription::builder(NodeId(30 + (i % 30) as u32))
+            .id(SubId(i))
+            .stream(
+                "R",
+                StreamProjection::All,
+                vec![cosmos_query::Predicate::Cmp {
+                    attr: cosmos_query::AttrRef::new("R", "a"),
+                    op: cosmos_query::CmpOp::Eq,
+                    value: Scalar::Int(i as i64),
+                }],
+            )
+            .build()
+    }
+
+    /// A 66-node transit-stub broker network holding `n_subs` pairwise
+    /// non-covering subscriptions ([`arrival_sub`]) — the standing
+    /// population behind the `broker/subscribe-*` arrival benchmarks.
+    /// Both the covering-indexed path and its `-linear` twin measure
+    /// against this same state (the two installation modes produce
+    /// identical routing state, so the twin flips the mode after
+    /// building; rebuilding 5000 subscriptions through the linear scans
+    /// would cost minutes for no fidelity gain).
+    pub fn broker_with_distinct_subs(n_subs: u64) -> BrokerNetwork {
+        let topo = TransitStubConfig::small().generate(3);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        for i in 0..n_subs {
+            net.subscribe(arrival_sub(i));
+        }
+        net
+    }
+
     /// A *broad* population: ≥90% of subscriptions match
     /// [`broad_message`] (thresholds cycle over 0..10 against `a = 9`),
     /// and the projections cycle over 8 distinct shapes — the

@@ -32,7 +32,7 @@
 //! rebuild-the-world behaviour as the differential oracle and benchmark
 //! baseline.
 
-use crate::index::{MatchOutput, RoutingTable};
+use crate::index::{ForwardInsert, ForwardedSet, MatchOutput, RoutingTable};
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
 use cosmos_util::Symbol;
@@ -116,16 +116,6 @@ struct InstallRecord {
     depends_on: BTreeSet<SubId>,
 }
 
-/// The outcome of one forwarding-entry insert during propagation.
-enum ForwardInsert {
-    /// Entry installed; these subscriptions' covered same-direction
-    /// entries were dropped (they now depend on the inserter).
-    Inserted { dropped: Vec<SubId> },
-    /// An existing covering entry of subscription `by` made the insert
-    /// redundant (the inserter now depends on `by`).
-    Skipped { by: SubId },
-}
-
 /// Covering as used for *routing-table pruning*: semantic covering plus
 /// needs preservation (see [`Subscription::needs`]).
 fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
@@ -170,8 +160,9 @@ pub struct BrokerNetwork {
     /// [`crate::index`]).
     tables: Vec<RoutingTable>,
     /// Per-node, per-source: subscriptions already forwarded toward that
-    /// source (for covering-based pruning).
-    forwarded_up: Vec<HashMap<NodeId, Vec<Subscription>>>,
+    /// source (for covering-based pruning), with covering buckets so the
+    /// prune check is sublinear in the forwarded population.
+    forwarded_up: Vec<HashMap<NodeId, ForwardedSet>>,
     /// Per-subscription installation ledgers, keyed by id — the
     /// population store (subscribe order is each record's `seq`).
     records: HashMap<SubId, InstallRecord>,
@@ -185,6 +176,11 @@ pub struct BrokerNetwork {
     dependents: HashMap<SubId, BTreeSet<SubId>>,
     /// Next installation sequence number.
     next_seq: u64,
+    /// When set, [`BrokerNetwork::install`] resolves covering with the
+    /// reference linear scans instead of the covering buckets — the
+    /// `*_linear` oracle twin of subscription arrival (see
+    /// [`BrokerNetwork::new_linear`]).
+    linear_install: bool,
     /// Pool of match-output buffers reused across [`BrokerNetwork::forward`]
     /// recursion depths (steady-state publishing allocates nothing here).
     scratch: Vec<MatchOutput>,
@@ -201,15 +197,39 @@ impl BrokerNetwork {
             stream_source: HashMap::new(),
             adv_trees: HashMap::new(),
             tables: (0..n).map(|_| RoutingTable::new()).collect(),
-            forwarded_up: vec![HashMap::new(); n],
+            forwarded_up: (0..n).map(|_| HashMap::new()).collect(),
             records: HashMap::new(),
             subs_at: vec![Vec::new(); n],
             dependents: HashMap::new(),
             next_seq: 0,
+            linear_install: false,
             scratch: Vec::new(),
             link_stats: HashMap::new(),
             log: DeliveryLog::default(),
         }
+    }
+
+    /// A network whose subscription installs resolve covering with the
+    /// reference **linear scans** — over the node's table entries and the
+    /// forwarded-up population — instead of the covering buckets.
+    /// Observationally identical to the indexed path (same entries, same
+    /// skips and drops, in the same order); kept as the differential
+    /// oracle and the benchmark baseline the sublinear-arrival claim is
+    /// measured against, mirroring [`BrokerNetwork::publish_linear`] and
+    /// the `*_wholesale` maintenance hooks.
+    pub fn new_linear(topo: Topology) -> Self {
+        let mut net = Self::new(topo);
+        net.linear_install = true;
+        net
+    }
+
+    /// Switches the covering-resolution mode for all *future* installs
+    /// (`true` = reference linear scans). Routing state installed so far
+    /// is unaffected — both modes produce identical state, so benchmark
+    /// fixtures may build a population indexed and then measure the
+    /// linear twin on it.
+    pub fn set_linear_install(&mut self, linear: bool) {
+        self.linear_install = linear;
     }
 
     /// The underlying topology.
@@ -311,6 +331,12 @@ impl BrokerNetwork {
                     ForwardInsert::Inserted { dropped } => {
                         rec_entries.push((u, Some(downstream)));
                         for victim in dropped {
+                            // The drop invalidated one of the victim's
+                            // ledgered entries: scrub it immediately, so
+                            // the ledger only ever records live entries
+                            // (a stale pair would let a later uninstall
+                            // tear down an entry it no longer owns).
+                            self.scrub_ledger_entry(victim, u, downstream);
                             if victim != id {
                                 deps.push((victim, id));
                             }
@@ -323,9 +349,14 @@ impl BrokerNetwork {
                     }
                 }
                 let fwd = self.forwarded_up[u.index()].entry(src).or_default();
-                if let Some(coverer) = fwd.iter().find(|f| routing_covers(f, &restricted)) {
-                    if coverer.id != id {
-                        deps.push((id, coverer.id));
+                let coverer = if self.linear_install {
+                    fwd.find_coverer_linear(&restricted, routing_covers)
+                } else {
+                    fwd.find_coverer(&restricted, routing_covers)
+                };
+                if let Some(cover_id) = coverer {
+                    if cover_id != id {
+                        deps.push((id, cover_id));
                     }
                     pruned = true;
                 } else {
@@ -359,6 +390,15 @@ impl BrokerNetwork {
     /// covers it; existing entries it covers are dropped (they are redundant
     /// for forwarding — one transmission per link regardless). The outcome
     /// reports the covering relationships so the caller can ledger them.
+    ///
+    /// Covering resolves through the table's `(stream, hop)` buckets
+    /// ([`RoutingTable::insert_covering`]) — or through the reference
+    /// linear scan in a [`BrokerNetwork::new_linear`] oracle network,
+    /// which answers identically (same skip, same drops, same order). A
+    /// subscription never skips or drops its **own** entries: a
+    /// multi-stream installation revisits shared path hops once per
+    /// advertised source under the same id, and those sibling entries
+    /// must coexist (and stay ledgered) independently.
     fn add_forwarding_entry(
         &mut self,
         node: NodeId,
@@ -367,14 +407,34 @@ impl BrokerNetwork {
         seq: u64,
     ) -> ForwardInsert {
         let table = &mut self.tables[node.index()];
-        if let Some((e, _)) =
-            table.entries().find(|(e, to)| *to == Some(downstream) && routing_covers(e, &sub))
+        if !self.linear_install {
+            return table.insert_covering(sub, downstream, seq, routing_covers);
+        }
+        if let Some((e, _)) = table
+            .entries()
+            .find(|(e, to)| *to == Some(downstream) && e.id != sub.id && routing_covers(e, &sub))
         {
             return ForwardInsert::Skipped { by: e.id };
         }
-        let dropped = table.remove_toward(downstream, |e| routing_covers(&sub, e));
+        let dropped =
+            table.remove_toward(downstream, |e| e.id != sub.id && routing_covers(&sub, e));
         table.insert(sub, Some(downstream), seq);
         ForwardInsert::Inserted { dropped }
+    }
+
+    /// Removes one ledgered `(node, toward downstream)` pair from
+    /// `victim`'s installation record — the bookkeeping half of a
+    /// covering drop. [`RoutingTable::insert_covering`] reports one
+    /// dropped id per tombstoned entry, so exactly one pair is scrubbed
+    /// per report and the ledger keeps recording only live entries.
+    fn scrub_ledger_entry(&mut self, victim: SubId, node: NodeId, downstream: NodeId) {
+        if let Some(rec) = self.records.get_mut(&victim) {
+            if let Some(pos) =
+                rec.entries.iter().position(|&(n, d)| n == node && d == Some(downstream))
+            {
+                rec.entries.swap_remove(pos);
+            }
+        }
     }
 
     /// Tears down everything `id` installed — its table entries (via the
@@ -391,7 +451,7 @@ impl BrokerNetwork {
         }
         for (node, src) in forwarded {
             if let Some(fwd) = self.forwarded_up[node.index()].get_mut(&src) {
-                fwd.retain(|f| f.id != id);
+                fwd.remove(id);
             }
         }
         for y in depends_on {
@@ -650,6 +710,91 @@ impl BrokerNetwork {
     /// Number of routing entries at `node` (diagnostics).
     pub fn table_len(&self, node: NodeId) -> usize {
         self.tables[node.index()].len()
+    }
+
+    /// Verifies the ledger↔table consistency invariant — the contract
+    /// the incremental control plane maintains after every operation:
+    ///
+    /// - every ledgered `(node, direction)` pair resolves to a live
+    ///   routing-table entry of that subscription, **with multiplicity**
+    ///   (a multi-stream subscription may contribute several entries at
+    ///   one hop), and every live entry is ledgered by exactly one
+    ///   [`InstallRecord`] — its owner's;
+    /// - every ledgered forwarded-up pair resolves to a live forwarded
+    ///   record and vice versa;
+    /// - the per-node subscriber index lists each live subscription
+    ///   exactly once, and the covering-dependency edges are symmetric
+    ///   between the forward and reverse indexes.
+    ///
+    /// Returns a description of the first violation. Exposed for the
+    /// differential suites, which assert it after every churn operation.
+    pub fn check_ledger_consistency(&self) -> Result<(), String> {
+        let mut entries: HashMap<(SubId, NodeId, Option<NodeId>), i64> = HashMap::new();
+        for (n, table) in self.tables.iter().enumerate() {
+            for (sub, to) in table.entries() {
+                *entries.entry((sub.id, NodeId(n as u32), to)).or_default() += 1;
+            }
+        }
+        for (&id, rec) in &self.records {
+            for &(node, dir) in &rec.entries {
+                *entries.entry((id, node, dir)).or_default() -= 1;
+            }
+        }
+        if let Some(((id, node, dir), n)) = entries.iter().find(|(_, &n)| n != 0) {
+            return Err(if *n > 0 {
+                format!("live entry of {id} at {node:?} toward {dir:?} is not ledgered")
+            } else {
+                format!("ledgered entry of {id} at {node:?} toward {dir:?} is not live")
+            });
+        }
+        let mut forwarded: HashMap<(SubId, NodeId, NodeId), i64> = HashMap::new();
+        for (n, per_src) in self.forwarded_up.iter().enumerate() {
+            for (&src, set) in per_src {
+                for sub in set.iter() {
+                    *forwarded.entry((sub.id, NodeId(n as u32), src)).or_default() += 1;
+                }
+            }
+        }
+        for (&id, rec) in &self.records {
+            for &(node, src) in &rec.forwarded {
+                *forwarded.entry((id, node, src)).or_default() -= 1;
+            }
+        }
+        if let Some(((id, node, src), n)) = forwarded.iter().find(|(_, &n)| n != 0) {
+            return Err(if *n > 0 {
+                format!("forwarded record of {id} at {node:?} toward {src:?} is not ledgered")
+            } else {
+                format!("ledgered forward of {id} at {node:?} toward {src:?} is not live")
+            });
+        }
+        for (&id, rec) in &self.records {
+            let n = self.subs_at[rec.sub.subscriber.index()].iter().filter(|&&s| s == id).count();
+            if n != 1 {
+                return Err(format!("subscriber index lists {id} {n} times"));
+            }
+        }
+        let listed: usize = self.subs_at.iter().map(|v| v.len()).sum();
+        if listed != self.records.len() {
+            return Err(format!(
+                "subscriber index holds {listed} ids for {} records",
+                self.records.len()
+            ));
+        }
+        for (&x, rec) in &self.records {
+            for y in &rec.depends_on {
+                if !self.dependents.get(y).is_some_and(|d| d.contains(&x)) {
+                    return Err(format!("dependency {x} -> {y} missing from the reverse index"));
+                }
+            }
+        }
+        for (&y, deps) in &self.dependents {
+            for &x in deps {
+                if !self.records.get(&x).is_some_and(|r| r.depends_on.contains(&y)) {
+                    return Err(format!("reverse dependency {x} -> {y} has no forward edge"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// All per-link traffic counters, sorted by link (diagnostics and
@@ -1137,6 +1282,112 @@ mod tests {
         // (2,4) failing is irrelevant to n6/n7.
         assert!(net.fail_link(NodeId(2), NodeId(4)));
         assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 2);
+    }
+
+    /// Regression (multi-source self-covering): a two-stream subscription
+    /// installs one restricted entry per advertised source under the same
+    /// id; where the two paths share a `(node, downstream)` hop the
+    /// sibling entries must coexist — the second walk must never
+    /// covers-drop (or be skipped by) the first — and the ledger must
+    /// record exactly the live entries throughout.
+    #[test]
+    fn multi_source_shared_suffix_keeps_sibling_entries() {
+        // R at 0 and S at 1 both reach the subscriber 4 through the
+        // shared suffix 2 → 3 → 4.
+        let mut topo = Topology::new(5);
+        topo.add_edge(NodeId(0), NodeId(2), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        topo.add_edge(NodeId(2), NodeId(3), 1.0);
+        topo.add_edge(NodeId(3), NodeId(4), 1.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.advertise("S", NodeId(1));
+        net.subscribe(
+            Subscription::builder(NodeId(4))
+                .id(SubId(1))
+                .stream("R", StreamProjection::All, vec![filter_gt("R", "a", 20)])
+                .stream("S", StreamProjection::All, vec![])
+                .build(),
+        );
+        let siblings = |net: &BrokerNetwork, node: u32, down: u32| {
+            net.tables[node as usize]
+                .entries()
+                .filter(|(s, to)| s.id == SubId(1) && *to == Some(NodeId(down)))
+                .count()
+        };
+        assert_eq!(siblings(&net, 3, 4), 2, "one restricted entry per source at the shared hop");
+        assert_eq!(siblings(&net, 2, 3), 2);
+        net.check_ledger_consistency().expect("both sibling entries ledgered");
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 1);
+        assert_eq!(net.publish(Message::new("S", 1)), 1);
+        // A broader R-only subscriber downstream covers exactly the R
+        // sibling at the shared hops; the S sibling and the ledger must
+        // survive the drop.
+        net.subscribe(
+            Subscription::builder(NodeId(4))
+                .id(SubId(2))
+                .stream("R", StreamProjection::All, vec![filter_gt("R", "a", 10)])
+                .build(),
+        );
+        assert_eq!(siblings(&net, 3, 4), 1, "R sibling merged away, S sibling intact");
+        net.check_ledger_consistency().expect("victim ledger scrubbed at drop time");
+        let m = |ts| Message::new("R", ts).with("a", Scalar::Int(25));
+        assert_eq!(net.publish(m(2)), 2, "both subscribers via the merged entry");
+        assert_eq!(net.publish(Message::new("S", 3)), 1);
+        // The coverer departs: the dropped sibling is re-propagated.
+        net.unsubscribe(SubId(2));
+        assert_eq!(siblings(&net, 3, 4), 2, "dropped sibling restored");
+        net.check_ledger_consistency().expect("consistent after re-propagation");
+        assert_eq!(net.publish(m(4)), 1, "the surviving subscriber still served");
+        // Unsubscribing tears down every sibling entry.
+        net.unsubscribe(SubId(1));
+        assert_eq!(net.table_len(NodeId(2)), 0);
+        assert_eq!(net.table_len(NodeId(3)), 0);
+        assert_eq!(net.publish(m(5)), 0);
+        net.check_ledger_consistency().expect("consistent after teardown");
+    }
+
+    /// Regression (stale victim ledgers): a covering drop must scrub the
+    /// victim's ledgered `(node, direction)` pair at drop time — through
+    /// the drop → re-propagation → unsubscribe interleaving the ledger
+    /// and tables must never disagree, and the final teardown must remove
+    /// exactly the re-installed entries.
+    #[test]
+    fn covering_drop_scrubs_victim_ledger() {
+        let mut topo = Topology::new(3);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(sub_r(1, 2, 20)); // victim: a > 20 at node 2
+        net.check_ledger_consistency().expect("fresh install consistent");
+        // Drop: the broader arrival replaces the victim's forwarding
+        // entries at every hop.
+        net.subscribe(sub_r(2, 2, 10)); // coverer: a > 10, same path
+        let victim_entries = |net: &BrokerNetwork| {
+            (0..3u32)
+                .map(|n| {
+                    net.tables[n as usize]
+                        .entries()
+                        .filter(|(s, to)| s.id == SubId(1) && to.is_some())
+                        .count()
+                })
+                .sum::<usize>()
+        };
+        assert_eq!(victim_entries(&net), 0, "victim's forwarding entries merged away");
+        net.check_ledger_consistency().expect("victim ledger scrubbed at drop time");
+        // Re-propagation: the coverer departs, the victim re-installs.
+        net.unsubscribe(SubId(2));
+        assert_eq!(victim_entries(&net), 2, "victim re-propagated to the source");
+        net.check_ledger_consistency().expect("consistent after re-propagation");
+        // Unsubscribe: the re-installed footprint (and nothing else) goes.
+        net.unsubscribe(SubId(1));
+        assert_eq!(victim_entries(&net), 0);
+        assert_eq!(net.table_len(NodeId(0)), 0);
+        assert_eq!(net.table_len(NodeId(1)), 0);
+        assert_eq!(net.table_len(NodeId(2)), 0);
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 0);
+        net.check_ledger_consistency().expect("consistent after final teardown");
     }
 
     #[test]

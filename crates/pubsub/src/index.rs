@@ -86,6 +86,25 @@
 //!   dropped, and surviving entries re-group — preserving each entry's
 //!   sequence number so observable order never changes.
 //!
+//! - **Covering buckets**: installs themselves are sublinear. Every
+//!   forwarding entry joins a per-`(stream, next hop)` [`CoverBucket`]
+//!   keyed by the same indexable `(attribute, operator, threshold)`
+//!   skeleton the counting index extracts. An entry can only cover a
+//!   narrower one when its thresholds are weaker, so both covering
+//!   queries an arrival asks — *"does a same-direction entry cover this
+//!   subscription?"* ([`RoutingTable::insert_covering`]'s skip check) and
+//!   *"which entries does it cover?"* (the merge drop) — binary-search
+//!   sorted threshold lists for a small candidate set (bounded by
+//!   [`coverer_bounds`]' sound over-approximation) and confirm the
+//!   survivors exactly, instead of scanning the table. The buckets share
+//!   the entry tombstone/compaction lifecycle: removal leaves stale slot
+//!   references that the dead flag neutralizes during candidate
+//!   filtering, and compaction rebuilds the buckets dense alongside the
+//!   threshold lists. [`ForwardedSet`] applies the same structure to the
+//!   broker's forwarded-up prune state, and both keep their reference
+//!   linear scans as oracle twins (the broker's `new_linear` mode) —
+//!   answers are bit-identical, candidates are merely fewer.
+//!
 //! Wholesale rebuilds still exist, but only as the *differential oracle*:
 //! the broker's `*_wholesale` maintenance hooks clear and re-install
 //! through this same incremental path, and the churn equivalence suite
@@ -94,7 +113,8 @@
 
 use crate::subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 use cosmos_net::NodeId;
-use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexOperand};
+use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexOperand, IndexableCmp};
+use cosmos_query::containment::coverer_bounds;
 use cosmos_query::CmpOp;
 use cosmos_util::Symbol;
 use std::collections::HashMap;
@@ -246,6 +266,344 @@ fn bump(satisfied: &[(f64, u32)], members: &mut [Member], touched: &mut Vec<u32>
     }
 }
 
+/// Below this many members a covering bucket (or forwarded set) is
+/// scanned whole instead of range-probed: the skeleton split and bound
+/// computation cost more than confirming a handful of candidates, and
+/// covering-dense populations — where merges keep every bucket tiny —
+/// would otherwise pay that overhead on every install hop. Both paths
+/// produce a candidate superset confirmed by the same exact check, so
+/// the answer is identical either way.
+const COVER_SCAN_SMALL: usize = 32;
+
+/// Normalizes a threshold for `total_cmp`-ordered storage: `-0.0` and
+/// `0.0` compare equal numerically but not under `total_cmp`, so both are
+/// stored (and probed) as `+0.0`. NaN never enters a covering list.
+fn norm(t: f64) -> f64 {
+    if t == 0.0 {
+        0.0
+    } else {
+        t
+    }
+}
+
+/// Covering-candidate index over the subscriptions of one
+/// `(stream, direction)` bucket, keyed by the indexable
+/// `(attribute, operator, threshold)` skeleton
+/// ([`CompiledPredicate::indexable_for`] via
+/// [`crate::subscription::StreamRequest::split_for_index`]).
+///
+/// An entry can only cover a narrower one when its thresholds are weaker,
+/// so both covering queries reduce to binary-searched ranges over sorted
+/// threshold lists — a *candidate* set that the exact covering check then
+/// confirms (the range bounds are [`coverer_bounds`]' sound
+/// over-approximation):
+///
+/// - **"Who covers this subscription?"** — the loose members (no usable
+///   comparison: nothing constrains them away) plus, per probe attribute,
+///   the prefix of weaker lower bounds, the suffix of weaker upper
+///   bounds, and the equal range of matching point constraints.
+/// - **"Whom does this subscription cover?"** — anchored on the probe's
+///   first comparison: a covered member must carry a comparison on the
+///   same attribute at least as strong, so the complementary range of the
+///   same lists applies.
+///
+/// Slots are caller-defined (routing-table entry ids, forwarded-set
+/// record indices). The bucket never removes: dead slots are filtered by
+/// the caller's liveness check and disappear when the owner compacts —
+/// the same tombstone/compaction lifecycle as the counting match index.
+#[derive(Debug, Default)]
+struct CoverBucket {
+    /// Sorted `(threshold, slot)` lists per indexable `(operand, op)`
+    /// pair: every usable comparison of every member (NaN thresholds are
+    /// unsatisfiable and imply nothing, so they never enter a list).
+    /// Populated only once the bucket is `built`.
+    comps: HashMap<(IndexOperand, CmpOp), Vec<(f64, u32)>>,
+    /// Members with no usable indexable comparison on the bucket's stream
+    /// (filter-free or residual-only): always coverer candidates.
+    /// Populated only once the bucket is `built`.
+    loose: Vec<u32>,
+    /// Every member slot, in insertion order — the victim candidate set
+    /// when the probing subscription carries no indexable comparison,
+    /// and the whole candidate set while the bucket is small.
+    members: Vec<u32>,
+    /// Whether the threshold lists exist. Small buckets are scanned
+    /// whole (see [`COVER_SCAN_SMALL`]), so owners defer building the
+    /// lists until the bucket outgrows the threshold — covering-dense
+    /// populations, whose merges keep every bucket tiny, then pay no
+    /// skeleton upkeep at all.
+    built: bool,
+}
+
+impl CoverBucket {
+    fn insert(&mut self, slot: u32, comps: &[IndexableCmp]) {
+        self.members.push(slot);
+        let mut usable = false;
+        for c in comps {
+            if c.threshold.is_nan() {
+                continue;
+            }
+            usable = true;
+            let t = norm(c.threshold);
+            let list = self.comps.entry((c.operand, c.op)).or_default();
+            let at = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
+            list.insert(at, (t, slot));
+        }
+        if !usable {
+            self.loose.push(slot);
+        }
+    }
+
+    /// Appends every slot that could cover a subscription whose
+    /// comparisons on this stream are `probe` (a superset — callers
+    /// confirm candidates with the exact covering check).
+    fn coverer_candidates(&self, probe: &[IndexableCmp], out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.loose);
+        let mut operands: Vec<IndexOperand> = Vec::new();
+        for c in probe {
+            if !operands.contains(&c.operand) {
+                operands.push(c.operand);
+            }
+        }
+        for operand in operands {
+            let bounds = coverer_bounds(
+                probe.iter().filter(|c| c.operand == operand).map(|c| (c.op, c.threshold)),
+            );
+            if let Some(u) = bounds.lower_max {
+                let u = norm(u);
+                for op in [CmpOp::Gt, CmpOp::Ge] {
+                    if let Some(list) = self.comps.get(&(operand, op)) {
+                        let end = list.partition_point(|(t, _)| t.total_cmp(&u).is_le());
+                        out.extend(list[..end].iter().map(|&(_, s)| s));
+                    }
+                }
+            }
+            if let Some(l) = bounds.upper_min {
+                let l = norm(l);
+                for op in [CmpOp::Lt, CmpOp::Le] {
+                    if let Some(list) = self.comps.get(&(operand, op)) {
+                        let start = list.partition_point(|(t, _)| t.total_cmp(&l).is_lt());
+                        out.extend(list[start..].iter().map(|&(_, s)| s));
+                    }
+                }
+            }
+            if let Some(list) = self.comps.get(&(operand, CmpOp::Eq)) {
+                for &v in &bounds.eq_values {
+                    let v = norm(v);
+                    let lo = list.partition_point(|(t, _)| t.total_cmp(&v).is_lt());
+                    let hi = list.partition_point(|(t, _)| t.total_cmp(&v).is_le());
+                    out.extend(list[lo..hi].iter().map(|&(_, s)| s));
+                }
+            }
+        }
+    }
+
+    /// Appends every slot the probing subscription could cover, anchored
+    /// on the probe's first usable comparison. With no usable comparison
+    /// the whole bucket is a candidate — output-sensitive rather than
+    /// sublinear, but a filterless coverer drops nearly everything it
+    /// touches anyway, leaving the bucket small afterwards.
+    fn covered_candidates(&self, probe: &[IndexableCmp], out: &mut Vec<u32>) {
+        if probe.iter().any(|c| c.threshold.is_nan()) {
+            return; // an unsatisfiable comparison is implied by nothing
+        }
+        let Some(c0) = probe.first() else {
+            out.extend_from_slice(&self.members);
+            return;
+        };
+        let t = norm(c0.threshold);
+        match c0.op {
+            CmpOp::Gt | CmpOp::Ge => {
+                for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+                    if let Some(list) = self.comps.get(&(c0.operand, op)) {
+                        let start = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
+                        out.extend(list[start..].iter().map(|&(_, s)| s));
+                    }
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+                    if let Some(list) = self.comps.get(&(c0.operand, op)) {
+                        let end = list.partition_point(|(x, _)| x.total_cmp(&t).is_le());
+                        out.extend(list[..end].iter().map(|&(_, s)| s));
+                    }
+                }
+            }
+            CmpOp::Eq => {
+                if let Some(list) = self.comps.get(&(c0.operand, CmpOp::Eq)) {
+                    let lo = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
+                    let hi = list.partition_point(|(x, _)| x.total_cmp(&t).is_le());
+                    out.extend(list[lo..hi].iter().map(|&(_, s)| s));
+                }
+            }
+            CmpOp::Ne => unreachable!("Ne is never indexable"),
+        }
+    }
+}
+
+/// The outcome of one covering-merged forwarding-entry insert
+/// ([`RoutingTable::insert_covering`]).
+#[derive(Debug)]
+pub enum ForwardInsert {
+    /// Entry installed; these subscriptions' covered same-direction
+    /// entries were dropped — one id **per dropped entry** (a multi-stream
+    /// victim can lose several entries toward the same hop), in table
+    /// order, so the caller can scrub each from the victim's ledger.
+    Inserted {
+        /// Owning ids of the dropped entries.
+        dropped: Vec<SubId>,
+    },
+    /// An existing covering entry of subscription `by` made the insert
+    /// redundant.
+    Skipped {
+        /// The covering subscription.
+        by: SubId,
+    },
+}
+
+/// The forwarded-up set of one `(node, source)` pair: the subscriptions
+/// already propagated toward that source, with per-stream
+/// covering buckets so the prune check — "does anything already forwarded
+/// cover this subscription?" — binary-searches threshold skeletons
+/// instead of scanning the population. Same tombstone/compaction
+/// lifecycle as the routing table; the linear scan survives as
+/// [`ForwardedSet::find_coverer_linear`], the oracle twin.
+#[derive(Debug, Default)]
+pub struct ForwardedSet {
+    records: Vec<ForwardedRec>,
+    buckets: HashMap<Symbol, CoverBucket>,
+    dead: usize,
+    /// Whether the covering buckets exist. Small sets are scanned
+    /// linearly ([`COVER_SCAN_SMALL`]), so bucket upkeep is deferred
+    /// until the set outgrows the threshold — in covering-dense
+    /// populations the prune state stays tiny and pays no upkeep at all.
+    built: bool,
+    /// Scratch buffer of candidate slots, reused across
+    /// [`ForwardedSet::find_coverer`] calls.
+    scratch: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct ForwardedRec {
+    sub: Subscription,
+    dead: bool,
+}
+
+impl ForwardedSet {
+    fn bucket_insert(buckets: &mut HashMap<Symbol, CoverBucket>, slot: u32, sub: &Subscription) {
+        for (&s, req) in &sub.streams {
+            let (indexable, _) = req.split_for_index(s);
+            let bucket = buckets.entry(s).or_default();
+            bucket.built = true;
+            bucket.insert(slot, &indexable);
+        }
+    }
+
+    /// Records a forwarded subscription, extending its streams' buckets
+    /// (built lazily, once the set outgrows the whole-scan threshold —
+    /// the per-set mirror of `RoutingTable::insert`'s per-bucket policy;
+    /// the gate counts raw records, tombstones included, matching the
+    /// `find_coverer` shortcut's gate).
+    pub fn push(&mut self, sub: Subscription) {
+        let slot = u32::try_from(self.records.len()).expect("forwarded set overflow");
+        if !self.built && self.records.len() >= COVER_SCAN_SMALL {
+            self.built = true;
+            for (i, rec) in self.records.iter().enumerate() {
+                if !rec.dead {
+                    Self::bucket_insert(&mut self.buckets, i as u32, &rec.sub);
+                }
+            }
+        }
+        if self.built {
+            Self::bucket_insert(&mut self.buckets, slot, &sub);
+        }
+        self.records.push(ForwardedRec { sub, dead: false });
+    }
+
+    /// The first live record covering `sub` (insertion order — identical
+    /// to the linear twin's answer), via the covering buckets; a coverer
+    /// must request every stream of `sub`, so the first stream's bucket
+    /// already contains all possible coverers. `covers(general,
+    /// specific)` confirms candidates. A record never covers its own id.
+    pub fn find_coverer<F>(&mut self, sub: &Subscription, covers: F) -> Option<SubId>
+    where
+        F: Fn(&Subscription, &Subscription) -> bool,
+    {
+        if !self.built {
+            // Covering pruning keeps most forwarded sets tiny; scanning
+            // them beats the skeleton machinery (identical answer).
+            return self.find_coverer_linear(sub, covers);
+        }
+        let Some((&s0, req)) = sub.streams.iter().next() else {
+            // A stream-free subscription is vacuously covered by anything
+            // live; only the linear scan can answer for it.
+            return self.find_coverer_linear(sub, covers);
+        };
+        let bucket = self.buckets.get(&s0)?;
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        let probe = req.split_for_index(s0).0;
+        bucket.coverer_candidates(&probe, &mut candidates);
+        candidates.sort_unstable();
+        candidates.dedup();
+        let found = candidates.iter().find_map(|&slot| {
+            let rec = &self.records[slot as usize];
+            (!rec.dead && rec.sub.id != sub.id && covers(&rec.sub, sub)).then_some(rec.sub.id)
+        });
+        self.scratch = candidates;
+        found
+    }
+
+    /// The reference linear scan over live records, in insertion order —
+    /// the oracle twin of [`ForwardedSet::find_coverer`].
+    pub fn find_coverer_linear<F>(&self, sub: &Subscription, covers: F) -> Option<SubId>
+    where
+        F: Fn(&Subscription, &Subscription) -> bool,
+    {
+        self.records.iter().find_map(|rec| {
+            (!rec.dead && rec.sub.id != sub.id && covers(&rec.sub, sub)).then_some(rec.sub.id)
+        })
+    }
+
+    /// Tombstones every record of `id`, compacting once tombstones
+    /// dominate. Returns how many records were removed.
+    pub fn remove(&mut self, id: SubId) -> usize {
+        let mut n = 0;
+        for rec in &mut self.records {
+            if !rec.dead && rec.sub.id == id {
+                rec.dead = true;
+                self.dead += 1;
+                n += 1;
+            }
+        }
+        if self.dead > 16 && self.dead * 2 >= self.records.len() {
+            let live: Vec<Subscription> =
+                self.records.drain(..).filter(|r| !r.dead).map(|r| r.sub).collect();
+            self.buckets.clear();
+            self.dead = 0;
+            self.built = false;
+            for sub in live {
+                self.push(sub);
+            }
+        }
+        n
+    }
+
+    /// Live forwarded subscriptions, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Subscription> {
+        self.records.iter().filter(|r| !r.dead).map(|r| &r.sub)
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len() - self.dead
+    }
+
+    /// `true` when no live records remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The index over one stream's entries at one node.
 #[derive(Debug, Default)]
 struct StreamIndex {
@@ -294,6 +652,17 @@ impl MatchOutput {
 pub struct RoutingTable {
     entries: Vec<Entry>,
     streams: HashMap<Symbol, StreamIndex>,
+    /// Covering buckets per `(stream, next hop)`, over the forwarding
+    /// entries only (local-delivery entries never covering-merge): the
+    /// sublinear candidate source behind [`RoutingTable::insert_covering`].
+    covers: HashMap<(Symbol, NodeId), CoverBucket>,
+    /// Stream-free forwarding entries per hop: they belong to no
+    /// `(stream, hop)` bucket yet are vacuously covered by *any*
+    /// subscription, so the victim query must always consider them.
+    streamless: HashMap<NodeId, Vec<u32>>,
+    /// Scratch buffer of candidate slots, reused across
+    /// [`RoutingTable::insert_covering`] calls.
+    cover_scratch: Vec<u32>,
     dead: usize,
 }
 
@@ -322,6 +691,8 @@ impl RoutingTable {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.streams.clear();
+        self.covers.clear();
+        self.streamless.clear();
         self.dead = 0;
     }
 
@@ -332,11 +703,47 @@ impl RoutingTable {
     /// re-installation.
     pub fn insert(&mut self, sub: Subscription, to: Option<NodeId>, seq: u64) {
         let entry_id = u32::try_from(self.entries.len()).expect("routing table overflow");
+        if let (Some(next), true) = (to, sub.streams.is_empty()) {
+            // A stream-free forwarding entry joins no bucket but is
+            // vacuously covered by anything: track it per hop so the
+            // indexed victim query keeps matching the linear scan.
+            self.streamless.entry(next).or_default().push(entry_id);
+        }
         for (&stream, req) in &sub.streams {
             let index = self.streams.entry(stream).or_default();
             let member_id = u32::try_from(index.members.len()).expect("partition overflow");
             let (indexable, residual) = req.split_for_index(stream);
             let target = u32::try_from(indexable.len()).expect("filter count overflow");
+            if let Some(next) = to {
+                // Forwarding entries join their (stream, hop) covering
+                // bucket; local-delivery entries never covering-merge.
+                // Threshold lists are built lazily, once the bucket
+                // outgrows the whole-scan threshold (ForwardedSet::push
+                // mirrors this policy per *set*, gating on raw record
+                // count; here the backfill skips tombstoned entries).
+                let bucket = self.covers.entry((stream, next)).or_default();
+                if bucket.built {
+                    bucket.insert(entry_id, &indexable);
+                } else if bucket.members.len() >= COVER_SCAN_SMALL {
+                    bucket.built = true;
+                    for slot in std::mem::take(&mut bucket.members) {
+                        let e = &self.entries[slot as usize];
+                        if e.dead {
+                            continue; // tombstones stay out of the lists
+                        }
+                        let comps = e
+                            .sub
+                            .streams
+                            .get(&stream)
+                            .map(|r| r.split_for_index(stream).0)
+                            .unwrap_or_default();
+                        bucket.insert(slot, &comps);
+                    }
+                    bucket.insert(entry_id, &indexable);
+                } else {
+                    bucket.members.push(entry_id);
+                }
+            }
             for cmp in &indexable {
                 // NaN thresholds are unsatisfiable (every comparison with
                 // NaN is false): they count toward `target` but never
@@ -468,6 +875,128 @@ impl RoutingTable {
         dropped
     }
 
+    /// Covering-merged insert of a forwarding entry toward `to` — the
+    /// sublinear twin of the broker's linear scan + [`RoutingTable::
+    /// remove_toward`] sequence, answering both covering questions from
+    /// the `(stream, hop)` buckets instead of walking the table:
+    ///
+    /// 1. **Skip** when a live same-direction entry covers `sub` (a
+    ///    coverer must request every stream of `sub`, so the first
+    ///    stream's bucket already contains every possible coverer); the
+    ///    reported coverer is the first one in table order — identical to
+    ///    the linear scan's answer.
+    /// 2. Otherwise **drop** every live entry `sub` covers (a victim's
+    ///    streams are a subset of `sub`'s, so the union of `sub`'s
+    ///    per-stream buckets holds every possible victim), tombstone
+    ///    them, and insert the entry.
+    ///
+    /// `covers(general, specific)` is the exact confirmation the
+    /// candidate ranges are checked against. A subscription never skips
+    /// or drops its own id: a multi-stream installation may revisit a hop
+    /// once per source, and those sibling entries must coexist.
+    pub fn insert_covering<F>(
+        &mut self,
+        sub: Subscription,
+        to: NodeId,
+        seq: u64,
+        covers: F,
+    ) -> ForwardInsert
+    where
+        F: Fn(&Subscription, &Subscription) -> bool,
+    {
+        if sub.streams.is_empty() {
+            // Degenerate stream-free subscription: covering is vacuously
+            // true against it and no bucket can index it — resolve by the
+            // linear scan so both modes stay bit-identical.
+            if let Some(by) = self
+                .entries
+                .iter()
+                .find(|e| !e.dead && e.to == Some(to) && e.sub.id != sub.id && covers(&e.sub, &sub))
+                .map(|e| e.sub.id)
+            {
+                return ForwardInsert::Skipped { by };
+            }
+            let id = sub.id;
+            let dropped = self.remove_toward(to, |e| e.id != id && covers(&sub, e));
+            self.insert(sub, Some(to), seq);
+            return ForwardInsert::Inserted { dropped };
+        }
+        // Candidate slots per bucket: an unbuilt (small) bucket is taken
+        // whole — its member list is already in ascending slot order —
+        // while a built bucket is range-probed. Either source yields a
+        // superset of the true answers, so the confirmed result is the
+        // same; only the candidate count differs. Returns whether the
+        // candidates need re-sorting (range probes interleave lists).
+        let probe_into = |bucket: &CoverBucket,
+                          req: &crate::subscription::StreamRequest,
+                          s: Symbol,
+                          covered_query: bool,
+                          out: &mut Vec<u32>|
+         -> bool {
+            if !bucket.built {
+                out.extend_from_slice(&bucket.members);
+                return false;
+            }
+            let probe = req.split_for_index(s).0;
+            if covered_query {
+                bucket.covered_candidates(&probe, out);
+            } else {
+                bucket.coverer_candidates(&probe, out);
+            }
+            true
+        };
+        let mut candidates = std::mem::take(&mut self.cover_scratch);
+        candidates.clear();
+        let (&s0, req0) = sub.streams.iter().next().expect("non-empty streams");
+        if let Some(bucket) = self.covers.get(&(s0, to)) {
+            if probe_into(bucket, req0, s0, false, &mut candidates) {
+                candidates.sort_unstable();
+                candidates.dedup();
+            }
+            for &slot in &candidates {
+                let e = &self.entries[slot as usize];
+                if e.dead || e.to != Some(to) || e.sub.id == sub.id {
+                    continue;
+                }
+                if covers(&e.sub, &sub) {
+                    let by = e.sub.id;
+                    self.cover_scratch = candidates;
+                    return ForwardInsert::Skipped { by };
+                }
+            }
+        }
+        candidates.clear();
+        let mut needs_sort = false;
+        let mut buckets_probed = 0u32;
+        for (&s, req) in &sub.streams {
+            if let Some(bucket) = self.covers.get(&(s, to)) {
+                needs_sort |= probe_into(bucket, req, s, true, &mut candidates);
+                buckets_probed += 1;
+            }
+        }
+        if let Some(streamless) = self.streamless.get(&to) {
+            candidates.extend_from_slice(streamless);
+            buckets_probed += 1;
+        }
+        if needs_sort || buckets_probed > 1 {
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        candidates.retain(|&slot| {
+            let e = &self.entries[slot as usize];
+            !e.dead && e.to == Some(to) && e.sub.id != sub.id && covers(&sub, &e.sub)
+        });
+        let dropped: Vec<SubId> =
+            candidates.iter().map(|&v| self.entries[v as usize].sub.id).collect();
+        for &v in &candidates {
+            self.tombstone(v);
+        }
+        self.cover_scratch = candidates;
+        self.maybe_compact();
+        self.insert(sub, Some(to), seq);
+        ForwardInsert::Inserted { dropped }
+    }
+
     fn tombstone(&mut self, entry_id: u32) {
         let entry = &mut self.entries[entry_id as usize];
         entry.dead = true;
@@ -496,6 +1025,9 @@ impl RoutingTable {
                         None => needs,
                         Some(u) => u.union(&needs),
                     });
+                    if matches!(union, Some(StreamProjection::All)) {
+                        break; // the union can grow no further
+                    }
                 }
                 // A fully-emptied group keeps an empty union; it can never
                 // be marked matched again (no member bumps it), and
@@ -934,5 +1466,241 @@ mod tests {
         let msg = Message::new("R", 0);
         assert_eq!(table.match_message(&msg, None).forwards.len(), 1);
         assert!(table.match_message(&msg, Some(NodeId(3))).forwards.is_empty());
+    }
+
+    /// The routing-covering form the broker confirms candidates with
+    /// (covering plus needs preservation) — mirrored here so the index
+    /// tests exercise `insert_covering` under the real predicate.
+    fn rcovers(general: &Subscription, specific: &Subscription) -> bool {
+        general.covers(specific)
+            && specific.streams.keys().all(|&s| match (general.needs(s), specific.needs(s)) {
+                (Some(g), Some(sp)) => g.covers(&sp),
+                _ => false,
+            })
+    }
+
+    /// Fills a bucket toward `hop` past the small-bucket scan threshold
+    /// with entries whose `a > 1_000_000` filter never covers (or is
+    /// covered by) the probes the tests use, forcing the range-probe
+    /// path rather than the whole-bucket scan.
+    fn pad_bucket(table: &mut RoutingTable, hop: NodeId, base: u64) {
+        for i in 0..40u64 {
+            table.ins(
+                sub(base + i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(1_000_000))]),
+                Some(hop),
+            );
+        }
+    }
+
+    #[test]
+    fn insert_covering_skips_under_first_coverer_in_table_order() {
+        let mut table = RoutingTable::new();
+        let hop = NodeId(1);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(3))]), Some(hop));
+        table.ins(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(4))]), Some(hop));
+        pad_bucket(&mut table, hop, 10_000);
+        // Covered by both real entries: the skip must report the first
+        // one in table order, exactly as the linear scan would.
+        let narrow = sub(3, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]);
+        match table.insert_covering(narrow, hop, 3, rcovers) {
+            ForwardInsert::Skipped { by } => assert_eq!(by, SubId(1)),
+            other => panic!("expected a covering skip, got {other:?}"),
+        }
+        assert_eq!(table.len(), 42, "skipped insert leaves the table unchanged");
+        // A filter-free (loose) entry covers everything same-direction,
+        // and the loose list surfaces it past the range probes.
+        let mut table = RoutingTable::new();
+        table.ins(sub(7, vec![]), Some(hop));
+        pad_bucket(&mut table, hop, 10_000);
+        match table.insert_covering(
+            sub(8, vec![cmp("R", "a", CmpOp::Eq, Scalar::Int(5))]),
+            hop,
+            8,
+            rcovers,
+        ) {
+            ForwardInsert::Skipped { by } => assert_eq!(by, SubId(7)),
+            other => panic!("expected the loose entry to cover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_covering_drops_exactly_the_covered_victims() {
+        let mut table = RoutingTable::new();
+        let hop = NodeId(1);
+        // A covering-sparse point population (large enough to force the
+        // range-probe path) plus one out-of-range entry.
+        for i in 0..60u64 {
+            table.ins(sub(i, vec![cmp("R", "a", CmpOp::Eq, Scalar::Int(i as i64))]), Some(hop));
+        }
+        table.ins(sub(99, vec![cmp("R", "a", CmpOp::Lt, Scalar::Int(-50))]), Some(hop));
+        // `a > 9` covers the point entries 10..60 but not 0..10 and not
+        // the `a < -50` entry.
+        let broad = sub(500, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(9))]);
+        match table.insert_covering(broad, hop, 500, rcovers) {
+            ForwardInsert::Inserted { dropped } => {
+                assert_eq!(dropped, (10..60).map(SubId).collect::<Vec<_>>(), "table order");
+            }
+            other => panic!("expected an insert, got {other:?}"),
+        }
+        assert_eq!(table.len(), 12, "10 points + a<-50 + the new entry survive");
+    }
+
+    #[test]
+    fn insert_covering_never_drops_or_skips_its_own_id() {
+        // The broker installs one restricted entry per advertised source
+        // under the same id; when their paths share a hop the sibling
+        // entries must coexist even if one would cover the other.
+        let mut table = RoutingTable::new();
+        let hop = NodeId(1);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(10))]), Some(hop));
+        let weaker = sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(0))]);
+        match table.insert_covering(weaker, hop, 1, rcovers) {
+            ForwardInsert::Inserted { dropped } => assert!(dropped.is_empty()),
+            other => panic!("self-covering must not skip: {other:?}"),
+        }
+        assert_eq!(table.len(), 2, "both same-id entries live");
+        // And the stronger sibling arriving second is not skipped either.
+        let stronger = sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(20))]);
+        match table.insert_covering(stronger, hop, 1, rcovers) {
+            ForwardInsert::Inserted { dropped } => assert!(dropped.is_empty()),
+            other => panic!("self-covering must not skip: {other:?}"),
+        }
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn negative_zero_thresholds_cover_symmetrically() {
+        // -0.0 and 0.0 compare equal numerically, so `a > -0.0` and
+        // `a > 0.0` cover each other; the buckets normalize both to +0.0
+        // so the total_cmp-ordered range probes cannot miss the pair.
+        for (first, second) in [(0.0f64, -0.0f64), (-0.0, 0.0)] {
+            let mut table = RoutingTable::new();
+            let hop = NodeId(1);
+            table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(first))]), Some(hop));
+            pad_bucket(&mut table, hop, 10_000);
+            let twin = sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(second))]);
+            match table.insert_covering(twin, hop, 2, rcovers) {
+                ForwardInsert::Skipped { by } => assert_eq!(by, SubId(1)),
+                other => panic!("signed-zero twin must be covered, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nan_threshold_entry_is_covered_by_filterless() {
+        // A NaN threshold is unsatisfiable: it implies nothing (so the
+        // entry can cover no one) but a filter-free subscription still
+        // covers *it* — the member list must surface it as a victim even
+        // though no threshold list contains it.
+        let mut table = RoutingTable::new();
+        let hop = NodeId(1);
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(f64::NAN))]), Some(hop));
+        match table.insert_covering(sub(2, vec![]), hop, 2, rcovers) {
+            ForwardInsert::Inserted { dropped } => assert_eq!(dropped, vec![SubId(1)]),
+            other => panic!("expected the NaN entry dropped, got {other:?}"),
+        }
+        // And the NaN entry itself never drops or skips anyone.
+        let mut table = RoutingTable::new();
+        table.ins(sub(3, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(5))]), Some(hop));
+        let nan = sub(4, vec![cmp("R", "a", CmpOp::Gt, Scalar::Float(f64::NAN))]);
+        match table.insert_covering(nan, hop, 4, rcovers) {
+            ForwardInsert::Inserted { dropped } => assert!(dropped.is_empty()),
+            other => panic!("a NaN probe covers no one, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_free_subscription_falls_back_to_the_linear_answer() {
+        // A subscription with no streams is vacuously covered by any live
+        // entry; no bucket can index it, so both covering paths must
+        // agree via the linear fallback.
+        let hop = NodeId(1);
+        let empty = |id: u64| Subscription::builder(NodeId(0)).id(SubId(id)).build();
+        let mut table = RoutingTable::new();
+        table.ins(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(5))]), Some(hop));
+        match table.insert_covering(empty(9), hop, 9, rcovers) {
+            ForwardInsert::Skipped { by } => assert_eq!(by, SubId(1), "first live entry covers"),
+            other => panic!("expected the vacuous cover, got {other:?}"),
+        }
+        let mut set = ForwardedSet::default();
+        set.push(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(5))]));
+        assert_eq!(set.find_coverer(&empty(9), rcovers), Some(SubId(1)));
+        assert_eq!(
+            set.find_coverer(&empty(9), rcovers),
+            set.find_coverer_linear(&empty(9), rcovers)
+        );
+    }
+
+    #[test]
+    fn stream_free_entry_is_dropped_as_a_victim() {
+        // A stream-free forwarding entry joins no bucket, but any
+        // subscription vacuously covers it — the indexed victim query
+        // must drop it exactly as the linear scan would.
+        let hop = NodeId(1);
+        let empty = |id: u64| Subscription::builder(NodeId(0)).id(SubId(id)).build();
+        let mut table = RoutingTable::new();
+        table.ins(empty(1), Some(hop));
+        match table.insert_covering(
+            sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(5))]),
+            hop,
+            2,
+            rcovers,
+        ) {
+            ForwardInsert::Inserted { dropped } => assert_eq!(dropped, vec![SubId(1)]),
+            other => panic!("expected the stream-free entry dropped, got {other:?}"),
+        }
+        assert_eq!(table.len(), 1, "only the new entry survives");
+    }
+
+    #[test]
+    fn forwarded_set_agrees_with_its_linear_twin() {
+        let mut set = ForwardedSet::default();
+        assert!(set.is_empty());
+        set.push(sub(1, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(20))]));
+        set.push(sub(2, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(5))]));
+        set.push(sub(3, vec![]));
+        // Push the set past the small-scan threshold so the probes below
+        // exercise the bucket ranges, with records that cover none of
+        // them.
+        for i in 0..40u64 {
+            set.push(sub(10_000 + i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(1_000_000))]));
+        }
+        for probe in [
+            sub(10, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(30))]), // covered by 1, 2, 3
+            sub(11, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(7))]),  // covered by 2, 3
+            sub(12, vec![cmp("R", "b", CmpOp::Lt, Scalar::Int(0))]),  // covered by 3 only
+            sub(13, vec![]),                                          // covered by 3 only
+        ] {
+            let indexed = set.find_coverer(&probe, rcovers);
+            let linear = set.find_coverer_linear(&probe, rcovers);
+            assert_eq!(indexed, linear, "divergence on probe {:?}", probe.id);
+            assert!(indexed.is_some());
+        }
+        // A record never covers its own id (re-installation of the same
+        // subscription must not be pruned by its stale self): only the
+        // loose record 3 covers a `b`-filtered probe, so probing *as*
+        // id 3 finds nothing.
+        let own = sub(3, vec![cmp("R", "b", CmpOp::Lt, Scalar::Int(0))]);
+        assert_eq!(set.find_coverer(&own, rcovers), set.find_coverer_linear(&own, rcovers));
+        assert_eq!(set.find_coverer(&own, rcovers), None, "only the same id covers this probe");
+    }
+
+    #[test]
+    fn forwarded_set_removal_tombstones_and_compacts() {
+        let mut set = ForwardedSet::default();
+        for i in 0..40u64 {
+            set.push(sub(i, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(i as i64))]));
+        }
+        assert_eq!(set.len(), 40);
+        for i in 0..24u64 {
+            assert_eq!(set.remove(SubId(i)), 1);
+        }
+        assert_eq!(set.remove(SubId(5)), 0, "already removed");
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.records.len(), 20, "compacted at tombstone majority; 4 tombstones since");
+        let probe = sub(90, vec![cmp("R", "a", CmpOp::Gt, Scalar::Int(100))]);
+        assert_eq!(set.find_coverer(&probe, rcovers), Some(SubId(24)), "first survivor covers");
+        assert_eq!(set.find_coverer(&probe, rcovers), set.find_coverer_linear(&probe, rcovers));
+        assert_eq!(set.iter().count(), 16);
     }
 }

@@ -4,6 +4,14 @@
 //! per-link traffic — across random topologies, subscription populations
 //! (indexable and residual filters, projections), message streams,
 //! interleaved unsubscribes, and link failures.
+//!
+//! The oracle networks are built with [`BrokerNetwork::new_linear`], so
+//! subscription *arrival* is differentially covered too: the incremental
+//! network resolves covering through the `(stream, hop)` buckets while
+//! the oracle runs the reference linear covering scans — every install,
+//! skip, and covering drop must agree. The churn drivers additionally
+//! assert [`BrokerNetwork::check_ledger_consistency`] after every
+//! control-plane operation on the incremental network.
 
 use cosmos_net::{NodeId, Topology};
 use cosmos_pubsub::broker::BrokerNetwork;
@@ -148,7 +156,7 @@ fn indexed_matching_equals_linear_scan() {
         let topo = random_topology(&mut rng);
         let nodes = topo.node_count() as u32;
         let mut indexed = BrokerNetwork::new(topo.clone());
-        let mut linear = BrokerNetwork::new(topo);
+        let mut linear = BrokerNetwork::new_linear(topo);
         for stream in STREAMS {
             let src = NodeId(rng.gen_range(0..nodes));
             indexed.advertise(stream, src);
@@ -211,7 +219,7 @@ fn heavy_churn_equals_wholesale_oracle() {
         let topo = random_topology(&mut rng);
         let nodes = topo.node_count() as u32;
         let mut incremental = BrokerNetwork::new(topo.clone());
-        let mut oracle = BrokerNetwork::new(topo);
+        let mut oracle = BrokerNetwork::new_linear(topo);
         for stream in STREAMS {
             let src = NodeId(rng.gen_range(0..nodes));
             incremental.advertise(stream, src);
@@ -230,12 +238,18 @@ fn heavy_churn_equals_wholesale_oracle() {
         let mut ts = 0i64;
         for step in 0..rng.gen_range(60u32..140) {
             let roll = rng.gen_range(0u32..100);
+            let consistent = |net: &BrokerNetwork, what: &str, step: u32| {
+                net.check_ledger_consistency().unwrap_or_else(|e| {
+                    panic!("ledger inconsistent after {what} (trial {trial}, step {step}): {e}")
+                });
+            };
             if roll < 12 && !live.is_empty() {
                 // A wave of departures (bursty churn).
                 for _ in 0..rng.gen_range(1usize..4).min(live.len()) {
                     let id = live.swap_remove(rng.gen_range(0..live.len()));
                     incremental.unsubscribe(SubId(id));
                     oracle.unsubscribe_wholesale(SubId(id));
+                    consistent(&incremental, "unsubscribe", step);
                 }
             } else if roll < 17 {
                 // Fresh arrivals keep the population churning both ways.
@@ -245,6 +259,7 @@ fn heavy_churn_equals_wholesale_oracle() {
                     oracle.subscribe(sub);
                     live.push(next_id);
                     next_id += 1;
+                    consistent(&incremental, "subscribe", step);
                 }
             } else if roll < 22 {
                 let edges = edges_of(incremental.topology());
@@ -254,11 +269,114 @@ fn heavy_churn_equals_wholesale_oracle() {
                     assert!(incremental.fail_link(a, b));
                     assert!(oracle.fail_link_wholesale(a, b));
                     failed.push((a, b, lat));
+                    consistent(&incremental, "fail_link", step);
                 }
             } else if roll < 27 && !failed.is_empty() {
                 let (a, b, lat) = failed.swap_remove(rng.gen_range(0..failed.len()));
                 assert!(incremental.restore_link(a, b, lat));
                 assert!(oracle.restore_link_wholesale(a, b, lat));
+                consistent(&incremental, "restore_link", step);
+            } else {
+                ts += rng.gen_range(1i64..1_000);
+                let msg = random_message(&mut rng, ts);
+                let di = incremental.publish(msg.clone());
+                let dl = oracle.publish_linear(msg);
+                assert_eq!(di, dl, "delivery count diverged (trial {trial}, step {step})");
+            }
+        }
+        assert_eq!(
+            incremental.log().deliveries(),
+            oracle.log().deliveries(),
+            "delivery logs diverged (trial {trial})"
+        );
+        assert_eq!(
+            incremental.all_link_stats(),
+            oracle.all_link_stats(),
+            "link traffic diverged (trial {trial})"
+        );
+    }
+}
+
+/// A *covering-sparse* subscription: a point constraint on a wide value
+/// domain, so pairwise covering is rare and routing tables grow with the
+/// population instead of merging down — the population shape that makes
+/// subscription arrival expensive and that the covering buckets must
+/// handle identically to the linear scans.
+fn sparse_sub(rng: &mut StdRng, id: u64, nodes: u32) -> Subscription {
+    let stream = STREAMS[rng.gen_range(0..STREAMS.len())];
+    let filters = vec![Predicate::Cmp {
+        attr: AttrRef::new(stream, ATTRS[rng.gen_range(0..ATTRS.len())]),
+        op: CmpOp::Eq,
+        value: Scalar::Int(rng.gen_range(-5_000i64..5_000)),
+    }];
+    Subscription::builder(NodeId(rng.gen_range(0..nodes)))
+        .id(SubId(id))
+        .stream(stream, random_projection(rng), filters)
+        .build()
+}
+
+/// Arrival-dominated driver: bursts of subscribes against a large
+/// standing population — mostly covering-sparse point subscriptions (so
+/// tables keep growing and every install probes non-trivial buckets),
+/// salted with the general random shapes — with occasional departures and
+/// publishes. The incremental covering-indexed network must stay
+/// observationally identical (full delivery log and per-link traffic) to
+/// the linear-scan wholesale oracle, and its installation ledger must
+/// stay consistent after every operation.
+#[test]
+fn arrival_bursts_equal_wholesale_oracle() {
+    for trial in 0..8u64 {
+        let mut rng = rng_for(trial, "index-arrival-bursts");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut incremental = BrokerNetwork::new(topo.clone());
+        let mut oracle = BrokerNetwork::new_linear(topo);
+        for stream in STREAMS {
+            let src = NodeId(rng.gen_range(0..nodes));
+            incremental.advertise(stream, src);
+            oracle.advertise(stream, src);
+        }
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        let arrive = |incremental: &mut BrokerNetwork,
+                      oracle: &mut BrokerNetwork,
+                      live: &mut Vec<u64>,
+                      next_id: &mut u64,
+                      rng: &mut StdRng| {
+            let sub = if rng.gen_bool(0.8) {
+                sparse_sub(rng, *next_id, nodes)
+            } else {
+                random_sub(rng, *next_id, nodes)
+            };
+            incremental.subscribe(sub.clone());
+            oracle.subscribe(sub);
+            live.push(*next_id);
+            *next_id += 1;
+            incremental.check_ledger_consistency().unwrap_or_else(|e| {
+                panic!("ledger inconsistent after subscribe (trial {trial}): {e}")
+            });
+        };
+        // The standing population the bursts land on.
+        for _ in 0..rng.gen_range(150u32..300) {
+            arrive(&mut incremental, &mut oracle, &mut live, &mut next_id, &mut rng);
+        }
+        let mut ts = 0i64;
+        for step in 0..rng.gen_range(25u32..50) {
+            let roll = rng.gen_range(0u32..100);
+            if roll < 55 {
+                // The dominant operation: a burst of fresh arrivals.
+                for _ in 0..rng.gen_range(3u32..12) {
+                    arrive(&mut incremental, &mut oracle, &mut live, &mut next_id, &mut rng);
+                }
+            } else if roll < 70 && !live.is_empty() {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                incremental.unsubscribe(SubId(id));
+                oracle.unsubscribe_wholesale(SubId(id));
+                incremental.check_ledger_consistency().unwrap_or_else(|e| {
+                    panic!(
+                        "ledger inconsistent after unsubscribe (trial {trial}, step {step}): {e}"
+                    )
+                });
             } else {
                 ts += rng.gen_range(1i64..1_000);
                 let msg = random_message(&mut rng, ts);
@@ -335,7 +453,7 @@ fn high_match_rate_equals_linear_scan() {
         let topo = random_topology(&mut rng);
         let nodes = topo.node_count() as u32;
         let mut indexed = BrokerNetwork::new(topo.clone());
-        let mut linear = BrokerNetwork::new(topo);
+        let mut linear = BrokerNetwork::new_linear(topo);
         for stream in STREAMS {
             let src = NodeId(rng.gen_range(0..nodes));
             indexed.advertise(stream, src);

@@ -14,7 +14,7 @@
 //! the join predicates agree, and `Q`'s projection retains everything `Q'`
 //! projects.
 
-use crate::ast::{Predicate, ProjItem, Query, QueryId};
+use crate::ast::{CmpOp, Predicate, ProjItem, Query, QueryId};
 use crate::predicate::{implies, weakest_common};
 
 /// Alias mapping `specific alias → general alias` built by matching streams.
@@ -378,6 +378,68 @@ pub fn equivalent(a: &Query, b: &Query) -> bool {
     covers(a, b) && covers(b, a)
 }
 
+/// The per-attribute threshold skeleton a *covering* (weaker) comparison
+/// must satisfy, derived from the specific side's indexable comparisons on
+/// one attribute.
+///
+/// Covering indexes (the Pub/Sub routing tables' covering-based merge)
+/// reduce "which installed subscriptions could cover this one?" to a
+/// candidate search over `(attribute, operator, threshold)` triples: a
+/// general comparison `attr op t_g` can only be implied by the specific
+/// conjunction when its threshold falls inside the bound this skeleton
+/// records — lower-bound operators (`>`/`>=`) need `t_g ≤ lower_max`,
+/// upper-bound operators (`<`/`<=`) need `t_g ≥ upper_min`, and equality
+/// needs `t_g ∈ eq_values`. The bounds are *inclusive
+/// over-approximations* of [`crate::predicate::threshold_implies`]
+/// (strict-vs-nonstrict operator pairs are rounded outward), so a range
+/// probe yields a superset of the true coverers and a final exact
+/// confirmation pass stays necessary — exactly the sound-but-not-complete
+/// contract covering already has.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverBounds {
+    /// Largest lower-bound (`>`/`>=`) threshold a coverer may carry on
+    /// this attribute, or `None` when nothing on the specific side can
+    /// imply a lower bound at all.
+    pub lower_max: Option<f64>,
+    /// Smallest upper-bound (`<`/`<=`) threshold a coverer may carry, or
+    /// `None` when nothing can imply an upper bound.
+    pub upper_min: Option<f64>,
+    /// The only values a coverer's `=` comparison may take (numeric
+    /// equality is implied solely by an equal point constraint).
+    pub eq_values: Vec<f64>,
+}
+
+/// Builds the [`CoverBounds`] for one attribute from the specific side's
+/// `(operator, threshold)` comparisons on it. NaN thresholds imply
+/// nothing and contribute nothing.
+pub fn coverer_bounds(comps: impl IntoIterator<Item = (CmpOp, f64)>) -> CoverBounds {
+    let mut bounds = CoverBounds::default();
+    for (op, t) in comps {
+        if t.is_nan() {
+            continue;
+        }
+        match op {
+            // `attr > t` / `attr >= t` implies weaker lower bounds up to
+            // `t` itself; `attr = t` implies lower bounds below `t`.
+            CmpOp::Gt | CmpOp::Ge => {
+                bounds.lower_max = Some(bounds.lower_max.map_or(t, |m| m.max(t)));
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                bounds.upper_min = Some(bounds.upper_min.map_or(t, |m| m.min(t)));
+            }
+            CmpOp::Eq => {
+                bounds.lower_max = Some(bounds.lower_max.map_or(t, |m| m.max(t)));
+                bounds.upper_min = Some(bounds.upper_min.map_or(t, |m| m.min(t)));
+                bounds.eq_values.push(t);
+            }
+            // `!=` implies only `!=`, which is never part of a covering
+            // skeleton (its satisfied set is not an interval).
+            CmpOp::Ne => {}
+        }
+    }
+    bounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,5 +631,63 @@ mod tests {
     fn unbounded_windows_impose_no_bound() {
         let q = parse_query("SELECT * FROM R [Unbounded], S [Unbounded] WHERE R.k = S.k").unwrap();
         assert!(window_bound_predicates(&q).is_empty());
+    }
+
+    /// `coverer_bounds` must over-approximate [`implies`]: whenever a
+    /// specific comparison set implies a general comparison, the general
+    /// threshold falls inside the bounds (brute-forced over an op ×
+    /// constant grid).
+    #[test]
+    fn coverer_bounds_over_approximate_implies() {
+        use crate::ast::{AttrRef, Scalar};
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq];
+        let consts = [-3i64, 0, 2, 5];
+        let cmp = |op: CmpOp, c: i64| Predicate::Cmp {
+            attr: AttrRef::new("R", "a"),
+            op,
+            value: Scalar::Int(c),
+        };
+        for &op1 in &ops {
+            for &c1 in &consts {
+                for &op2 in &ops {
+                    for &c2 in &consts {
+                        let bounds = coverer_bounds([(op1, c1 as f64)]);
+                        if !implies(&cmp(op1, c1), &cmp(op2, c2)) {
+                            continue;
+                        }
+                        let inside = match op2 {
+                            CmpOp::Gt | CmpOp::Ge => {
+                                bounds.lower_max.is_some_and(|m| c2 as f64 <= m)
+                            }
+                            CmpOp::Lt | CmpOp::Le => {
+                                bounds.upper_min.is_some_and(|m| c2 as f64 >= m)
+                            }
+                            CmpOp::Eq => bounds.eq_values.contains(&(c2 as f64)),
+                            CmpOp::Ne => true,
+                        };
+                        assert!(
+                            inside,
+                            "{op1:?} {c1} implies {op2:?} {c2} but bounds {bounds:?} exclude it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverer_bounds_accumulate_and_ignore_nan() {
+        let b = coverer_bounds([
+            (CmpOp::Gt, 10.0),
+            (CmpOp::Ge, 20.0),
+            (CmpOp::Lt, 5.0),
+            (CmpOp::Eq, 7.0),
+            (CmpOp::Gt, f64::NAN),
+            (CmpOp::Ne, 99.0),
+        ]);
+        assert_eq!(b.lower_max, Some(20.0), "strongest lower bound wins");
+        assert_eq!(b.upper_min, Some(5.0), "strongest upper bound wins");
+        assert_eq!(b.eq_values, vec![7.0]);
+        assert_eq!(coverer_bounds([]), CoverBounds::default());
     }
 }

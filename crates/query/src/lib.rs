@@ -47,6 +47,6 @@ pub use ast::{
     AggFunc, AttrRef, CmpOp, Predicate, ProjItem, Query, QueryId, RelationRef, Scalar, Window,
 };
 pub use compiled::{eval_compiled, CompiledPredicate, ScalarRef, SymSource};
-pub use containment::{covers, merge_queries, MergedQuery};
+pub use containment::{coverer_bounds, covers, merge_queries, CoverBounds, MergedQuery};
 pub use parser::{parse_query, ParseError};
 pub use record::Record;

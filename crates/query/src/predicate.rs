@@ -104,26 +104,37 @@ fn implies_cmp(op1: CmpOp, c1: &Scalar, op2: CmpOp, c2: &Scalar) -> bool {
     let (Some(a), Some(b)) = (c1.as_f64(), c2.as_f64()) else {
         return false;
     };
+    threshold_implies(op1, a, op2, b)
+}
+
+/// Numeric threshold-level implication: does `attr op_s t_s` imply
+/// `attr op_g t_g` for the *same* attribute? This is the skeleton of
+/// [`implies`] on the numeric comparison fragment — the form covering
+/// indexes prune candidates with, where predicates have already been
+/// reduced to `(attribute, operator, threshold)` triples (see
+/// `IndexableCmp`). Agrees with [`implies`] on every numeric
+/// `Cmp`/`Cmp` pair by construction (it *is* that code path).
+pub fn threshold_implies(op_s: CmpOp, t_s: f64, op_g: CmpOp, t_g: f64) -> bool {
     use CmpOp::*;
-    match (op1, op2) {
+    match (op_s, op_g) {
         // Lower-bound family.
-        (Gt, Gt) => a >= b,
-        (Gt, Ge) => a >= b,
-        (Ge, Ge) => a >= b,
-        (Ge, Gt) => a > b,
+        (Gt, Gt) => t_s >= t_g,
+        (Gt, Ge) => t_s >= t_g,
+        (Ge, Ge) => t_s >= t_g,
+        (Ge, Gt) => t_s > t_g,
         // Upper-bound family.
-        (Lt, Lt) => a <= b,
-        (Lt, Le) => a <= b,
-        (Le, Le) => a <= b,
-        (Le, Lt) => a < b,
+        (Lt, Lt) => t_s <= t_g,
+        (Lt, Le) => t_s <= t_g,
+        (Le, Le) => t_s <= t_g,
+        (Le, Lt) => t_s < t_g,
         // Point constraints.
-        (Eq, _) => op2.eval_f64(a, b),
-        // x ≠ b follows from any constraint excluding b.
-        (Gt, Ne) => a >= b,
-        (Ge, Ne) => a > b,
-        (Lt, Ne) => a <= b,
-        (Le, Ne) => a < b,
-        (Ne, Ne) => a == b,
+        (Eq, _) => op_g.eval_f64(t_s, t_g),
+        // x ≠ t_g follows from any constraint excluding t_g.
+        (Gt, Ne) => t_s >= t_g,
+        (Ge, Ne) => t_s > t_g,
+        (Lt, Ne) => t_s <= t_g,
+        (Le, Ne) => t_s < t_g,
+        (Ne, Ne) => t_s == t_g,
         _ => false,
     }
 }
@@ -308,6 +319,35 @@ mod tests {
         };
         assert!(implies(&eq_a, &ne_b));
         assert!(!implies(&ne_b, &eq_a));
+    }
+
+    /// `threshold_implies` is the numeric fragment of `implies` — the two
+    /// must agree on every float comparison pair, including NaN (which
+    /// implies and is implied by nothing).
+    #[test]
+    fn threshold_implies_agrees_with_implies() {
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+        let consts = [-2.5f64, 0.0, -0.0, 1.0, 3.5, f64::NAN];
+        let fcmp = |op: CmpOp, c: f64| Predicate::Cmp {
+            attr: AttrRef::new("R", "a"),
+            op,
+            value: Scalar::Float(c),
+        };
+        for &op1 in &ops {
+            for &c1 in &consts {
+                for &op2 in &ops {
+                    for &c2 in &consts {
+                        assert_eq!(
+                            threshold_implies(op1, c1, op2, c2),
+                            implies(&fcmp(op1, c1), &fcmp(op2, c2)),
+                            "diverged on {op1:?} {c1} vs {op2:?} {c2}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(!threshold_implies(CmpOp::Gt, f64::NAN, CmpOp::Gt, 0.0));
+        assert!(!threshold_implies(CmpOp::Gt, 0.0, CmpOp::Gt, f64::NAN));
     }
 
     #[test]
