@@ -182,6 +182,40 @@ fn bench_broker(c: &mut Criterion) {
     });
 }
 
+/// Parallel publish over a frozen routing snapshot: N persistent readers
+/// each publish a strided share of a 64-message round through the same
+/// immutable snapshot; the reported time is the round divided by its
+/// message count, comparable to `pubsub/publish-5000-subs`. Thread counts
+/// beyond the host's cores only measure scheduling overhead.
+fn bench_broker_parallel(c: &mut Criterion) {
+    const ROUND: usize = 64;
+    for threads in [1usize, 2, 4, 8] {
+        let net = broker_with_subs(5000);
+        let snap = net.snapshot();
+        let mut readers: Vec<_> = (0..threads).map(|_| snap.reader()).collect();
+        c.bench_function(&format!("pubsub/publish-par-{threads}-threads"), |bench| {
+            bench.iter(|| {
+                let delivered: usize = std::thread::scope(|scope| {
+                    let handles: Vec<_> = readers
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(t, reader)| {
+                            scope.spawn(move || {
+                                for k in (t..ROUND).step_by(threads) {
+                                    reader.publish_at(k as u64, scaling_message());
+                                }
+                                reader.take_output().delivered()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                black_box(delivered)
+            })
+        });
+    }
+}
+
 /// Control-plane churn against a 5000-subscription standing population:
 /// departure + identical re-arrival, and stub-link failure + recovery.
 /// The incremental ledger touches only the victim's footprint (plus its
@@ -329,6 +363,7 @@ criterion_group!(
     bench_online_routing,
     bench_diffusion,
     bench_broker,
+    bench_broker_parallel,
     bench_broker_churn,
     bench_engine,
     bench_shared_split,

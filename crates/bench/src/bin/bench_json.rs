@@ -8,8 +8,12 @@
 //! performance trajectory; CI and PRs quote it before/after hot-path work.
 //!
 //! ```text
-//! cargo run --release -p cosmos-bench --bin bench_json
+//! cargo run --release -p cosmos-bench --bin bench_json [name-filter]
 //! ```
+//!
+//! With a filter argument only the groups whose name contains it run,
+//! and the snapshot file is left untouched — a partial run must never
+//! masquerade as a full baseline.
 
 use cosmos_bench::fixtures::{
     arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
@@ -165,6 +169,49 @@ fn bench_broker_fail_link(n_subs: u64, wholesale: bool) -> f64 {
     })
 }
 
+/// Parallel publish over a frozen routing snapshot: `threads` persistent
+/// readers each publish a strided share of a fixed round, and the round's
+/// wall-clock divided by its message count is the per-message cost. The
+/// `par-1` point prices the snapshot path itself against the serial
+/// `publish-5000-subs` twin (same workload); higher thread counts show
+/// the lock-free read-side scaling — meaningful only when the host has
+/// that many cores, which is why the snapshot records `meta.cores`.
+fn bench_broker_publish_par(n_subs: u64, threads: usize) -> f64 {
+    const ROUND: usize = 64;
+    let net = broker_with_subs(n_subs);
+    let snap = net.snapshot();
+    let mut readers: Vec<_> = (0..threads).map(|_| snap.reader()).collect();
+    // Accumulated reader output is drained in the untimed reset, mirroring
+    // how the serial publish benches keep log cleanup off the clock.
+    let per_round = measure_with_reset(
+        &mut readers,
+        |readers| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = readers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(t, reader)| {
+                        scope.spawn(move || {
+                            let mut delivered = 0usize;
+                            for k in (t..ROUND).step_by(threads) {
+                                delivered += reader.publish_at(k as u64, scaling_message());
+                            }
+                            delivered
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            })
+        },
+        |readers| {
+            for reader in readers.iter_mut() {
+                drop(reader.take_output());
+            }
+        },
+    );
+    per_round / ROUND as f64
+}
+
 fn bench_broker_publish_broad(n_subs: u64) -> f64 {
     let mut net = broker_with_broad_subs(n_subs);
     measure_with_reset(&mut net, |net| net.publish(broad_message()), |net| net.reset_stats())
@@ -257,6 +304,10 @@ fn main() {
         ("broker/publish-5000-subs", || bench_broker_publish(5000)),
         ("broker/publish-500-subs-linear", || bench_broker_publish_linear(500)),
         ("broker/publish-5000-subs-linear", || bench_broker_publish_linear(5000)),
+        ("broker/publish-par-1-threads", || bench_broker_publish_par(5000, 1)),
+        ("broker/publish-par-2-threads", || bench_broker_publish_par(5000, 2)),
+        ("broker/publish-par-4-threads", || bench_broker_publish_par(5000, 4)),
+        ("broker/publish-par-8-threads", || bench_broker_publish_par(5000, 8)),
         ("broker/publish-500-subs-broad", || bench_broker_publish_broad(500)),
         ("broker/publish-500-subs-broad-linear", || bench_broker_publish_broad_linear(500)),
         ("broker/subscribe-5000-pop", || bench_broker_subscribe(5000, false)),
@@ -267,13 +318,25 @@ fn main() {
         ("broker/fail-link-5000-pop-wholesale", || bench_broker_fail_link(5000, true)),
         ("engine/shared-split-50-members", || bench_shared_split(50)),
     ];
+    let filter = std::env::args().nth(1);
     let mut rows = Vec::new();
     for (name, f) in groups {
+        if filter.as_deref().is_some_and(|pat| !name.contains(pat)) {
+            continue;
+        }
         let median = f();
         println!("{name:<36} median {median:>12.1} ns/op");
         rows.push(serde_json::json!({"name": name, "median_ns": median}));
     }
-    let out = serde_json::json!({"benchmarks": rows});
+    if filter.is_some() {
+        println!("(filtered run; not writing the snapshot)");
+        return;
+    }
+    // Core count travels with the numbers: thread-count variants are only
+    // comparable between snapshots taken on hosts with the same
+    // parallelism, and `bench_check` skips them otherwise.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out = serde_json::json!({"meta": {"cores": cores}, "benchmarks": rows});
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
     match serde_json::to_string_pretty(&out) {
         Ok(body) => {

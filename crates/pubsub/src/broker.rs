@@ -31,12 +31,37 @@
 //! sublinear in population size; the `*_wholesale` twins keep the old
 //! rebuild-the-world behaviour as the differential oracle and benchmark
 //! baseline.
+//!
+//! # Parallel data plane: snapshots
+//!
+//! The network is split read-copy-update style. All churn above stays
+//! **single-writer** (`&mut self`) and only additionally marks the nodes
+//! whose tables it touched in a dirty set. The **read side** is an
+//! immutable [`RoutingSnapshot`] built on demand by
+//! [`BrokerNetwork::snapshot`]: each dirty node's table is frozen
+//! ([`crate::index::RoutingTable::freeze`]), clean nodes reuse the
+//! previous snapshot's frozen table by `Arc`, and the result is published
+//! through a [`SnapshotCell`]. Any number of [`SnapshotReader`]s
+//! (`BrokerNetwork::reader`) then publish concurrently against their
+//! snapshot handle with zero locks and zero shared mutable state; their
+//! [`ReaderOutput`]s merge deterministically back into the broker's log
+//! and link counters ([`BrokerNetwork::absorb`]), bit-identical to serial
+//! [`BrokerNetwork::publish`] order. [`BrokerNetwork::publish_shared`] is
+//! the convenience `&self` publish for callers that just want one message
+//! matched from any thread. Snapshot builds are cheap dirty-marking away
+//! from the churn path: subscribe/unsubscribe never freeze anything —
+//! only an explicit `snapshot()` (or the first `publish_shared` after
+//! churn) pays for the nodes that actually changed.
 
-use crate::index::{ForwardInsert, ForwardedSet, MatchOutput, RoutingTable};
+use crate::index::{ForwardInsert, ForwardedSet, MatchOutput, RoutingTable, SubSkeleton};
+use crate::snapshot::{FrozenTable, ReaderOutput, RoutingSnapshot, SnapshotReader};
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
-use cosmos_util::Symbol;
+use cosmos_util::{SnapshotCell, Symbol};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Traffic counters for one undirected link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,7 +86,7 @@ pub struct Delivery {
 /// Log of local deliveries made by [`BrokerNetwork::publish`].
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryLog {
-    deliveries: Vec<Delivery>,
+    pub(crate) deliveries: Vec<Delivery>,
 }
 
 impl DeliveryLog {
@@ -128,6 +153,21 @@ fn routing_covers(general: &Subscription, specific: &Subscription) -> bool {
     })
 }
 
+/// Distinguishes the broker networks of one process, so thread-local
+/// reader pools ([`BrokerNetwork::publish_shared`]) never mix networks.
+static NET_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Nodes whose routing tables changed since the last snapshot build.
+/// Churn only marks here (cheap); [`BrokerNetwork::snapshot`] drains it,
+/// freezing exactly the marked nodes.
+#[derive(Debug, Default)]
+struct DirtyNodes {
+    nodes: BTreeSet<u32>,
+    /// Everything is dirty (initial state, wholesale rebuilds): the next
+    /// build freezes every node and ignores `nodes`.
+    all: bool,
+}
+
 /// A content-based broker network over a physical topology.
 ///
 /// # Examples
@@ -186,6 +226,19 @@ pub struct BrokerNetwork {
     scratch: Vec<MatchOutput>,
     link_stats: HashMap<(NodeId, NodeId), LinkStats>,
     log: DeliveryLog,
+    /// Routing-state version: bumped by every churn operation. Written
+    /// only under `&mut self`, read under `&self` — the staleness probe
+    /// for [`BrokerNetwork::snapshot`].
+    version: u64,
+    /// Process-unique network id (keys per-thread reader pools).
+    net_id: u64,
+    /// The published snapshot (read-copy-update slot). Lazily rebuilt by
+    /// [`BrokerNetwork::snapshot`] when `version` moved past it.
+    snap: SnapshotCell<RoutingSnapshot>,
+    /// Dirty-node set behind a mutex only because concurrent `&self`
+    /// snapshot builders must drain it; churn (`&mut self`) and builds
+    /// take it for nanoseconds, never on the publish path.
+    dirty: parking_lot::Mutex<DirtyNodes>,
 }
 
 impl BrokerNetwork {
@@ -206,6 +259,17 @@ impl BrokerNetwork {
             scratch: Vec::new(),
             link_stats: HashMap::new(),
             log: DeliveryLog::default(),
+            version: 0,
+            net_id: NET_IDS.fetch_add(1, Ordering::Relaxed),
+            // Placeholder pre-first-build snapshot; `dirty.all` below
+            // guarantees the first build replaces it wholesale, and the
+            // sentinel version can never equal a real one.
+            snap: SnapshotCell::new(Arc::new(RoutingSnapshot {
+                version: u64::MAX,
+                stream_source: HashMap::new(),
+                tables: Vec::new(),
+            })),
+            dirty: parking_lot::Mutex::new(DirtyNodes { nodes: BTreeSet::new(), all: true }),
         }
     }
 
@@ -250,6 +314,19 @@ impl BrokerNetwork {
             .entry(source)
             .or_insert_with(|| ShortestPathTree::compute(&self.topo, source));
         self.stream_source.insert(stream, source);
+        // No table changed, but snapshots embed the stream→source map.
+        self.mark_churn(std::iter::empty());
+    }
+
+    /// Bumps the routing-state version and marks the touched nodes dirty —
+    /// the only thing churn pays toward the snapshot plane (no freezing
+    /// here; [`BrokerNetwork::snapshot`] does that on demand).
+    fn mark_churn(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.version += 1;
+        let mut dirty = self.dirty.lock();
+        if !dirty.all {
+            dirty.nodes.extend(nodes.into_iter().map(|n| n.index() as u32));
+        }
     }
 
     /// The advertised source of `stream`, if any.
@@ -318,6 +395,10 @@ impl BrokerNetwork {
             for s in &stream_names {
                 restricted.streams.insert(*s, sub.streams[s].clone());
             }
+            // One indexable/residual split per source walk: every hop's
+            // skip probe, victim probes and insert reuse it instead of
+            // re-deriving the skeleton (up to three times per hop).
+            let skel = SubSkeleton::of(&restricted);
             let Some(path) = self.adv_trees[&src].path_to(sub.subscriber) else {
                 continue; // unreachable subscriber
             };
@@ -327,7 +408,7 @@ impl BrokerNetwork {
             for i in (0..path.len().saturating_sub(1)).rev() {
                 let u = path[i];
                 let downstream = path[i + 1];
-                match self.add_forwarding_entry(u, restricted.clone(), downstream, seq) {
+                match self.add_forwarding_entry(u, restricted.clone(), &skel, downstream, seq) {
                     ForwardInsert::Inserted { dropped } => {
                         rec_entries.push((u, Some(downstream)));
                         for victim in dropped {
@@ -352,7 +433,7 @@ impl BrokerNetwork {
                 let coverer = if self.linear_install {
                     fwd.find_coverer_linear(&restricted, routing_covers)
                 } else {
-                    fwd.find_coverer(&restricted, routing_covers)
+                    fwd.find_coverer_with(&restricted, &skel, routing_covers)
                 };
                 if let Some(cover_id) = coverer {
                     if cover_id != id {
@@ -360,7 +441,7 @@ impl BrokerNetwork {
                     }
                     pruned = true;
                 } else {
-                    fwd.push(restricted.clone());
+                    fwd.push_with(restricted.clone(), &skel);
                     rec_forwarded.push((u, src));
                 }
                 if pruned {
@@ -368,6 +449,9 @@ impl BrokerNetwork {
                 }
             }
         }
+        // Every table this install touched (inserts, covering drops,
+        // compactions) sits at a node in `rec_entries` — mark them once.
+        self.mark_churn(rec_entries.iter().map(|&(n, _)| n));
         let rec = self.records.get_mut(&id).expect("installing an unregistered subscription");
         rec.entries.extend(rec_entries);
         rec.forwarded.extend(rec_forwarded);
@@ -403,12 +487,13 @@ impl BrokerNetwork {
         &mut self,
         node: NodeId,
         sub: Subscription,
+        skel: &SubSkeleton,
         downstream: NodeId,
         seq: u64,
     ) -> ForwardInsert {
         let table = &mut self.tables[node.index()];
         if !self.linear_install {
-            return table.insert_covering(sub, downstream, seq, routing_covers);
+            return table.insert_covering_with(sub, skel, downstream, seq, routing_covers);
         }
         if let Some((e, _)) = table
             .entries()
@@ -418,7 +503,7 @@ impl BrokerNetwork {
         }
         let dropped =
             table.remove_toward(downstream, |e| e.id != sub.id && routing_covers(&sub, e));
-        table.insert(sub, Some(downstream), seq);
+        table.insert_with(sub, skel, Some(downstream), seq);
         ForwardInsert::Inserted { dropped }
     }
 
@@ -446,6 +531,7 @@ impl BrokerNetwork {
         let entries = std::mem::take(&mut rec.entries);
         let forwarded = std::mem::take(&mut rec.forwarded);
         let depends_on = std::mem::take(&mut rec.depends_on);
+        self.mark_churn(entries.iter().map(|&(n, _)| n));
         for (node, to) in entries {
             self.tables[node.index()].remove_entry(id, to);
         }
@@ -537,6 +623,12 @@ impl BrokerNetwork {
     /// subscription in subscribe order (sequence numbers preserved, so
     /// observable order is unchanged) — the wholesale maintenance path.
     fn rebuild_all(&mut self) {
+        self.version += 1;
+        {
+            let mut dirty = self.dirty.lock();
+            dirty.all = true;
+            dirty.nodes.clear();
+        }
         for table in &mut self.tables {
             table.clear();
         }
@@ -588,6 +680,113 @@ impl BrokerNetwork {
             self.forward(next, Some(node), fwd);
         }
         self.scratch.push(out);
+    }
+
+    /// The routing-state version: bumped by every churn operation
+    /// (subscribe, unsubscribe, advertise, link incidents, rebuilds).
+    /// A snapshot whose [`RoutingSnapshot::version`] equals this is
+    /// current.
+    pub fn routing_version(&self) -> u64 {
+        self.version
+    }
+
+    /// The current routing snapshot, building it first if churn happened
+    /// since the last build (read-copy-update commit). Only dirty nodes'
+    /// tables are frozen; clean nodes reuse the previous snapshot's
+    /// frozen tables by `Arc`. With no churn this is a version check and
+    /// an `Arc` clone. Callable from any thread (`&self`).
+    pub fn snapshot(&self) -> Arc<RoutingSnapshot> {
+        let cur = self.snap.load();
+        if cur.version == self.version {
+            return cur;
+        }
+        let mut dirty = self.dirty.lock();
+        // Re-check under the lock: a racing builder may have committed.
+        let cur = self.snap.load();
+        if cur.version == self.version {
+            return cur;
+        }
+        let tables: Vec<Arc<FrozenTable>> = if dirty.all {
+            self.tables.iter().map(|t| Arc::new(t.freeze())).collect()
+        } else {
+            // `cur` was itself a full build (dirty starts `all`), so it
+            // has a frozen table for every clean node.
+            self.tables
+                .iter()
+                .enumerate()
+                .map(|(n, t)| {
+                    if dirty.nodes.contains(&(n as u32)) {
+                        Arc::new(t.freeze())
+                    } else {
+                        Arc::clone(&cur.tables[n])
+                    }
+                })
+                .collect()
+        };
+        let next = Arc::new(RoutingSnapshot {
+            version: self.version,
+            stream_source: self.stream_source.clone(),
+            tables,
+        });
+        self.snap.store(Arc::clone(&next));
+        dirty.nodes.clear();
+        dirty.all = false;
+        next
+    }
+
+    /// A new [`SnapshotReader`] over the current snapshot — the handle a
+    /// publisher thread owns for lock-free parallel publishing. The
+    /// reader keeps working (consistently) against its snapshot through
+    /// any later churn; hand it a fresh [`BrokerNetwork::snapshot`] via
+    /// [`SnapshotReader::retarget`] to observe committed changes.
+    pub fn reader(&self) -> SnapshotReader {
+        self.snapshot().reader()
+    }
+
+    /// Publishes one message through the snapshot plane from a shared
+    /// reference — the `&self` twin of [`BrokerNetwork::publish`],
+    /// callable concurrently from any number of threads. Reuses a
+    /// thread-local reader per network (scratch stays warm), refreshing
+    /// it first when churn has committed since the reader's snapshot.
+    /// Returns the deliveries and link traffic of exactly this message;
+    /// fold them into the broker's own log with
+    /// [`BrokerNetwork::absorb`], or inspect them directly.
+    pub fn publish_shared(&self, msg: Message) -> ReaderOutput {
+        thread_local! {
+            static SHARED_READERS: RefCell<Vec<(u64, SnapshotReader)>> =
+                const { RefCell::new(Vec::new()) };
+        }
+        SHARED_READERS.with(|cell| {
+            let mut pool = cell.borrow_mut();
+            let mut reader = match pool.iter().position(|(id, _)| *id == self.net_id) {
+                Some(i) => pool.swap_remove(i).1,
+                None => self.reader(),
+            };
+            if reader.snapshot().version() != self.version {
+                reader.retarget(&self.snapshot());
+            }
+            reader.publish(msg);
+            let out = reader.take_output();
+            if pool.len() >= 8 {
+                pool.remove(0); // cap per-thread pool; drop the oldest
+            }
+            pool.push((self.net_id, reader));
+            out
+        })
+    }
+
+    /// Folds a merged [`ReaderOutput`] into the broker's delivery log and
+    /// link counters, in publish order — after absorbing, the log and
+    /// stats are indistinguishable from having published the same
+    /// messages serially.
+    pub fn absorb(&mut self, mut out: ReaderOutput) {
+        out.sort_by_order();
+        self.log.deliveries.extend(out.deliveries.into_iter().map(|(_, d)| d));
+        for (k, s) in out.links {
+            let e = self.link_stats.entry(k).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
+        }
     }
 
     /// [`BrokerNetwork::publish`] via a reference linear table scan —

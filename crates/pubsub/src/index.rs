@@ -110,7 +110,26 @@
 //! through this same incremental path, and the churn equivalence suite
 //! asserts the incremental ledger ends in an observationally identical
 //! state.
+//!
+//! # Concurrency: the frozen twin
+//!
+//! This table is the broker's single-writer *churn-path* representation:
+//! matching mutates per-member epoch counters and per-class caches, so a
+//! `RoutingTable` is inherently `&mut`. The parallel publish plane never
+//! shares it. Instead [`RoutingTable::freeze`] produces an immutable
+//! [`crate::snapshot::FrozenTable`] — live members only, slots densely
+//! remapped in original order so `(seq, slot)` candidate ordering (and
+//! therefore delivery order) is preserved bit-for-bit — and *all* match
+//! scratch moves into per-reader state
+//! ([`crate::snapshot::SnapshotReader`]). Install-time helpers take a
+//! precomputed [`SubSkeleton`] (the per-stream indexable/residual split)
+//! so one source walk derives each stream's skeleton once instead of
+//! re-splitting at every hop for the skip probe, the victim probes and
+//! the insert.
 
+use crate::snapshot::{
+    FrozenAction, FrozenHop, FrozenLists, FrozenMember, FrozenPartition, FrozenTable,
+};
 use crate::subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 use cosmos_net::NodeId;
 use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexOperand, IndexableCmp};
@@ -283,6 +302,44 @@ fn norm(t: f64) -> f64 {
         0.0
     } else {
         t
+    }
+}
+
+/// A subscription's per-stream indexable/residual split, computed once
+/// and threaded through an install walk. `insert`, `insert_covering` and
+/// the forwarded-set covering queries all consume the same split
+/// ([`crate::subscription::StreamRequest::split_for_index`]); without
+/// this, a multi-hop installation re-derived it up to three times per
+/// hop (skip probe, victim probes, insert).
+#[derive(Debug, Clone)]
+pub struct SubSkeleton {
+    /// `(stream, indexable comparisons, residual predicates)` in the
+    /// subscription's stream order.
+    streams: Vec<(Symbol, Vec<IndexableCmp>, Vec<CompiledPredicate>)>,
+}
+
+impl SubSkeleton {
+    /// Splits every stream of `sub` once.
+    pub fn of(sub: &Subscription) -> Self {
+        Self {
+            streams: sub
+                .streams
+                .iter()
+                .map(|(&s, req)| {
+                    let (indexable, residual) = req.split_for_index(s);
+                    (s, indexable, residual)
+                })
+                .collect(),
+        }
+    }
+
+    /// The precomputed split for one stream. Subscriptions request a
+    /// handful of streams, so a linear find beats a map here.
+    fn get(&self, stream: Symbol) -> Option<(&[IndexableCmp], &[CompiledPredicate])> {
+        self.streams
+            .iter()
+            .find(|(s, _, _)| *s == stream)
+            .map(|(_, i, r)| (i.as_slice(), r.as_slice()))
     }
 }
 
@@ -504,6 +561,12 @@ impl ForwardedSet {
     /// the gate counts raw records, tombstones included, matching the
     /// `find_coverer` shortcut's gate).
     pub fn push(&mut self, sub: Subscription) {
+        let skel = SubSkeleton::of(&sub);
+        self.push_with(sub, &skel);
+    }
+
+    /// [`ForwardedSet::push`] with the caller's precomputed skeleton.
+    pub fn push_with(&mut self, sub: Subscription, skel: &SubSkeleton) {
         let slot = u32::try_from(self.records.len()).expect("forwarded set overflow");
         if !self.built && self.records.len() >= COVER_SCAN_SMALL {
             self.built = true;
@@ -514,7 +577,12 @@ impl ForwardedSet {
             }
         }
         if self.built {
-            Self::bucket_insert(&mut self.buckets, slot, &sub);
+            for &s in sub.streams.keys() {
+                let indexable = skel.get(s).map(|(i, _)| i).unwrap_or(&[]);
+                let bucket = self.buckets.entry(s).or_default();
+                bucket.built = true;
+                bucket.insert(slot, indexable);
+            }
         }
         self.records.push(ForwardedRec { sub, dead: false });
     }
@@ -528,12 +596,27 @@ impl ForwardedSet {
     where
         F: Fn(&Subscription, &Subscription) -> bool,
     {
+        let skel = SubSkeleton::of(sub);
+        self.find_coverer_with(sub, &skel, covers)
+    }
+
+    /// [`ForwardedSet::find_coverer`] with the caller's precomputed
+    /// skeleton.
+    pub fn find_coverer_with<F>(
+        &mut self,
+        sub: &Subscription,
+        skel: &SubSkeleton,
+        covers: F,
+    ) -> Option<SubId>
+    where
+        F: Fn(&Subscription, &Subscription) -> bool,
+    {
         if !self.built {
             // Covering pruning keeps most forwarded sets tiny; scanning
             // them beats the skeleton machinery (identical answer).
             return self.find_coverer_linear(sub, covers);
         }
-        let Some((&s0, req)) = sub.streams.iter().next() else {
+        let Some((&s0, _)) = sub.streams.iter().next() else {
             // A stream-free subscription is vacuously covered by anything
             // live; only the linear scan can answer for it.
             return self.find_coverer_linear(sub, covers);
@@ -541,8 +624,8 @@ impl ForwardedSet {
         let bucket = self.buckets.get(&s0)?;
         let mut candidates = std::mem::take(&mut self.scratch);
         candidates.clear();
-        let probe = req.split_for_index(s0).0;
-        bucket.coverer_candidates(&probe, &mut candidates);
+        let probe = skel.get(s0).map(|(i, _)| i).unwrap_or(&[]);
+        bucket.coverer_candidates(probe, &mut candidates);
         candidates.sort_unstable();
         candidates.dedup();
         let found = candidates.iter().find_map(|&slot| {
@@ -702,6 +785,20 @@ impl RoutingTable {
     /// keeping delivery order stable across incremental removal and
     /// re-installation.
     pub fn insert(&mut self, sub: Subscription, to: Option<NodeId>, seq: u64) {
+        let skel = SubSkeleton::of(&sub);
+        self.insert_with(sub, &skel, to, seq);
+    }
+
+    /// [`RoutingTable::insert`] with the caller's precomputed skeleton —
+    /// the broker's install walk derives each source's skeleton once and
+    /// reuses it at every hop.
+    pub fn insert_with(
+        &mut self,
+        sub: Subscription,
+        skel: &SubSkeleton,
+        to: Option<NodeId>,
+        seq: u64,
+    ) {
         let entry_id = u32::try_from(self.entries.len()).expect("routing table overflow");
         if let (Some(next), true) = (to, sub.streams.is_empty()) {
             // A stream-free forwarding entry joins no bucket but is
@@ -712,7 +809,8 @@ impl RoutingTable {
         for (&stream, req) in &sub.streams {
             let index = self.streams.entry(stream).or_default();
             let member_id = u32::try_from(index.members.len()).expect("partition overflow");
-            let (indexable, residual) = req.split_for_index(stream);
+            let (indexable, residual) =
+                skel.get(stream).map(|(i, r)| (i, r.to_vec())).unwrap_or_default();
             let target = u32::try_from(indexable.len()).expect("filter count overflow");
             if let Some(next) = to {
                 // Forwarding entries join their (stream, hop) covering
@@ -723,7 +821,7 @@ impl RoutingTable {
                 // count; here the backfill skips tombstoned entries).
                 let bucket = self.covers.entry((stream, next)).or_default();
                 if bucket.built {
-                    bucket.insert(entry_id, &indexable);
+                    bucket.insert(entry_id, indexable);
                 } else if bucket.members.len() >= COVER_SCAN_SMALL {
                     bucket.built = true;
                     for slot in std::mem::take(&mut bucket.members) {
@@ -739,12 +837,12 @@ impl RoutingTable {
                             .unwrap_or_default();
                         bucket.insert(slot, &comps);
                     }
-                    bucket.insert(entry_id, &indexable);
+                    bucket.insert(entry_id, indexable);
                 } else {
                     bucket.members.push(entry_id);
                 }
             }
-            for cmp in &indexable {
+            for cmp in indexable {
                 // NaN thresholds are unsatisfiable (every comparison with
                 // NaN is false): they count toward `target` but never
                 // enter a list, so the member simply can never match.
@@ -904,6 +1002,24 @@ impl RoutingTable {
     where
         F: Fn(&Subscription, &Subscription) -> bool,
     {
+        let skel = SubSkeleton::of(&sub);
+        self.insert_covering_with(sub, &skel, to, seq, covers)
+    }
+
+    /// [`RoutingTable::insert_covering`] with the caller's precomputed
+    /// skeleton: the skip probe, the victim probes and the final insert
+    /// all reuse the same per-stream split.
+    pub fn insert_covering_with<F>(
+        &mut self,
+        sub: Subscription,
+        skel: &SubSkeleton,
+        to: NodeId,
+        seq: u64,
+        covers: F,
+    ) -> ForwardInsert
+    where
+        F: Fn(&Subscription, &Subscription) -> bool,
+    {
         if sub.streams.is_empty() {
             // Degenerate stream-free subscription: covering is vacuously
             // true against it and no bucket can index it — resolve by the
@@ -918,7 +1034,7 @@ impl RoutingTable {
             }
             let id = sub.id;
             let dropped = self.remove_toward(to, |e| e.id != id && covers(&sub, e));
-            self.insert(sub, Some(to), seq);
+            self.insert_with(sub, skel, Some(to), seq);
             return ForwardInsert::Inserted { dropped };
         }
         // Candidate slots per bucket: an unbuilt (small) bucket is taken
@@ -928,8 +1044,7 @@ impl RoutingTable {
         // same; only the candidate count differs. Returns whether the
         // candidates need re-sorting (range probes interleave lists).
         let probe_into = |bucket: &CoverBucket,
-                          req: &crate::subscription::StreamRequest,
-                          s: Symbol,
+                          probe: &[IndexableCmp],
                           covered_query: bool,
                           out: &mut Vec<u32>|
          -> bool {
@@ -937,19 +1052,19 @@ impl RoutingTable {
                 out.extend_from_slice(&bucket.members);
                 return false;
             }
-            let probe = req.split_for_index(s).0;
             if covered_query {
-                bucket.covered_candidates(&probe, out);
+                bucket.covered_candidates(probe, out);
             } else {
-                bucket.coverer_candidates(&probe, out);
+                bucket.coverer_candidates(probe, out);
             }
             true
         };
         let mut candidates = std::mem::take(&mut self.cover_scratch);
         candidates.clear();
-        let (&s0, req0) = sub.streams.iter().next().expect("non-empty streams");
+        let (&s0, _) = sub.streams.iter().next().expect("non-empty streams");
         if let Some(bucket) = self.covers.get(&(s0, to)) {
-            if probe_into(bucket, req0, s0, false, &mut candidates) {
+            let probe0 = skel.get(s0).map(|(i, _)| i).unwrap_or(&[]);
+            if probe_into(bucket, probe0, false, &mut candidates) {
                 candidates.sort_unstable();
                 candidates.dedup();
             }
@@ -968,9 +1083,10 @@ impl RoutingTable {
         candidates.clear();
         let mut needs_sort = false;
         let mut buckets_probed = 0u32;
-        for (&s, req) in &sub.streams {
+        for &s in sub.streams.keys() {
             if let Some(bucket) = self.covers.get(&(s, to)) {
-                needs_sort |= probe_into(bucket, req, s, true, &mut candidates);
+                let probe = skel.get(s).map(|(i, _)| i).unwrap_or(&[]);
+                needs_sort |= probe_into(bucket, probe, true, &mut candidates);
                 buckets_probed += 1;
             }
         }
@@ -993,7 +1109,7 @@ impl RoutingTable {
         }
         self.cover_scratch = candidates;
         self.maybe_compact();
-        self.insert(sub, Some(to), seq);
+        self.insert_with(sub, skel, Some(to), seq);
         ForwardInsert::Inserted { dropped }
     }
 
@@ -1156,6 +1272,82 @@ impl RoutingTable {
             out.forwards.push((group.to, group.union.apply(msg)));
         }
         out.forwards.sort_by_key(|(n, _)| *n);
+    }
+
+    /// Freezes this table into its immutable, `Sync` matching twin (see
+    /// the module docs' concurrency section and [`crate::snapshot`]).
+    ///
+    /// Tombstones are dropped and member slots densely remapped **in
+    /// original partition order**, so frozen candidate `(seq, slot)`
+    /// pairs sort exactly as the live table's — equal-`seq` ties (one
+    /// subscription, several entries) break identically and the frozen
+    /// matcher's delivery order is bit-for-bit the serial matcher's.
+    /// Hop-group and projection-class indices are preserved (both vectors
+    /// only shrink at compaction, which rebuilds the table first), so
+    /// member actions carry over untranslated.
+    pub(crate) fn freeze(&self) -> FrozenTable {
+        let mut streams = HashMap::new();
+        for (&stream, index) in &self.streams {
+            let mut remap: Vec<Option<u32>> = vec![None; index.members.len()];
+            let mut members = Vec::new();
+            for (i, m) in index.members.iter().enumerate() {
+                if m.dead {
+                    continue;
+                }
+                remap[i] = Some(u32::try_from(members.len()).expect("partition overflow"));
+                members.push(FrozenMember {
+                    seq: m.seq,
+                    target: m.target,
+                    residual: m.residual.clone(),
+                    action: match &m.action {
+                        MemberAction::Local { sub, class } => {
+                            FrozenAction::Local { sub: *sub, class: *class }
+                        }
+                        MemberAction::Hop(g) => FrozenAction::Hop(*g),
+                    },
+                });
+            }
+            if members.is_empty() {
+                continue; // a fully-tombstoned partition matches nothing
+            }
+            let remap_list = |list: &[(f64, u32)]| -> Vec<(f64, u32)> {
+                list.iter().filter_map(|&(t, m)| remap[m as usize].map(|n| (t, n))).collect()
+            };
+            let freeze_lists = |l: &OpLists| FrozenLists {
+                lt: remap_list(&l.lt),
+                le: remap_list(&l.le),
+                gt: remap_list(&l.gt),
+                ge: remap_list(&l.ge),
+                eq: remap_list(&l.eq),
+            };
+            let mut attr_lists = HashMap::new();
+            for (&attr, lists) in &index.attr_lists {
+                let frozen = freeze_lists(lists);
+                if !frozen.is_empty() {
+                    attr_lists.insert(attr, frozen);
+                }
+            }
+            streams.insert(
+                stream,
+                FrozenPartition {
+                    members,
+                    attr_lists,
+                    ts_lists: freeze_lists(&index.ts_lists),
+                    zero_target: index
+                        .zero_target
+                        .iter()
+                        .filter_map(|&m| remap[m as usize])
+                        .collect(),
+                    hops: index
+                        .hops
+                        .iter()
+                        .map(|h| FrozenHop { to: h.to, union: h.union.projection().clone() })
+                        .collect(),
+                    classes: index.classes.iter().map(|c| c.proj.projection().clone()).collect(),
+                },
+            );
+        }
+        FrozenTable { streams }
     }
 }
 

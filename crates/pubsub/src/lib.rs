@@ -6,7 +6,7 @@
 //! each link at most once, (2) messages are filtered and projected as early
 //! as possible, and (3) sources and consumers stay loosely coupled.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! - [`subscription`]: subscription content — per-stream projections and
 //!   filters exactly as §2.1 describes (`S`, `P`, `F` lists) — plus the
@@ -19,6 +19,10 @@
 //!   pruning, indexed routing tables per node, reverse-path message
 //!   forwarding with per-link traffic accounting (Figure 2's behaviour,
 //!   reproducible in tests).
+//! - [`snapshot`]: the parallel data plane — immutable
+//!   [`RoutingSnapshot`]s frozen from the broker's routing state, matched
+//!   lock-free by any number of concurrent [`SnapshotReader`]s while
+//!   subscription churn stays single-writer (read-copy-update).
 //! - [`traffic`]: the rate-based cost model the large-scale experiments use:
 //!   each substream's delivery cost is its rate times the latency-weighted
 //!   multicast tree connecting its source to every interested processor,
@@ -43,10 +47,12 @@
 
 pub mod broker;
 pub mod index;
+pub mod snapshot;
 pub mod subscription;
 pub mod traffic;
 
 pub use broker::{BrokerNetwork, DeliveryLog, LinkStats};
 pub use index::RoutingTable;
+pub use snapshot::{merge_outputs, ReaderOutput, RoutingSnapshot, SnapshotReader};
 pub use subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 pub use traffic::{SubstreamTable, TrafficModel};

@@ -19,6 +19,9 @@
 //!   symbols, tuple shapes become shared `Arc<Schema>`s, and the per-tuple
 //!   hot paths (predicate evaluation, join flattening, broker filtering
 //!   and early projection) compare integers instead of strings.
+//! - [`sync`]: read-copy-update primitives ([`SnapshotCell`]) backing the
+//!   broker's parallel publish plane — a writer publishes immutable
+//!   routing snapshots, readers match against them lock-free.
 //!
 //! # Examples
 //!
@@ -39,10 +42,12 @@ pub mod plancache;
 pub mod rng;
 pub mod solver;
 pub mod stats;
+pub mod sync;
 pub mod timer;
 pub mod zipf;
 
 pub use bitset::InterestSet;
 pub use intern::{Schema, Symbol};
 pub use plancache::PlanCache;
+pub use sync::SnapshotCell;
 pub use timer::Stopwatch;

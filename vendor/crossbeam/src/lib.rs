@@ -1,8 +1,15 @@
-//! Offline stand-in for `crossbeam`: the `channel::unbounded` MPSC surface
-//! the workspace uses, backed by `std::sync::mpsc`.
+//! Offline stand-in for `crossbeam`: the `channel` surface the workspace
+//! uses. Unlike the original `std::sync::mpsc`-backed shim this is a real
+//! MPMC channel — `Sender` *and* `Receiver` are `Clone`, and a `bounded`
+//! constructor provides backpressure — built on a `Mutex`-guarded
+//! `VecDeque` with two condvars (`not_empty` / `not_full`). The parallel
+//! broker data plane shares one receiver among several publisher workers,
+//! which `std::sync::mpsc` cannot express.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
     /// Error returned when the receiving side has hung up.
     #[derive(Debug, PartialEq, Eq)]
@@ -12,52 +19,179 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// The sending half of an unbounded channel.
-    #[derive(Debug)]
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now, but senders remain.
+        Empty,
+        /// No message available and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> MutexGuard<'_, State<T>> {
+        shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The sending half of a channel. Cloning adds a producer.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds a consumer: clones
+    /// *compete* for messages (MPMC work-queue semantics), they do not
+    /// each see every message.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self { inner: self.inner.clone() }
+            lock(&self.shared).senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake blocked receivers so they observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake blocked senders so they observe disconnection.
+                self.shared.not_full.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message; errors if the receiver is gone.
+        /// Sends a message; errors if every receiver is gone. On a bounded
+        /// channel this blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut st = lock(&self.shared);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
         }
-    }
-
-    /// The receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
     }
 
     impl<T> Receiver<T> {
-        /// Blocks for the next message; errors when all senders are gone.
+        /// Blocks for the next message; errors when the queue is drained
+        /// and all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let mut st = lock(&self.shared);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Non-blocking receive.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.inner.try_recv()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.shared);
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
     }
 
-    /// Creates an unbounded MPSC channel.
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        with_cap(None)
+    }
+
+    /// Creates a bounded MPMC channel: `send` blocks while `cap` messages
+    /// are queued. A capacity of 0 is rounded up to 1 (no rendezvous
+    /// semantics — nothing in the workspace needs them).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
     }
 
     #[cfg(test)]
     mod tests {
-        use super::unbounded;
+        use super::{bounded, unbounded, TryRecvError};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
 
         #[test]
         fn send_recv_across_threads() {
@@ -73,6 +207,66 @@ pub mod channel {
             assert_eq!(got, (0..10).collect::<Vec<_>>());
             drop(tx);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_compete_for_messages() {
+            let (tx, rx) = unbounded::<u64>();
+            let seen = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let rx = rx.clone();
+                    let seen = Arc::clone(&seen);
+                    s.spawn(move || {
+                        while rx.recv().is_ok() {
+                            seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+                for i in 0..300 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                drop(rx);
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 300, "each message consumed exactly once");
+        }
+
+        #[test]
+        fn bounded_channel_applies_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // The queue is full: a third send must block until a recv
+            // frees a slot in the consumer thread.
+            let consumer = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            tx.send(3).unwrap();
+            drop(tx);
+            assert_eq!(consumer.join().unwrap(), vec![1, 2, 3]);
+        }
+
+        #[test]
+        fn send_fails_once_receivers_are_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+
+        #[test]
+        fn try_recv_reports_empty_then_disconnected() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(5).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
     }
 }
