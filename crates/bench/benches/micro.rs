@@ -8,7 +8,8 @@ use std::hint::black_box;
 
 use cosmos_bench::fixtures::{
     arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, churn_link, scaling_message, scaling_sub, shared_split_queries,
+    broker_with_subs, churn_link, churn_node, lossy_broker, scaling_message, scaling_sub,
+    shared_split_queries,
 };
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
@@ -289,6 +290,46 @@ fn bench_broker_churn(c: &mut Criterion) {
         })
     });
     group.finish();
+    // Whole-node crash + recovery of a non-subscriber transit broker: the
+    // incremental path re-homes only the subtrees routed through it.
+    let mut net = broker_with_subs(n_subs);
+    let n = churn_node(&net);
+    c.bench_function("pubsub/fail-node-5000-pop", |bench| {
+        bench.iter(|| {
+            let edges = net.fail_node(n).expect("churn node is attached");
+            assert!(net.restore_node(n, &edges));
+        })
+    });
+    let mut net = broker_with_subs(n_subs);
+    let mut group = c.benchmark_group("pubsub-churn-wholesale");
+    group.sample_size(10);
+    group.bench_function("fail-node-5000-pop-wholesale", |bench| {
+        bench.iter(|| {
+            let edges = net.fail_node_wholesale(n).expect("churn node is attached");
+            assert!(net.restore_node_wholesale(n, &edges));
+        })
+    });
+    group.finish();
+}
+
+/// One publish driven through the reliable-delivery plane to quiescence,
+/// at 5% drop (every twentieth frame retransmitted after an RTO) vs the
+/// identical window/ack machinery over a clean schedule — the gap prices
+/// retransmit overhead alone.
+fn bench_broker_lossy(c: &mut Criterion) {
+    for (name, drop) in [("pubsub/publish-lossy-5pct", 0.05), ("pubsub/publish-lossy-clean", 0.0)] {
+        let mut lossy = lossy_broker(5000, drop);
+        c.bench_function(name, |bench| {
+            bench.iter(|| {
+                assert!(lossy.publish_lossy(scaling_message()));
+                lossy.run_to_quiescence();
+                // Drained periodically so long runs stay memory-bounded.
+                if lossy.delivered() > 250_000 {
+                    lossy.reset_stats();
+                }
+            })
+        });
+    }
 }
 
 /// Shared execution with heavily duplicated residuals: 50 members, one
@@ -365,6 +406,7 @@ criterion_group!(
     bench_broker,
     bench_broker_parallel,
     bench_broker_churn,
+    bench_broker_lossy,
     bench_engine,
     bench_shared_split,
     bench_containment,

@@ -17,7 +17,8 @@
 
 use cosmos_bench::fixtures::{
     arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, churn_link, scaling_message, scaling_sub, shared_split_queries,
+    broker_with_subs, churn_link, churn_node, lossy_broker, scaling_message, scaling_sub,
+    shared_split_queries,
 };
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
@@ -169,6 +170,42 @@ fn bench_broker_fail_link(n_subs: u64, wholesale: bool) -> f64 {
     })
 }
 
+/// Whole-node churn against a standing population: one broker crash plus
+/// one recovery per op (a non-subscriber transit node, so the population
+/// stays in steady state). The incremental path tears down only the
+/// ledgered footprint routed through the crashed broker and re-homes the
+/// moved subtrees; the `-wholesale` twin recomputes every source tree and
+/// re-installs the world — twice per op.
+fn bench_broker_fail_node(n_subs: u64, wholesale: bool) -> f64 {
+    let mut net = broker_with_subs(n_subs);
+    let n = churn_node(&net);
+    measure(|| {
+        if wholesale {
+            let edges = net.fail_node_wholesale(n).expect("churn node is attached");
+            assert!(net.restore_node_wholesale(n, &edges));
+        } else {
+            let edges = net.fail_node(n).expect("churn node is attached");
+            assert!(net.restore_node(n, &edges));
+        }
+    })
+}
+
+/// One publish driven through the reliable-delivery plane to quiescence.
+/// At `drop = 0.05` every twentieth frame is retransmitted after an RTO;
+/// the `-clean` twin runs the identical window/ack machinery with no
+/// faults, so the gap prices retransmit overhead alone.
+fn bench_broker_publish_lossy(n_subs: u64, drop: f64) -> f64 {
+    let mut lossy = lossy_broker(n_subs, drop);
+    measure_with_reset(
+        &mut lossy,
+        |net| {
+            assert!(net.publish_lossy(scaling_message()));
+            net.run_to_quiescence();
+        },
+        |net| net.reset_stats(),
+    )
+}
+
 /// Parallel publish over a frozen routing snapshot: `threads` persistent
 /// readers each publish a strided share of a fixed round, and the round's
 /// wall-clock divided by its message count is the per-message cost. The
@@ -316,6 +353,10 @@ fn main() {
         ("broker/unsubscribe-5000-pop-wholesale", || bench_broker_unsubscribe(5000, true)),
         ("broker/fail-link-5000-pop", || bench_broker_fail_link(5000, false)),
         ("broker/fail-link-5000-pop-wholesale", || bench_broker_fail_link(5000, true)),
+        ("broker/fail-node-5000-pop", || bench_broker_fail_node(5000, false)),
+        ("broker/fail-node-5000-pop-wholesale", || bench_broker_fail_node(5000, true)),
+        ("broker/publish-lossy-5pct", || bench_broker_publish_lossy(5000, 0.05)),
+        ("broker/publish-lossy-clean", || bench_broker_publish_lossy(5000, 0.0)),
         ("engine/shared-split-50-members", || bench_shared_split(50)),
     ];
     let filter = std::env::args().nth(1);

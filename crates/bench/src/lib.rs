@@ -155,6 +155,46 @@ pub mod fixtures {
         Message::new("R", 0).with("a", Scalar::Int(25))
     }
 
+    /// A broker of the scaling topology suitable for whole-node
+    /// fail/restore churn: the non-subscriber node whose dissemination
+    /// subtree contains the fewest (but at least one) subscriber nodes —
+    /// the typical single-broker incident, re-homing one neighbourhood of
+    /// subscribers while the rest of the population stands. Subscriber
+    /// nodes are excluded because `fail_node` forgets a crashed broker's
+    /// *local* subscriptions permanently, which would drain the population
+    /// and break the benchmark's steady state; the stream source is
+    /// excluded because crashing it silences the stream entirely.
+    pub fn churn_node(net: &BrokerNetwork) -> NodeId {
+        let topo = net.topology();
+        let tree = cosmos_net::ShortestPathTree::compute(topo, NodeId(0));
+        let mut best: Option<(usize, NodeId)> = None;
+        for n in topo.nodes() {
+            if n == NodeId(0) || (30..60).contains(&n.0) || topo.degree(n) == 0 {
+                continue;
+            }
+            let Some(p) = tree.parent(n) else { continue };
+            let Some(below) = tree.nodes_via_edge(p, n) else { continue };
+            let subs = below.iter().filter(|m| (30..60).contains(&m.0)).count();
+            if subs > 0 && best.is_none_or(|(s, _)| subs < s) {
+                best = Some((subs, n));
+            }
+        }
+        best.expect("a transit node with a subscriber subtree must exist").1
+    }
+
+    /// [`broker_with_subs`] wrapped in the reliable-delivery plane over a
+    /// seeded pure-drop fault schedule (duplicates and reorders off) —
+    /// the workload behind `broker/publish-lossy-*`. `drop = 0.0` is the
+    /// clean twin: same machinery, no retransmissions.
+    pub fn lossy_broker(n_subs: u64, drop: f64) -> cosmos_pubsub::LossyNetwork {
+        let cfg =
+            cosmos_pubsub::FaultConfig { drop, duplicate: 0.0, reorder: 0.0, max_extra_ticks: 0 };
+        cosmos_pubsub::LossyNetwork::new(
+            broker_with_subs(n_subs),
+            cosmos_pubsub::FaultPlan::new(7, cfg),
+        )
+    }
+
     /// The `i`-th subscription of [`broker_with_distinct_subs`]'
     /// population: a point constraint `a = i`, so no pair covers another
     /// and covering merges never collapse the tables — the

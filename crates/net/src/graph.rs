@@ -116,6 +116,33 @@ impl Topology {
         true
     }
 
+    /// Detaches node `u` from the graph: removes every incident edge and
+    /// returns the former `(neighbor, latency)` pairs, sorted by neighbor id
+    /// so callers can replay them deterministically. The node slot itself
+    /// persists (ids stay dense); a detached node is simply isolated, which
+    /// is how the broker network models a crashed broker. Returns an empty
+    /// vector when `u` is out of range or already isolated.
+    pub fn remove_node(&mut self, u: NodeId) -> Vec<(NodeId, f64)> {
+        let Some(adj) = self.adjacency.get_mut(u.index()) else { return Vec::new() };
+        let mut edges = std::mem::take(adj);
+        edges.sort_by_key(|(n, _)| *n);
+        for &(v, _) in &edges {
+            let back = &mut self.adjacency[v.index()];
+            let at = back.iter().position(|(n, _)| *n == u).expect("asymmetric adjacency");
+            back.swap_remove(at);
+        }
+        self.edge_count -= edges.len();
+        edges
+    }
+
+    /// Appends a fresh isolated node and returns its id. Pairs with
+    /// [`Topology::remove_node`] for crash/recovery experiments that grow
+    /// the broker set back after failures.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId(self.adjacency.len() as u32 - 1)
+    }
+
     /// Returns `true` if `u` and `v` are directly connected.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.adjacency.get(u.index()).is_some_and(|adj| adj.iter().any(|(n, _)| *n == v))
@@ -214,6 +241,44 @@ mod tests {
         assert!(!t.remove_edge(NodeId(7), NodeId(0)));
         t.add_edge(NodeId(0), NodeId(1), 3.0);
         assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn remove_node_detaches_and_round_trips() {
+        let mut t = Topology::new(4);
+        t.add_edge(NodeId(0), NodeId(1), 3.0);
+        t.add_edge(NodeId(1), NodeId(2), 1.0);
+        t.add_edge(NodeId(1), NodeId(3), 2.0);
+        t.add_edge(NodeId(2), NodeId(3), 4.0);
+        let edges = t.remove_node(NodeId(1));
+        assert_eq!(edges, vec![(NodeId(0), 3.0), (NodeId(2), 1.0), (NodeId(3), 2.0)]);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.degree(NodeId(1)), 0);
+        assert!(!t.has_edge(NodeId(0), NodeId(1)));
+        assert!(t.has_edge(NodeId(2), NodeId(3)));
+        // Node count unchanged: the slot persists, just isolated.
+        assert_eq!(t.node_count(), 4);
+        // Idempotent on an isolated / out-of-range node.
+        assert!(t.remove_node(NodeId(1)).is_empty());
+        assert!(t.remove_node(NodeId(9)).is_empty());
+        // Replaying the returned edges restores the original graph.
+        for (v, lat) in edges {
+            t.add_edge(NodeId(1), v, lat);
+        }
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.edge_latency(NodeId(1), NodeId(2)), Some(1.0));
+    }
+
+    #[test]
+    fn add_node_appends_isolated() {
+        let mut t = Topology::new(2);
+        t.add_edge(NodeId(0), NodeId(1), 1.0);
+        let n = t.add_node();
+        assert_eq!(n, NodeId(2));
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.degree(n), 0);
+        t.add_edge(n, NodeId(0), 2.0);
+        assert!(t.is_connected());
     }
 
     #[test]

@@ -32,6 +32,23 @@
 //! rebuild-the-world behaviour as the differential oracle and benchmark
 //! baseline.
 //!
+//! # Crash recovery
+//!
+//! Whole-broker crashes follow the same ledger discipline. A crash
+//! ([`BrokerNetwork::fail_node`]) is a batched link failure plus a local
+//! wipe: every incident edge leaves the topology at once, the node's own
+//! subscribers are unsubscribed through their ledgers (crashed consumers
+//! must re-subscribe after recovery), and the re-route set is the union
+//! of per-source moved subtrees — below the tree edge *into* the node
+//! for remote sources, below every tree edge *out of* it when the node
+//! is itself a source. Recovery ([`BrokerNetwork::restore_node`]) is the
+//! inverse: the detached edge batch is validated all-or-nothing,
+//! re-attached, and only the subtrees the fresh trees hang below the
+//! restored edges re-propagate. Both keep `*_wholesale` twins as
+//! differential oracles; `crates/pubsub/tests/chaos.rs` interleaves
+//! crashes, link flaps, and lossy-link message faults (see
+//! [`crate::reliable`]) against them.
+//!
 //! # Parallel data plane: snapshots
 //!
 //! The network is split read-copy-update style. All churn above stays
@@ -1041,8 +1058,14 @@ impl BrokerNetwork {
     /// # Panics
     ///
     /// Panics if either endpoint is out of range, on a self-loop, or on a
-    /// non-positive / non-finite latency (see [`Topology::add_edge`]).
+    /// non-positive / non-finite latency. The latency is validated
+    /// **before** anything else — in particular before the edge-exists
+    /// early return — so a `NaN` or negative latency is always rejected
+    /// loudly instead of sometimes reporting a quiet `false`: a bogus
+    /// latency that slipped into the topology would silently corrupt
+    /// shortest-path tie-breaking for every later incident.
     pub fn restore_link(&mut self, a: NodeId, b: NodeId, latency: f64) -> bool {
+        assert!(latency.is_finite() && latency > 0.0, "latency must be positive and finite");
         if self.topo.edge_latency(a, b).is_some() {
             return false;
         }
@@ -1066,7 +1089,12 @@ impl BrokerNetwork {
 
     /// [`BrokerNetwork::restore_link`] via the reference wholesale
     /// rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Same up-front latency validation as [`BrokerNetwork::restore_link`].
     pub fn restore_link_wholesale(&mut self, a: NodeId, b: NodeId, latency: f64) -> bool {
+        assert!(latency.is_finite() && latency > 0.0, "latency must be positive and finite");
         if self.topo.edge_latency(a, b).is_some() {
             return false;
         }
@@ -1074,6 +1102,214 @@ impl BrokerNetwork {
         self.recompute_all_trees();
         self.rebuild_all();
         true
+    }
+
+    /// Handles the **crash of broker `n`** incrementally: all incident
+    /// links leave the topology at once (the node slot persists as an
+    /// isolated broker, keeping ids dense), `n`'s local subscribers are
+    /// unsubscribed from the ledger — a crashed broker's consumers are
+    /// gone and must re-subscribe after recovery — and only the
+    /// subscriptions whose installed paths were hosted on or routed
+    /// through `n`, plus their transitive covering dependents,
+    /// re-propagate.
+    ///
+    /// The re-route set comes from the same per-source subtree provenance
+    /// as [`BrokerNetwork::fail_link`]: for a dissemination tree rooted
+    /// elsewhere that reaches `n`, exactly the subtree below the tree
+    /// edge into `n` moves ([`ShortestPathTree::nodes_via_edge`]); for a
+    /// tree rooted *at* `n`, everything below any of `n`'s tree edges —
+    /// every reachable subscriber of that source. Trees that never reach
+    /// `n` are untouched: none of `n`'s incident edges carries them.
+    ///
+    /// Returns the detached `(neighbor, latency)` list, sorted by
+    /// neighbor, for a later [`BrokerNetwork::restore_node`] — or `None`
+    /// when `n` is out of range or already isolated (crashed).
+    pub fn fail_node(&mut self, n: NodeId) -> Option<Vec<(NodeId, f64)>> {
+        if n.index() >= self.topo.node_count() || self.topo.degree(n) == 0 {
+            return None;
+        }
+        let locals: Vec<SubId> = self.subs_at[n.index()].clone();
+        let mut roots: BTreeSet<SubId> = locals.iter().copied().collect();
+        let sources: Vec<NodeId> = self.adv_trees.keys().copied().collect();
+        // Provenance from the OLD trees, before the topology changes.
+        let mut stale: Vec<NodeId> = Vec::new();
+        for src in sources {
+            let tree = &self.adv_trees[&src];
+            let mut moved: Vec<NodeId> = Vec::new();
+            if src == n {
+                for (v, _) in self.topo.neighbors(n) {
+                    if let Some(below) = tree.nodes_via_edge(n, v) {
+                        moved.extend(below);
+                    }
+                }
+            } else if tree.distance(n).is_some() {
+                let parent = tree.parent(n).expect("reachable non-root has a parent");
+                moved = tree.nodes_via_edge(parent, n).expect("edge into a reachable node");
+            } else {
+                continue;
+            }
+            stale.push(src);
+            for m in &moved {
+                for &id in &self.subs_at[m.index()] {
+                    let sub = &self.records[&id].sub;
+                    if sub.streams.keys().any(|s| self.stream_source.get(s) == Some(&src)) {
+                        roots.insert(id);
+                    }
+                }
+            }
+        }
+        let edges = self.topo.remove_node(n);
+        for src in stale {
+            self.adv_trees.insert(src, ShortestPathTree::compute(&self.topo, src));
+        }
+        let mut wave = self.dependent_closure(roots);
+        // Locals leave for good, mirroring `unsubscribe`: their footprint
+        // is torn down via the ledger, they drop out of the re-propagation
+        // wave, and their records are forgotten.
+        for id in locals {
+            self.uninstall(id);
+            wave.remove(&id);
+            self.forget(id);
+            self.dependents.remove(&id);
+        }
+        self.repropagate(&wave);
+        self.mark_churn([n]);
+        Some(edges)
+    }
+
+    /// Restores crashed broker `n` with the given incident links — the
+    /// inverse of [`BrokerNetwork::fail_node`], equally incremental.
+    /// Whether any restored edge can enter a source's canonical tree is
+    /// decided from the *old* endpoint distances before paying a
+    /// shortest-path recomputation (`n` itself was unreachable while
+    /// isolated, so for a remote source an edge is adoptable exactly when
+    /// it reconnects a reachable neighbor); only then is a fresh tree
+    /// computed, and only the subscriptions in the re-attached subtrees
+    /// (plus covering dependents) re-propagate. Local subscribers the
+    /// crash removed do **not** come back — crashed consumers must
+    /// re-subscribe.
+    ///
+    /// Returns `false` when `n` is out of range or not currently crashed
+    /// (it still has incident links).
+    ///
+    /// # Panics
+    ///
+    /// The whole `edges` batch is validated **before** any edge is
+    /// applied: panics on an out-of-range or self-loop endpoint or a
+    /// non-positive / non-finite latency, leaving the topology untouched.
+    /// A half-applied batch would strand the network between two
+    /// topologies — state no wholesale rebuild could reproduce.
+    pub fn restore_node(&mut self, n: NodeId, edges: &[(NodeId, f64)]) -> bool {
+        if n.index() >= self.topo.node_count() || self.topo.degree(n) != 0 {
+            return false;
+        }
+        self.validate_restored_edges(n, edges);
+        for &(v, lat) in edges {
+            self.topo.add_edge(n, v, lat);
+        }
+        let sources: Vec<NodeId> = self.adv_trees.keys().copied().collect();
+        let mut roots: BTreeSet<SubId> = BTreeSet::new();
+        for src in sources {
+            let old = &self.adv_trees[&src];
+            let adoptable =
+                edges.iter().any(|&(v, lat)| match (old.distance(n), old.distance(v)) {
+                    (None, None) => false,
+                    (Some(_), None) | (None, Some(_)) => true,
+                    (Some(da), Some(db)) => da + lat <= db || db + lat <= da,
+                });
+            if !adoptable {
+                continue;
+            }
+            let fresh = ShortestPathTree::compute(&self.topo, src);
+            // The moved set is the union of fresh subtrees below `n`'s
+            // restored edges: any changed canonical path must cross one
+            // of them. (For a remote source that is just the subtree at
+            // `n`; for a source at `n` it is everything reachable.)
+            let mut moved: Vec<NodeId> = Vec::new();
+            for &(v, _) in edges {
+                if let Some(below) = fresh.nodes_via_edge(n, v) {
+                    moved.extend(below);
+                }
+            }
+            self.adv_trees.insert(src, fresh);
+            for m in &moved {
+                for &id in &self.subs_at[m.index()] {
+                    let sub = &self.records[&id].sub;
+                    if sub.streams.keys().any(|s| self.stream_source.get(s) == Some(&src)) {
+                        roots.insert(id);
+                    }
+                }
+            }
+        }
+        let wave = self.dependent_closure(roots);
+        self.repropagate(&wave);
+        self.mark_churn([n]);
+        true
+    }
+
+    /// [`BrokerNetwork::fail_node`] via the reference wholesale rebuild —
+    /// the differential oracle and churn-benchmark baseline.
+    pub fn fail_node_wholesale(&mut self, n: NodeId) -> Option<Vec<(NodeId, f64)>> {
+        if n.index() >= self.topo.node_count() || self.topo.degree(n) == 0 {
+            return None;
+        }
+        for id in self.subs_at[n.index()].clone() {
+            self.forget(id);
+        }
+        let edges = self.topo.remove_node(n);
+        self.recompute_all_trees();
+        self.rebuild_all();
+        Some(edges)
+    }
+
+    /// [`BrokerNetwork::restore_node`] via the reference wholesale
+    /// rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Same all-or-nothing batch validation as
+    /// [`BrokerNetwork::restore_node`].
+    pub fn restore_node_wholesale(&mut self, n: NodeId, edges: &[(NodeId, f64)]) -> bool {
+        if n.index() >= self.topo.node_count() || self.topo.degree(n) != 0 {
+            return false;
+        }
+        self.validate_restored_edges(n, edges);
+        for &(v, lat) in edges {
+            self.topo.add_edge(n, v, lat);
+        }
+        self.recompute_all_trees();
+        self.rebuild_all();
+        true
+    }
+
+    /// Validates a [`BrokerNetwork::restore_node`] edge batch up-front
+    /// (all-or-nothing): every endpoint in range, no self-loops, every
+    /// latency positive and finite.
+    fn validate_restored_edges(&self, n: NodeId, edges: &[(NodeId, f64)]) {
+        for &(v, lat) in edges {
+            assert!(v.index() < self.topo.node_count(), "restored neighbor {v} out of range");
+            assert_ne!(v, n, "self-loops are not allowed");
+            assert!(lat.is_finite() && lat > 0.0, "latency must be positive and finite");
+        }
+    }
+
+    /// Matches `msg` at a single broker without forwarding — the one-hop
+    /// matching step the reliable-delivery plane ([`crate::reliable`])
+    /// drives explicitly, since it owns transport, retransmission, and
+    /// link accounting itself.
+    pub(crate) fn match_one(
+        &mut self,
+        node: NodeId,
+        from: Option<NodeId>,
+        msg: &Message,
+        out: &mut MatchOutput,
+    ) {
+        self.tables[node.index()].match_message_into(msg, from, out);
+    }
+
+    /// The advertised source of an interned stream symbol.
+    pub(crate) fn source_of_symbol(&self, stream: Symbol) -> Option<NodeId> {
+        self.stream_source.get(&stream).copied()
     }
 
     fn recompute_all_trees(&mut self) {
@@ -1607,5 +1843,107 @@ mod tests {
         );
         assert_eq!(net.publish(Message::new("R", 0)), 1);
         assert_eq!(net.publish(Message::new("S", 0)), 1);
+    }
+
+    #[test]
+    fn crashed_nodes_local_subscribers_are_unsubscribed_not_orphaned() {
+        let mut net = figure2_network();
+        // n7 hosts SubId(7); crash n7. Its ledger record, per-node index
+        // slot, and every entry along its path (n7, n1, n2, n3) must go.
+        let edges = net.fail_node(NodeId(7)).expect("n7 was attached");
+        assert_eq!(edges, vec![(NodeId(1), 1.0)]);
+        assert!(!net.records.contains_key(&SubId(7)), "crashed local sub forgotten");
+        assert!(net.subs_at[7].is_empty(), "per-node index cleared");
+        assert!(!net.dependents.contains_key(&SubId(7)));
+        net.check_ledger_consistency().expect("consistent after crash");
+        // Only n6's subscription remains; a>15 matches n7's old filter but
+        // must now deliver nowhere.
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(15))), 0);
+        assert_eq!(net.publish(Message::new("R", 1).with("a", Scalar::Int(25))), 1);
+        // Recovery brings the broker back but not its consumers: they
+        // re-subscribe explicitly.
+        assert!(net.restore_node(NodeId(7), &edges));
+        assert_eq!(net.publish(Message::new("R", 2).with("a", Scalar::Int(15))), 0);
+        net.subscribe(sub_r(7, 7, 10));
+        assert_eq!(net.publish(Message::new("R", 3).with("a", Scalar::Int(15))), 1);
+        net.check_ledger_consistency().expect("consistent after recovery");
+    }
+
+    #[test]
+    fn fail_node_reroutes_transit_traffic() {
+        // Ring: 0 (source) - 1 - 2 (subscriber) - 3 - 0. Shortest path to
+        // the subscriber goes via n1; crashing n1 re-routes via n3.
+        let mut topo = Topology::new(4);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        topo.add_edge(NodeId(2), NodeId(3), 2.0);
+        topo.add_edge(NodeId(3), NodeId(0), 2.0);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe(sub_r(1, 2, 0));
+        net.publish(Message::new("R", 0).with("a", Scalar::Int(5)));
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 1);
+        let edges = net.fail_node(NodeId(1)).expect("n1 was attached");
+        net.check_ledger_consistency().expect("consistent after transit crash");
+        // Crashing an already-isolated node reports None.
+        assert!(net.fail_node(NodeId(1)).is_none());
+        net.reset_stats();
+        assert_eq!(net.publish(Message::new("R", 1).with("a", Scalar::Int(5))), 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(3)).messages, 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 0);
+        // Recovery adopts the cheap path again.
+        assert!(net.restore_node(NodeId(1), &edges));
+        assert!(!net.restore_node(NodeId(1), &edges), "already restored");
+        net.check_ledger_consistency().expect("consistent after recovery");
+        net.reset_stats();
+        assert_eq!(net.publish(Message::new("R", 2).with("a", Scalar::Int(5))), 1);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 1);
+    }
+
+    #[test]
+    fn fail_node_of_source_silences_its_stream() {
+        let mut net = figure2_network();
+        let edges = net.fail_node(NodeId(3)).expect("source was attached");
+        net.check_ledger_consistency().expect("consistent after source crash");
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 0);
+        assert_eq!(net.total_link_messages(), 0, "nothing may leave a crashed source");
+        // Wholesale twin agrees bit-for-bit.
+        let mut twin = figure2_network();
+        assert_eq!(twin.fail_node_wholesale(NodeId(3)), Some(edges.clone()));
+        assert_eq!(twin.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 0);
+        // Recovery restores delivery to the surviving subscribers.
+        assert!(net.restore_node(NodeId(3), &edges));
+        assert!(twin.restore_node_wholesale(NodeId(3), &edges));
+        assert_eq!(net.publish(Message::new("R", 1).with("a", Scalar::Int(25))), 2);
+        assert_eq!(twin.publish(Message::new("R", 1).with("a", Scalar::Int(25))), 2);
+        net.check_ledger_consistency().expect("consistent after source recovery");
+    }
+
+    #[test]
+    fn restore_node_rejects_bad_batches_atomically() {
+        let mut net = figure2_network();
+        let edges = net.fail_node(NodeId(1)).expect("n1 was attached");
+        assert_eq!(edges.len(), 4);
+        // A batch with one bad latency must be rejected before ANY edge
+        // is applied: the node stays fully crashed.
+        let mut bad = edges.clone();
+        bad[2].1 = f64::NAN;
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.restore_node(NodeId(1), &bad)
+        }));
+        assert!(poisoned.is_err(), "NaN latency must panic");
+        assert_eq!(net.topology().degree(NodeId(1)), 0, "no edge of the bad batch applied");
+        net.check_ledger_consistency().expect("consistent after rejected batch");
+        assert!(net.restore_node(NodeId(1), &edges));
+        assert_eq!(net.publish(Message::new("R", 0).with("a", Scalar::Int(25))), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn restore_link_rejects_nonfinite_latency_up_front() {
+        let mut net = figure2_network();
+        // The edge exists, so the buggy path would quietly return false;
+        // the validation must fire first.
+        net.restore_link(NodeId(1), NodeId(2), f64::NAN);
     }
 }

@@ -1,0 +1,187 @@
+//! Deterministic per-link message-fault injection.
+//!
+//! Large-scale deployments lose, duplicate, and reorder packets; the
+//! reliable-delivery plane ([`crate::reliable`]) must converge to the
+//! fault-free delivery log regardless. A [`FaultPlan`] is the adversary:
+//! every physical transmission rolls one [`FaultAction`] from a seeded
+//! counter-mode `splitmix64` stream mixed with the directed link, so a
+//! given `(seed, config)` pair replays the *exact* same fault schedule on
+//! every run — chaos tests are reproducible bit-for-bit, and a failing
+//! seed is a permanent regression case.
+
+use cosmos_net::NodeId;
+use cosmos_util::rng::splitmix64;
+
+/// Per-transmission fault probabilities. Rates are independent slices of
+/// one uniform roll, so `drop + duplicate + reorder` must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a transmission is lost.
+    pub drop: f64,
+    /// Probability a transmission arrives twice (second copy delayed).
+    pub duplicate: f64,
+    /// Probability a transmission is delayed past later traffic.
+    pub reorder: f64,
+    /// Maximum extra delay (in simulated ticks) a duplicated or
+    /// reordered copy picks up, uniform in `1..=max_extra_ticks`.
+    pub max_extra_ticks: u64,
+}
+
+impl FaultConfig {
+    /// A fault-free link: every roll yields [`FaultAction::Deliver`].
+    pub fn clean() -> Self {
+        Self { drop: 0.0, duplicate: 0.0, reorder: 0.0, max_extra_ticks: 0 }
+    }
+
+    /// A moderately hostile link: 5% drop, 3% duplicate, 5% reorder.
+    pub fn lossy() -> Self {
+        Self { drop: 0.05, duplicate: 0.03, reorder: 0.05, max_extra_ticks: 400 }
+    }
+}
+
+/// The fate of one physical transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Arrives once, after the link's nominal delay.
+    Deliver,
+    /// Never arrives.
+    Drop,
+    /// Arrives twice: once nominally, once `extra` ticks later.
+    Duplicate {
+        /// Extra delay of the second copy.
+        extra: u64,
+    },
+    /// Arrives once, `extra` ticks late (later traffic may overtake).
+    Delay {
+        /// Extra delay past the nominal link delay.
+        extra: u64,
+    },
+}
+
+/// A seeded, deterministic fault schedule over all links.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_pubsub::fault::{FaultConfig, FaultPlan};
+/// use cosmos_net::NodeId;
+///
+/// let mut a = FaultPlan::new(7, FaultConfig::lossy());
+/// let mut b = FaultPlan::new(7, FaultConfig::lossy());
+/// let roll = |p: &mut FaultPlan| (0..100).map(|_| p.roll(NodeId(0), NodeId(1))).collect::<Vec<_>>();
+/// assert_eq!(roll(&mut a), roll(&mut b)); // same seed → same schedule
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultConfig,
+    counter: u64,
+    drops: u64,
+    duplicates: u64,
+    delays: u64,
+}
+
+impl FaultPlan {
+    /// A plan rolling `cfg` faults from `seed`.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        assert!(
+            cfg.drop >= 0.0
+                && cfg.duplicate >= 0.0
+                && cfg.reorder >= 0.0
+                && cfg.drop + cfg.duplicate + cfg.reorder <= 1.0,
+            "fault rates must be non-negative and sum to at most 1"
+        );
+        assert!(cfg.drop < 1.0, "a link dropping everything can never converge");
+        Self { seed, cfg, counter: 0, drops: 0, duplicates: 0, delays: 0 }
+    }
+
+    /// A fault-free plan (every transmission delivers nominally).
+    pub fn clean() -> Self {
+        Self::new(0, FaultConfig::clean())
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Rolls the fate of one physical transmission crossing the directed
+    /// link `from → to`. Deterministic in `(seed, call index, link)`.
+    pub fn roll(&mut self, from: NodeId, to: NodeId) -> FaultAction {
+        let n = self.counter;
+        self.counter += 1;
+        // Counter-mode stream: mix the seed, the call index, and the
+        // directed link through two splitmix rounds.
+        let mixed =
+            splitmix64(self.seed ^ splitmix64(n ^ ((from.0 as u64) << 40) ^ ((to.0 as u64) << 20)));
+        let u = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        let extra = || 1 + splitmix64(mixed) % self.cfg.max_extra_ticks.max(1);
+        if u < self.cfg.drop {
+            self.drops += 1;
+            FaultAction::Drop
+        } else if u < self.cfg.drop + self.cfg.duplicate {
+            self.duplicates += 1;
+            FaultAction::Duplicate { extra: extra() }
+        } else if u < self.cfg.drop + self.cfg.duplicate + self.cfg.reorder {
+            self.delays += 1;
+            FaultAction::Delay { extra: extra() }
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// `(drops, duplicates, delays)` injected so far.
+    pub fn injected(&self) -> (u64, u64, u64) {
+        (self.drops, self.duplicates, self.delays)
+    }
+
+    /// Total faults injected so far.
+    pub fn total_injected(&self) -> u64 {
+        self.drops + self.duplicates + self.delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let mut p = FaultPlan::clean();
+        for i in 0..1000u32 {
+            assert_eq!(p.roll(NodeId(i % 5), NodeId(i % 7)), FaultAction::Deliver);
+        }
+        assert_eq!(p.total_injected(), 0);
+    }
+
+    #[test]
+    fn lossy_plan_hits_every_fault_class() {
+        let mut p = FaultPlan::new(42, FaultConfig::lossy());
+        for _ in 0..5000 {
+            p.roll(NodeId(0), NodeId(1));
+        }
+        let (drops, dups, delays) = p.injected();
+        assert!(drops > 100, "≈5% of 5000 rolls should drop, got {drops}");
+        assert!(dups > 50, "≈3% should duplicate, got {dups}");
+        assert!(delays > 100, "≈5% should delay, got {delays}");
+        assert!(drops + dups + delays < 1500, "faults must stay the minority");
+    }
+
+    #[test]
+    fn schedule_depends_on_link_and_index() {
+        let mut p = FaultPlan::new(9, FaultConfig { drop: 0.5, ..FaultConfig::lossy() });
+        let a: Vec<_> = (0..64).map(|_| p.roll(NodeId(0), NodeId(1))).collect();
+        let mut q = FaultPlan::new(9, FaultConfig { drop: 0.5, ..FaultConfig::lossy() });
+        let b: Vec<_> = (0..64).map(|_| q.roll(NodeId(1), NodeId(0))).collect();
+        assert_ne!(a, b, "reverse link must see an independent schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "never converge")]
+    fn total_loss_is_rejected() {
+        FaultPlan::new(
+            1,
+            FaultConfig { drop: 1.0, duplicate: 0.0, reorder: 0.0, max_extra_ticks: 0 },
+        );
+    }
+}

@@ -111,6 +111,22 @@
 //! asserts the incremental ledger ends in an observationally identical
 //! state.
 //!
+//! - **Crash recovery**: whole-node failure
+//!   ([`crate::broker::BrokerNetwork::fail_node`]) is not a new table
+//!   primitive — it is the two existing ones driven in bulk. The crashed
+//!   broker's own table is dropped with the node; every *surviving* node
+//!   sheds, via the same ledgered [`RoutingTable::remove_entry`] calls an
+//!   unsubscribe issues, exactly the entries whose reverse paths routed
+//!   through the crashed broker, and the repair wave re-installs the
+//!   moved subscriptions through the normal install path (sequence
+//!   numbers preserved, so delivery order is unchanged). The crashed
+//!   broker's local subscriptions are fully unsubscribed from the ledger,
+//!   never orphaned. The reliable-delivery plane
+//!   ([`crate::reliable`]) sits entirely *below* this table: frames,
+//!   acks, and retransmissions are per-link transport concerns the index
+//!   never sees — by the time a message is matched here it is already
+//!   exactly-once.
+//!
 //! # Concurrency: the frozen twin
 //!
 //! This table is the broker's single-writer *churn-path* representation:

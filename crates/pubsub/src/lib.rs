@@ -19,6 +19,11 @@
 //!   pruning, indexed routing tables per node, reverse-path message
 //!   forwarding with per-link traffic accounting (Figure 2's behaviour,
 //!   reproducible in tests).
+//! - [`fault`] / [`reliable`]: the fault plane — a seeded, deterministic
+//!   per-link fault schedule (drop / duplicate / reorder) countered by
+//!   per-link reliable exactly-once delivery (sequence numbers,
+//!   ack/retransmit with bounded backoff over simulated time, dedup
+//!   windows), converging bit-for-bit to the fault-free delivery log.
 //! - [`snapshot`]: the parallel data plane — immutable
 //!   [`RoutingSnapshot`]s frozen from the broker's routing state, matched
 //!   lock-free by any number of concurrent [`SnapshotReader`]s while
@@ -46,13 +51,17 @@
 //! ```
 
 pub mod broker;
+pub mod fault;
 pub mod index;
+pub mod reliable;
 pub mod snapshot;
 pub mod subscription;
 pub mod traffic;
 
-pub use broker::{BrokerNetwork, DeliveryLog, LinkStats};
+pub use broker::{BrokerNetwork, Delivery, DeliveryLog, LinkStats};
+pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use index::RoutingTable;
+pub use reliable::LossyNetwork;
 pub use snapshot::{merge_outputs, ReaderOutput, RoutingSnapshot, SnapshotReader};
 pub use subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
 pub use traffic::{SubstreamTable, TrafficModel};

@@ -50,4 +50,4 @@ pub use bitset::InterestSet;
 pub use intern::{Schema, Symbol};
 pub use plancache::PlanCache;
 pub use sync::SnapshotCell;
-pub use timer::Stopwatch;
+pub use timer::{EventQueue, Stopwatch};

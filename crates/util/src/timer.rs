@@ -1,4 +1,5 @@
-//! Wall-clock measurement for optimizer running-time figures.
+//! Wall-clock measurement for optimizer running-time figures, plus a
+//! deterministic simulated clock for the fault plane.
 //!
 //! Figure 6(b) and Figure 11(b) report optimizer *response time* (begin to
 //! end of a mapping) and *total time* (CPU summed over all coordinators). In
@@ -6,7 +7,16 @@
 //! measures each coordinator's slice with a [`Stopwatch`] and combines them:
 //! total time = Σ slices; response time = critical path over the tree
 //! (children of one coordinator run "in parallel" in the paper's deployment).
+//!
+//! The reliable-delivery layer (cosmos-pubsub `reliable`) additionally needs
+//! *simulated* time: retransmission timers and link-delay events must fire in
+//! a reproducible order independent of the host clock. [`EventQueue`] is that
+//! clock — integer ticks, events ordered by `(due, insertion sequence)` so
+//! same-tick events pop in FIFO order and every run of a seeded schedule is
+//! bit-identical.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 /// A restartable stopwatch accumulating elapsed wall time.
@@ -72,6 +82,107 @@ impl Stopwatch {
     }
 }
 
+/// A deterministic discrete-event clock: events are `(due tick, payload)`
+/// pairs popped in non-decreasing tick order, with FIFO tie-breaking among
+/// events scheduled for the same tick. Popping an event advances `now()` to
+/// its due tick; time never flows backwards.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_util::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(5, "b");
+/// q.schedule_in(2, "a");
+/// q.schedule_in(5, "c"); // same tick as "b": FIFO
+/// assert_eq!(q.pop(), Some((2, "a")));
+/// assert_eq!(q.pop(), Some((5, "b")));
+/// assert_eq!(q.pop(), Some((5, "c")));
+/// assert_eq!(q.now(), 5);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, OrdIgnored<T>)>>,
+}
+
+/// Wrapper that lets payloads ride inside the heap key without requiring
+/// (or consulting) an `Ord` on `T`: the `(due, seq)` prefix is already a
+/// total order, so payload comparison is unreachable.
+#[derive(Debug, Clone)]
+struct OrdIgnored<T>(T);
+
+impl<T> PartialEq for OrdIgnored<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for OrdIgnored<T> {}
+impl<T> PartialOrd for OrdIgnored<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OrdIgnored<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at tick 0.
+    pub fn new() -> Self {
+        Self { now: 0, seq: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Current simulated time: the due tick of the last popped event.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute tick `due`. Ticks before `now()` are
+    /// clamped to `now()` (the event fires "immediately", after anything
+    /// already scheduled for the current tick).
+    pub fn schedule_at(&mut self, due: u64, payload: T) {
+        let due = due.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((due, seq, OrdIgnored(payload))));
+    }
+
+    /// Schedules `payload` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, payload: T) {
+        self.schedule_at(self.now.saturating_add(delay), payload);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its due
+    /// tick. Returns `None` when the queue is empty (the clock holds).
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let Reverse((due, _, OrdIgnored(payload))) = self.heap.pop()?;
+        self.now = due;
+        Some((due, payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +213,41 @@ mod tests {
         sw.stop();
         // No panic, time recorded once.
         assert!(sw.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn event_queue_orders_by_tick_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 'c');
+        q.schedule_at(3, 'a');
+        q.schedule_at(10, 'd');
+        q.schedule_at(3, 'b');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(3, 'a'), (3, 'b'), (10, 'c'), (10, 'd')]);
+        assert_eq!(q.now(), 10);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_clamps_past_deadlines() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, 1u32);
+        assert_eq!(q.pop(), Some((7, 1)));
+        // Scheduling "in the past" fires at the current tick instead.
+        q.schedule_at(2, 2);
+        q.schedule_in(0, 3);
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((7, 3)));
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn event_queue_interleaves_scheduling_and_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_in(4, "first");
+        assert_eq!(q.pop(), Some((4, "first")));
+        q.schedule_in(4, "second"); // relative to now = 4
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((8, "second")));
     }
 }

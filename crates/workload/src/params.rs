@@ -1,7 +1,72 @@
-//! The paper's experimental constants (§4.1), with uniform scaling.
+//! The paper's experimental constants (§4.1), with uniform scaling, plus
+//! the fault-scenario knobs the robustness experiments feed into the
+//! deterministic fault plane ([`cosmos_pubsub::fault`]).
 
 use cosmos_net::TransitStubConfig;
+use cosmos_pubsub::{FaultConfig, FaultPlan};
 use serde::{Deserialize, Serialize};
+
+/// Fault-scenario knobs for robustness experiments: a seed plus per-link
+/// fault rates, serializable so a scenario file pins the exact chaos
+/// schedule a run replays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultParams {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a transmission is lost.
+    pub drop: f64,
+    /// Probability a transmission arrives twice.
+    pub duplicate: f64,
+    /// Probability a transmission is delayed past later traffic.
+    pub reorder: f64,
+    /// Maximum extra delay (simulated ticks) of duplicated/reordered copies.
+    pub max_extra_ticks: u64,
+}
+
+impl FaultParams {
+    /// A fault-free plan (the control arm of every robustness experiment).
+    pub fn clean(seed: u64) -> Self {
+        let c = FaultConfig::clean();
+        Self {
+            seed,
+            drop: c.drop,
+            duplicate: c.duplicate,
+            reorder: c.reorder,
+            max_extra_ticks: c.max_extra_ticks,
+        }
+    }
+
+    /// The moderately hostile default (5% drop, 3% duplicate, 5% reorder).
+    pub fn lossy(seed: u64) -> Self {
+        let c = FaultConfig::lossy();
+        Self {
+            seed,
+            drop: c.drop,
+            duplicate: c.duplicate,
+            reorder: c.reorder,
+            max_extra_ticks: c.max_extra_ticks,
+        }
+    }
+
+    /// The per-link fault rates as the pubsub layer's config.
+    pub fn config(&self) -> FaultConfig {
+        FaultConfig {
+            drop: self.drop,
+            duplicate: self.duplicate,
+            reorder: self.reorder,
+            max_extra_ticks: self.max_extra_ticks,
+        }
+    }
+
+    /// Builds the seeded fault schedule these knobs describe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates are invalid (see [`FaultPlan::new`]).
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed, self.config())
+    }
+}
 
 /// All simulation-study parameters in one place.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -167,5 +232,15 @@ mod tests {
     #[should_panic(expected = "scale must be")]
     fn zero_scale_rejected() {
         let _ = PaperParams::scaled(0.0);
+    }
+
+    #[test]
+    fn fault_params_mirror_the_pubsub_configs() {
+        let p = FaultParams::lossy(11);
+        assert_eq!(p.config(), FaultConfig::lossy());
+        let mut plan = p.plan();
+        let _ = plan.roll(cosmos_net::NodeId(0), cosmos_net::NodeId(1));
+        assert_eq!(FaultParams::clean(0).config(), FaultConfig::clean());
+        assert_eq!(FaultParams::clean(0).plan().total_injected(), 0);
     }
 }
