@@ -8,8 +8,8 @@ use std::hint::black_box;
 
 use cosmos_bench::fixtures::{
     arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, churn_link, churn_node, lossy_broker, scaling_message, scaling_sub,
-    shared_split_queries,
+    broker_with_subs, checkpointed_engine, churn_link, churn_node, lossy_broker, recovery_host,
+    scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
@@ -377,6 +377,31 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
+/// Checkpoint extract + restore of a 5000-tuple window population, and
+/// a full crash/restore cycle of an engine host against the standing
+/// 5000-subscription broker population — the recovery-plane twins of
+/// `bench_json`'s `engine/checkpoint-5000-window` and
+/// `broker/recover-engine-5000-pop`.
+fn bench_recovery(c: &mut Criterion) {
+    let engine = checkpointed_engine(5000);
+    let mut target = checkpointed_engine(0);
+    c.bench_function("engine/checkpoint-5000-window", |bench| {
+        bench.iter(|| {
+            let cp = engine.checkpoint();
+            target.restore(&cp);
+            black_box(cp.watermark)
+        })
+    });
+    let (mut r, host) = recovery_host(5000, 512, 32);
+    c.bench_function("broker/recover-engine-5000-pop", |bench| {
+        bench.iter(|| {
+            r.crash_host(host);
+            r.restore_host(host);
+            black_box(r.output_log(host).len())
+        })
+    });
+}
+
 fn bench_containment(c: &mut Criterion) {
     let q3 = parse_query(
         "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 \
@@ -409,6 +434,7 @@ criterion_group!(
     bench_broker_lossy,
     bench_engine,
     bench_shared_split,
+    bench_recovery,
     bench_containment,
 );
 criterion_main!(benches);

@@ -17,8 +17,8 @@
 
 use cosmos_bench::fixtures::{
     arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, churn_link, churn_node, lossy_broker, scaling_message, scaling_sub,
-    shared_split_queries,
+    broker_with_subs, checkpointed_engine, churn_link, churn_node, lossy_broker, recovery_host,
+    scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
@@ -277,6 +277,35 @@ fn bench_shared_split(members: u64) -> f64 {
     })
 }
 
+/// One checkpoint extract + restore of an engine with `n_tuples`
+/// buffered across a long-window join: the per-cycle cost an operator
+/// pays for crash durability, dominated by cloning the window
+/// population into (and back out of) the snapshot.
+fn bench_engine_checkpoint(n_tuples: u64) -> f64 {
+    let engine = checkpointed_engine(n_tuples);
+    let mut target = checkpointed_engine(0);
+    measure(|| {
+        let cp = engine.checkpoint();
+        target.restore(&cp);
+        cp.watermark
+    })
+}
+
+/// One full crash/restore cycle of an engine host against a standing
+/// 5000-subscription population: fail the broker node (incremental
+/// teardown + subtree re-homing), restore it, re-install the engine's
+/// subscription, restore the checkpoint, and replay the retained
+/// 32-record suffix in verify mode. The broker-churn half is priced
+/// alone by `broker/fail-node-5000-pop`; the gap is the recovery layer.
+fn bench_broker_recover_engine(n_subs: u64) -> f64 {
+    let (mut r, host) = recovery_host(n_subs, 512, 32);
+    measure(|| {
+        r.crash_host(host);
+        r.restore_host(host);
+        r.output_log(host).len()
+    })
+}
+
 fn bench_flatten_project() -> f64 {
     let projection = parse_query(
         "SELECT A.v, B.v FROM R [Now] A, R [Now] B, R [Now] C \
@@ -358,6 +387,8 @@ fn main() {
         ("broker/publish-lossy-5pct", || bench_broker_publish_lossy(5000, 0.05)),
         ("broker/publish-lossy-clean", || bench_broker_publish_lossy(5000, 0.0)),
         ("engine/shared-split-50-members", || bench_shared_split(50)),
+        ("engine/checkpoint-5000-window", || bench_engine_checkpoint(5000)),
+        ("broker/recover-engine-5000-pop", || bench_broker_recover_engine(5000)),
     ];
     let filter = std::env::args().nth(1);
     let mut rows = Vec::new();

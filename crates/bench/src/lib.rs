@@ -284,6 +284,76 @@ pub mod fixtures {
             .with("d", Scalar::Int(3))
     }
 
+    /// A [`StreamEngine`](cosmos_engine::exec::StreamEngine) running one
+    /// long-window join with `n_tuples` buffered across its windows —
+    /// the standing state behind `engine/checkpoint-*`. Keys pair off
+    /// (`k = i / 2`), so windows fill linearly without a quadratic join
+    /// blow-up; checkpoint extract/restore cost then scales with the
+    /// buffered population. `checkpointed_engine(0)` is the empty twin
+    /// with the identical query set, the only restore target
+    /// [`StreamEngine::restore`](cosmos_engine::exec::StreamEngine::restore)
+    /// accepts.
+    pub fn checkpointed_engine(n_tuples: u64) -> cosmos_engine::exec::StreamEngine {
+        use cosmos_engine::tuple::Tuple;
+        let mut engine = cosmos_engine::exec::StreamEngine::new();
+        engine.add_query(
+            QueryId(1),
+            parse_query(
+                "SELECT * FROM R [Range 3600 Seconds], S [Range 3600 Seconds] WHERE R.k = S.k",
+            )
+            .unwrap(),
+        );
+        for i in 0..n_tuples {
+            let stream = if i % 2 == 0 { "R" } else { "S" };
+            engine.push(
+                Tuple::new(stream, i as i64)
+                    .with("k", Scalar::Int((i / 2) as i64))
+                    .with("v", Scalar::Int(1)),
+            );
+        }
+        engine
+    }
+
+    /// [`lossy_broker`]'s clean twin hosting a checkpointed engine at the
+    /// churn node: `window` records checkpointed into the engine plus a
+    /// `suffix` of unacked records retained upstream — the standing state
+    /// behind `broker/recover-engine-*`. Each crash/restore cycle then
+    /// tears the host out of the `n_subs`-subscription overlay, re-homes
+    /// the routing, restores the checkpoint into a rebuilt engine, and
+    /// replays (verify-mode) the retained suffix. The checkpoint interval
+    /// is effectively infinite so the simulated-time schedule never
+    /// fires: every cycle measures exactly one explicit-checkpoint
+    /// recovery, nothing more.
+    pub fn recovery_host(
+        n_subs: u64,
+        window: u64,
+        suffix: u64,
+    ) -> (cosmos_pubsub::RecoveryNetwork, NodeId) {
+        let lossy = lossy_broker(n_subs, 0.0);
+        let host = churn_node(lossy.network());
+        let mut r = cosmos_pubsub::RecoveryNetwork::new(lossy, u64::MAX / 2);
+        r.host_engine(
+            host,
+            vec![(
+                QueryId(1),
+                parse_query("SELECT R.a FROM R [Range 3600 Seconds] WHERE R.a > 0").unwrap(),
+            )],
+        );
+        let mut ts = 0i64;
+        let feed = |r: &mut cosmos_pubsub::RecoveryNetwork, n: u64, ts: &mut i64| {
+            for _ in 0..n {
+                *ts += 1;
+                assert!(r.publish(Message::new("R", *ts).with("a", Scalar::Int(25))));
+            }
+            r.settle();
+        };
+        feed(&mut r, window, &mut ts);
+        r.checkpoint_now(host);
+        feed(&mut r, suffix, &mut ts);
+        assert_eq!(r.retained(host) as u64, suffix, "exactly the suffix stays retained");
+        (r, host)
+    }
+
     /// `members` mergeable queries with exactly two distinct residual
     /// conjunctions (alternating thresholds) — the duplicated-residual
     /// workload behind `engine/shared-split-*`.

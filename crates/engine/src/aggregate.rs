@@ -109,6 +109,20 @@ impl AggregateQuery {
         self.buffer.len()
     }
 
+    /// Checkpoint extraction: window contents + counters. The compiled
+    /// shape (stream, selections, aggs, schemas) is rebuilt from the source
+    /// query at restore, so only mutable state travels.
+    pub(crate) fn snapshot(&self) -> (Vec<Arc<Tuple>>, u64, u64) {
+        (self.buffer.iter().cloned().collect(), self.emitted, self.filtered)
+    }
+
+    /// Checkpoint restore: replaces window contents and counters.
+    pub(crate) fn restore(&mut self, window: Vec<Arc<Tuple>>, emitted: u64, filtered: u64) {
+        self.buffer = window.into();
+        self.emitted = emitted;
+        self.filtered = filtered;
+    }
+
     fn evaluate(&self, func: AggFunc, attr: Symbol) -> Scalar {
         let values = self.buffer.iter().filter_map(|t| t.get_sym(attr).and_then(Scalar::as_f64));
         match func {
@@ -182,6 +196,8 @@ impl AggregateQuery {
 #[derive(Debug, Default)]
 pub struct AggregateEngine {
     queries: Vec<AggregateQuery>,
+    /// Monotone input watermark (see [`crate::checkpoint`]).
+    inputs: u64,
 }
 
 impl AggregateEngine {
@@ -206,11 +222,31 @@ impl AggregateEngine {
 
     /// Pushes a tuple; returns `(query, aggregate output)` pairs.
     pub fn push(&mut self, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
+        self.inputs += 1;
         let shared = Arc::new(tuple);
         self.queries
             .iter_mut()
             .filter_map(|q| q.push(shared.clone()).map(|t| (q.id(), t)))
             .collect()
+    }
+
+    /// Monotone input watermark: total tuples consumed via
+    /// [`AggregateEngine::push`].
+    pub fn watermark(&self) -> u64 {
+        self.inputs
+    }
+
+    /// Checkpoint hooks: queries in registration order.
+    pub(crate) fn queries(&self) -> &[AggregateQuery] {
+        &self.queries
+    }
+
+    pub(crate) fn queries_mut(&mut self) -> &mut [AggregateQuery] {
+        &mut self.queries
+    }
+
+    pub(crate) fn set_watermark(&mut self, watermark: u64) {
+        self.inputs = watermark;
     }
 }
 

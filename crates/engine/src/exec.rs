@@ -276,7 +276,7 @@ const INDEX_ACTIVATION: usize = 16;
 /// candidates that can satisfy the join key instead of scanning (and
 /// `Arc`-cloning into) every buffered tuple.
 #[derive(Debug, Clone, Default)]
-struct WindowBuffer {
+pub(crate) struct WindowBuffer {
     queue: VecDeque<Arc<Tuple>>,
     /// `(attr, key)` → tuples in arrival (= timestamp) order. Populated
     /// only while `active`.
@@ -311,6 +311,30 @@ impl WindowBuffer {
         self.queue.push_back(tuple);
         if !self.active && !self.indexed_attrs.is_empty() && self.queue.len() >= INDEX_ACTIVATION {
             self.active = true;
+            for t in &self.queue {
+                Self::index_tuple(&mut self.buckets, &self.indexed_attrs, t);
+            }
+        }
+    }
+
+    /// Checkpoint extraction: the arrival-ordered window contents plus the
+    /// sticky index-activation flag. Together with the compiled query (which
+    /// callers rebuild from its source [`Query`]) this is the buffer's
+    /// complete observable state — `active` must travel with the tuples
+    /// because probing through buckets vs. the linear queue materializes
+    /// different candidate counts ([`EngineStats::probes`] is observable).
+    pub(crate) fn snapshot(&self) -> (Vec<Arc<Tuple>>, bool) {
+        (self.queue.iter().cloned().collect(), self.active)
+    }
+
+    /// Checkpoint restore: replaces the window contents and index flag,
+    /// rebuilding the key buckets from the arrival-ordered tuples (bucket
+    /// order is derived, so the rebuild is deterministic).
+    pub(crate) fn restore(&mut self, tuples: Vec<Arc<Tuple>>, active: bool) {
+        self.queue = tuples.into();
+        self.buckets.clear();
+        self.active = active;
+        if self.active {
             for t in &self.queue {
                 Self::index_tuple(&mut self.buckets, &self.indexed_attrs, t);
             }
@@ -454,6 +478,20 @@ impl CompiledQuery {
     /// Execution counters so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Checkpoint hooks: window buffers in relation order.
+    pub(crate) fn buffers(&self) -> &[WindowBuffer] {
+        &self.buffers
+    }
+
+    pub(crate) fn buffers_mut(&mut self) -> &mut [WindowBuffer] {
+        &mut self.buffers
+    }
+
+    /// Checkpoint restore overwrites the counters wholesale.
+    pub(crate) fn set_stats(&mut self, stats: EngineStats) {
+        self.stats = stats;
     }
 
     /// Positions of relations reading `stream`.
@@ -625,6 +663,11 @@ pub struct StreamEngine {
     queries: Vec<CompiledQuery>,
     /// stream symbol → (query index, relation index) feeds.
     feeds: HashMap<Symbol, Vec<(usize, usize)>>,
+    /// Monotone input watermark: tuples consumed via [`StreamEngine::push`]
+    /// over the engine's lifetime (including tuples no query reads). The
+    /// checkpoint/recovery plane keys replay on it — see
+    /// [`crate::checkpoint`].
+    inputs: u64,
 }
 
 impl StreamEngine {
@@ -667,6 +710,7 @@ impl StreamEngine {
 
     /// Pushes one tuple, returning all results it triggers.
     pub fn push(&mut self, tuple: Tuple) -> Vec<ResultTuple> {
+        self.inputs += 1;
         let mut out = Vec::new();
         let shared = Arc::new(tuple);
         if let Some(feeds) = self.feeds.get(&shared.stream).cloned() {
@@ -675,6 +719,26 @@ impl StreamEngine {
             }
         }
         out
+    }
+
+    /// Monotone input watermark: total tuples consumed by
+    /// [`StreamEngine::push`]. After `restore`, resumes from the restored
+    /// checkpoint's watermark.
+    pub fn watermark(&self) -> u64 {
+        self.inputs
+    }
+
+    /// Checkpoint hooks: compiled queries in registration order.
+    pub(crate) fn queries(&self) -> &[CompiledQuery] {
+        &self.queries
+    }
+
+    pub(crate) fn queries_mut(&mut self) -> &mut [CompiledQuery] {
+        &mut self.queries
+    }
+
+    pub(crate) fn set_watermark(&mut self, watermark: u64) {
+        self.inputs = watermark;
     }
 
     /// The compiled query with id `id`, if registered.

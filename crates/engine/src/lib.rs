@@ -19,6 +19,12 @@
 //!   into per-query results with residual filters/projections. An engine
 //!   invariant — shared execution produces exactly the same per-query
 //!   results as independent execution — is enforced by property tests.
+//! - [`checkpoint`]: operator-state extraction and restore for crash
+//!   recovery — every stateful engine (SPJ windows + join indexes,
+//!   aggregate windows/partials, shared groups) checkpoints against a
+//!   monotone input watermark; a restored engine replayed from the
+//!   watermark converges bit-for-bit to the crash-free run. The
+//!   upstream-backup replay side lives in `cosmos-pubsub::recovery`.
 //!
 //! Tuples must arrive in non-decreasing timestamp order across all streams
 //! (the usual in-order assumption; the paper's experiments satisfy it by
@@ -43,6 +49,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod exec;
 pub mod parallel;
 pub mod reorder;
@@ -50,6 +57,10 @@ pub mod shared;
 pub mod tuple;
 
 pub use aggregate::{AggregateEngine, AggregateQuery};
+pub use checkpoint::{
+    AggregateCheckpoint, AggregateQueryState, BufferState, QueryState, SharedCheckpoint,
+    StreamCheckpoint,
+};
 pub use exec::{CompiledQuery, EngineStats, ProjPlanCache, ResultTuple, StreamEngine};
 pub use parallel::ParallelEngine;
 pub use reorder::ReorderBuffer;

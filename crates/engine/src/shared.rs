@@ -229,6 +229,24 @@ impl SharedEngine {
         self.engine.total_stats()
     }
 
+    /// Monotone input watermark of the underlying merged-query engine.
+    /// All of a [`SharedEngine`]'s mutable state lives there — groups,
+    /// residuals, and caches are compiled shape or per-push scratch — so
+    /// the checkpoint plane snapshots the inner engine alone (see
+    /// [`crate::checkpoint`]).
+    pub fn watermark(&self) -> u64 {
+        self.engine.watermark()
+    }
+
+    /// Checkpoint hooks: the underlying engine hosting the merged queries.
+    pub(crate) fn engine(&self) -> &StreamEngine {
+        &self.engine
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> &mut StreamEngine {
+        &mut self.engine
+    }
+
     /// Pushes a tuple; returns `(query, result)` pairs after splitting the
     /// shared result streams with each member's residual subscription.
     /// Each distinct residual conjunction is evaluated once per shared

@@ -1,0 +1,464 @@
+//! Engine crash-recovery differential suite.
+//!
+//! Every trial drives a *recoverable host* — an engine plus the
+//! checkpoint/retain/replay bookkeeping of `cosmos-pubsub::recovery`,
+//! reduced to a single in-process upstream — through a random
+//! interleaving of input batches, checkpoints, crashes, and restores,
+//! against a **crash-free twin** consuming the identical input serially.
+//! After every operation the host's lifetime output log and execution
+//! counters must equal the twin's **bit-for-bit**, and the retained
+//! replay suffix must be exactly the inputs above the acked checkpoint
+//! watermark (the upstream-backup retention bound).
+//!
+//! Crashes land mid-window by construction: batches are small, windows
+//! span many batches, and the op schedule interleaves freely — so
+//! checkpoints race crashes, windows are partially filled, and joins are
+//! in flight at most failure points.
+//!
+//! All three stateful engines run the same schedule: [`StreamEngine`]
+//! (SPJ window joins), [`AggregateEngine`], and [`SharedEngine`].
+//!
+//! A failing trial prints its seed and op index;
+//! `COSMOS_RECOVERY_TRIAL=<n>` reruns exactly that trial.
+//! `COSMOS_STRESS=1` raises trial counts.
+//!
+//! The proptests pin the core algebraic law the suite leans on:
+//! `restore(extract(e))` is observationally identical to `e` on
+//! arbitrary subsequent input — push-for-push output equality.
+
+use cosmos_engine::aggregate::AggregateEngine;
+use cosmos_engine::checkpoint::{AggregateCheckpoint, SharedCheckpoint, StreamCheckpoint};
+use cosmos_engine::exec::{EngineStats, StreamEngine};
+use cosmos_engine::shared::SharedEngine;
+use cosmos_engine::tuple::Tuple;
+use cosmos_query::{parse_query, Query, QueryId, Scalar};
+use cosmos_util::rng::rng_for;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+fn stress() -> bool {
+    std::env::var("COSMOS_STRESS").is_ok_and(|v| v == "1")
+}
+
+/// `COSMOS_RECOVERY_TRIAL=<n>` replays a single failing trial.
+fn trial_override() -> Option<u64> {
+    std::env::var("COSMOS_RECOVERY_TRIAL").ok().and_then(|v| v.parse().ok())
+}
+
+thread_local! {
+    /// Op index of the step currently executing, for failure reports.
+    static STEP: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The uniform engine surface the differential harness drives. Each
+/// implementor rebuilds from its query set on crash and restores the
+/// last checkpoint, exactly like a restarted broker host.
+trait Recoverable: Sized {
+    type Cp;
+    type Out: PartialEq + std::fmt::Debug + Clone;
+    fn build(queries: &[(QueryId, Query)]) -> Self;
+    fn feed(&mut self, t: Tuple) -> Vec<Self::Out>;
+    fn extract(&self) -> Self::Cp;
+    fn restore_cp(&mut self, cp: &Self::Cp);
+    /// Execution counters, where the engine exposes them.
+    fn stats(&self) -> Option<EngineStats>;
+}
+
+impl Recoverable for StreamEngine {
+    type Cp = StreamCheckpoint;
+    type Out = cosmos_engine::exec::ResultTuple;
+    fn build(queries: &[(QueryId, Query)]) -> Self {
+        let mut e = StreamEngine::new();
+        for (id, q) in queries {
+            e.add_query(*id, q.clone());
+        }
+        e
+    }
+    fn feed(&mut self, t: Tuple) -> Vec<Self::Out> {
+        self.push(t)
+    }
+    fn extract(&self) -> Self::Cp {
+        self.checkpoint()
+    }
+    fn restore_cp(&mut self, cp: &Self::Cp) {
+        self.restore(cp);
+    }
+    fn stats(&self) -> Option<EngineStats> {
+        Some(self.total_stats())
+    }
+}
+
+impl Recoverable for AggregateEngine {
+    type Cp = AggregateCheckpoint;
+    type Out = (QueryId, Tuple);
+    fn build(queries: &[(QueryId, Query)]) -> Self {
+        let mut e = AggregateEngine::new();
+        for (id, q) in queries {
+            e.add_query(*id, q.clone());
+        }
+        e
+    }
+    fn feed(&mut self, t: Tuple) -> Vec<Self::Out> {
+        self.push(t)
+    }
+    fn extract(&self) -> Self::Cp {
+        self.checkpoint()
+    }
+    fn restore_cp(&mut self, cp: &Self::Cp) {
+        self.restore(cp);
+    }
+    fn stats(&self) -> Option<EngineStats> {
+        None
+    }
+}
+
+impl Recoverable for SharedEngine {
+    type Cp = SharedCheckpoint;
+    type Out = (QueryId, Tuple);
+    fn build(queries: &[(QueryId, Query)]) -> Self {
+        SharedEngine::build(queries.to_vec())
+    }
+    fn feed(&mut self, t: Tuple) -> Vec<Self::Out> {
+        self.push(t)
+    }
+    fn extract(&self) -> Self::Cp {
+        self.checkpoint()
+    }
+    fn restore_cp(&mut self, cp: &Self::Cp) {
+        self.restore(cp);
+    }
+    fn stats(&self) -> Option<EngineStats> {
+        Some(self.stats())
+    }
+}
+
+/// One engine host with upstream-backup bookkeeping: retained replay
+/// suffix, checkpoint watermark, crash/replay output verification —
+/// the in-process reduction of `cosmos-pubsub::recovery`.
+struct Host<E: Recoverable> {
+    queries: Vec<(QueryId, Query)>,
+    /// `None` while crashed.
+    engine: Option<E>,
+    /// Seq-tagged unacked inputs; truncated at every checkpoint.
+    retained: VecDeque<(u64, Tuple)>,
+    next_seq: u64,
+    consumed: u64,
+    acked: u64,
+    consumed_at_crash: u64,
+    verify_cursor: usize,
+    outputs_at_checkpoint: usize,
+    last_cp: Option<E::Cp>,
+    /// Lifetime output log — survives crashes, verified during replay.
+    outputs: Vec<E::Out>,
+}
+
+impl<E: Recoverable> Host<E> {
+    fn new(queries: Vec<(QueryId, Query)>) -> Self {
+        Self {
+            engine: Some(E::build(&queries)),
+            queries,
+            retained: VecDeque::new(),
+            next_seq: 0,
+            consumed: 0,
+            acked: 0,
+            consumed_at_crash: 0,
+            verify_cursor: 0,
+            outputs_at_checkpoint: 0,
+            last_cp: None,
+            outputs: Vec::new(),
+        }
+    }
+
+    fn is_up(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Retains the input (crashed or not) and feeds a live engine.
+    fn publish(&mut self, t: Tuple) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.retained.push_back((seq, t));
+        if self.is_up() {
+            self.feed_all();
+        }
+    }
+
+    /// Consumes every retained input above the engine's watermark, in
+    /// seq order. Below the crash mark, outputs verify against the
+    /// pre-crash log instead of re-emitting (output-side dedup).
+    fn feed_all(&mut self) {
+        let engine = self.engine.as_mut().expect("feeding a live engine");
+        while self.consumed < self.next_seq {
+            let seq = self.consumed;
+            let i = self.retained.partition_point(|(s, _)| *s < seq);
+            let (s, t) = self.retained.get(i).expect("unacked input is retained");
+            assert_eq!(*s, seq, "replay log must be seq-dense above the ack watermark");
+            let out = engine.feed(t.clone());
+            self.consumed += 1;
+            if self.consumed <= self.consumed_at_crash {
+                for o in out {
+                    assert!(
+                        self.verify_cursor < self.outputs.len(),
+                        "replay produced more outputs than the pre-crash run"
+                    );
+                    assert_eq!(
+                        self.outputs[self.verify_cursor], o,
+                        "replayed output diverged from the pre-crash log"
+                    );
+                    self.verify_cursor += 1;
+                }
+                if self.consumed == self.consumed_at_crash {
+                    assert_eq!(
+                        self.verify_cursor,
+                        self.outputs.len(),
+                        "replay must regenerate exactly the pre-crash outputs"
+                    );
+                }
+            } else {
+                self.outputs.extend(out);
+            }
+        }
+    }
+
+    /// Extracts a checkpoint and truncates the replay log at its
+    /// watermark, asserting the retention bound.
+    fn checkpoint(&mut self) {
+        let engine = self.engine.as_ref().expect("checkpointing a live engine");
+        self.last_cp = Some(engine.extract());
+        self.acked = self.consumed;
+        self.outputs_at_checkpoint = self.outputs.len();
+        while self.retained.front().is_some_and(|&(s, _)| s < self.acked) {
+            self.retained.pop_front();
+        }
+        assert_eq!(
+            self.retained.len() as u64,
+            self.next_seq - self.acked,
+            "replay retention must be exactly the unacked suffix"
+        );
+    }
+
+    fn crash(&mut self) {
+        assert!(self.is_up(), "host is already down");
+        self.engine = None;
+        self.consumed_at_crash = self.consumed;
+    }
+
+    /// Rebuilds the engine from the query set, restores the last
+    /// checkpoint, and replays the retained suffix.
+    fn restore(&mut self) {
+        assert!(!self.is_up(), "host is already up");
+        let mut engine = E::build(&self.queries);
+        match &self.last_cp {
+            Some(cp) => {
+                engine.restore_cp(cp);
+                self.consumed = self.acked;
+                self.verify_cursor = self.outputs_at_checkpoint;
+            }
+            None => {
+                self.consumed = 0;
+                self.verify_cursor = 0;
+            }
+        }
+        self.engine = Some(engine);
+        self.feed_all();
+    }
+}
+
+/// Random in-order tuple over small key/value domains (small keys force
+/// join hits; ties and duplicates are common by design).
+fn random_tuple(rng: &mut StdRng, streams: &[&str], ts: &mut i64) -> Tuple {
+    *ts += rng.gen_range(0i64..4_000);
+    Tuple::new(streams[rng.gen_range(0..streams.len())], *ts)
+        .with("k", Scalar::Int(rng.gen_range(0i64..5)))
+        .with("v", Scalar::Int(rng.gen_range(-20i64..20)))
+}
+
+/// One randomized trial: host vs crash-free twin over an identical
+/// input schedule, compared bit-for-bit after every operation.
+fn run_trial<E: Recoverable>(trial: u64, label: &str, pool: &[&str], streams: &[&str]) {
+    let mut rng = rng_for(trial, label);
+    let n_queries = rng.gen_range(1..=pool.len().min(4));
+    let queries: Vec<(QueryId, Query)> = (0..n_queries)
+        .map(|i| {
+            let q = pool[rng.gen_range(0..pool.len())];
+            (QueryId(i as u64 + 1), parse_query(q).expect("pool query parses"))
+        })
+        .collect();
+    let mut host: Host<E> = Host::new(queries.clone());
+    let mut twin = E::build(&queries);
+    let mut twin_out: Vec<E::Out> = Vec::new();
+    let mut ts = 0i64;
+    for step in 0..rng.gen_range(30u32..70) {
+        STEP.set(step);
+        let roll = rng.gen_range(0u32..100);
+        if roll < 55 {
+            for _ in 0..rng.gen_range(1u32..6) {
+                let t = random_tuple(&mut rng, streams, &mut ts);
+                twin_out.extend(twin.feed(t.clone()));
+                host.publish(t);
+            }
+        } else if roll < 70 {
+            if host.is_up() {
+                host.checkpoint();
+            }
+        } else if roll < 85 {
+            if host.is_up() {
+                host.crash();
+            }
+        } else if !host.is_up() {
+            host.restore();
+        }
+        if host.is_up() {
+            assert_eq!(host.outputs, twin_out, "output log diverged from the crash-free twin");
+            let (h, t) = (host.engine.as_ref().unwrap().stats(), twin.stats());
+            assert_eq!(h, t, "execution counters diverged from the crash-free twin");
+        }
+    }
+    STEP.set(u32::MAX);
+    if !host.is_up() {
+        host.restore();
+    }
+    assert_eq!(host.outputs, twin_out, "final output log diverged from the crash-free twin");
+    assert_eq!(
+        host.engine.as_ref().unwrap().stats(),
+        twin.stats(),
+        "final execution counters diverged from the crash-free twin"
+    );
+}
+
+/// Runs `trials` trials (or the single `COSMOS_RECOVERY_TRIAL`
+/// override), reporting seed + op index of any failure.
+fn run_suite<E: Recoverable>(trials: u64, label: &'static str, pool: &[&str], streams: &[&str]) {
+    for trial in 0..trials {
+        if trial_override().is_some_and(|t| t != trial) {
+            continue;
+        }
+        if let Err(e) =
+            catch_unwind(AssertUnwindSafe(|| run_trial::<E>(trial, label, pool, streams)))
+        {
+            let step = STEP.get();
+            let at =
+                if step == u32::MAX { "final convergence".into() } else { format!("op {step}") };
+            eprintln!(
+                "{label} trial {trial} failed at {at}; rerun with \
+                 COSMOS_RECOVERY_TRIAL={trial} cargo test -p cosmos-engine --test recovery"
+            );
+            resume_unwind(e);
+        }
+    }
+}
+
+const STREAM_POOL: [&str; 5] = [
+    "SELECT * FROM R [Range 60 Seconds], S [Now] WHERE R.k = S.k",
+    "SELECT R.v, S.v FROM R [Range 30 Seconds], S [Range 30 Seconds] WHERE R.k = S.k",
+    "SELECT R.v FROM R [Range 90 Seconds] WHERE R.v > 5",
+    "SELECT * FROM S [Range 45 Seconds], T [Now] WHERE S.k = T.k",
+    "SELECT R.v, T.v FROM R [Range 20 Seconds], T [Range 120 Seconds] WHERE R.v = T.v",
+];
+
+const AGG_POOL: [&str; 4] = [
+    "SELECT COUNT(R.v), SUM(R.v) FROM R [Range 60 Seconds]",
+    "SELECT AVG(S.v) FROM S [Range 30 Seconds]",
+    "SELECT MIN(T.v), MAX(T.v) FROM T [Unbounded]",
+    "SELECT COUNT(R.v) FROM R [Range 90 Seconds] WHERE R.v > 0",
+];
+
+const SHARED_POOL: [&str; 4] = [
+    "SELECT R.v FROM R [Range 60 Seconds], S [Now] WHERE R.k = S.k AND R.v > 3",
+    "SELECT R.v, S.v FROM R [Range 60 Seconds], S [Now] WHERE R.k = S.k",
+    "SELECT S.v FROM R [Range 60 Seconds], S [Now] WHERE R.k = S.k AND S.v < 10",
+    "SELECT R.k FROM R [Range 60 Seconds], S [Now] WHERE R.k = S.k AND R.v = S.v",
+];
+
+const STREAMS: [&str; 3] = ["R", "S", "T"];
+const RS: [&str; 2] = ["R", "S"];
+
+#[test]
+fn stream_engine_recovers_bit_for_bit() {
+    run_suite::<StreamEngine>(
+        if stress() { 64 } else { 20 },
+        "recovery-stream",
+        &STREAM_POOL,
+        &STREAMS,
+    );
+}
+
+#[test]
+fn aggregate_engine_recovers_bit_for_bit() {
+    run_suite::<AggregateEngine>(
+        if stress() { 48 } else { 16 },
+        "recovery-agg",
+        &AGG_POOL,
+        &STREAMS,
+    );
+}
+
+#[test]
+fn shared_engine_recovers_bit_for_bit() {
+    run_suite::<SharedEngine>(if stress() { 48 } else { 16 }, "recovery-shared", &SHARED_POOL, &RS);
+}
+
+/// Builds engine pairs `(original, restored-from-checkpoint)` after a
+/// prefix, then proves push-for-push observational identity on an
+/// arbitrary suffix.
+fn split_feed<E: Recoverable>(
+    queries: &[(QueryId, Query)],
+    prefix: &[Tuple],
+    suffix: &[Tuple],
+) -> Result<(), String> {
+    let mut a = E::build(queries);
+    for t in prefix {
+        a.feed(t.clone());
+    }
+    let mut c = E::build(queries);
+    c.restore_cp(&a.extract());
+    for t in suffix {
+        prop_assert_eq!(a.feed(t.clone()), c.feed(t.clone()), "push-for-push outputs diverged");
+    }
+    prop_assert_eq!(a.stats(), c.stats());
+    Ok(())
+}
+
+/// `(ts deltas, keys, values, stream picks)` → an in-order tuple batch.
+fn tuples(spec: Vec<(i64, i64, i64, u8)>, streams: &[&str], ts0: &mut i64) -> Vec<Tuple> {
+    spec.into_iter()
+        .map(|(dt, k, v, s)| {
+            *ts0 += dt;
+            Tuple::new(streams[s as usize % streams.len()], *ts0)
+                .with("k", Scalar::Int(k))
+                .with("v", Scalar::Int(v))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `restore(extract(e))` is observationally identical to `e` on
+    /// arbitrary subsequent input, for all three stateful engines.
+    #[test]
+    fn restore_of_extract_is_observationally_identical(
+        pre in proptest::collection::vec((0i64..3_000, 0i64..5, -20i64..20, 0u8..3), 0..50),
+        post in proptest::collection::vec((0i64..3_000, 0i64..5, -20i64..20, 0u8..3), 0..50),
+        picks in proptest::collection::vec(0usize..5, 1..4),
+    ) {
+        let mut ts = 0i64;
+        let prefix = tuples(pre, &STREAMS, &mut ts);
+        let suffix = tuples(post, &STREAMS, &mut ts);
+        let qs = |pool: &[&str]| -> Vec<(QueryId, Query)> {
+            picks.iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    (QueryId(i as u64 + 1), parse_query(pool[p % pool.len()]).unwrap())
+                })
+                .collect()
+        };
+        split_feed::<StreamEngine>(&qs(&STREAM_POOL), &prefix, &suffix)?;
+        split_feed::<AggregateEngine>(&qs(&AGG_POOL), &prefix, &suffix)?;
+        split_feed::<SharedEngine>(&qs(&SHARED_POOL), &prefix, &suffix)?;
+    }
+}

@@ -24,6 +24,12 @@
 //!   per-link reliable exactly-once delivery (sequence numbers,
 //!   ack/retransmit with bounded backoff over simulated time, dedup
 //!   windows), converging bit-for-bit to the fault-free delivery log.
+//! - [`recovery`]: the crash-recovery plane — engine-hosting brokers
+//!   checkpoint their operator state against a monotone input watermark
+//!   while every upstream source retains a bounded replay log of the
+//!   records it forwarded; on crash + restore the engine reloads its last
+//!   checkpoint, upstreams replay the unacked suffix, and the recovered
+//!   output log converges bit-for-bit to the crash-free run.
 //! - [`snapshot`]: the parallel data plane — immutable
 //!   [`RoutingSnapshot`]s frozen from the broker's routing state, matched
 //!   lock-free by any number of concurrent [`SnapshotReader`]s while
@@ -53,6 +59,7 @@
 pub mod broker;
 pub mod fault;
 pub mod index;
+pub mod recovery;
 pub mod reliable;
 pub mod snapshot;
 pub mod subscription;
@@ -61,6 +68,7 @@ pub mod traffic;
 pub use broker::{BrokerNetwork, Delivery, DeliveryLog, LinkStats};
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use index::RoutingTable;
+pub use recovery::RecoveryNetwork;
 pub use reliable::LossyNetwork;
 pub use snapshot::{merge_outputs, ReaderOutput, RoutingSnapshot, SnapshotReader};
 pub use subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};

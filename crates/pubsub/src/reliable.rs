@@ -316,6 +316,13 @@ impl LossyNetwork {
         &self.plan
     }
 
+    /// Current simulated time of the message plane's clock. External
+    /// schedules (e.g. checkpoint timers in [`crate::recovery`]) pace
+    /// themselves against this tick.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
     /// Clears delivery and traffic accounting (both layers), keeping
     /// protocol state — sequence numbers survive like the wrapped
     /// network's routing state does across [`BrokerNetwork::reset_stats`].
@@ -578,6 +585,29 @@ mod tests {
         // A degenerate zero base still ticks forward.
         let mut z = Backoff::new(0);
         assert_eq!(z.next(), 1);
+    }
+
+    /// A recovery cycle must not leak pre-crash escalation: while the
+    /// peer is down every retransmission doubles the timeout toward the
+    /// cap, but the first ack after the peer returns resets the link to
+    /// a *fresh* schedule — the post-recovery timeout sequence is
+    /// indistinguishable from a brand-new link's.
+    #[test]
+    fn backoff_resets_to_fresh_schedule_after_recovery() {
+        let mut b = Backoff::new(250);
+        // Peer down: retransmission timer escalates all the way to cap
+        // and stays there however long the outage lasts.
+        let escalated: Vec<u64> = (0..10).map(|_| b.next()).collect();
+        assert_eq!(*escalated.last().unwrap(), 250 * RTO_CAP_FACTOR);
+        assert_eq!(b.next(), 250 * RTO_CAP_FACTOR, "cap is sticky while the peer is down");
+        // Peer recovered: the first ack-progress reset restarts the
+        // schedule from base, exactly matching a fresh link.
+        b.reset();
+        let mut fresh = Backoff::new(250);
+        let after: Vec<u64> = (0..10).map(|_| b.next()).collect();
+        let new_link: Vec<u64> = (0..10).map(|_| fresh.next()).collect();
+        assert_eq!(after, new_link, "post-recovery schedule must equal a fresh link's");
+        assert_eq!(after[0], 250);
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! ledger. [`BrokerNetwork::check_ledger_consistency`] is asserted on
 //! every network after every control-plane operation.
 //!
-//! `COSMOS_STRESS=1` raises the trial count and the fault rates.
+//! `COSMOS_STRESS=1` raises the trial count and the fault rates. A
+//! failing trial prints its seed and op index; `COSMOS_CHAOS_TRIAL=<n>`
+//! reruns exactly that trial.
 
 use cosmos_net::{NodeId, Topology};
 use cosmos_pubsub::broker::BrokerNetwork;
@@ -33,7 +35,9 @@ use cosmos_query::{AttrRef, CmpOp, Predicate, Scalar};
 use cosmos_util::rng::rng_for;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 const STREAMS: [&str; 3] = ["A", "B", "C"];
 const ATTRS: [&str; 3] = ["a", "b", "c"];
@@ -41,6 +45,16 @@ const OPS: [CmpOp; 6] = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, 
 
 fn stress() -> bool {
     std::env::var("COSMOS_STRESS").is_ok_and(|v| v == "1")
+}
+
+/// `COSMOS_CHAOS_TRIAL=<n>` replays a single failing trial.
+fn trial_override() -> Option<u64> {
+    std::env::var("COSMOS_CHAOS_TRIAL").ok().and_then(|v| v.parse().ok())
+}
+
+thread_local! {
+    /// Op index of the step currently executing, for failure reports.
+    static STEP: Cell<u32> = const { Cell::new(0) };
 }
 
 /// A random connected topology: a spanning tree plus a few extra edges
@@ -165,20 +179,12 @@ impl Trial {
     }
 }
 
-/// ≥20 randomized trials of interleaved broker crashes, link flaps, and
-/// seeded message-fault schedules: the lossy plane must converge to the
-/// fault-free wholesale oracle's exact delivery log and per-link stats,
-/// with ledger consistency asserted after every operation.
-#[test]
-fn chaos_converges_to_fault_free_oracle() {
-    let trials: u64 = if stress() { 60 } else { 24 };
-    let cfg = if stress() {
-        FaultConfig { drop: 0.12, duplicate: 0.08, reorder: 0.1, max_extra_ticks: 1500 }
-    } else {
-        FaultConfig { drop: 0.07, duplicate: 0.04, reorder: 0.06, max_extra_ticks: 900 }
-    };
-    let (mut total_faults, mut total_retransmissions) = (0u64, 0u64);
-    for trial in 0..trials {
+/// One randomized trial of interleaved broker crashes, link flaps, and
+/// seeded message-fault schedules; returns `(injected faults,
+/// retransmissions)` for the suite's activity floor.
+fn run_trial(trial: u64, cfg: FaultConfig) -> (u64, u64) {
+    let mut total_retransmissions = 0u64;
+    {
         let mut rng = rng_for(trial, "chaos");
         let topo = random_topology(&mut rng);
         let nodes = topo.node_count() as u32;
@@ -210,6 +216,7 @@ fn chaos_converges_to_fault_free_oracle() {
         let mut ts = 0i64;
         let mut batch = 0u32;
         for step in 0..rng.gen_range(35u32..70) {
+            STEP.set(step);
             let roll = rng.gen_range(0u32..100);
             if roll < 10 && !t.live.is_empty() {
                 for _ in 0..rng.gen_range(1usize..4).min(t.live.len()) {
@@ -334,13 +341,51 @@ fn chaos_converges_to_fault_free_oracle() {
                 t.oracle.reset_stats();
             }
         }
-        total_faults += t.lossy.fault_plan().total_injected();
         total_retransmissions += t.lossy.retransmissions();
+        (t.lossy.fault_plan().total_injected(), total_retransmissions)
+    }
+}
+
+/// ≥20 randomized trials of interleaved broker crashes, link flaps, and
+/// seeded message-fault schedules: the lossy plane must converge to the
+/// fault-free wholesale oracle's exact delivery log and per-link stats,
+/// with ledger consistency asserted after every operation. A failing
+/// trial reports its seed and op index for one-line reproduction.
+#[test]
+fn chaos_converges_to_fault_free_oracle() {
+    let trials: u64 = if stress() { 60 } else { 24 };
+    let cfg = if stress() {
+        FaultConfig { drop: 0.12, duplicate: 0.08, reorder: 0.1, max_extra_ticks: 1500 }
+    } else {
+        FaultConfig { drop: 0.07, duplicate: 0.04, reorder: 0.06, max_extra_ticks: 900 }
+    };
+    let (mut total_faults, mut total_retransmissions) = (0u64, 0u64);
+    for trial in 0..trials {
+        if trial_override().is_some_and(|t| t != trial) {
+            continue;
+        }
+        match catch_unwind(AssertUnwindSafe(|| run_trial(trial, cfg))) {
+            Ok((faults, rtx)) => {
+                total_faults += faults;
+                total_retransmissions += rtx;
+            }
+            Err(e) => {
+                eprintln!(
+                    "chaos trial {trial} failed at op {}; rerun with \
+                     COSMOS_CHAOS_TRIAL={trial} cargo test -p cosmos-pubsub --test chaos",
+                    STEP.get()
+                );
+                resume_unwind(e);
+            }
+        }
     }
     // The suite must actually have exercised the adversary: plenty of
-    // injected faults, and drops forcing timer-driven retransmissions.
-    assert!(total_faults > 500, "fault plan barely fired ({total_faults} faults)");
-    assert!(total_retransmissions > 50, "retransmission path barely fired");
+    // injected faults, and drops forcing timer-driven retransmissions —
+    // unless a single-trial override narrowed the run on purpose.
+    if trial_override().is_none() {
+        assert!(total_faults > 500, "fault plan barely fired ({total_faults} faults)");
+        assert!(total_retransmissions > 50, "retransmission path barely fired");
+    }
 }
 
 /// Deterministic replay: the same seed must reproduce the exact same

@@ -27,5 +27,5 @@ pub mod sensors;
 pub mod sim;
 
 pub use generator::{generate_queries, WorkloadConfig};
-pub use params::PaperParams;
-pub use sim::Simulation;
+pub use params::{PaperParams, RecoveryParams};
+pub use sim::{FaultOp, RecoverySim, Simulation};

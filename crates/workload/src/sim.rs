@@ -10,14 +10,18 @@
 //! adaptation rounds (Figures 7/8/10).
 
 use crate::generator::{QueryGenerator, WorkloadConfig};
-use crate::params::PaperParams;
+use crate::params::{PaperParams, RecoveryParams};
 use cosmos_core::adaptive::{adapt, AdaptConfig, AdaptOutcome};
 use cosmos_core::distribute::{DistConfig, Distributor};
 use cosmos_core::hierarchy::CoordinatorTree;
 use cosmos_core::online::OnlineRouter;
 use cosmos_core::spec::{Assignment, QuerySpec};
 use cosmos_net::{Deployment, NodeId, Topology};
-use cosmos_pubsub::{BrokerNetwork, SubId, Subscription, SubstreamTable, TrafficModel};
+use cosmos_pubsub::{
+    BrokerNetwork, LossyNetwork, Message, RecoveryNetwork, SubId, Subscription, SubstreamTable,
+    TrafficModel,
+};
+use cosmos_query::{Query, QueryId};
 use cosmos_util::rng::rng_for;
 use cosmos_util::stats::stddev;
 use cosmos_util::Symbol;
@@ -112,6 +116,195 @@ impl BrokerSim {
         #[cfg(debug_assertions)]
         if let Err(why) = self.net.check_ledger_consistency() {
             panic!("ledger drift after {op}: {why}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = op;
+    }
+}
+
+/// Outcome of one [`RecoverySim::fault_step`] roll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Crashed the named engine host.
+    Killed(NodeId),
+    /// Restored the named engine host (reverse crash order).
+    Restored(NodeId),
+    /// No fault this step: the roll landed in the workload share, no host
+    /// was safely killable, or nothing was down to restore.
+    Idle,
+}
+
+/// A [`RecoveryNetwork`] whose churn operations re-validate the broker
+/// ledger *and* the replay-retention bound after every step in debug
+/// builds — the crash-recovery analogue of [`BrokerSim`].
+///
+/// Beyond auditing, it turns [`RecoveryParams`] into workload behaviour:
+/// the checkpoint interval paces the simulated-time schedule, and
+/// [`RecoverySim::fault_step`] rolls the kill/restore weights into the
+/// step mix, guarding kills so the surviving overlay stays connected
+/// (an engine cut off from its upstreams could never converge) and
+/// restoring in reverse crash order (the only order guaranteed to
+/// rebuild the pre-crash topology from the saved edge batches).
+#[derive(Debug)]
+pub struct RecoverySim {
+    r: RecoveryNetwork,
+    params: RecoveryParams,
+    crash_stack: Vec<NodeId>,
+}
+
+impl RecoverySim {
+    /// Wraps a recovery network over `lossy`, checkpointing at the
+    /// scenario's interval. Rejects invalid knobs up front (see
+    /// [`RecoveryParams::validate`]).
+    pub fn new(lossy: LossyNetwork, params: RecoveryParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(Self {
+            r: RecoveryNetwork::new(lossy, params.checkpoint_interval),
+            params,
+            crash_stack: Vec::new(),
+        })
+    }
+
+    /// The scenario knobs this simulator runs under.
+    pub fn params(&self) -> &RecoveryParams {
+        &self.params
+    }
+
+    /// Read access to the wrapped recovery network.
+    pub fn recovery(&self) -> &RecoveryNetwork {
+        &self.r
+    }
+
+    /// Mutable access to the wrapped network. Churn performed through
+    /// this borrow bypasses the debug audit and the crash stack; prefer
+    /// the wrapper's own operations.
+    pub fn recovery_mut(&mut self) -> &mut RecoveryNetwork {
+        &mut self.r
+    }
+
+    /// Unwraps the audited network.
+    pub fn into_inner(self) -> RecoveryNetwork {
+        self.r
+    }
+
+    /// Hosts whose engines are currently down, most recent crash last.
+    pub fn crashed(&self) -> &[NodeId] {
+        &self.crash_stack
+    }
+
+    /// [`RecoveryNetwork::host_engine`], audited.
+    pub fn host_engine(&mut self, node: NodeId, queries: Vec<(QueryId, Query)>) {
+        self.r.host_engine(node, queries);
+        self.audit("host_engine");
+    }
+
+    /// [`RecoveryNetwork::publish`] — unaudited, it is the hot path; the
+    /// next settle or churn operation audits its effects.
+    pub fn publish(&mut self, msg: Message) -> bool {
+        self.r.publish(msg)
+    }
+
+    /// [`RecoveryNetwork::settle`], audited.
+    pub fn settle(&mut self) {
+        self.r.settle();
+        self.audit("settle");
+    }
+
+    /// [`RecoveryNetwork::checkpoint_now`], audited.
+    pub fn checkpoint_now(&mut self, node: NodeId) {
+        self.r.checkpoint_now(node);
+        self.audit("checkpoint_now");
+    }
+
+    /// [`RecoveryNetwork::crash_host`], audited and recorded on the
+    /// crash stack.
+    pub fn crash_host(&mut self, node: NodeId) {
+        self.r.crash_host(node);
+        self.crash_stack.push(node);
+        self.audit("crash_host");
+    }
+
+    /// [`RecoveryNetwork::restore_host`], audited and removed from the
+    /// crash stack.
+    pub fn restore_host(&mut self, node: NodeId) {
+        self.r.restore_host(node);
+        self.crash_stack.retain(|&n| n != node);
+        self.audit("restore_host");
+    }
+
+    /// Rolls one fault-plane step of the workload mix. `roll` is taken
+    /// modulo 100 against the scenario weights: the kill share crashes a
+    /// safely killable host (chosen by `pick`), the restore share brings
+    /// back the most recently crashed one, and the rest of the budget is
+    /// the caller's workload (publishes) — [`FaultOp::Idle`] here.
+    pub fn fault_step(&mut self, roll: u32, pick: usize) -> FaultOp {
+        let roll = roll % 100;
+        if roll < self.params.kill_weight {
+            let candidates = self.killable();
+            if candidates.is_empty() {
+                return FaultOp::Idle;
+            }
+            let victim = candidates[pick % candidates.len()];
+            self.crash_host(victim);
+            return FaultOp::Killed(victim);
+        }
+        if roll < self.params.kill_weight + self.params.restore_weight {
+            if let Some(&node) = self.crash_stack.last() {
+                self.restore_host(node);
+                return FaultOp::Restored(node);
+            }
+        }
+        FaultOp::Idle
+    }
+
+    /// Live engine hosts whose crash would keep every surviving node in
+    /// one connected component — the overlay can then still route every
+    /// publish to every live engine, so replay logs stay bounded and
+    /// recovery converges.
+    fn killable(&self) -> Vec<NodeId> {
+        let topo = self.r.network().topology();
+        let down: Vec<NodeId> = self.r.host_nodes().filter(|&n| !self.r.is_up(n)).collect();
+        let live: Vec<NodeId> = self.r.host_nodes().filter(|&n| self.r.is_up(n)).collect();
+        live.into_iter()
+            .filter(|&victim| {
+                let dead: Vec<NodeId> =
+                    down.iter().copied().chain(std::iter::once(victim)).collect();
+                let Some(start) =
+                    (0..topo.node_count() as u32).map(NodeId).find(|n| !dead.contains(n))
+                else {
+                    return false;
+                };
+                let mut seen = vec![start];
+                let mut stack = vec![start];
+                while let Some(u) = stack.pop() {
+                    for (v, _) in topo.neighbors(u) {
+                        if !dead.contains(&v) && !seen.contains(&v) {
+                            seen.push(v);
+                            stack.push(v);
+                        }
+                    }
+                }
+                seen.len() + dead.len() == topo.node_count()
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn audit(&self, op: &str) {
+        #[cfg(debug_assertions)]
+        {
+            if let Err(why) = self.r.network().check_ledger_consistency() {
+                panic!("ledger drift after {op}: {why}");
+            }
+            for n in self.r.host_nodes() {
+                let retained = self.r.retained(n) as u64;
+                let unacked = self.r.input_seq(n) - self.r.acked_watermark(n);
+                assert_eq!(
+                    retained, unacked,
+                    "replay retention drift at host {n} after {op}: \
+                     {retained} retained vs {unacked} unacked"
+                );
+            }
         }
         #[cfg(not(debug_assertions))]
         let _ = op;
@@ -426,6 +619,61 @@ mod tests {
         b.unsubscribe(SubId(1));
         assert!(b.network().check_ledger_consistency().is_ok());
         assert_eq!(b.into_inner().topology().node_count(), 5);
+    }
+
+    #[test]
+    fn recovery_sim_audits_fault_steps_and_bounds_retention() {
+        use cosmos_pubsub::{FaultConfig, FaultPlan};
+        use cosmos_query::{parse_query, QueryId, Scalar};
+        // A 5-node ring: any single crash leaves the survivors connected,
+        // so both engine hosts are always killable.
+        let mut topo = Topology::new(5);
+        for i in 0..5u32 {
+            topo.add_edge(NodeId(i), NodeId((i + 1) % 5), 1.0);
+        }
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        let lossy = LossyNetwork::new(net, FaultPlan::new(11, FaultConfig::clean()));
+        let params =
+            RecoveryParams { checkpoint_interval: 10_000, kill_weight: 10, restore_weight: 10 };
+        let mut s = RecoverySim::new(lossy, params).expect("valid knobs");
+        let q = parse_query("SELECT R.v FROM R [Range 60 Seconds] WHERE R.v > 0")
+            .expect("query parses");
+        s.host_engine(NodeId(2), vec![(QueryId(1), q.clone())]);
+        s.host_engine(NodeId(3), vec![(QueryId(2), q)]);
+        fn feed(s: &mut RecoverySim, n: usize, ts: &mut i64) {
+            for _ in 0..n {
+                *ts += 1;
+                assert!(s.publish(Message::new("R", *ts).with("v", Scalar::Int(5))));
+            }
+            s.settle();
+        }
+        let mut ts = 0i64;
+        feed(&mut s, 8, &mut ts);
+        // The kill share of the roll budget crashes a killable host...
+        let FaultOp::Killed(victim) = s.fault_step(0, 1) else {
+            panic!("kill share must fire with live hosts");
+        };
+        assert!(!s.recovery().is_up(victim));
+        assert_eq!(s.crashed(), &[victim]);
+        // ...the workload share does nothing...
+        assert_eq!(s.fault_step(95, 0), FaultOp::Idle);
+        // ...records published during downtime are retained for replay...
+        feed(&mut s, 6, &mut ts);
+        assert!(s.recovery().retained(victim) >= 6);
+        // ...and the restore share brings back the most recent crash.
+        assert_eq!(s.fault_step(params.kill_weight, 0), FaultOp::Restored(victim));
+        assert!(s.crashed().is_empty());
+        feed(&mut s, 4, &mut ts);
+        // Replay closed the downtime gap: both hosts output all 18
+        // records; an explicit checkpoint acks and truncates retention.
+        for n in [NodeId(2), NodeId(3)] {
+            assert_eq!(s.recovery().output_log(n).len(), 18);
+            s.checkpoint_now(n);
+            assert_eq!(s.recovery().retained(n), 0);
+        }
+        // The restore share with nothing down is a no-op.
+        assert_eq!(s.fault_step(params.kill_weight, 0), FaultOp::Idle);
     }
 
     #[test]
