@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cosmos_bench::fixtures::{
-    arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, checkpointed_engine, churn_link, churn_node, lossy_broker, recovery_host,
-    scaling_message, scaling_sub, shared_split_queries,
+    arrival_sub, batch_round, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
+    broker_with_distinct_subs_bulk, broker_with_subs, checkpointed_engine, churn_link, churn_node,
+    lossy_broker, recovery_host, scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_core::coarsen::coarsen;
 use cosmos_core::distribute::Distributor;
@@ -215,6 +215,48 @@ fn bench_broker_parallel(c: &mut Criterion) {
             })
         });
     }
+}
+
+/// Batched ingestion and the large-population arrival point — the
+/// criterion twins of `bench_json`'s `broker/publish-batch-64{,-serial}`
+/// and `broker/subscribe-100k-pop`. The batch pair runs a 64-message
+/// same-stream round against the distinct (≈1 match per message)
+/// population, where fixed per-hop overheads dominate and batching
+/// amortizes them; the 100k arrival point checks that the tiered
+/// threshold lists keep install cost near the 5000-pop point.
+fn bench_broker_batch(c: &mut Criterion) {
+    let msgs = batch_round(64, 5000);
+    let mut net = broker_with_distinct_subs(5000);
+    c.bench_function("broker/publish-batch-64", |bench| {
+        bench.iter(|| {
+            let n = net.publish_batch(&msgs);
+            if net.log().len() > 250_000 {
+                net.reset_stats();
+            }
+            black_box(n)
+        })
+    });
+    let mut net = broker_with_distinct_subs(5000);
+    c.bench_function("broker/publish-batch-64-serial", |bench| {
+        bench.iter(|| {
+            let n: usize = msgs.iter().map(|m| net.publish(m.clone())).sum();
+            if net.log().len() > 250_000 {
+                net.reset_stats();
+            }
+            black_box(n)
+        })
+    });
+    let pop = 100_000u64;
+    let mut net = broker_with_distinct_subs_bulk(pop);
+    let mut group = c.benchmark_group("broker-subscribe-100k");
+    group.sample_size(10);
+    group.bench_function("subscribe-100k-pop", |bench| {
+        bench.iter(|| {
+            net.subscribe(arrival_sub(pop));
+            net.unsubscribe(SubId(pop));
+        })
+    });
+    group.finish();
 }
 
 /// Control-plane churn against a 5000-subscription standing population:
@@ -430,6 +472,7 @@ criterion_group!(
     bench_diffusion,
     bench_broker,
     bench_broker_parallel,
+    bench_broker_batch,
     bench_broker_churn,
     bench_broker_lossy,
     bench_engine,

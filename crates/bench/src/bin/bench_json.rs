@@ -16,9 +16,9 @@
 //! masquerade as a full baseline.
 
 use cosmos_bench::fixtures::{
-    arrival_sub, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_subs, checkpointed_engine, churn_link, churn_node, lossy_broker, recovery_host,
-    scaling_message, scaling_sub, shared_split_queries,
+    arrival_sub, batch_round, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
+    broker_with_distinct_subs_bulk, broker_with_subs, checkpointed_engine, churn_link, churn_node,
+    lossy_broker, recovery_host, scaling_message, scaling_sub, shared_split_queries,
 };
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
@@ -149,6 +149,42 @@ fn bench_broker_subscribe(n_subs: u64, linear: bool) -> f64 {
         net.subscribe(arrival_sub(n_subs));
         net.unsubscribe(SubId(n_subs));
     })
+}
+
+/// [`bench_broker_subscribe`] at a 100 000-subscription standing
+/// population (bulk-loaded — building it one arrival at a time would
+/// dominate the fixture): the tiered threshold lists bound every install
+/// probe by run size plus a directory descent, so the per-arrival cost
+/// stays near the 5000-pop point instead of scaling with the population.
+fn bench_broker_subscribe_100k() -> f64 {
+    let pop = 100_000u64;
+    let mut net = broker_with_distinct_subs_bulk(pop);
+    measure(|| {
+        net.subscribe(arrival_sub(pop));
+        net.unsubscribe(SubId(pop));
+    })
+}
+
+/// A 64-message same-stream batch against the 5000-subscription distinct
+/// population, one `publish_batch` call per op: one routing descent, one
+/// counter epoch, and one match-scratch reuse for the whole batch. The
+/// `-serial` twin publishes the identical 64 messages one at a time; the
+/// gap is the amortization win. Reported time is per *batch*, so the
+/// twins compare directly.
+fn bench_broker_publish_batch(n_subs: u64, serial: bool) -> f64 {
+    let mut net = broker_with_distinct_subs(n_subs);
+    let msgs = batch_round(64, n_subs);
+    measure_with_reset(
+        &mut net,
+        |net| {
+            if serial {
+                msgs.iter().map(|m| net.publish(m.clone())).sum::<usize>()
+            } else {
+                net.publish_batch(&msgs)
+            }
+        },
+        |net| net.reset_stats(),
+    )
 }
 
 /// Link churn against a standing population: one failure plus one
@@ -378,6 +414,9 @@ fn main() {
         ("broker/publish-500-subs-broad-linear", || bench_broker_publish_broad_linear(500)),
         ("broker/subscribe-5000-pop", || bench_broker_subscribe(5000, false)),
         ("broker/subscribe-5000-pop-linear", || bench_broker_subscribe(5000, true)),
+        ("broker/subscribe-100k-pop", bench_broker_subscribe_100k),
+        ("broker/publish-batch-64", || bench_broker_publish_batch(5000, false)),
+        ("broker/publish-batch-64-serial", || bench_broker_publish_batch(5000, true)),
         ("broker/unsubscribe-5000-pop", || bench_broker_unsubscribe(5000, false)),
         ("broker/unsubscribe-5000-pop-wholesale", || bench_broker_unsubscribe(5000, true)),
         ("broker/fail-link-5000-pop", || bench_broker_fail_link(5000, false)),

@@ -234,6 +234,43 @@ pub mod fixtures {
         net
     }
 
+    /// [`broker_with_distinct_subs`] at populations where one-at-a-time
+    /// installation dominates fixture build time: the same pairwise
+    /// non-covering population, bulk-loaded through
+    /// [`BrokerNetwork::subscribe_batch`] (serial-equivalent standing
+    /// state — the batch path shares one skeleton per subscription and
+    /// bulk-builds backfilled covering buckets, but installs in the same
+    /// order with the same outcomes).
+    pub fn broker_with_distinct_subs_bulk(n_subs: u64) -> BrokerNetwork {
+        let topo = TransitStubConfig::small().generate(3);
+        let mut net = BrokerNetwork::new(topo);
+        net.advertise("R", NodeId(0));
+        net.subscribe_batch((0..n_subs).map(arrival_sub).collect());
+        net
+    }
+
+    /// The `len`-message same-stream round behind
+    /// `broker/publish-batch-64`: telemetry-shaped records (one routed
+    /// attribute `a` plus fifteen payload attributes) whose point probes
+    /// cycle through the distinct population of size `pop`, so each
+    /// message matches ~1 subscription and fixed per-hop overheads
+    /// dominate — the regime batched ingestion amortizes (one routing
+    /// descent, one schema resolution, one counter epoch, and one
+    /// match-scratch reuse per batch instead of one per message).
+    pub fn batch_round(len: u64, pop: u64) -> Vec<Message> {
+        let payload = ["b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p"];
+        (0..len)
+            .map(|k| {
+                let mut m =
+                    Message::new("R", k as i64).with("a", Scalar::Int((k * 79 % pop) as i64));
+                for name in payload {
+                    m = m.with(name, Scalar::Int(k as i64));
+                }
+                m
+            })
+            .collect()
+    }
+
     /// A *broad* population: ≥90% of subscriptions match
     /// [`broad_message`] (thresholds cycle over 0..10 against `a = 9`),
     /// and the projections cycle over 8 distinct shapes — the

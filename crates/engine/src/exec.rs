@@ -55,6 +55,13 @@ impl CompiledProjection {
         Self { id, items }
     }
 
+    /// Structural equality of the resolved items. Ids are minted per
+    /// compilation, so identity cannot detect that two members asked for
+    /// the same columns — class grouping compares the items themselves.
+    pub(crate) fn same_items(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+
     #[inline]
     fn keeps(&self, alias: Symbol, attr: Symbol) -> bool {
         self.items.iter().any(|item| match item {

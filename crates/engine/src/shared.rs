@@ -25,30 +25,42 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A member's residual subscription, fully symbol-compiled at build time
-/// so splitting a shared result costs no string work per tuple. The
-/// residual *filters* live in the owning group's deduplicated filter-set
-/// table ([`Group::filter_sets`]): members with identical residual
-/// conjunctions share one set, evaluated once per shared result.
+/// so splitting a shared result costs no string work per tuple. Both
+/// halves of the split live in deduplicated group tables: the residual
+/// *filters* in [`Group::filter_sets`] (members with identical residual
+/// conjunctions share one set, evaluated once per shared result) and the
+/// *output shape* in [`Group::proj_classes`] (members with identical
+/// projections and alias renames share one projected record per result).
 #[derive(Debug)]
 struct ResidualCompiled {
-    /// Unique per residual; keys the renamed-schema cache (`u64`: cannot
-    /// wrap into an alias).
-    id: u64,
     /// The member query this residual recovers.
     query: QueryId,
     /// Index into [`Group::filter_sets`] of this member's residual
     /// conjunction.
     filter_set: u32,
-    /// The member's projection over merged aliases.
+    /// Index into [`Group::proj_classes`] of this member's output shape.
+    proj_class: u32,
+}
+
+/// One distinct output shape within a group: a projection over merged
+/// aliases plus the renames back to member aliases. Members of the class
+/// receive `Arc`-clones of a single projected record per shared result —
+/// the dominant sharing win when many members ask for the same columns.
+#[derive(Debug)]
+struct ProjClass {
+    /// Unique per class; keys the renamed-schema cache (`u64`: cannot
+    /// wrap into an alias).
+    id: u64,
+    /// The class's projection over merged aliases.
     projection: CompiledProjection,
     /// Resolved projection plans per part shape — splitting a shared
-    /// result allocates nothing beyond the output payload.
+    /// result allocates nothing beyond the one class output payload.
     plans: ProjPlanCache,
     /// `(merged alias, member alias)` renames for the output schema.
     pairs: Vec<(Symbol, Symbol)>,
 }
 
-fn next_residual_id() -> u64 {
+fn next_class_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
@@ -74,6 +86,13 @@ struct Group {
     /// Scratch: per-result verdict per filter set (`None` = not yet
     /// evaluated for the current result).
     verdicts: Vec<Option<bool>>,
+    /// Distinct output shapes (projection + renames). Each class projects
+    /// a shared result once; every passing member of the class gets an
+    /// `Arc`-clone of that one record.
+    proj_classes: Vec<ProjClass>,
+    /// Scratch: per-result projected record per class (`None` = not yet
+    /// built for the current result).
+    class_outputs: Vec<Option<Tuple>>,
 }
 
 /// Matches relations of `member` to `merged` by stream name in `FROM` order,
@@ -160,9 +179,12 @@ impl SharedEngine {
             engine.add_query(merged_id, merged.query.clone());
             // Compile every residual once: filters, projection, renames.
             // Identical residual conjunctions collapse into one shared
-            // filter set, so splitting evaluates each distinct conjunction
-            // once per result.
+            // filter set, and identical (projection, renames) collapse
+            // into one projection class — so splitting evaluates each
+            // distinct conjunction once per result and projects each
+            // distinct output shape once per result.
             let mut filter_sets: Vec<Vec<CompiledPredicate>> = Vec::new();
+            let mut proj_classes: Vec<ProjClass> = Vec::new();
             let residuals: Vec<ResidualCompiled> = merged
                 .residuals
                 .iter()
@@ -179,17 +201,32 @@ impl SharedEngine {
                             filter_sets.len() - 1
                         }
                     };
+                    let projection = CompiledProjection::compile(&r.projection);
+                    let pairs = alias_pairs(&merged.query, member_query);
+                    let proj_class = match proj_classes
+                        .iter()
+                        .position(|c| c.projection.same_items(&projection) && c.pairs == pairs)
+                    {
+                        Some(c) => c,
+                        None => {
+                            proj_classes.push(ProjClass {
+                                id: next_class_id(),
+                                projection,
+                                plans: ProjPlanCache::new(),
+                                pairs,
+                            });
+                            proj_classes.len() - 1
+                        }
+                    };
                     ResidualCompiled {
-                        id: next_residual_id(),
                         query: r.query,
                         filter_set: u32::try_from(filter_set).expect("filter set overflow"),
-                        projection: CompiledProjection::compile(&r.projection),
-                        plans: ProjPlanCache::new(),
-                        pairs: alias_pairs(&merged.query, member_query),
+                        proj_class: u32::try_from(proj_class).expect("projection class overflow"),
                     }
                 })
                 .collect();
             let verdicts = vec![None; filter_sets.len()];
+            let class_outputs = vec![None; proj_classes.len()];
             groups.push(Group {
                 merged_id,
                 result_stream: Symbol::intern(&format!("shared-{gi}")),
@@ -197,6 +234,8 @@ impl SharedEngine {
                 residuals,
                 filter_sets,
                 verdicts,
+                proj_classes,
+                class_outputs,
             });
         }
         let by_query = groups
@@ -217,6 +256,14 @@ impl SharedEngine {
     /// most. With heavy duplication this is far below the member count.
     pub fn residual_set_count(&self) -> usize {
         self.groups.iter().map(|g| g.filter_sets.len()).sum()
+    }
+
+    /// Number of distinct projection classes across all groups — the
+    /// number of projections one shared result can cost at most. Members
+    /// with identical projections and alias renames share one class (and
+    /// one `Arc`-shared output record per result).
+    pub fn projection_class_count(&self) -> usize {
+        self.groups.iter().map(|g| g.proj_classes.len()).sum()
     }
 
     /// The covering query of each group.
@@ -250,18 +297,28 @@ impl SharedEngine {
     /// Pushes a tuple; returns `(query, result)` pairs after splitting the
     /// shared result streams with each member's residual subscription.
     /// Each distinct residual conjunction is evaluated once per shared
-    /// result; its verdict fans out to every member of the equivalence
-    /// class (member output order is unchanged).
+    /// result, and each distinct projection class is projected once per
+    /// shared result — passing members of a class receive `Arc`-clones of
+    /// the same record (member output order is unchanged).
     pub fn push(&mut self, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
         let results = self.engine.push(tuple);
         let mut out = Vec::new();
         for r in results {
             let slot = *self.by_query.get(&r.query).expect("result from unknown merged query");
             let group = &mut self.groups[slot as usize];
-            let Group { result_stream, residuals, filter_sets, verdicts, .. } = group;
+            let Group {
+                result_stream,
+                residuals,
+                filter_sets,
+                verdicts,
+                proj_classes,
+                class_outputs,
+                ..
+            } = group;
             let result_stream = *result_stream;
             verdicts.iter_mut().for_each(|v| *v = None);
-            for residual in residuals.iter_mut() {
+            class_outputs.iter_mut().for_each(|c| *c = None);
+            for residual in residuals.iter() {
                 // Residual filters are in merged aliases; the joined tuple
                 // exposes exactly those aliases.
                 let set = residual.filter_set as usize;
@@ -270,9 +327,14 @@ impl SharedEngine {
                 if !passes {
                     continue;
                 }
-                let projected =
-                    r.project_cached(&residual.projection, &mut residual.plans, result_stream);
-                out.push((residual.query, rename_aliases(projected, residual)));
+                let cls = residual.proj_class as usize;
+                let record = class_outputs[cls].get_or_insert_with(|| {
+                    let class = &mut proj_classes[cls];
+                    let projected =
+                        r.project_cached(&class.projection, &mut class.plans, result_stream);
+                    rename_aliases(projected, class)
+                });
+                out.push((residual.query, record.clone()));
             }
         }
         out
@@ -280,8 +342,9 @@ impl SharedEngine {
 }
 
 thread_local! {
-    /// (input schema id, residual id) → renamed schema; the rename is a
-    /// pure function of both, so repeat shapes skip the schema interner.
+    /// (input schema id, projection class id) → renamed schema; the rename
+    /// is a pure function of both, so repeat shapes skip the schema
+    /// interner.
     static RENAMED_SCHEMAS: RefCell<HashMap<(u32, u64), Arc<Schema>>> =
         RefCell::new(HashMap::new());
 }
@@ -289,22 +352,22 @@ thread_local! {
 /// Renames `merged_alias.attr` attribute names back to the member query's
 /// own aliases, so users see the schema they asked for. Pure schema work:
 /// the `Arc`-shared payload is reused untouched, and the renamed schema is
-/// cached per (input schema, residual) and interned (so equal shapes keep
-/// sharing one schema).
-fn rename_aliases(t: Tuple, residual: &ResidualCompiled) -> Tuple {
+/// cached per (input schema, projection class) and interned (so equal
+/// shapes keep sharing one schema).
+fn rename_aliases(t: Tuple, class: &ProjClass) -> Tuple {
     let schema = RENAMED_SCHEMAS.with_borrow_mut(|cache| {
-        // Residual ids are minted per SharedEngine::build; bound the
+        // Class ids are minted per SharedEngine::build; bound the
         // per-thread cache so engine rebuilds cannot grow it forever.
         if cache.len() > 4096 {
             cache.clear();
         }
-        Arc::clone(cache.entry((t.schema().id(), residual.id)).or_insert_with(|| {
+        Arc::clone(cache.entry((t.schema().id(), class.id)).or_insert_with(|| {
             let attrs: Vec<Symbol> = t
                 .schema()
                 .attrs()
                 .iter()
                 .map(|&name| match name.split_dotted() {
-                    Some((alias, attr)) => match residual.pairs.iter().find(|(m, _)| *m == alias) {
+                    Some((alias, attr)) => match class.pairs.iter().find(|(m, _)| *m == alias) {
                         Some((_, orig)) => Symbol::dotted(*orig, attr),
                         None => name,
                     },
@@ -470,6 +533,55 @@ mod tests {
         shared.push(t("R", 1_000, &[("k", 2), ("v", 25)]));
         let out = shared.push(t("S", 1_500, &[("k", 2)]));
         assert_eq!(out.len(), 20, "v = 25 passes both thresholds");
+    }
+
+    #[test]
+    fn identical_projections_share_one_output_record() {
+        // 20 members differing only in selection threshold: identical
+        // projections and renames collapse to a single projection class,
+        // so a passing result is projected once and every member's copy
+        // shares the same payload allocation.
+        let queries: Vec<(QueryId, Query)> = (0..20u64)
+            .map(|i| {
+                (
+                    QueryId(i),
+                    parse_query(&format!(
+                        "SELECT R.v FROM R [Range 60 Seconds], S [Now] \
+                         WHERE R.k = S.k AND R.v > {}",
+                        i % 2 * 10
+                    ))
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let mut shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 1);
+        assert_eq!(
+            shared.projection_class_count(),
+            1,
+            "identical projections + renames must share one class"
+        );
+        shared.push(t("R", 0, &[("k", 1), ("v", 30)]));
+        let out = shared.push(t("S", 500, &[("k", 1)]));
+        assert_eq!(out.len(), 20);
+        let first = &out[0].1;
+        for (id, result) in &out {
+            assert_eq!(result, first, "{id}: same class, same record content");
+            assert!(
+                std::ptr::eq(result.values().as_ptr(), first.values().as_ptr()),
+                "{id}: class members must share one payload allocation"
+            );
+        }
+
+        // Distinct member aliases force distinct classes even with equal
+        // column lists — the rename is part of the output shape.
+        let queries = vec![
+            (QueryId(1), parse_query("SELECT X.v FROM R [Now] X").unwrap()),
+            (QueryId(2), parse_query("SELECT Y.v FROM R [Now] Y").unwrap()),
+        ];
+        let shared = SharedEngine::build(queries);
+        assert_eq!(shared.group_count(), 1);
+        assert_eq!(shared.projection_class_count(), 2);
     }
 
     #[test]

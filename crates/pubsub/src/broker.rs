@@ -70,10 +70,13 @@
 //! only an explicit `snapshot()` (or the first `publish_shared` after
 //! churn) pays for the nodes that actually changed.
 
-use crate::index::{ForwardInsert, ForwardedSet, MatchOutput, RoutingTable, SubSkeleton};
+use crate::index::{
+    BatchMatchOutput, ForwardInsert, ForwardedSet, MatchOutput, RoutingTable, SubSkeleton,
+};
 use crate::snapshot::{FrozenTable, ReaderOutput, RoutingSnapshot, SnapshotReader};
 use crate::subscription::{Message, StreamProjection, SubId, Subscription};
 use cosmos_net::{NodeId, ShortestPathTree, Topology};
+use cosmos_query::Scalar;
 use cosmos_util::{SnapshotCell, Symbol};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -185,6 +188,60 @@ struct DirtyNodes {
     all: bool,
 }
 
+/// Per-batch wire-size memo for link statistics. A hop whose union
+/// projection keeps the whole record forwards the message's own value row
+/// (`Arc`-shared), so its wire size is the same on every link it crosses;
+/// the memo recognizes that case by value-row pointer and charges the
+/// bytes from one computation per message instead of one per link.
+/// Narrowed projections produce fresh value rows, miss the pointer check,
+/// and are measured directly — identical bytes either way.
+struct WireSizeCache {
+    /// Each tag's original value-row pointer (validity token, never
+    /// dereferenced; the publish batch outlives the cache).
+    ptrs: Vec<*const Scalar>,
+    sizes: Vec<Option<u64>>,
+}
+
+impl WireSizeCache {
+    fn new(run: &[Message]) -> Self {
+        Self {
+            ptrs: run.iter().map(|m| m.values().as_ptr()).collect(),
+            sizes: vec![None; run.len()],
+        }
+    }
+
+    fn wire_size(&mut self, tag: u32, m: &Message) -> u64 {
+        if m.values().as_ptr() == self.ptrs[tag as usize] {
+            *self.sizes[tag as usize].get_or_insert_with(|| m.wire_size() as u64)
+        } else {
+            m.wire_size() as u64
+        }
+    }
+}
+
+/// Monotone `u64` image of a value under ascending numeric order (sign
+/// bit flipped for positives, all bits for negatives — the `total_cmp`
+/// bit trick); `None` for values without a numeric interpretation.
+fn sort_bits(v: &Scalar) -> Option<u64> {
+    let f = cosmos_query::compiled::ScalarRef::from(v).as_f64()?;
+    let b = f.to_bits();
+    Some(if b >> 63 == 1 { !b } else { b | (1 << 63) })
+}
+
+/// Where a hop's forwarded record lives while a batch's sub-batches are
+/// regrouped: `Same` borrows the matched message itself (identity union
+/// projection), `Proj` indexes the forwarding node's arena of narrowed
+/// records.
+#[derive(Debug, Clone, Copy)]
+enum FwdSlot {
+    Same(u32),
+    Proj(u32),
+}
+
+/// One hop's regrouped sub-batch under construction: `(tag, slot)` pairs
+/// in match order.
+type HopSlots = Vec<(u32, FwdSlot)>;
+
 /// A content-based broker network over a physical topology.
 ///
 /// # Examples
@@ -241,6 +298,18 @@ pub struct BrokerNetwork {
     /// Pool of match-output buffers reused across [`BrokerNetwork::forward`]
     /// recursion depths (steady-state publishing allocates nothing here).
     scratch: Vec<MatchOutput>,
+    /// Pool of tagged forward-slot buffers reused across
+    /// [`BrokerNetwork::forward_batch`] recursion — one buffer per
+    /// (node, hop) edge of a batch's union dissemination tree, recycled
+    /// when the hop's sub-batch is materialized.
+    batch_pool: Vec<HopSlots>,
+    /// Pool of batched match-output buffers (the batched twin of
+    /// `scratch`).
+    batch_scratch: Vec<BatchMatchOutput>,
+    /// Pool of per-node hop-grouping buffers for
+    /// [`BrokerNetwork::forward_batch`] (outer vector of the per-hop
+    /// slot regrouping).
+    next_pool: Vec<Vec<(NodeId, HopSlots)>>,
     link_stats: HashMap<(NodeId, NodeId), LinkStats>,
     log: DeliveryLog,
     /// Routing-state version: bumped by every churn operation. Written
@@ -274,6 +343,9 @@ impl BrokerNetwork {
             next_seq: 0,
             linear_install: false,
             scratch: Vec::new(),
+            batch_pool: Vec::new(),
+            batch_scratch: Vec::new(),
+            next_pool: Vec::new(),
             link_stats: HashMap::new(),
             log: DeliveryLog::default(),
             version: 0,
@@ -378,10 +450,52 @@ impl BrokerNetwork {
         self.install(sub);
     }
 
+    /// Installs a batch of subscriptions — identical, entry for entry and
+    /// sequence for sequence, to calling [`BrokerNetwork::subscribe`] on
+    /// each element in order (covering skips/drops depend on install
+    /// order, so the batch never reorders). The amortization is in the
+    /// skeleton work: each subscription's indexable/residual split is
+    /// derived **once** and reused across every per-source walk (the
+    /// serial path re-derives it per advertised source), and the covering
+    /// buckets the installs grow bulk-load their threshold runs from a
+    /// single sort when they outgrow the scan threshold.
+    pub fn subscribe_batch(&mut self, subs: Vec<Subscription>) {
+        for sub in subs {
+            if self.records.contains_key(&sub.id) {
+                self.unsubscribe(sub.id);
+            }
+            let skel = SubSkeleton::of(&sub);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.subs_at[sub.subscriber.index()].push(sub.id);
+            self.records.insert(
+                sub.id,
+                InstallRecord {
+                    seq,
+                    sub: sub.clone(),
+                    entries: Vec::new(),
+                    forwarded: Vec::new(),
+                    depends_on: BTreeSet::new(),
+                },
+            );
+            self.install_with(sub, Some(&skel));
+        }
+    }
+
     /// Propagates `sub` through the network, recording in its ledger every
     /// entry and forwarded-up record it contributes and every covering
     /// dependency its propagation runs into.
     fn install(&mut self, sub: Subscription) {
+        self.install_with(sub, None);
+    }
+
+    /// [`BrokerNetwork::install`] with an optionally precomputed skeleton
+    /// of the **full** subscription. Each per-source walk restricts the
+    /// subscription to that source's streams, but a skeleton lookup is
+    /// per-stream and the restricted streams are a subset — so the full
+    /// skeleton answers every probe identically and one derivation serves
+    /// all walks.
+    fn install_with(&mut self, sub: Subscription, shared_skel: Option<&SubSkeleton>) {
         let id = sub.id;
         let seq = self.records[&id].seq;
         let mut rec_entries: Vec<(NodeId, Option<NodeId>)> = Vec::new();
@@ -414,8 +528,17 @@ impl BrokerNetwork {
             }
             // One indexable/residual split per source walk: every hop's
             // skip probe, victim probes and insert reuse it instead of
-            // re-deriving the skeleton (up to three times per hop).
-            let skel = SubSkeleton::of(&restricted);
+            // re-deriving the skeleton (up to three times per hop). A
+            // batch install passes the full subscription's skeleton in
+            // and skips even that per-source derivation.
+            let owned_skel;
+            let skel = match shared_skel {
+                Some(s) => s,
+                None => {
+                    owned_skel = SubSkeleton::of(&restricted);
+                    &owned_skel
+                }
+            };
             let Some(path) = self.adv_trees[&src].path_to(sub.subscriber) else {
                 continue; // unreachable subscriber
             };
@@ -425,7 +548,7 @@ impl BrokerNetwork {
             for i in (0..path.len().saturating_sub(1)).rev() {
                 let u = path[i];
                 let downstream = path[i + 1];
-                match self.add_forwarding_entry(u, restricted.clone(), &skel, downstream, seq) {
+                match self.add_forwarding_entry(u, restricted.clone(), skel, downstream, seq) {
                     ForwardInsert::Inserted { dropped } => {
                         rec_entries.push((u, Some(downstream)));
                         for victim in dropped {
@@ -450,7 +573,7 @@ impl BrokerNetwork {
                 let coverer = if self.linear_install {
                     fwd.find_coverer_linear(&restricted, routing_covers)
                 } else {
-                    fwd.find_coverer_with(&restricted, &skel, routing_covers)
+                    fwd.find_coverer_with(&restricted, skel, routing_covers)
                 };
                 if let Some(cover_id) = coverer {
                     if cover_id != id {
@@ -458,7 +581,7 @@ impl BrokerNetwork {
                     }
                     pruned = true;
                 } else {
-                    fwd.push_with(restricted.clone(), &skel);
+                    fwd.push_with(restricted.clone(), skel);
                     rec_forwarded.push((u, src));
                 }
                 if pruned {
@@ -677,6 +800,134 @@ impl BrokerNetwork {
         let before = self.log.len();
         self.forward(src, None, msg);
         self.log.len() - before
+    }
+
+    /// Publishes a slice of messages with batched index walks, returning
+    /// the number of local deliveries. The delivery log and link stats
+    /// end up **bit-identical** to publishing each message serially in
+    /// slice order: maximal runs of consecutive same-stream messages
+    /// share one forwarding walk — one table lookup, one counter-epoch
+    /// range and one scratch-buffer cycle per node instead of one per
+    /// message — and each message's deliveries, collected per-message
+    /// during the shared walk, are spliced into the log in slice order.
+    ///
+    /// Messages for unadvertised streams go nowhere, exactly as in
+    /// [`BrokerNetwork::publish`].
+    pub fn publish_batch(&mut self, msgs: &[Message]) -> usize {
+        let before = self.log.len();
+        let mut i = 0;
+        while i < msgs.len() {
+            let stream = msgs[i].stream;
+            let mut j = i + 1;
+            while j < msgs.len() && msgs[j].stream == stream {
+                j += 1;
+            }
+            if let Some(&src) = self.stream_source.get(&stream) {
+                let run = &msgs[i..j];
+                let mut batch: Vec<(u32, &Message)> =
+                    run.iter().enumerate().map(|(k, m)| (k as u32, m)).collect();
+                // Process the run in routed-value order: sub-batches
+                // inherit it, so every node's eq-directory cursor walk
+                // advances monotonically. Tags keep the slice positions,
+                // and the log sort below restores slice order, so the
+                // published outcome is order-independent.
+                let probe =
+                    self.tables[src.index()].first_indexed_attr(stream, msgs[i].schema().attrs());
+                if let Some(attr) = probe {
+                    batch.sort_by_key(|(_, m)| {
+                        let same_schema =
+                            m.schema().attrs().as_ptr() == msgs[i].schema().attrs().as_ptr();
+                        same_schema.then(|| sort_bits(&m.values()[attr])).flatten()
+                    });
+                }
+                let mut sizes = WireSizeCache::new(run);
+                let mut logs: Vec<(u32, Delivery)> = Vec::new();
+                self.forward_batch(src, None, &batch, &mut logs, &mut sizes);
+                // Stable by tag: each tag's pushes happened in its serial
+                // forwarding order, so the sorted whole is the serial log.
+                logs.sort_by_key(|&(tag, _)| tag);
+                self.log.deliveries.extend(logs.into_iter().map(|(_, d)| d));
+            }
+            i = j;
+        }
+        self.log.len() - before
+    }
+
+    /// Batched twin of [`BrokerNetwork::forward`]: matches the whole
+    /// same-stream batch through one [`RoutingTable::match_batch_into`]
+    /// walk, tagging each delivery with its message's batch position and
+    /// regrouping forwards into per-hop sub-batches. Hops recurse in
+    /// ascending node order — the same order serial recursion visits them
+    /// — so restricting this union DFS to any single message's subtree
+    /// reproduces that message's serial forwarding walk exactly, and each
+    /// tag's deliveries land in `logs` in serial order. Link stats are
+    /// order-independent sums and accumulate per sub-batch.
+    ///
+    /// Sub-batches borrow their messages: an identity forward reuses the
+    /// incoming batch's reference and a narrowing one points into this
+    /// call's `projected` arena (alive until the hop recursions return),
+    /// so a record crossing k pass-through hops is cloned zero times
+    /// instead of k. Slot buffers cycle through `batch_pool` and match
+    /// outputs through `batch_scratch`, so steady-state batched
+    /// publishing only allocates the per-node materialization arena.
+    fn forward_batch(
+        &mut self,
+        node: NodeId,
+        from: Option<NodeId>,
+        batch: &[(u32, &Message)],
+        logs: &mut Vec<(u32, Delivery)>,
+        sizes: &mut WireSizeCache,
+    ) {
+        let mut out = self.batch_scratch.pop().unwrap_or_default();
+        // Records produced by narrowing union projections; identity
+        // forwards never land here.
+        let mut projected: Vec<Message> = Vec::new();
+        let mut next = self.next_pool.pop().unwrap_or_default();
+        // Batch position of the message currently being sunk (sink runs
+        // once per batch entry, in order).
+        let mut pos: u32 = 0;
+        let (tables, pool) = (&mut self.tables, &mut self.batch_pool);
+        tables[node.index()].match_batch_into(batch, from, &mut out, |tag, out| {
+            for (sub, message) in out.deliveries.drain(..) {
+                logs.push((tag, Delivery { sub, node, message }));
+            }
+            for (hop, fwd) in out.forwards.drain(..) {
+                let slot = match fwd {
+                    None => FwdSlot::Same(pos),
+                    Some(m) => {
+                        projected.push(m);
+                        FwdSlot::Proj(projected.len() as u32 - 1)
+                    }
+                };
+                match next.binary_search_by_key(&hop, |(n, _)| *n) {
+                    Ok(i) => next[i].1.push((tag, slot)),
+                    Err(i) => {
+                        let mut slots = pool.pop().unwrap_or_default();
+                        slots.push((tag, slot));
+                        next.insert(i, (hop, slots));
+                    }
+                }
+            }
+            pos += 1;
+        });
+        self.batch_scratch.push(out);
+        for (hop, mut slots) in next.drain(..) {
+            let sub_batch: Vec<(u32, &Message)> = slots
+                .iter()
+                .map(|&(tag, ref slot)| match *slot {
+                    FwdSlot::Same(b) => (tag, batch[b as usize].1),
+                    FwdSlot::Proj(p) => (tag, &projected[p as usize]),
+                })
+                .collect();
+            slots.clear();
+            self.batch_pool.push(slots);
+            let key = if node <= hop { (node, hop) } else { (hop, node) };
+            let stats = self.link_stats.entry(key).or_default();
+            stats.messages += sub_batch.len() as u64;
+            stats.bytes += sub_batch.iter().map(|&(tag, m)| sizes.wire_size(tag, m)).sum::<u64>();
+            self.forward_batch(hop, Some(node), &sub_batch, logs, sizes);
+        }
+        self.next_pool.push(next);
     }
 
     fn forward(&mut self, node: NodeId, from: Option<NodeId>, msg: Message) {

@@ -23,7 +23,8 @@
 //!    filter that is an indexable constant comparison (`attr op constant`
 //!    with a numeric constant and an order/equality operator — see
 //!    [`CompiledPredicate::indexable_for`]) contributes its threshold to a
-//!    sorted list keyed by `(attribute, operator)`. Matching a message
+//!    tiered threshold list keyed by `(attribute, operator)`. Matching a
+//!    message
 //!    resolves each message attribute **once**, binary-searches each
 //!    relevant list, and walks only the satisfied range, incrementing a
 //!    per-entry counter (epoch-versioned, so no per-message reset). An
@@ -67,9 +68,27 @@
 //!
 //! The table is maintained **incrementally in both directions**:
 //!
+//! - **Threshold-list lifecycle**: each `(attribute, operator)` list is a
+//!   [`TieredList`] — bounded sorted *runs* (≤ `RUN_MAX` entries) under a
+//!   flat *run-min directory*. An insert binary-searches the directory,
+//!   then the owning run, and memmoves at most one run; a run that
+//!   overflows splits in half (two directory entries replace one). Probes
+//!   descend directory-then-run, so a match visits only the runs its
+//!   satisfied range touches. Removal never edits runs on the match path:
+//!   the member dead flag neutralizes stale references during counting,
+//!   and [`TieredList::retain_vals`] sweeps them run-at-a-time when the
+//!   table compacts, merging underfull survivors — but never past the
+//!   split steady state, so a sweep cannot force the next insert to
+//!   immediately re-split. Bulk installs (the broker's batch subscribe
+//!   path) build their runs from a single sort
+//!   ([`TieredList::from_unsorted`]) instead of N point inserts. The
+//!   dense-list semantics are preserved
+//!   exactly — same counting results, same candidate order — which the
+//!   tiered-vs-dense differential suite pins down.
 //! - **Install**: `subscribe`/`add_forwarding_entry` extend every affected
-//!   stream partition in place (sorted-insert into threshold lists, hop
-//!   groups union-extended, projection classes joined or opened). Each
+//!   stream partition in place (run-local sorted-insert into threshold
+//!   lists, hop groups union-extended, projection classes joined or
+//!   opened). Each
 //!   entry carries the owning subscription's installation sequence number,
 //!   so delivery order stays the population's subscribe order no matter
 //!   how entries are later removed and re-added.
@@ -81,10 +100,13 @@
 //!   during counting, the affected hop group's needs-union is recomputed
 //!   from its surviving members **only** (no other group is touched), and
 //!   emptied projection classes simply stop being filled. Once tombstones
-//!   outnumber live entries the table compacts — threshold lists are
-//!   rebuilt dense, dead hop groups and emptied projection classes are
-//!   dropped, and surviving entries re-group — preserving each entry's
-//!   sequence number so observable order never changes.
+//!   dominate ([`tombstones_dominate`]: dead at least matches live, past
+//!   a small absolute floor so tiny tables never thrash) the table
+//!   compacts — threshold lists are swept run-at-a-time
+//!   ([`TieredList::retain_vals`]), dead hop groups and emptied
+//!   projection classes are dropped, and surviving entries re-group —
+//!   preserving each entry's sequence number so observable order never
+//!   changes.
 //!
 //! - **Covering buckets**: installs themselves are sublinear. Every
 //!   forwarding entry joins a per-`(stream, next hop)` [`CoverBucket`]
@@ -147,6 +169,7 @@ use crate::snapshot::{
     FrozenAction, FrozenHop, FrozenLists, FrozenMember, FrozenPartition, FrozenTable,
 };
 use crate::subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
+use crate::tiered::{tombstones_dominate, TieredList};
 use cosmos_net::NodeId;
 use cosmos_query::compiled::{eval_compiled, CompiledPredicate, IndexOperand, IndexableCmp};
 use cosmos_query::containment::coverer_bounds;
@@ -225,18 +248,22 @@ struct Member {
 
 /// Sorted `(threshold, member)` lists for one attribute, one per operator
 /// class. Ascending by threshold; never contains NaN (a NaN threshold is
-/// unsatisfiable, so it only counts toward the member's target).
+/// unsatisfiable, so it only counts toward the member's target). Each
+/// list is a [`TieredList`] — bounded runs under a run-min directory — so
+/// an install memmoves at most one run no matter how large the partition
+/// grows, while the satisfied-range walks below iterate runs in key
+/// order and stay bit-identical to the dense layout they replaced.
 #[derive(Debug, Default)]
 struct OpLists {
-    lt: Vec<(f64, u32)>,
-    le: Vec<(f64, u32)>,
-    gt: Vec<(f64, u32)>,
-    ge: Vec<(f64, u32)>,
-    eq: Vec<(f64, u32)>,
+    lt: TieredList,
+    le: TieredList,
+    gt: TieredList,
+    ge: TieredList,
+    eq: TieredList,
 }
 
 impl OpLists {
-    fn list_mut(&mut self, op: CmpOp) -> &mut Vec<(f64, u32)> {
+    fn list_mut(&mut self, op: CmpOp) -> &mut TieredList {
         match op {
             CmpOp::Lt => &mut self.lt,
             CmpOp::Le => &mut self.le,
@@ -248,9 +275,7 @@ impl OpLists {
     }
 
     fn insert(&mut self, op: CmpOp, threshold: f64, member: u32) {
-        let list = self.list_mut(op);
-        let at = list.partition_point(|(t, _)| t.total_cmp(&threshold).is_lt());
-        list.insert(at, (threshold, member));
+        self.list_mut(op).insert(threshold, member);
     }
 
     fn is_empty(&self) -> bool {
@@ -261,26 +286,56 @@ impl OpLists {
             && self.eq.is_empty()
     }
 
+    /// Per-run tombstone sweep: drops every reference to a dead member
+    /// from all five lists (retain-in-place per run, underfull runs
+    /// merged), so partitions under heavy churn shed stale references
+    /// without waiting for the whole-table rebuild.
+    fn sweep_dead(&mut self, members: &[Member]) {
+        for list in [&mut self.lt, &mut self.le, &mut self.gt, &mut self.ge, &mut self.eq] {
+            list.retain_vals(|m| !members[m as usize].dead);
+        }
+    }
+
     /// Bumps the counter of every member whose predicate is satisfied by
-    /// attribute value `v` (non-NaN): binary search for the satisfied
-    /// range, then walk only that range.
+    /// attribute value `v` (non-NaN): descend the run directory to the
+    /// satisfied range, then walk only that range's runs in key order.
     fn bump_satisfied(&self, v: f64, members: &mut [Member], touched: &mut Vec<u32>, epoch: u64) {
         // `attr > t` holds for thresholds t < v: an ascending prefix.
-        let end = self.gt.partition_point(|(t, _)| *t < v);
-        bump(&self.gt[..end], members, touched, epoch);
+        self.gt.for_prefix(|t| t < v, |run| bump(run, members, touched, epoch));
         // `attr >= t` holds for t <= v.
-        let end = self.ge.partition_point(|(t, _)| *t <= v);
-        bump(&self.ge[..end], members, touched, epoch);
+        self.ge.for_prefix(|t| t <= v, |run| bump(run, members, touched, epoch));
         // `attr < t` holds for t > v: an ascending suffix.
-        let start = self.lt.partition_point(|(t, _)| *t <= v);
-        bump(&self.lt[start..], members, touched, epoch);
+        self.lt.for_suffix(|t| t > v, |run| bump(run, members, touched, epoch));
         // `attr <= t` holds for t >= v.
-        let start = self.le.partition_point(|(t, _)| *t < v);
-        bump(&self.le[start..], members, touched, epoch);
+        self.le.for_suffix(|t| t >= v, |run| bump(run, members, touched, epoch));
         // `attr = t` holds for the equal range.
-        let lo = self.eq.partition_point(|(t, _)| *t < v);
-        let hi = self.eq.partition_point(|(t, _)| *t <= v);
-        bump(&self.eq[lo..hi], members, touched, epoch);
+        self.eq.for_eq(|t| t < v, |t| t <= v, |run| bump(run, members, touched, epoch));
+    }
+
+    /// [`OpLists::bump_satisfied`] with a caller-held cursor over the
+    /// equality list's run directory (see [`TieredList::for_eq_hinted`]):
+    /// the batched matcher probes messages in value order, so each eq
+    /// descent becomes an amortized linear advance. The inequality lists
+    /// walk whole satisfied ranges anyway — their boundary descents are
+    /// already a negligible share of the visit — so only `eq` is hinted.
+    fn bump_satisfied_hinted(
+        &self,
+        v: f64,
+        members: &mut [Member],
+        touched: &mut Vec<u32>,
+        epoch: u64,
+        eq_cursor: &mut usize,
+    ) {
+        self.gt.for_prefix(|t| t < v, |run| bump(run, members, touched, epoch));
+        self.ge.for_prefix(|t| t <= v, |run| bump(run, members, touched, epoch));
+        self.lt.for_suffix(|t| t > v, |run| bump(run, members, touched, epoch));
+        self.le.for_suffix(|t| t >= v, |run| bump(run, members, touched, epoch));
+        self.eq.for_eq_hinted(
+            eq_cursor,
+            |t| t < v,
+            |t| t <= v,
+            |run| bump(run, members, touched, epoch),
+        );
     }
 }
 
@@ -389,8 +444,10 @@ struct CoverBucket {
     /// Sorted `(threshold, slot)` lists per indexable `(operand, op)`
     /// pair: every usable comparison of every member (NaN thresholds are
     /// unsatisfiable and imply nothing, so they never enter a list).
-    /// Populated only once the bucket is `built`.
-    comps: HashMap<(IndexOperand, CmpOp), Vec<(f64, u32)>>,
+    /// Tiered like the counting index's lists, so inserting into a huge
+    /// bucket memmoves at most one run. Populated only once the bucket
+    /// is `built`.
+    comps: HashMap<(IndexOperand, CmpOp), TieredList>,
     /// Members with no usable indexable comparison on the bucket's stream
     /// (filter-free or residual-only): always coverer candidates.
     /// Populated only once the bucket is `built`.
@@ -416,13 +473,37 @@ impl CoverBucket {
                 continue;
             }
             usable = true;
-            let t = norm(c.threshold);
-            let list = self.comps.entry((c.operand, c.op)).or_default();
-            let at = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
-            list.insert(at, (t, slot));
+            self.comps.entry((c.operand, c.op)).or_default().insert(norm(c.threshold), slot);
         }
         if !usable {
             self.loose.push(slot);
+        }
+    }
+
+    /// Backfills the threshold lists from the staged member set in one
+    /// pass (the owner's lazy build at [`COVER_SCAN_SMALL`]): comparisons
+    /// are collected per `(operand, op)` key and each list is bulk-loaded
+    /// run-at-a-time from a single sort instead of N point inserts.
+    /// Candidate queries sort and dedup before confirming, so the
+    /// equal-threshold order difference from point inserts is unobservable.
+    fn bulk_build(&mut self, staged: Vec<(u32, Vec<IndexableCmp>)>) {
+        let mut lists: HashMap<(IndexOperand, CmpOp), Vec<(f64, u32)>> = HashMap::new();
+        for (slot, comps) in staged {
+            self.members.push(slot);
+            let mut usable = false;
+            for c in &comps {
+                if c.threshold.is_nan() {
+                    continue;
+                }
+                usable = true;
+                lists.entry((c.operand, c.op)).or_default().push((norm(c.threshold), slot));
+            }
+            if !usable {
+                self.loose.push(slot);
+            }
+        }
+        for (key, items) in lists {
+            self.comps.insert(key, TieredList::from_unsorted(items));
         }
     }
 
@@ -437,6 +518,9 @@ impl CoverBucket {
                 operands.push(c.operand);
             }
         }
+        let collect = |run: &[(f64, u32)], out: &mut Vec<u32>| {
+            out.extend(run.iter().map(|&(_, s)| s));
+        };
         for operand in operands {
             let bounds = coverer_bounds(
                 probe.iter().filter(|c| c.operand == operand).map(|c| (c.op, c.threshold)),
@@ -445,8 +529,7 @@ impl CoverBucket {
                 let u = norm(u);
                 for op in [CmpOp::Gt, CmpOp::Ge] {
                     if let Some(list) = self.comps.get(&(operand, op)) {
-                        let end = list.partition_point(|(t, _)| t.total_cmp(&u).is_le());
-                        out.extend(list[..end].iter().map(|&(_, s)| s));
+                        list.for_prefix(|t| t.total_cmp(&u).is_le(), |run| collect(run, out));
                     }
                 }
             }
@@ -454,17 +537,18 @@ impl CoverBucket {
                 let l = norm(l);
                 for op in [CmpOp::Lt, CmpOp::Le] {
                     if let Some(list) = self.comps.get(&(operand, op)) {
-                        let start = list.partition_point(|(t, _)| t.total_cmp(&l).is_lt());
-                        out.extend(list[start..].iter().map(|&(_, s)| s));
+                        list.for_suffix(|t| t.total_cmp(&l).is_ge(), |run| collect(run, out));
                     }
                 }
             }
             if let Some(list) = self.comps.get(&(operand, CmpOp::Eq)) {
                 for &v in &bounds.eq_values {
                     let v = norm(v);
-                    let lo = list.partition_point(|(t, _)| t.total_cmp(&v).is_lt());
-                    let hi = list.partition_point(|(t, _)| t.total_cmp(&v).is_le());
-                    out.extend(list[lo..hi].iter().map(|&(_, s)| s));
+                    list.for_eq(
+                        |t| t.total_cmp(&v).is_lt(),
+                        |t| t.total_cmp(&v).is_le(),
+                        |run| collect(run, out),
+                    );
                 }
             }
         }
@@ -484,28 +568,31 @@ impl CoverBucket {
             return;
         };
         let t = norm(c0.threshold);
+        let collect = |run: &[(f64, u32)], out: &mut Vec<u32>| {
+            out.extend(run.iter().map(|&(_, s)| s));
+        };
         match c0.op {
             CmpOp::Gt | CmpOp::Ge => {
                 for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
                     if let Some(list) = self.comps.get(&(c0.operand, op)) {
-                        let start = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
-                        out.extend(list[start..].iter().map(|&(_, s)| s));
+                        list.for_suffix(|x| x.total_cmp(&t).is_ge(), |run| collect(run, out));
                     }
                 }
             }
             CmpOp::Lt | CmpOp::Le => {
                 for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
                     if let Some(list) = self.comps.get(&(c0.operand, op)) {
-                        let end = list.partition_point(|(x, _)| x.total_cmp(&t).is_le());
-                        out.extend(list[..end].iter().map(|&(_, s)| s));
+                        list.for_prefix(|x| x.total_cmp(&t).is_le(), |run| collect(run, out));
                     }
                 }
             }
             CmpOp::Eq => {
                 if let Some(list) = self.comps.get(&(c0.operand, CmpOp::Eq)) {
-                    let lo = list.partition_point(|(x, _)| x.total_cmp(&t).is_lt());
-                    let hi = list.partition_point(|(x, _)| x.total_cmp(&t).is_le());
-                    out.extend(list[lo..hi].iter().map(|&(_, s)| s));
+                    list.for_eq(
+                        |x| x.total_cmp(&t).is_lt(),
+                        |x| x.total_cmp(&t).is_le(),
+                        |run| collect(run, out),
+                    );
                 }
             }
             CmpOp::Ne => unreachable!("Ne is never indexable"),
@@ -544,6 +631,9 @@ pub enum ForwardInsert {
 pub struct ForwardedSet {
     records: Vec<ForwardedRec>,
     buckets: HashMap<Symbol, CoverBucket>,
+    /// Record slots per subscription id, ascending — makes removal
+    /// independent of population size (no whole-set scan at 100k+).
+    slots_of: HashMap<SubId, Vec<u32>>,
     dead: usize,
     /// Whether the covering buckets exist. Small sets are scanned
     /// linearly ([`COVER_SCAN_SMALL`]), so bucket upkeep is deferred
@@ -600,6 +690,7 @@ impl ForwardedSet {
                 bucket.insert(slot, indexable);
             }
         }
+        self.slots_of.entry(sub.id).or_default().push(slot);
         self.records.push(ForwardedRec { sub, dead: false });
     }
 
@@ -667,17 +758,21 @@ impl ForwardedSet {
     /// dominate. Returns how many records were removed.
     pub fn remove(&mut self, id: SubId) -> usize {
         let mut n = 0;
-        for rec in &mut self.records {
-            if !rec.dead && rec.sub.id == id {
-                rec.dead = true;
-                self.dead += 1;
-                n += 1;
+        if let Some(slots) = self.slots_of.remove(&id) {
+            for slot in slots {
+                let rec = &mut self.records[slot as usize];
+                if !rec.dead {
+                    rec.dead = true;
+                    self.dead += 1;
+                    n += 1;
+                }
             }
         }
-        if self.dead > 16 && self.dead * 2 >= self.records.len() {
+        if tombstones_dominate(self.dead, self.records.len()) {
             let live: Vec<Subscription> =
                 self.records.drain(..).filter(|r| !r.dead).map(|r| r.sub).collect();
             self.buckets.clear();
+            self.slots_of.clear();
             self.dead = 0;
             self.built = false;
             for sub in live {
@@ -707,6 +802,14 @@ impl ForwardedSet {
 #[derive(Debug, Default)]
 struct StreamIndex {
     members: Vec<Member>,
+    /// Member slot per owning entry id (each entry contributes at most
+    /// one member per partition) — makes tombstoning independent of
+    /// partition size.
+    member_of: HashMap<u32, u32>,
+    /// Members tombstoned since the last per-run sweep of the threshold
+    /// lists; once these dominate the partition the lists are swept
+    /// run-by-run without rebuilding the table.
+    dead_members: usize,
     /// Threshold lists per stored attribute.
     attr_lists: HashMap<Symbol, OpLists>,
     /// Threshold lists over the event-time pseudo-attribute.
@@ -722,6 +825,10 @@ struct StreamIndex {
     /// Scratch: fully-satisfied `(seq, member)` pairs, sorted to
     /// subscribe order — flat keys, so the sort never chases pointers.
     candidates: Vec<(u64, u32)>,
+    /// Scratch: hop groups marked by the current message (batched
+    /// matching emits forwards from this list instead of rescanning
+    /// every group per message).
+    touched_hops: Vec<u32>,
 }
 
 /// The outcome of matching one message at one node. Designed for reuse:
@@ -738,6 +845,31 @@ pub struct MatchOutput {
 }
 
 impl MatchOutput {
+    /// Empties both buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.forwards.clear();
+    }
+}
+
+/// The outcome of matching one batched message at one node. Unlike
+/// [`MatchOutput`], an identity forward (a hop whose union projection
+/// keeps the whole record) carries `None` instead of a clone of the
+/// message — the caller shares the original it already holds, so the
+/// batched plane never pays a per-hop record clone for pass-through
+/// forwarding. Reconstituting `Some(msg.clone())` for every `None` yields
+/// exactly [`RoutingTable::match_message_into`]'s output.
+#[derive(Debug, Default)]
+pub struct BatchMatchOutput {
+    /// Local deliveries: `(subscription, projected message)` in
+    /// installation-sequence order.
+    pub deliveries: Vec<(SubId, Message)>,
+    /// Forwards sorted by node id; `None` projects nothing (forward the
+    /// matched message itself).
+    pub forwards: Vec<(NodeId, Option<Message>)>,
+}
+
+impl BatchMatchOutput {
     /// Empties both buffers, keeping their capacity.
     pub fn clear(&mut self) {
         self.deliveries.clear();
@@ -762,6 +894,9 @@ pub struct RoutingTable {
     /// Scratch buffer of candidate slots, reused across
     /// [`RoutingTable::insert_covering`] calls.
     cover_scratch: Vec<u32>,
+    /// Entry slots per owning subscription id, ascending — removal walks
+    /// the owner's own entries instead of scanning the table.
+    by_sub: HashMap<SubId, Vec<u32>>,
     dead: usize,
 }
 
@@ -792,6 +927,7 @@ impl RoutingTable {
         self.streams.clear();
         self.covers.clear();
         self.streamless.clear();
+        self.by_sub.clear();
         self.dead = 0;
     }
 
@@ -840,19 +976,23 @@ impl RoutingTable {
                     bucket.insert(entry_id, indexable);
                 } else if bucket.members.len() >= COVER_SCAN_SMALL {
                     bucket.built = true;
-                    for slot in std::mem::take(&mut bucket.members) {
-                        let e = &self.entries[slot as usize];
-                        if e.dead {
-                            continue; // tombstones stay out of the lists
-                        }
-                        let comps = e
-                            .sub
-                            .streams
-                            .get(&stream)
-                            .map(|r| r.split_for_index(stream).0)
-                            .unwrap_or_default();
-                        bucket.insert(slot, &comps);
-                    }
+                    let staged: Vec<(u32, Vec<IndexableCmp>)> = std::mem::take(&mut bucket.members)
+                        .into_iter()
+                        .filter_map(|slot| {
+                            let e = &self.entries[slot as usize];
+                            if e.dead {
+                                return None; // tombstones stay out of the lists
+                            }
+                            let comps = e
+                                .sub
+                                .streams
+                                .get(&stream)
+                                .map(|r| r.split_for_index(stream).0)
+                                .unwrap_or_default();
+                            Some((slot, comps))
+                        })
+                        .collect();
+                    bucket.bulk_build(staged);
                     bucket.insert(entry_id, indexable);
                 } else {
                     bucket.members.push(entry_id);
@@ -923,6 +1063,7 @@ impl RoutingTable {
             if target == 0 {
                 index.zero_target.push(member_id);
             }
+            index.member_of.insert(entry_id, member_id);
             index.members.push(Member {
                 entry: entry_id,
                 seq,
@@ -934,6 +1075,7 @@ impl RoutingTable {
                 action,
             });
         }
+        self.by_sub.entry(sub.id).or_default().push(entry_id);
         self.entries.push(Entry { sub, to, seq, dead: false });
     }
 
@@ -945,12 +1087,18 @@ impl RoutingTable {
     /// the table compacts once tombstones dominate. Returns the number of
     /// entries removed.
     pub fn remove_entry(&mut self, id: SubId, to: Option<NodeId>) -> usize {
+        // `by_sub` slots are ascending entry ids, so the victims come out
+        // in table order — identical to the old whole-table scan.
         let victims: Vec<u32> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.dead && e.to == to && e.sub.id == id)
-            .map(|(i, _)| i as u32)
+            .by_sub
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&v| {
+                let e = &self.entries[v as usize];
+                !e.dead && e.to == to
+            })
             .collect();
         let n = victims.len();
         for v in victims {
@@ -1133,13 +1281,23 @@ impl RoutingTable {
         let entry = &mut self.entries[entry_id as usize];
         entry.dead = true;
         self.dead += 1;
+        let id = entry.sub.id;
         let streams: Vec<Symbol> = entry.sub.streams.keys().copied().collect();
+        if let Some(slots) = self.by_sub.get_mut(&id) {
+            slots.retain(|&s| s != entry_id);
+            if slots.is_empty() {
+                self.by_sub.remove(&id);
+            }
+        }
         for stream in streams {
             let Some(index) = self.streams.get_mut(&stream) else { continue };
-            let Some(m) = index.members.iter().position(|m| !m.dead && m.entry == entry_id) else {
+            let Some(m) = index.member_of.remove(&entry_id) else { continue };
+            let m = m as usize;
+            if index.members[m].dead {
                 continue;
-            };
+            }
             index.members[m].dead = true;
+            index.dead_members += 1;
             index.zero_target.retain(|&z| z != m as u32);
             if let MemberAction::Hop(g) = index.members[m].action {
                 // Recompute the union over surviving members of the group
@@ -1168,6 +1326,18 @@ impl RoutingTable {
                     union.unwrap_or(StreamProjection::Attrs(Default::default())),
                 );
             }
+            // Per-run sweep: once tombstones dominate the partition, drop
+            // the dead members' list slots run-by-run — no table rebuild,
+            // no cross-run memmove. The member records themselves stay
+            // until the whole table compacts.
+            if tombstones_dominate(index.dead_members, index.members.len()) {
+                index.dead_members = 0;
+                let StreamIndex { members, attr_lists, ts_lists, .. } = index;
+                for lists in attr_lists.values_mut() {
+                    lists.sweep_dead(members);
+                }
+                ts_lists.sweep_dead(members);
+            }
         }
     }
 
@@ -1177,7 +1347,7 @@ impl RoutingTable {
     /// classes are dropped, and survivors re-group. Sequence numbers are
     /// preserved, so observable delivery order is unchanged.
     fn maybe_compact(&mut self) {
-        if self.dead <= 16 || self.dead * 2 < self.entries.len() {
+        if !tombstones_dominate(self.dead, self.entries.len()) {
             return;
         }
         let live: Vec<(Subscription, Option<NodeId>, u64)> =
@@ -1194,6 +1364,16 @@ impl RoutingTable {
         let mut out = MatchOutput::default();
         self.match_message_into(msg, from, &mut out);
         out
+    }
+
+    /// The value-row position of the first schema attribute carrying
+    /// threshold lists in `stream`'s partition, if any. The batched
+    /// publish plane sorts each batch by this attribute's value so the
+    /// eq-list cursor walk ([`TieredList::for_eq_hinted`]) advances
+    /// monotonically through the run directory.
+    pub fn first_indexed_attr(&self, stream: Symbol, attrs: &[Symbol]) -> Option<usize> {
+        let index = self.streams.get(&stream)?;
+        attrs.iter().position(|a| index.attr_lists.contains_key(a))
     }
 
     /// Matches `msg` against this table: counting pass over the message's
@@ -1290,6 +1470,148 @@ impl RoutingTable {
         out.forwards.sort_by_key(|(n, _)| *n);
     }
 
+    /// Matches a batch of **same-stream** messages through one index
+    /// walk: the stream partition is resolved once, one counter-epoch
+    /// range is allocated for the whole batch, and the per-attribute
+    /// threshold lists are re-resolved only when the schema pointer
+    /// changes between consecutive messages. Each message's results are
+    /// handed to `sink(tag, out)` in batch order, with `out` recycled
+    /// between messages — after reconstituting each identity forward
+    /// (`None`) as a clone of its message, contents are bit-identical to
+    /// a serial [`RoutingTable::match_message_into`] call per message.
+    pub fn match_batch_into<M, F>(
+        &mut self,
+        msgs: &[(u32, M)],
+        from: Option<NodeId>,
+        out: &mut BatchMatchOutput,
+        mut sink: F,
+    ) where
+        M: std::borrow::Borrow<Message>,
+        F: FnMut(u32, &mut BatchMatchOutput),
+    {
+        let Some((_, first)) = msgs.first() else { return };
+        let first = first.borrow();
+        debug_assert!(msgs.iter().all(|(_, m)| m.borrow().stream == first.stream));
+        let Some(index) = self.streams.get_mut(&first.stream) else {
+            for (tag, _) in msgs {
+                out.clear();
+                sink(*tag, out);
+            }
+            return;
+        };
+        let base = index.epoch;
+        index.epoch += msgs.len() as u64;
+        let StreamIndex {
+            members,
+            attr_lists,
+            ts_lists,
+            zero_target,
+            hops,
+            classes,
+            touched,
+            candidates,
+            touched_hops,
+            ..
+        } = index;
+        let attr_lists: &HashMap<Symbol, OpLists> = attr_lists;
+        let any_attr_lists = !attr_lists.is_empty();
+        let any_ts_lists = !ts_lists.is_empty();
+        // Schema-resolution cache: `(value index, lists)` pairs for the
+        // last seen schema, keyed by attribute-slice identity — batches
+        // from one source share a schema, so the HashMap probes happen
+        // once per batch instead of once per message.
+        let mut resolved: Vec<(usize, &OpLists)> = Vec::new();
+        let mut resolved_schema: *const Symbol = std::ptr::null();
+        // Directory cursor for the first resolved attribute's eq list:
+        // callers sort batches by that attribute, so successive probes
+        // advance it monotonically (any order stays correct, just
+        // without the amortization).
+        let mut eq_cursor = 0usize;
+        for (j, (tag, msg)) in msgs.iter().enumerate() {
+            let msg = msg.borrow();
+            let epoch = base + j as u64 + 1;
+            touched.clear();
+            candidates.clear();
+            touched_hops.clear();
+            if any_attr_lists {
+                let attrs = msg.schema().attrs();
+                if attrs.as_ptr() != resolved_schema {
+                    resolved_schema = attrs.as_ptr();
+                    resolved.clear();
+                    resolved.extend(
+                        attrs
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, attr)| attr_lists.get(attr).map(|l| (i, l))),
+                    );
+                    eq_cursor = 0;
+                }
+                for (a, &(i, lists)) in resolved.iter().enumerate() {
+                    let Some(v) =
+                        cosmos_query::compiled::ScalarRef::from(&msg.values()[i]).as_f64()
+                    else {
+                        continue; // string value: numeric comparisons are false
+                    };
+                    if v.is_nan() {
+                        continue;
+                    }
+                    if a == 0 {
+                        lists.bump_satisfied_hinted(v, members, touched, epoch, &mut eq_cursor);
+                    } else {
+                        lists.bump_satisfied(v, members, touched, epoch);
+                    }
+                }
+            }
+            if any_ts_lists {
+                ts_lists.bump_satisfied(msg.timestamp as f64, members, touched, epoch);
+            }
+            candidates.extend(zero_target.iter().map(|&m| (members[m as usize].seq, m)));
+            candidates.extend(touched.iter().filter_map(|&m| {
+                let member = &members[m as usize];
+                (member.count == member.target).then_some((member.seq, m))
+            }));
+            candidates.sort_unstable();
+            out.clear();
+            for &(_, m) in candidates.iter() {
+                let member = &mut members[m as usize];
+                if member.dead || !eval_compiled(&member.residual, msg) {
+                    continue;
+                }
+                match &member.action {
+                    MemberAction::Local { sub, class } => {
+                        let class = &mut classes[*class as usize];
+                        if class.epoch != epoch {
+                            class.epoch = epoch;
+                            class.cached = Some(class.proj.apply(msg));
+                        }
+                        let record = class.cached.clone().expect("projected this epoch");
+                        out.deliveries.push((*sub, record));
+                    }
+                    MemberAction::Hop(g) => {
+                        let group = &mut hops[*g as usize];
+                        if group.epoch != epoch {
+                            group.epoch = epoch;
+                            touched_hops.push(*g);
+                        }
+                    }
+                }
+            }
+            // Forwards come from the groups this message marked (no
+            // per-message rescan of every group); sorting by node id
+            // restores the serial emission order.
+            for &g in touched_hops.iter() {
+                let group = &mut hops[g as usize];
+                if Some(group.to) == from {
+                    continue;
+                }
+                let fwd = (!group.union.is_identity()).then(|| group.union.apply(msg));
+                out.forwards.push((group.to, fwd));
+            }
+            out.forwards.sort_by_key(|(n, _)| *n);
+            sink(*tag, out);
+        }
+    }
+
     /// Freezes this table into its immutable, `Sync` matching twin (see
     /// the module docs' concurrency section and [`crate::snapshot`]).
     ///
@@ -1326,8 +1648,8 @@ impl RoutingTable {
             if members.is_empty() {
                 continue; // a fully-tombstoned partition matches nothing
             }
-            let remap_list = |list: &[(f64, u32)]| -> Vec<(f64, u32)> {
-                list.iter().filter_map(|&(t, m)| remap[m as usize].map(|n| (t, n))).collect()
+            let remap_list = |list: &TieredList| -> Vec<(f64, u32)> {
+                list.iter().filter_map(|(t, m)| remap[m as usize].map(|n| (t, n))).collect()
             };
             let freeze_lists = |l: &OpLists| FrozenLists {
                 lt: remap_list(&l.lt),

@@ -63,6 +63,7 @@ pub mod recovery;
 pub mod reliable;
 pub mod snapshot;
 pub mod subscription;
+pub mod tiered;
 pub mod traffic;
 
 pub use broker::{BrokerNetwork, Delivery, DeliveryLog, LinkStats};
@@ -72,4 +73,5 @@ pub use recovery::RecoveryNetwork;
 pub use reliable::LossyNetwork;
 pub use snapshot::{merge_outputs, ReaderOutput, RoutingSnapshot, SnapshotReader};
 pub use subscription::{CachedProjection, Message, StreamProjection, SubId, Subscription};
+pub use tiered::TieredList;
 pub use traffic::{SubstreamTable, TrafficModel};

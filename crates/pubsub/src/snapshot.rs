@@ -313,6 +313,103 @@ fn match_frozen(
     out.forwards.sort_by_key(|(n, _)| *n);
 }
 
+/// Batched twin of [`match_frozen`]: matches a slice of **same-stream**
+/// `(order, message)` pairs against one frozen partition through a
+/// single walk — one scratch-epoch range for the whole batch, the
+/// per-attribute list resolution cached across messages with the same
+/// schema — handing each message's results to `sink(order, buf)` in
+/// batch order. Per-message output is bit-identical to [`match_frozen`].
+fn match_frozen_batch<F>(
+    part: &FrozenPartition,
+    msgs: &[(u64, Message)],
+    from: Option<NodeId>,
+    ps: &mut PartScratch,
+    buf: &mut MatchOutput,
+    mut sink: F,
+) where
+    F: FnMut(u64, &mut MatchOutput),
+{
+    let PartScratch {
+        epoch: scratch_epoch,
+        count,
+        epoch_of,
+        touched,
+        candidates,
+        class_epoch,
+        class_cached,
+        class_proj,
+        hop_epoch,
+        hop_proj,
+    } = ps;
+    let base = *scratch_epoch;
+    *scratch_epoch += msgs.len() as u64;
+    let mut resolved: Vec<(usize, &FrozenLists)> = Vec::new();
+    let mut resolved_schema: *const Symbol = std::ptr::null();
+    for (j, (order, msg)) in msgs.iter().enumerate() {
+        let epoch = base + j as u64 + 1;
+        touched.clear();
+        candidates.clear();
+        if !part.attr_lists.is_empty() {
+            let attrs = msg.schema().attrs();
+            if attrs.as_ptr() != resolved_schema {
+                resolved_schema = attrs.as_ptr();
+                resolved.clear();
+                resolved.extend(
+                    attrs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, attr)| part.attr_lists.get(attr).map(|l| (i, l))),
+                );
+            }
+            for &(i, lists) in &resolved {
+                let Some(v) = ScalarRef::from(&msg.values()[i]).as_f64() else {
+                    continue; // string value: numeric comparisons are false
+                };
+                if v.is_nan() {
+                    continue;
+                }
+                lists.bump_satisfied(v, count, epoch_of, touched, epoch);
+            }
+        }
+        if !part.ts_lists.is_empty() {
+            part.ts_lists.bump_satisfied(msg.timestamp as f64, count, epoch_of, touched, epoch);
+        }
+        candidates.extend(part.zero_target.iter().map(|&m| (part.members[m as usize].seq, m)));
+        candidates.extend(touched.iter().filter_map(|&m| {
+            let member = &part.members[m as usize];
+            (count[m as usize] == member.target).then_some((member.seq, m))
+        }));
+        candidates.sort_unstable();
+        buf.clear();
+        for &(_, m) in candidates.iter() {
+            let member = &part.members[m as usize];
+            if !eval_compiled(&member.residual, msg) {
+                continue;
+            }
+            match &member.action {
+                FrozenAction::Local { sub, class } => {
+                    let c = *class as usize;
+                    if class_epoch[c] != epoch {
+                        class_epoch[c] = epoch;
+                        class_cached[c] = Some(class_proj[c].apply(msg));
+                    }
+                    let record = class_cached[c].clone().expect("projected this epoch");
+                    buf.deliveries.push((*sub, record));
+                }
+                FrozenAction::Hop(g) => hop_epoch[*g as usize] = epoch,
+            }
+        }
+        for (g, hop) in part.hops.iter().enumerate() {
+            if hop_epoch[g] != epoch || Some(hop.to) == from {
+                continue;
+            }
+            buf.forwards.push((hop.to, hop_proj[g].apply(msg)));
+        }
+        buf.forwards.sort_by_key(|(n, _)| *n);
+        sink(*order, buf);
+    }
+}
+
 /// The deliveries and link traffic one reader (or a merge of readers)
 /// accumulated. Deliveries are tagged with their message's publish
 /// order; [`ReaderOutput::sort_by_order`] (or
@@ -436,6 +533,75 @@ impl SnapshotReader {
         let before = self.out.deliveries.len();
         self.forward(src, None, msg, order);
         self.out.deliveries.len() - before
+    }
+
+    /// Publishes a slice of messages under consecutive order tags
+    /// starting at `start_order` — message `k` is tagged exactly as
+    /// `publish_at(start_order + k, ...)` would tag it, so a thread pool
+    /// handing out disjoint order ranges can mix batched and serial
+    /// publishing freely and the merged, order-sorted output stays equal
+    /// to the serial log. Maximal same-stream runs share one forwarding
+    /// walk (one partition-scratch resolution and one epoch range per
+    /// node, per run). Returns the total number of local deliveries.
+    pub fn publish_batch_at(&mut self, start_order: u64, msgs: &[Message]) -> usize {
+        self.next_order = start_order + msgs.len() as u64;
+        let before = self.out.deliveries.len();
+        let mut i = 0;
+        while i < msgs.len() {
+            let stream = msgs[i].stream;
+            let mut j = i + 1;
+            while j < msgs.len() && msgs[j].stream == stream {
+                j += 1;
+            }
+            if let Some(&src) = self.snap.stream_source.get(&stream) {
+                let batch: Vec<(u64, Message)> = msgs[i..j]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, m)| (start_order + (i + k) as u64, m.clone()))
+                    .collect();
+                self.forward_batch(src, None, batch);
+            }
+            i = j;
+        }
+        self.out.deliveries.len() - before
+    }
+
+    /// Batched twin of [`SnapshotReader::forward`] — see
+    /// `BrokerNetwork::forward_batch` for the ordering argument; the
+    /// per-message delivery order here is restored by the order tags
+    /// instead of splicing.
+    fn forward_batch(&mut self, node: NodeId, from: Option<NodeId>, batch: Vec<(u64, Message)>) {
+        let Some((_, first)) = batch.first() else { return };
+        let stream = first.stream;
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        let mut next: Vec<(NodeId, Vec<(u64, Message)>)> = Vec::new();
+        if let Some(part) = self.snap.tables[node.index()].streams.get(&stream) {
+            let ps = self
+                .scratch
+                .entry((node, stream))
+                .or_insert_with(|| PartScratch::for_partition(part));
+            let out = &mut self.out;
+            match_frozen_batch(part, &batch, from, ps, &mut buf, |order, buf| {
+                for (sub, message) in buf.deliveries.drain(..) {
+                    out.deliveries.push((order, Delivery { sub, node, message }));
+                }
+                for (hop, fwd) in buf.forwards.drain(..) {
+                    match next.binary_search_by_key(&hop, |(n, _)| *n) {
+                        Ok(i) => next[i].1.push((order, fwd)),
+                        Err(i) => next.insert(i, (hop, vec![(order, fwd)])),
+                    }
+                }
+            });
+        }
+        self.pool.push(buf);
+        for (hop, sub_batch) in next {
+            let key = if node <= hop { (node, hop) } else { (hop, node) };
+            let stats = self.out.links.entry(key).or_default();
+            stats.messages += sub_batch.len() as u64;
+            stats.bytes += sub_batch.iter().map(|(_, m)| m.wire_size() as u64).sum::<u64>();
+            self.forward_batch(hop, Some(node), sub_batch);
+        }
     }
 
     fn forward(&mut self, node: NodeId, from: Option<NodeId>, msg: Message, order: u64) {

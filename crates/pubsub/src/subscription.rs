@@ -351,6 +351,13 @@ impl CachedProjection {
         &self.proj
     }
 
+    /// Whether [`CachedProjection::apply`] forwards records unchanged
+    /// (`All`). The batched publish plane shares the input record across
+    /// such hops instead of cloning it once per hop.
+    pub fn is_identity(&self) -> bool {
+        matches!(self.proj, StreamProjection::All)
+    }
+
     /// Applies the projection to `msg`, resolving (and caching) the plan
     /// for `msg`'s schema on first sight. `All` is a refcount bump; an
     /// attribute set copies the kept scalars into one shared payload.

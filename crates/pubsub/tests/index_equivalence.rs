@@ -573,3 +573,136 @@ fn fail_link_rebuild_matches_fresh_network() {
     assert_eq!(failed.log().deliveries(), fresh.log().deliveries());
     assert_eq!(failed.all_link_stats(), fresh.all_link_stats());
 }
+
+/// Batched-ingestion twin: a network fed exclusively through
+/// [`BrokerNetwork::subscribe_batch`] and [`BrokerNetwork::publish_batch`]
+/// against the serial indexed network and the linear-scan oracle. Batches
+/// mix streams (split into same-stream runs internally) and are sometimes
+/// pre-sorted by stream to exercise long shared walks. Delivery counts
+/// are compared per batch; full logs and link counters at the end.
+/// `COSMOS_STRESS=1` elevates the population and batch sizes — the
+/// large-population batched-publish equivalence run wired into CI.
+#[test]
+fn batched_publish_and_subscribe_equal_serial_and_linear() {
+    let stress = std::env::var("COSMOS_STRESS").is_ok_and(|v| v == "1");
+    let (trials, pop_max, batch_max) = if stress { (6u64, 1200u64, 48) } else { (10u64, 90, 24) };
+    for trial in 0..trials {
+        let mut rng = rng_for(trial, "batched-publish");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut serial = BrokerNetwork::new(topo.clone());
+        let mut batched = BrokerNetwork::new(topo.clone());
+        let mut linear = BrokerNetwork::new_linear(topo);
+        for stream in STREAMS {
+            let src = NodeId(rng.gen_range(0..nodes));
+            serial.advertise(stream, src);
+            batched.advertise(stream, src);
+            linear.advertise(stream, src);
+        }
+        let pop = rng.gen_range(pop_max / 2..pop_max);
+        let subs: Vec<Subscription> = (0..pop).map(|id| random_sub(&mut rng, id, nodes)).collect();
+        for sub in &subs {
+            serial.subscribe(sub.clone());
+            linear.subscribe(sub.clone());
+        }
+        batched.subscribe_batch(subs);
+        batched.check_ledger_consistency().expect("batched install ledger");
+        let mut ts = 0i64;
+        for round in 0..rng.gen_range(5u32..10) {
+            let mut batch = Vec::new();
+            for _ in 0..rng.gen_range(1..batch_max) {
+                ts += rng.gen_range(1i64..1_000);
+                batch.push(random_message(&mut rng, ts));
+            }
+            if rng.gen_bool(0.5) {
+                // Long same-stream runs: the shared-walk fast path.
+                batch.sort_by_key(|m| m.stream);
+            }
+            let db = batched.publish_batch(&batch);
+            let mut ds = 0;
+            let mut dl = 0;
+            for msg in &batch {
+                ds += serial.publish(msg.clone());
+                dl += linear.publish_linear(msg.clone());
+            }
+            assert_eq!(db, ds, "batch/serial delivery count (trial {trial}, round {round})");
+            assert_eq!(ds, dl, "serial/linear delivery count (trial {trial}, round {round})");
+        }
+        assert_eq!(
+            batched.log().deliveries(),
+            serial.log().deliveries(),
+            "batched log diverged from serial (trial {trial})"
+        );
+        assert_eq!(
+            serial.log().deliveries(),
+            linear.log().deliveries(),
+            "serial log diverged from linear (trial {trial})"
+        );
+        assert_eq!(
+            batched.all_link_stats(),
+            serial.all_link_stats(),
+            "batched link traffic diverged (trial {trial})"
+        );
+    }
+}
+
+/// Snapshot-reader batched publish: `publish_batch_at` over order-tagged
+/// chunks must merge to the exact serial broker log — same deliveries in
+/// the same order, same link counters — and agree with a reader
+/// publishing the same messages one `publish_at` at a time.
+#[test]
+fn reader_batched_publish_equals_serial() {
+    for trial in 0..8u64 {
+        let mut rng = rng_for(trial, "batched-reader");
+        let topo = random_topology(&mut rng);
+        let nodes = topo.node_count() as u32;
+        let mut net = BrokerNetwork::new(topo);
+        for stream in STREAMS {
+            net.advertise(stream, NodeId(rng.gen_range(0..nodes)));
+        }
+        for id in 0..rng.gen_range(10u64..80) {
+            net.subscribe(random_sub(&mut rng, id, nodes));
+        }
+        let mut ts = 0i64;
+        let msgs: Vec<Message> = (0..rng.gen_range(20u32..80))
+            .map(|_| {
+                ts += rng.gen_range(1i64..1_000);
+                random_message(&mut rng, ts)
+            })
+            .collect();
+        let mut one_by_one = net.reader();
+        for (k, msg) in msgs.iter().enumerate() {
+            one_by_one.publish_at(k as u64, msg.clone());
+        }
+        let mut chunked = net.reader();
+        let mut start = 0usize;
+        while start < msgs.len() {
+            let end = (start + rng.gen_range(1usize..16)).min(msgs.len());
+            chunked.publish_batch_at(start as u64, &msgs[start..end]);
+            start = end;
+        }
+        for msg in &msgs {
+            net.publish(msg.clone());
+        }
+        let mut serial_out = one_by_one.take_output();
+        serial_out.sort_by_order();
+        let mut batch_out = chunked.take_output();
+        batch_out.sort_by_order();
+        let expected: Vec<_> = net.log().deliveries().to_vec();
+        assert_eq!(
+            batch_out.deliveries().cloned().collect::<Vec<_>>(),
+            expected,
+            "batched reader log diverged (trial {trial})"
+        );
+        assert_eq!(
+            serial_out.deliveries().cloned().collect::<Vec<_>>(),
+            expected,
+            "serial reader log diverged (trial {trial})"
+        );
+        assert_eq!(
+            batch_out.all_link_stats(),
+            net.all_link_stats(),
+            "batched reader link traffic diverged (trial {trial})"
+        );
+    }
+}
