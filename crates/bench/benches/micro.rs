@@ -11,7 +11,7 @@ use cosmos_bench::fixtures::{
     broker_with_distinct_subs_bulk, broker_with_subs, checkpointed_engine, churn_link, churn_node,
     lossy_broker, recovery_host, scaling_message, scaling_sub, shared_split_queries,
 };
-use cosmos_core::coarsen::coarsen;
+use cosmos_core::coarsen::coarsen_wholesale;
 use cosmos_core::distribute::Distributor;
 use cosmos_core::graph::{edge_weight, QgVertex, QueryGraph};
 use cosmos_core::hierarchy::CoordinatorTree;
@@ -86,7 +86,7 @@ fn bench_coarsen(c: &mut Criterion) {
     }
     let _ = d;
     c.bench_function("coarsen/500-to-64", |bench| {
-        bench.iter(|| black_box(coarsen(&graph, 64, rates, &|_| None, 3)))
+        bench.iter(|| black_box(coarsen_wholesale(&graph, 64, rates, &|_| None, 3)))
     });
 }
 
@@ -101,6 +101,40 @@ fn bench_distribution(c: &mut Criterion) {
     });
     group.bench_function("centralized/500q", |bench| {
         bench.iter(|| black_box(d.distribute_centralized(&specs, 5)))
+    });
+    group.finish();
+}
+
+/// The `core/adapt-round-*` twins of the snapshot runner, at a smaller
+/// population so the criterion run stays interactive: one stat-delta
+/// round touching 1% of the queries through the incremental optimizer,
+/// against the wholesale recompute producing the identical assignment.
+fn bench_adapt_round(c: &mut Criterion) {
+    use cosmos_bench::fixtures::{adapt_world, toggle_dirty, AdaptWorld, ADAPT_SEED};
+    use cosmos_core::adaptive::{adapt_wholesale, AdaptConfig};
+    use cosmos_core::IncrementalOptimizer;
+
+    let AdaptWorld { dep, tree, table, mut specs, current, dirty } = adapt_world(2_000);
+    let config = AdaptConfig::default();
+    let d = Distributor::new(&dep, &tree, &table);
+    let mut group = c.benchmark_group("adapt-round");
+    group.sample_size(10);
+    let mut opt = IncrementalOptimizer::new(ADAPT_SEED, config).expect("default config is valid");
+    let _ = opt.round(&d, &specs, &current);
+    let mut step = 0u64;
+    group.bench_function("incremental/2000q", |bench| {
+        bench.iter(|| {
+            toggle_dirty(&mut specs, &dirty, step);
+            step += 1;
+            black_box(opt.round(&d, &specs, &current).migrations)
+        })
+    });
+    group.bench_function("wholesale/2000q", |bench| {
+        bench.iter(|| {
+            toggle_dirty(&mut specs, &dirty, step);
+            step += 1;
+            black_box(adapt_wholesale(&d, &specs, &current, &config, ADAPT_SEED).migrations)
+        })
     });
     group.finish();
 }
@@ -468,6 +502,7 @@ criterion_group!(
     bench_interest_sets,
     bench_coarsen,
     bench_distribution,
+    bench_adapt_round,
     bench_online_routing,
     bench_diffusion,
     bench_broker,

@@ -16,10 +16,14 @@
 //! masquerade as a full baseline.
 
 use cosmos_bench::fixtures::{
-    arrival_sub, batch_round, broad_message, broker_with_broad_subs, broker_with_distinct_subs,
-    broker_with_distinct_subs_bulk, broker_with_subs, checkpointed_engine, churn_link, churn_node,
-    lossy_broker, recovery_host, scaling_message, scaling_sub, shared_split_queries,
+    adapt_world, arrival_sub, batch_round, broad_message, broker_with_broad_subs,
+    broker_with_distinct_subs, broker_with_distinct_subs_bulk, broker_with_subs,
+    checkpointed_engine, churn_link, churn_node, lossy_broker, recovery_host, scaling_message,
+    scaling_sub, shared_split_queries, toggle_dirty, ADAPT_SEED,
 };
+use cosmos_core::adaptive::{adapt_wholesale, AdaptConfig};
+use cosmos_core::distribute::Distributor;
+use cosmos_core::IncrementalOptimizer;
 use cosmos_engine::exec::{CompiledProjection, StreamEngine};
 use cosmos_engine::tuple::{FlattenCache, JoinedTuple, Tuple};
 use cosmos_engine::{ProjPlanCache, SharedEngine};
@@ -342,6 +346,53 @@ fn bench_broker_recover_engine(n_subs: u64) -> f64 {
     })
 }
 
+/// One adaptation round over a 10 000-query world whose statistics churn
+/// touches 1% of the queries, all homed on one processor — one dirty
+/// level-1 leaf per round. The incremental optimizer re-coarsens that
+/// leaf (lazy-deletion heap patching), re-scores the root-to-leaf path,
+/// and fingerprint-reuses every other subtree's coarsening and placement;
+/// the `-wholesale` twin recomputes the whole pipeline with the same
+/// seed, producing the identical assignment. The gap is the delta-driven
+/// optimizer's claim.
+fn bench_adapt_round(n_queries: u64, wholesale: bool) -> f64 {
+    let cosmos_bench::fixtures::AdaptWorld { dep, tree, table, mut specs, current, dirty } =
+        adapt_world(n_queries);
+    let config = AdaptConfig::default();
+    let seed = ADAPT_SEED;
+    let mut opt = IncrementalOptimizer::new(seed, config).expect("default config is valid");
+    let d = Distributor::new(&dep, &tree, &table);
+    if !wholesale {
+        // Warm the caches: the benchmark prices the steady churn state,
+        // not the cold first round.
+        let _ = opt.round(&d, &specs, &current);
+    }
+    let mut step = 0u64;
+    measure(|| {
+        toggle_dirty(&mut specs, &dirty, step);
+        step += 1;
+        let out = if wholesale {
+            adapt_wholesale(&d, &specs, &current, &config, seed)
+        } else {
+            opt.round(&d, &specs, &current)
+        };
+        out.migrations
+    })
+}
+
+/// The incremental round with *no* churn at all: every coordinator's
+/// inputs fingerprint-match, so this prices the memoization layer's fixed
+/// overhead (fingerprint recomputation, cache lookups, assignment splice)
+/// — the floor under `core/adapt-round-10k`.
+fn bench_adapt_round_quiet() -> f64 {
+    let cosmos_bench::fixtures::AdaptWorld { dep, tree, table, specs, current, .. } =
+        adapt_world(10_000);
+    let config = AdaptConfig::default();
+    let mut opt = IncrementalOptimizer::new(ADAPT_SEED, config).expect("default config is valid");
+    let d = Distributor::new(&dep, &tree, &table);
+    let _ = opt.round(&d, &specs, &current);
+    measure(|| opt.round(&d, &specs, &current).migrations)
+}
+
 fn bench_flatten_project() -> f64 {
     let projection = parse_query(
         "SELECT A.v, B.v FROM R [Now] A, R [Now] B, R [Now] C \
@@ -425,6 +476,9 @@ fn main() {
         ("broker/fail-node-5000-pop-wholesale", || bench_broker_fail_node(5000, true)),
         ("broker/publish-lossy-5pct", || bench_broker_publish_lossy(5000, 0.05)),
         ("broker/publish-lossy-clean", || bench_broker_publish_lossy(5000, 0.0)),
+        ("core/adapt-round-10k", || bench_adapt_round(10_000, false)),
+        ("core/adapt-round-10k-quiet", bench_adapt_round_quiet),
+        ("core/adapt-round-10k-wholesale", || bench_adapt_round(10_000, true)),
         ("engine/shared-split-50-members", || bench_shared_split(50)),
         ("engine/checkpoint-5000-window", || bench_engine_checkpoint(5000)),
         ("broker/recover-engine-5000-pop", || bench_broker_recover_engine(5000)),

@@ -391,6 +391,117 @@ pub mod fixtures {
         (r, host)
     }
 
+    /// The standing optimizer world behind `core/adapt-round-10k`:
+    /// `n_queries` random queries over a 32-processor coordinator tree
+    /// (k = 2, so clean subtrees abound), homed round-robin, plus the
+    /// *dirty set* — the first `n_queries / 100` queries living on one
+    /// single processor. Toggling only their loads between rounds leaves
+    /// every other level-1 coordinator's inputs fingerprint-identical, so
+    /// the incremental round re-coarsens one leaf and re-places one
+    /// root-to-leaf path while the `-wholesale` twin redoes the world.
+    pub struct AdaptWorld {
+        /// Deployment backing the distributor.
+        pub dep: cosmos_net::Deployment,
+        /// Coordinator tree over the deployment's processors.
+        pub tree: cosmos_core::hierarchy::CoordinatorTree,
+        /// Substream rates.
+        pub table: cosmos_pubsub::SubstreamTable,
+        /// The query population.
+        pub specs: Vec<cosmos_core::spec::QuerySpec>,
+        /// The standing assignment each round adapts from.
+        pub current: cosmos_core::spec::Assignment,
+        /// Indices (into `specs`) of the ~1% of queries whose loads the
+        /// benchmark toggles — all homed on a single processor.
+        pub dirty: Vec<usize>,
+    }
+
+    /// Applies one load toggle to [`AdaptWorld`]'s dirty set: `step`
+    /// alternates between ×1.05 and its exact inverse, so the population
+    /// cycles through two statistics states instead of drifting. A free
+    /// function (not a method) so callers can toggle `specs` while a
+    /// `Distributor` borrows the world's deployment, tree, and table.
+    pub fn toggle_dirty(specs: &mut [cosmos_core::spec::QuerySpec], dirty: &[usize], step: u64) {
+        let f = if step.is_multiple_of(2) { 1.05 } else { 1.0 / 1.05 };
+        for &i in dirty {
+            specs[i].load *= f;
+        }
+    }
+
+    /// The fixed optimizer seed shared by [`adapt_world`]'s settle rounds
+    /// and the `core/adapt-round-*` benchmarks: the standing assignment is
+    /// a fixpoint only under the seed that produced it.
+    pub const ADAPT_SEED: u64 = 11;
+
+    /// Builds the [`AdaptWorld`] — see its docs for the shape.
+    pub fn adapt_world(n_queries: u64) -> AdaptWorld {
+        use cosmos_core::spec::{Assignment, QuerySpec};
+        use cosmos_util::rng::rng_for;
+        use cosmos_util::InterestSet;
+        use rand::Rng;
+
+        const UNIVERSE: usize = 500;
+        let seed = 5;
+        let topo = TransitStubConfig::small().generate(seed);
+        let dep = cosmos_net::Deployment::assign(topo, 4, 32, seed);
+        let tree = cosmos_core::hierarchy::CoordinatorTree::build(&dep, 2);
+        let table = cosmos_pubsub::SubstreamTable::random(UNIVERSE, 4, 1.0, 10.0, seed);
+        let mut rng = rng_for(seed, "adapt-world");
+        let procs = dep.processors();
+        let specs: Vec<QuerySpec> = (0..n_queries)
+            .map(|i| {
+                let k = rng.gen_range(2..6);
+                QuerySpec {
+                    id: QueryId(i),
+                    interest: InterestSet::from_indices(
+                        UNIVERSE,
+                        (0..k).map(|_| rng.gen_range(0..UNIVERSE)),
+                    ),
+                    load: rng.gen_range(0.5..2.0),
+                    proxy: procs[rng.gen_range(0..procs.len())],
+                    result_rate: rng.gen_range(0.1..1.0),
+                    state_size: rng.gen_range(0.5..4.0),
+                }
+            })
+            .collect();
+        // Round-robin homes, then a few settle rounds with the benchmark's
+        // seed: the standing assignment must be near the optimizer's
+        // fixpoint, or every measured round would redo wholesale-scale
+        // rebalancing and measure convergence, not churn handling.
+        let mut current = Assignment::new();
+        for (i, q) in specs.iter().enumerate() {
+            current.place(q.id, procs[i % procs.len()]);
+        }
+        let d = cosmos_core::distribute::Distributor::new(&dep, &tree, &table);
+        let config = cosmos_core::adaptive::AdaptConfig::default();
+        for _ in 0..3 {
+            current =
+                cosmos_core::adaptive::adapt_wholesale(&d, &specs, &current, &config, ADAPT_SEED)
+                    .assignment;
+        }
+        drop(d);
+        // The dirty 1%: the settled queries of one processor (re-homed
+        // there if the settle rounds left it short), so their churn lands
+        // in exactly one level-1 leaf.
+        let dirty_n = (n_queries / 100).max(1) as usize;
+        let mut dirty: Vec<usize> = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| current.processor_of(q.id) == Some(procs[0]))
+            .map(|(i, _)| i)
+            .take(dirty_n)
+            .collect();
+        for (i, q) in specs.iter().enumerate() {
+            if dirty.len() >= dirty_n {
+                break;
+            }
+            if current.processor_of(q.id) != Some(procs[0]) {
+                current.place(q.id, procs[0]);
+                dirty.push(i);
+            }
+        }
+        AdaptWorld { dep, tree, table, specs, current, dirty }
+    }
+
     /// `members` mergeable queries with exactly two distinct residual
     /// conjunctions (alternating thresholds) — the duplicated-residual
     /// workload behind `engine/shared-split-*`.

@@ -20,12 +20,20 @@
 //! - a vertex may only absorb a transfer `m_ij` that exceeds 90% of its
 //!   weight (no drastic overshoot).
 
-use crate::distribute::{DistTiming, Distributor};
-use crate::graph::{NetworkGraph, QueryGraph};
+use crate::distribute::{DistTiming, Distributor, HierarchyGraphs};
+use crate::graph::{NetworkGraph, QgVertex, QueryGraph};
+use crate::incremental::{vertex_raw_fp, HierCache, PlaceStore};
 use crate::spec::{Assignment, QuerySpec};
+use cosmos_net::NodeId;
+use cosmos_query::QueryId;
+use cosmos_util::pool::parallel_map;
 use cosmos_util::rng::rng_for_indexed;
 use cosmos_util::solver::diffusion_solution;
 use rand::seq::SliceRandom;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Tuning knobs for adaptation.
 #[derive(Debug, Clone, Copy)]
@@ -41,11 +49,53 @@ pub struct AdaptConfig {
     /// Minimum relative WEC improvement for a phase-2 move (damps
     /// oscillation between near-tie placements across rounds).
     pub min_improvement: f64,
+    /// Threads for phase-1 candidate scoring (1 = sequential). Scoring is
+    /// a pure map over candidates, so the thread count cannot change the
+    /// chosen moves — only the wall-clock of large coordinators.
+    pub scoring_threads: usize,
 }
 
 impl Default for AdaptConfig {
     fn default() -> Self {
-        Self { x_fraction: 0.10, fill_fraction: 0.90, max_moves_factor: 8, min_improvement: 0.002 }
+        Self {
+            x_fraction: 0.10,
+            fill_fraction: 0.90,
+            max_moves_factor: 8,
+            min_improvement: 0.002,
+            scoring_threads: 1,
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// Checks every knob, naming the offending one on failure.
+    /// Mirrors the `FaultParams::validate` house pattern.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.x_fraction.is_finite() || !(0.0..=1.0).contains(&self.x_fraction) {
+            return Err(format!(
+                "x_fraction must be a finite fraction in [0, 1], got {}",
+                self.x_fraction
+            ));
+        }
+        if !self.fill_fraction.is_finite() || !(0.0..=1.0).contains(&self.fill_fraction) {
+            return Err(format!(
+                "fill_fraction must be a finite fraction in [0, 1], got {}",
+                self.fill_fraction
+            ));
+        }
+        if self.max_moves_factor == 0 {
+            return Err("max_moves_factor must be at least 1".into());
+        }
+        if !self.min_improvement.is_finite() || self.min_improvement < 0.0 {
+            return Err(format!(
+                "min_improvement must be finite and non-negative, got {}",
+                self.min_improvement
+            ));
+        }
+        if self.scoring_threads == 0 {
+            return Err("scoring_threads must be at least 1".into());
+        }
+        Ok(())
     }
 }
 
@@ -71,21 +121,101 @@ fn cost_at(qg: &QueryGraph, ng: &NetworkGraph, mapping: &[usize], v: usize, k: u
         .sum()
 }
 
-/// Runs one hierarchical adaptation round over the current assignment.
+/// The per-coordinator subtree memo used by the incremental optimizer
+/// during the top-down phase: when neither a subtree's work vertices
+/// (compared content-deep via the phase-A output fingerprints) nor the
+/// current homes of its queries changed since the cached round, the whole
+/// subtree's placement decisions are spliced in from the previous round
+/// instead of re-running diffusion and refinement.
+pub(crate) struct PlaceCache<'a> {
+    /// Persistent entries + hit counters, owned by the optimizer.
+    pub store: &'a mut PlaceStore,
+    /// This round's per-coordinator output fingerprints from phase A.
+    pub out_fps: &'a HashMap<usize, Vec<u64>>,
+}
+
+impl PlaceCache<'_> {
+    /// Fingerprint of everything a subtree's decisions depend on (beyond
+    /// the per-optimizer environment): the work vertices, content-deep,
+    /// and the current home of every query they contain.
+    fn subtree_fp(&self, work: &[QgVertex], current: &Assignment, rates: &[f64]) -> u64 {
+        let mut h = DefaultHasher::new();
+        for v in work {
+            match v.tag {
+                Some((coord, idx)) => self.out_fps[&coord][idx].hash(&mut h),
+                None => vertex_raw_fp(v, rates).hash(&mut h),
+            }
+            for &q in &v.queries {
+                q.hash(&mut h);
+                match current.processor_of(q) {
+                    Some(p) => {
+                        1u8.hash(&mut h);
+                        p.hash(&mut h);
+                    }
+                    None => 0u8.hash(&mut h),
+                }
+            }
+        }
+        h.finish()
+    }
+
+    fn lookup(&mut self, coord: usize, fp: u64) -> Option<Arc<Vec<(QueryId, NodeId)>>> {
+        match self.store.entries.get(&coord) {
+            Some((stored, placements)) if *stored == fp => {
+                self.store.hits += 1;
+                Some(placements.clone())
+            }
+            _ => {
+                self.store.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, coord: usize, fp: u64, sub: &Assignment) {
+        let mut pairs: Vec<(QueryId, NodeId)> = sub.iter().collect();
+        pairs.sort_unstable_by_key(|&(q, _)| q);
+        self.store.entries.insert(coord, (fp, Arc::new(pairs)));
+    }
+}
+
+/// Runs one hierarchical adaptation round over the current assignment —
+/// the batch path, recomputing everything from scratch. This doubles as
+/// the differential oracle for
+/// [`crate::incremental::IncrementalOptimizer::round`], which must produce
+/// the identical outcome.
 ///
 /// `specs` must contain every query in `current`.
 ///
 /// # Panics
 ///
-/// Panics if a query in `specs` is missing from `current` or is placed on
-/// an unknown processor.
-pub fn adapt(
+/// Panics if `config` fails [`AdaptConfig::validate`], if a query in
+/// `specs` is missing from `current`, or if one is placed on an unknown
+/// processor.
+pub fn adapt_wholesale(
     d: &Distributor<'_>,
     specs: &[QuerySpec],
     current: &Assignment,
     config: &AdaptConfig,
     seed: u64,
 ) -> AdaptOutcome {
+    adapt_with_caches(d, specs, current, config, seed, None)
+}
+
+/// The shared adaptation round behind [`adapt_wholesale`] (`caches:
+/// None`) and the incremental optimizer (`caches: Some`): one
+/// implementation, so the batch path and the memoized path cannot drift.
+pub(crate) fn adapt_with_caches(
+    d: &Distributor<'_>,
+    specs: &[QuerySpec],
+    current: &Assignment,
+    config: &AdaptConfig,
+    seed: u64,
+    mut caches: Option<(&mut HierCache, &mut PlaceStore)>,
+) -> AdaptOutcome {
+    if let Err(e) = config.validate() {
+        panic!("invalid AdaptConfig: {e}");
+    }
     let mut timing = DistTiming::default();
     let mut next = Assignment::new();
     if specs.is_empty() {
@@ -103,11 +233,17 @@ pub fn adapt(
     }
 
     // Bottom-up graphs grouped by *current* placement.
-    let graphs = d.build_hierarchy_graphs(specs, seed, &mut timing, |spec| {
-        current
-            .processor_of(spec.id)
-            .unwrap_or_else(|| panic!("query {} missing from current assignment", spec.id))
-    });
+    let graphs = d.build_hierarchy_graphs(
+        specs,
+        seed,
+        &mut timing,
+        |spec| {
+            current
+                .processor_of(spec.id)
+                .unwrap_or_else(|| panic!("query {} missing from current assignment", spec.id))
+        },
+        caches.as_mut().map(|(h, _)| &mut **h),
+    );
 
     // Top-down redistribution. The root operates on its *combined* graph
     // (its children's outputs), not its own coarsened output: coarse
@@ -116,8 +252,19 @@ pub fn adapt(
     // would force different spurious co-location migrations.
     let root_work: Vec<crate::graph::QgVertex> =
         graphs.constituents[root].iter().flatten().cloned().collect();
-    let response =
-        adapt_down(d, config, root, root_work, &graphs, current, &mut next, &mut timing, seed);
+    let mut place = caches.map(|(h, p)| PlaceCache { out_fps: h.round_out_fps(), store: p });
+    let response = adapt_down(
+        d,
+        config,
+        root,
+        root_work,
+        &graphs,
+        current,
+        &mut next,
+        &mut timing,
+        seed,
+        place.as_mut(),
+    );
     timing.response += response;
 
     // Migration accounting at the query level.
@@ -140,11 +287,12 @@ fn adapt_down(
     config: &AdaptConfig,
     coord: usize,
     work: Vec<crate::graph::QgVertex>,
-    graphs: &crate::distribute::HierarchyGraphs,
+    graphs: &HierarchyGraphs,
     current: &Assignment,
     next: &mut Assignment,
     timing: &mut DistTiming,
     seed: u64,
+    mut cache: Option<&mut PlaceCache<'_>>,
 ) -> std::time::Duration {
     let node = d.tree.node(coord);
     if node.level == 0 {
@@ -155,6 +303,21 @@ fn adapt_down(
         }
         return std::time::Duration::ZERO;
     }
+    // Subtree memo: replay the previous round's decisions for this whole
+    // subtree when its inputs are fingerprint-identical.
+    let fp = cache.as_ref().map(|c| c.subtree_fp(&work, current, d.table.rates()));
+    if let (Some(c), Some(fp)) = (cache.as_deref_mut(), fp) {
+        if let Some(placements) = c.lookup(coord, fp) {
+            for &(q, p) in placements.iter() {
+                next.place(q, p);
+            }
+            return std::time::Duration::ZERO;
+        }
+    }
+    // On a miss with an active cache, decisions are collected into a local
+    // assignment so the subtree's placements can be stored before being
+    // merged into `next`.
+    let mut local = if cache.is_some() { Some(Assignment::new()) } else { None };
     let mut sw = cosmos_util::Stopwatch::new();
     sw.start();
     let mut rng = rng_for_indexed(seed, "adapt", coord as u64);
@@ -262,10 +425,11 @@ fn adapt_down(
             .copied()
             .filter(|&v| mapping[v] == from && qg.vertices[v].weight > 1e-12)
             .collect();
-        let benefits: Vec<f64> = candidates
-            .iter()
-            .map(|&v| cost_at(&qg, &ng, &mapping, v, from) - cost_at(&qg, &ng, &mapping, v, to))
-            .collect();
+        // Pure per-candidate scoring: safe to fan out, bit-identical for
+        // any thread count.
+        let benefits: Vec<f64> = parallel_map(config.scoring_threads, &candidates, |&v| {
+            cost_at(&qg, &ng, &mapping, v, from) - cost_at(&qg, &ng, &mapping, v, to)
+        });
         let Some(&max_benefit) =
             benefits.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
         else {
@@ -374,10 +538,30 @@ fn adapt_down(
     timing.total += sw.elapsed();
     let own = sw.elapsed();
     let mut child_max = std::time::Duration::ZERO;
-    for (pos, child_work) in per_child.into_iter().enumerate() {
-        let child = node.children[pos];
-        let t = adapt_down(d, config, child, child_work, graphs, current, next, timing, seed);
-        child_max = child_max.max(t);
+    {
+        let out: &mut Assignment = local.as_mut().unwrap_or(next);
+        for (pos, child_work) in per_child.into_iter().enumerate() {
+            let child = node.children[pos];
+            let t = adapt_down(
+                d,
+                config,
+                child,
+                child_work,
+                graphs,
+                current,
+                out,
+                timing,
+                seed,
+                cache.as_deref_mut(),
+            );
+            child_max = child_max.max(t);
+        }
+    }
+    if let (Some(c), Some(local)) = (cache, local) {
+        c.insert(coord, fp.expect("fp computed when cache is active"), &local);
+        for (q, p) in local.iter() {
+            next.place(q, p);
+        }
     }
     own + child_max
 }
@@ -459,7 +643,7 @@ mod tests {
         let d = Distributor::new(&dep, &tree, &table);
         let specs = random_specs(&dep, &table, 60, 2);
         let current = random_assignment(&specs, &dep, 3);
-        let out = adapt(&d, &specs, &current, &AdaptConfig::default(), 4);
+        let out = adapt_wholesale(&d, &specs, &current, &AdaptConfig::default(), 4);
         assert_eq!(out.assignment.len(), 60);
         for q in &specs {
             assert!(dep.processors().contains(&out.assignment.processor_of(q.id).unwrap()));
@@ -476,7 +660,7 @@ mod tests {
         let before = stddev(&current.loads(&specs, dep.processors()));
         let mut a = current.clone();
         for round in 0..4 {
-            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 10 + round).assignment;
+            a = adapt_wholesale(&d, &specs, &a, &AdaptConfig::default(), 10 + round).assignment;
         }
         let after = stddev(&a.loads(&specs, dep.processors()));
         assert!(after < before * 0.5, "load stddev should drop substantially: {before} -> {after}");
@@ -492,7 +676,7 @@ mod tests {
         let before = comm_cost(&dep, &table, &specs, &current);
         let mut a = current.clone();
         for round in 0..5 {
-            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 20 + round).assignment;
+            a = adapt_wholesale(&d, &specs, &a, &AdaptConfig::default(), 20 + round).assignment;
         }
         let after = comm_cost(&dep, &table, &specs, &a);
         assert!(after < before, "adaptation should reduce communication cost: {before} -> {after}");
@@ -508,7 +692,7 @@ mod tests {
         let initial = d.distribute(&specs, 9).assignment;
         let mut a = initial.clone();
         for round in 0..3 {
-            a = adapt(&d, &specs, &a, &AdaptConfig::default(), 30 + round).assignment;
+            a = adapt_wholesale(&d, &specs, &a, &AdaptConfig::default(), 30 + round).assignment;
         }
         let churn = a.migrations_from(&initial);
         assert!(
@@ -525,7 +709,7 @@ mod tests {
         let d = Distributor::new(&dep, &tree, &table);
         let specs = random_specs(&dep, &table, 40, 11);
         let current = random_assignment(&specs, &dep, 12);
-        let out = adapt(&d, &specs, &current, &AdaptConfig::default(), 13);
+        let out = adapt_wholesale(&d, &specs, &current, &AdaptConfig::default(), 13);
         assert_eq!(out.migrations, out.assignment.migrations_from(&current));
         if out.migrations == 0 {
             assert_eq!(out.moved_state, 0.0);
@@ -539,8 +723,51 @@ mod tests {
         let (dep, table) = fixture(6);
         let tree = CoordinatorTree::build(&dep, 2);
         let d = Distributor::new(&dep, &tree, &table);
-        let out = adapt(&d, &[], &Assignment::new(), &AdaptConfig::default(), 0);
+        let out = adapt_wholesale(&d, &[], &Assignment::new(), &AdaptConfig::default(), 0);
         assert_eq!(out.migrations, 0);
         assert!(out.assignment.is_empty());
+    }
+
+    #[test]
+    fn scoring_threads_cannot_change_the_outcome() {
+        // Candidate scoring is a pure order-preserving map, so any thread
+        // count must produce the identical assignment — the env
+        // fingerprint excludes `scoring_threads` on this guarantee.
+        let (dep, table) = fixture(7);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let specs = random_specs(&dep, &table, 80, 14);
+        let current = skewed_assignment(&specs, dep.processors()[0]);
+        let seq = AdaptConfig { scoring_threads: 1, ..AdaptConfig::default() };
+        let par = AdaptConfig { scoring_threads: 4, ..AdaptConfig::default() };
+        let a = adapt_wholesale(&d, &specs, &current, &seq, 15);
+        let b = adapt_wholesale(&d, &specs, &current, &par, 15);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.moved_state.to_bits(), b.moved_state.to_bits());
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_knob() {
+        let bad = AdaptConfig { x_fraction: f64::NAN, ..AdaptConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("x_fraction"));
+        let bad = AdaptConfig { fill_fraction: 1.5, ..AdaptConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("fill_fraction"));
+        let bad = AdaptConfig { max_moves_factor: 0, ..AdaptConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("max_moves_factor"));
+        let bad = AdaptConfig { min_improvement: -0.1, ..AdaptConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("min_improvement"));
+        let bad = AdaptConfig { scoring_threads: 0, ..AdaptConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("scoring_threads"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AdaptConfig")]
+    fn invalid_config_panics_at_the_adaptation_round() {
+        let (dep, table) = fixture(8);
+        let tree = CoordinatorTree::build(&dep, 2);
+        let d = Distributor::new(&dep, &tree, &table);
+        let bad = AdaptConfig { x_fraction: -1.0, ..AdaptConfig::default() };
+        let _ = adapt_wholesale(&d, &[], &Assignment::new(), &bad, 0);
     }
 }

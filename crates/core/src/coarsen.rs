@@ -50,7 +50,7 @@ fn is_anchor(v: &QgVertex, cluster_of: &ClusterOf) -> bool {
 /// first with ties broken toward the **smaller** neighbor index — exactly
 /// the choice the linear reference scan makes, so heap-based selection is
 /// output-identical to it.
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct Cand {
     w: f64,
     j: usize,
@@ -109,8 +109,117 @@ fn best_candidate(
     best
 }
 
-/// Runs Algorithm 1 until at most `vmax` vertices remain (or no further
-/// collapse is possible — e.g. everything left is an anchor).
+/// Pre-collapse coarsening state: the working vertex array, the live
+/// adjacency, and the per-vertex lazy-deletion candidate heaps *before*
+/// any collapse has run.
+///
+/// The incremental optimizer keeps one of these alive per level-1
+/// coordinator across adaptation rounds. When a round's statistics deltas
+/// leave a leaf's query set and interests untouched (only loads, result
+/// rates, or substream rates moved), [`CoarsenState::patch_vertex`]
+/// re-estimates the dirty vertices' edges in place — pushing fresh heap
+/// entries and leaving superseded ones to lazy deletion — and
+/// [`CoarsenState::run`] replays the collapse on a clone of the state,
+/// skipping the quadratic edge construction a fresh graph build would pay.
+/// The result is output-identical to [`coarsen_wholesale`] on the freshly
+/// built graph, which the differential tests pin.
+#[derive(Debug, Clone)]
+pub struct CoarsenState {
+    vertices: Vec<QgVertex>,
+    adj: Vec<std::collections::HashMap<usize, f64>>,
+    heaps: Vec<BinaryHeap<Cand>>,
+}
+
+impl CoarsenState {
+    /// Captures `input`'s vertices, adjacency, and selection heaps.
+    pub fn prepare(input: &QueryGraph) -> Self {
+        let n = input.len();
+        let adj: Vec<std::collections::HashMap<usize, f64>> =
+            (0..n).map(|i| input.neighbors(i).collect()).collect();
+        let heaps =
+            adj.iter().map(|edges| edges.iter().map(|(&j, &w)| Cand { w, j }).collect()).collect();
+        Self { vertices: input.vertices.clone(), adj, heaps }
+    }
+
+    /// Number of fine vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Is the state empty?
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The fine vertices, reflecting every patch applied so far.
+    pub fn vertices(&self) -> &[QgVertex] {
+        &self.vertices
+    }
+
+    /// Replaces vertex `i` with `v` and re-estimates all of `i`'s edges
+    /// under `rates`, pushing the updated candidates onto both endpoint
+    /// heaps; superseded entries fall to lazy deletion during the collapse.
+    ///
+    /// The caller must not change the vertex's interest or result-flow
+    /// *topology*: only statistics (load, rates, state size) may move, so
+    /// the live edge set stays put and only weights change. If a
+    /// re-estimated weight is no longer positive the edge set *would*
+    /// change — the patch is rejected by returning `false`, and the caller
+    /// must rebuild the state from a fresh graph.
+    pub fn patch_vertex(&mut self, i: usize, v: QgVertex, rates: &[f64]) -> bool {
+        self.vertices[i] = v;
+        let neighbors: Vec<usize> = self.adj[i].keys().copied().collect();
+        for x in neighbors {
+            let w = edge_weight(&self.vertices[i], &self.vertices[x], rates);
+            if w <= 0.0 {
+                return false;
+            }
+            self.adj[i].insert(x, w);
+            self.adj[x].insert(i, w);
+            self.heaps[i].push(Cand { w, j: x });
+            self.heaps[x].push(Cand { w, j: i });
+        }
+        true
+    }
+
+    /// Rebuilds every heap from the live adjacency when stale entries
+    /// dominate (more than 4× the live edge entries). A no-op for
+    /// selection semantics — lazy deletion would have skipped the stale
+    /// entries anyway — but it bounds the memory a long-lived state
+    /// accumulates across many patched rounds.
+    pub fn maybe_compact(&mut self) {
+        let live: usize = self.adj.iter().map(|a| a.len()).sum();
+        let held: usize = self.heaps.iter().map(|h| h.len()).sum();
+        if held > 4 * live.max(1) {
+            for (i, edges) in self.adj.iter().enumerate() {
+                self.heaps[i] = edges.iter().map(|(&j, &w)| Cand { w, j }).collect();
+            }
+        }
+    }
+
+    /// Replays Algorithm 1 on a clone of the state. Output-identical to
+    /// [`coarsen_wholesale`] on the equivalent freshly built graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmax == 0`.
+    pub fn run(&self, vmax: usize, rates: &[f64], cluster_of: &ClusterOf, seed: u64) -> Coarsened {
+        collapse(
+            self.vertices.iter().cloned().map(Some).collect(),
+            self.adj.clone(),
+            self.heaps.clone(),
+            vmax,
+            rates,
+            cluster_of,
+            seed,
+        )
+    }
+}
+
+/// Runs Algorithm 1 from scratch until at most `vmax` vertices remain (or
+/// no further collapse is possible — e.g. everything left is an anchor).
+/// This is the batch path and the differential oracle for the
+/// [`CoarsenState`] patch-and-replay path.
 ///
 /// Candidate selection keeps a lazy-deletion binary heap of `(weight,
 /// neighbor)` per vertex instead of re-scanning the adjacency per pass:
@@ -125,20 +234,36 @@ fn best_candidate(
 /// # Panics
 ///
 /// Panics if `vmax == 0`.
-pub fn coarsen(
+pub fn coarsen_wholesale(
     input: &QueryGraph,
     vmax: usize,
     rates: &[f64],
     cluster_of: &ClusterOf,
     seed: u64,
 ) -> Coarsened {
-    assert!(vmax > 0, "vmax must be positive");
     let n = input.len();
-    let mut vertices: Vec<Option<QgVertex>> = input.vertices.iter().cloned().map(Some).collect();
-    let mut adj: Vec<std::collections::HashMap<usize, f64>> =
+    let vertices: Vec<Option<QgVertex>> = input.vertices.iter().cloned().map(Some).collect();
+    let adj: Vec<std::collections::HashMap<usize, f64>> =
         (0..n).map(|i| input.neighbors(i).collect()).collect();
-    let mut heaps: Vec<BinaryHeap<Cand>> =
+    let heaps: Vec<BinaryHeap<Cand>> =
         adj.iter().map(|edges| edges.iter().map(|(&j, &w)| Cand { w, j }).collect()).collect();
+    collapse(vertices, adj, heaps, vmax, rates, cluster_of, seed)
+}
+
+/// The shared collapse loop behind [`coarsen_wholesale`] and
+/// [`CoarsenState::run`] — one implementation, so the batch path and the
+/// patched replay cannot drift.
+fn collapse(
+    mut vertices: Vec<Option<QgVertex>>,
+    mut adj: Vec<std::collections::HashMap<usize, f64>>,
+    mut heaps: Vec<BinaryHeap<Cand>>,
+    vmax: usize,
+    rates: &[f64],
+    cluster_of: &ClusterOf,
+    seed: u64,
+) -> Coarsened {
+    assert!(vmax > 0, "vmax must be positive");
+    let n = vertices.len();
     let mut stash: Vec<Cand> = Vec::new();
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut alive = n;
@@ -265,7 +390,7 @@ mod tests {
 
     /// The pre-heap reference: Algorithm 1 with candidate selection by a
     /// full linear scan of the adjacency. Kept verbatim as the oracle the
-    /// heap-based [`coarsen`] must be output-identical to.
+    /// heap-based [`coarsen_wholesale`] must be output-identical to.
     fn coarsen_reference(
         input: &QueryGraph,
         vmax: usize,
@@ -410,7 +535,7 @@ mod tests {
                 (!node.0.is_multiple_of(3)).then_some((node.0 % 2) as usize)
             };
             let vmax = rng.gen_range(2..10);
-            let fast = coarsen(&g, vmax, &rates, &cluster_of, seed);
+            let fast = coarsen_wholesale(&g, vmax, &rates, &cluster_of, seed);
             let slow = coarsen_reference(&g, vmax, &rates, &cluster_of, seed);
             assert_eq!(fast.members, slow.members, "seed {seed}: members diverged");
             assert_eq!(fast.graph.len(), slow.graph.len());
@@ -458,7 +583,7 @@ mod tests {
         let vertices: Vec<QgVertex> =
             (0..10).map(|i| qv(i, &[i as usize, i as usize + 1], 1.0)).collect();
         let g = with_edges(vertices, &rates);
-        let c = coarsen(&g, 4, &rates, &|_| None, 7);
+        let c = coarsen_wholesale(&g, 4, &rates, &|_| None, 7);
         assert!(c.graph.len() <= 4);
         assert_eq!(c.members.iter().map(Vec::len).sum::<usize>(), 10);
     }
@@ -474,7 +599,7 @@ mod tests {
         for v in &g.vertices {
             before_union.union_with(&v.interest);
         }
-        let c = coarsen(&g, 3, &rates, &|_| None, 1);
+        let c = coarsen_wholesale(&g, 3, &rates, &|_| None, 1);
         assert!((c.graph.total_weight() - before_weight).abs() < 1e-9);
         let mut after_union = InterestSet::new(U);
         for v in &c.graph.vertices {
@@ -497,7 +622,7 @@ mod tests {
         ];
         let g = with_edges(vertices, &rates);
         for seed in 0..8 {
-            let c = coarsen(&g, 2, &rates, &|_| None, seed);
+            let c = coarsen_wholesale(&g, 2, &rates, &|_| None, seed);
             assert_eq!(c.graph.len(), 2);
             let ok = c.members.iter().any(|m| m.contains(&0) && m.contains(&1) && m.len() == 2);
             assert!(ok, "seed {seed}: heavy pairs should collapse: {:?}", c.members);
@@ -516,7 +641,7 @@ mod tests {
         ];
         let g = with_edges(vertices, &rates);
         let cluster_of = |n: NodeId| -> Option<usize> { Some(n.0 as usize) };
-        let c = coarsen(&g, 1, &rates, &cluster_of, 5);
+        let c = coarsen_wholesale(&g, 1, &rates, &cluster_of, 5);
         // Can't reach 1 vertex: the two n-vertices must stay apart.
         assert!(c.graph.len() >= 2);
         for v in &c.graph.vertices {
@@ -540,7 +665,7 @@ mod tests {
             qv(2, &[0, 1, 2], 1.0),
         ];
         let g = with_edges(vertices, &rates);
-        let c = coarsen(&g, 1, &rates, &|_| None, 9);
+        let c = coarsen_wholesale(&g, 1, &rates, &|_| None, 9);
         // Anchor survives alone; the two queries may merge.
         assert!(c.graph.len() >= 2);
         let anchor_members =
@@ -556,7 +681,7 @@ mod tests {
             qv(1, &[0, 1, 2, 3], 2.0),
         ];
         let g = with_edges(vertices, &rates);
-        let c = coarsen(&g, 1, &rates, &|_| Some(0), 2);
+        let c = coarsen_wholesale(&g, 1, &rates, &|_| Some(0), 2);
         assert_eq!(c.graph.len(), 1);
         let v = &c.graph.vertices[0];
         assert!(v.is_net());
@@ -568,7 +693,7 @@ mod tests {
     fn already_small_graph_is_untouched() {
         let rates = vec![1.0; U];
         let g = with_edges(vec![qv(0, &[0], 1.0), qv(1, &[5], 1.0)], &rates);
-        let c = coarsen(&g, 10, &rates, &|_| None, 0);
+        let c = coarsen_wholesale(&g, 10, &rates, &|_| None, 0);
         assert_eq!(c.graph.len(), 2);
         assert_eq!(c.members, vec![vec![0], vec![1]]);
     }
@@ -579,9 +704,92 @@ mod tests {
         let vertices: Vec<QgVertex> =
             (0..20).map(|i| qv(i, &[(i % 7) as usize, ((i * 3) % 11) as usize], 1.0)).collect();
         let g = with_edges(vertices, &rates);
-        let a = coarsen(&g, 5, &rates, &|_| None, 42);
-        let b = coarsen(&g, 5, &rates, &|_| None, 42);
+        let a = coarsen_wholesale(&g, 5, &rates, &|_| None, 42);
+        let b = coarsen_wholesale(&g, 5, &rates, &|_| None, 42);
         assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn prepared_state_replays_identically_to_wholesale() {
+        use rand::Rng;
+        for seed in 0..8u64 {
+            let mut rng = rng_for(seed, "coarsen-state-diff");
+            let rates: Vec<f64> = (0..U).map(|i| 1.0 + (i % 4) as f64).collect();
+            let n = rng.gen_range(10..30);
+            let vertices: Vec<QgVertex> = (0..n)
+                .map(|i| {
+                    let bits: Vec<usize> =
+                        (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..U)).collect();
+                    qv(i as u64, &bits, rng.gen_range(0.5..4.0))
+                })
+                .collect();
+            let g = with_edges(vertices, &rates);
+            let state = CoarsenState::prepare(&g);
+            let vmax = rng.gen_range(2..8);
+            let replay = state.run(vmax, &rates, &|_| None, seed);
+            let fresh = coarsen_wholesale(&g, vmax, &rates, &|_| None, seed);
+            assert_eq!(replay.members, fresh.members, "seed {seed}: members diverged");
+        }
+    }
+
+    /// Stats-only deltas: patch the dirty vertices of a long-lived state
+    /// and replay the collapse; the output must be bit-identical to
+    /// wholesale coarsening of a graph freshly built from the updated
+    /// vertices and rates.
+    #[test]
+    fn patched_state_matches_wholesale_on_fresh_graph() {
+        use rand::Rng;
+        for seed in 0..8u64 {
+            let mut rng = rng_for(seed, "coarsen-patch-diff");
+            let rates: Vec<f64> = (0..U).map(|i| 1.0 + (i % 4) as f64).collect();
+            let n = rng.gen_range(10..30);
+            let mut vertices: Vec<QgVertex> = (0..n)
+                .map(|i| {
+                    let bits: Vec<usize> =
+                        (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..U)).collect();
+                    qv(i as u64, &bits, rng.gen_range(0.5..4.0))
+                })
+                .collect();
+            let g = with_edges(vertices.clone(), &rates);
+            let mut state = CoarsenState::prepare(&g);
+            // Perturb substream rates and a third of the loads — the kind
+            // of delta a StatDelta stream carries between rounds. Rates
+            // changed globally, so every vertex counts as dirty.
+            let rates2: Vec<f64> = rates
+                .iter()
+                .enumerate()
+                .map(|(i, r)| if i % 3 == 0 { r * rng.gen_range(1.1..2.0) } else { *r })
+                .collect();
+            for v in vertices.iter_mut() {
+                if rng.gen_bool(0.3) {
+                    v.weight *= rng.gen_range(0.5..2.0);
+                }
+            }
+            for (i, v) in vertices.iter().enumerate() {
+                assert!(state.patch_vertex(i, v.clone(), &rates2), "patch rejected at {i}");
+            }
+            state.maybe_compact();
+            let g2 = with_edges(vertices.clone(), &rates2);
+            let vmax = rng.gen_range(2..8);
+            let patched = state.run(vmax, &rates2, &|_| None, seed);
+            let fresh = coarsen_wholesale(&g2, vmax, &rates2, &|_| None, seed);
+            assert_eq!(patched.members, fresh.members, "seed {seed}: members diverged");
+            assert_eq!(patched.graph.len(), fresh.graph.len());
+            for i in 0..patched.graph.len() {
+                assert_eq!(
+                    patched.graph.vertices[i].weight.to_bits(),
+                    fresh.graph.vertices[i].weight.to_bits(),
+                    "seed {seed}: weight of coarse vertex {i} diverged"
+                );
+                let mut pe: Vec<(usize, u64)> =
+                    patched.graph.neighbors(i).map(|(j, w)| (j, w.to_bits())).collect();
+                let mut fe: Vec<(usize, u64)> =
+                    fresh.graph.neighbors(i).map(|(j, w)| (j, w.to_bits())).collect();
+                pe.sort_unstable_by_key(|e| e.0);
+                fe.sort_unstable_by_key(|e| e.0);
+                assert_eq!(pe, fe, "seed {seed}: edges of coarse vertex {i} diverged");
+            }
+        }
     }
 
     proptest! {
@@ -597,7 +805,7 @@ mod tests {
                 .map(|i| qv(i as u64, &[i % U, (i * 5 + 1) % U], 1.0))
                 .collect();
             let g = with_edges(vertices, &rates);
-            let c = coarsen(&g, vmax, &rates, &|_| None, seed);
+            let c = coarsen_wholesale(&g, vmax, &rates, &|_| None, seed);
             let mut seen: Vec<usize> = c.members.iter().flatten().copied().collect();
             seen.sort_unstable();
             let expect: Vec<usize> = (0..n).collect();
@@ -623,7 +831,7 @@ mod tests {
                 .map(|i| qv(i as u64, &[i % U, (i * 3) % U, (i * 7) % U], 1.0))
                 .collect();
             let g = with_edges(vertices, &rates);
-            let c = coarsen(&g, 2, &rates, &|_| None, seed);
+            let c = coarsen_wholesale(&g, 2, &rates, &|_| None, seed);
             for i in 0..c.graph.len() {
                 for (j, w) in c.graph.neighbors(i) {
                     let expect = edge_weight(&c.graph.vertices[i], &c.graph.vertices[j], &rates);

@@ -19,9 +19,10 @@
 //! pairs co-occur in many substream lists, so the heavy edges — the ones
 //! coarsening and mapping act on — survive.
 
-use crate::coarsen::{coarsen, Coarsened};
+use crate::coarsen::{coarsen_wholesale, CoarsenState, Coarsened};
 use crate::graph::{NetVertex, NetworkGraph, QgVertex, QueryGraph, VertexKind};
 use crate::hierarchy::CoordinatorTree;
+use crate::incremental::HierCache;
 use crate::mapping::{map_graph, MapConfig, MappingResult};
 use crate::spec::{Assignment, QuerySpec};
 use cosmos_net::{Deployment, NodeId};
@@ -31,6 +32,7 @@ use cosmos_util::InterestSet;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning knobs for the distribution machinery.
@@ -68,6 +70,23 @@ impl Default for DistConfig {
             per_level_alpha: true,
             map: MapConfig::default(),
         }
+    }
+}
+
+impl DistConfig {
+    /// Checks every knob, naming the offending one on failure.
+    /// Mirrors the `FaultParams::validate` house pattern.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vmax == 0 {
+            return Err("vmax must be at least 1".into());
+        }
+        if self.candidates_per_substream == 0 {
+            return Err("candidates_per_substream must be at least 1".into());
+        }
+        if self.top_overlap_edges == 0 {
+            return Err("top_overlap_edges must be at least 1".into());
+        }
+        self.map.validate()
     }
 }
 
@@ -109,12 +128,21 @@ impl<'a> Distributor<'a> {
     }
 
     /// As [`Distributor::new`] with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`DistConfig::validate`] — a
+    /// misconfigured optimizer must fail loudly at construction, not
+    /// produce silently degenerate placements.
     pub fn with_config(
         dep: &'a Deployment,
         tree: &'a CoordinatorTree,
         table: &'a SubstreamTable,
         config: DistConfig,
     ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid DistConfig: {e}");
+        }
         let universe = table.len();
         let mut source_sets = vec![InterestSet::new(universe); dep.sources().len()];
         for s in 0..universe {
@@ -177,10 +205,15 @@ impl<'a> Distributor<'a> {
             source_rates.push(acc);
         }
 
-        // Derive pure source vertices.
+        // Derive pure source vertices, in sorted source order per vertex:
+        // derived-vertex indices must not depend on hash iteration order,
+        // or rebuilt graphs would not be bit-reproducible and the
+        // incremental optimizer's memoization would be unsound.
         let mut source_vertex: HashMap<usize, usize> = HashMap::new();
         for acc in &source_rates {
-            for (&src, _) in acc.iter() {
+            let mut srcs: Vec<usize> = acc.keys().copied().collect();
+            srcs.sort_unstable();
+            for src in srcs {
                 let node = self.dep.sources()[src];
                 if existing_net.contains_key(&node) || source_vertex.contains_key(&src) {
                     continue;
@@ -378,7 +411,7 @@ impl<'a> Distributor<'a> {
 
         // ---- Phase A: bottom-up graph construction and coarsening.
         let mut per_coord =
-            self.build_hierarchy_graphs(specs, seed, &mut timing, |spec| spec.proxy);
+            self.build_hierarchy_graphs(specs, seed, &mut timing, |spec| spec.proxy, None);
 
         // ---- Phase B: top-down mapping with one-level uncoarsening.
         let root = self.tree.root();
@@ -441,17 +474,28 @@ impl<'a> Distributor<'a> {
     /// Bottom-up phase shared by initial distribution and adaptation:
     /// `home_of` decides which processor a query is grouped under (proxy
     /// for initial distribution, current placement for adaptation).
+    ///
+    /// With `cache` present (the incremental optimizer's memo), each
+    /// coordinator's inputs are fingerprinted first: an unchanged
+    /// fingerprint reuses the cached outputs and Arc-shares the cached
+    /// constituents; a changed level-1 coordinator whose query *structure*
+    /// is intact patches the dirty vertices of its persistent
+    /// [`CoarsenState`] and replays the collapse; everything else
+    /// recomputes exactly as the batch path does. `None` is the batch
+    /// path, byte-identical to the pre-incremental behavior.
     pub(crate) fn build_hierarchy_graphs(
         &self,
         specs: &[QuerySpec],
         seed: u64,
         timing: &mut DistTiming,
         home_of: impl Fn(&QuerySpec) -> NodeId,
+        mut cache: Option<&mut HierCache>,
     ) -> HierarchyGraphs {
         let n_coords = self.tree.len();
         let mut outputs: Vec<Vec<QgVertex>> = vec![Vec::new(); n_coords];
-        let mut constituents: Vec<Vec<Vec<QgVertex>>> = vec![Vec::new(); n_coords];
+        let mut constituents: Vec<Arc<Vec<Vec<QgVertex>>>> = vec![Arc::default(); n_coords];
         let mut level_time: Vec<Duration> = Vec::new();
+        let rates = self.table.rates();
 
         // Group raw queries by their home processor's level-1 coordinator.
         let mut by_coord: HashMap<usize, Vec<&QuerySpec>> = HashMap::new();
@@ -462,48 +506,93 @@ impl<'a> Distributor<'a> {
                 .leaf_of(home)
                 .unwrap_or_else(|| panic!("query {} homed on unknown processor {home}", spec.id));
             let parent = self.tree.node(leaf).parent.unwrap_or(leaf);
+            // Work attached anywhere but an active level-1 coordinator is
+            // invisible to the bottom-up pass below and would silently
+            // vanish from the output assignment — fail loudly instead.
+            assert!(
+                self.tree.is_active(parent) && self.tree.node(parent).level == 1,
+                "query {} homed on {home}: leaf {leaf} hangs under coordinator {parent}, \
+                 which is not an active level-1 cluster (detached tree?)",
+                spec.id
+            );
             by_coord.entry(parent).or_default().push(spec);
+        }
+        if let Some(c) = cache.as_deref_mut() {
+            c.begin_round();
         }
 
         for coord in self.tree.internal_bottom_up() {
             let mut sw = cosmos_util::Stopwatch::new();
             sw.start();
             let node = self.tree.node(coord);
-            let fine: Vec<QgVertex> = if node.level == 1 {
-                by_coord
-                    .get(&coord)
-                    .map(|qs| qs.iter().map(|s| self.vertex_for(s)).collect())
-                    .unwrap_or_default()
-            } else {
-                node.children.iter().flat_map(|&c| outputs[c].iter().cloned()).collect()
-            };
             let coarse_seed = derive_seed_indexed(seed, "coarsen", coord as u64);
-            let graph = self.graph_from_vertices(fine, coarse_seed);
             let tree = self.tree;
             let cluster_of = move |n: NodeId| -> Option<usize> { tree.covering_child(coord, n) };
-            let Coarsened { graph: coarse, members } =
-                coarsen(&graph, self.config.vmax, self.table.rates(), &cluster_of, coarse_seed);
-            // Outputs exclude derived pure n-vertices (the parent re-derives
-            // them); constituents keep only queryful fine vertices.
-            let mut out = Vec::new();
-            let mut cons = Vec::new();
-            for (ci, v) in coarse.vertices.iter().enumerate() {
-                if v.queries.is_empty() {
-                    continue;
+            let leaf_specs: Vec<&QuerySpec> = if node.level == 1 {
+                by_coord.get(&coord).cloned().unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+
+            if let Some(c) = cache.as_deref_mut() {
+                let input_fp = if node.level == 1 {
+                    c.leaf_input_fp(&leaf_specs, rates)
+                } else {
+                    c.internal_input_fp(&node.children)
+                };
+                if let Some((out, cons)) = c.lookup(coord, input_fp) {
+                    outputs[coord] = out;
+                    constituents[coord] = cons;
+                } else {
+                    let (out, cons) = if node.level == 1 {
+                        if let Some(state) =
+                            c.patch_leaf(coord, &leaf_specs, rates, &|s| self.vertex_for(s))
+                        {
+                            let co = state.run(self.config.vmax, rates, &cluster_of, coarse_seed);
+                            tag_outputs(coord, &co, state.vertices())
+                        } else {
+                            let fine: Vec<QgVertex> =
+                                leaf_specs.iter().map(|s| self.vertex_for(s)).collect();
+                            let qg = self.graph_from_vertices(fine, coarse_seed);
+                            let state = CoarsenState::prepare(&qg);
+                            let co = state.run(self.config.vmax, rates, &cluster_of, coarse_seed);
+                            let oc = tag_outputs(coord, &co, state.vertices());
+                            c.store_leaf_state(coord, &leaf_specs, rates, state);
+                            oc
+                        }
+                    } else {
+                        let fine: Vec<QgVertex> = node
+                            .children
+                            .iter()
+                            .flat_map(|&ch| outputs[ch].iter().cloned())
+                            .collect();
+                        let qg = self.graph_from_vertices(fine, coarse_seed);
+                        let co = coarsen_wholesale(
+                            &qg,
+                            self.config.vmax,
+                            rates,
+                            &cluster_of,
+                            coarse_seed,
+                        );
+                        tag_outputs(coord, &co, &qg.vertices)
+                    };
+                    let cons = Arc::new(cons);
+                    c.insert(coord, input_fp, &out, &cons, rates);
+                    outputs[coord] = out;
+                    constituents[coord] = cons;
                 }
-                let mut tagged = v.clone();
-                tagged.tag = Some((coord, cons.len()));
-                out.push(tagged);
-                cons.push(
-                    members[ci]
-                        .iter()
-                        .filter(|&&fi| !graph.vertices[fi].queries.is_empty())
-                        .map(|&fi| graph.vertices[fi].clone())
-                        .collect::<Vec<QgVertex>>(),
-                );
+            } else {
+                let fine: Vec<QgVertex> = if node.level == 1 {
+                    leaf_specs.iter().map(|s| self.vertex_for(s)).collect()
+                } else {
+                    node.children.iter().flat_map(|&ch| outputs[ch].iter().cloned()).collect()
+                };
+                let qg = self.graph_from_vertices(fine, coarse_seed);
+                let co = coarsen_wholesale(&qg, self.config.vmax, rates, &cluster_of, coarse_seed);
+                let (out, cons) = tag_outputs(coord, &co, &qg.vertices);
+                outputs[coord] = out;
+                constituents[coord] = Arc::new(cons);
             }
-            outputs[coord] = out;
-            constituents[coord] = cons;
             sw.stop();
             timing.total += sw.elapsed();
             let level = node.level;
@@ -563,12 +652,43 @@ impl<'a> Distributor<'a> {
     }
 }
 
+/// Tags the queryful coarse vertices with `coord` and collects, per output,
+/// its queryful fine constituents. Outputs exclude derived pure n-vertices
+/// (the parent re-derives them); constituents keep only queryful fine
+/// vertices.
+fn tag_outputs(
+    coord: usize,
+    co: &Coarsened,
+    fine: &[QgVertex],
+) -> (Vec<QgVertex>, Vec<Vec<QgVertex>>) {
+    let mut out = Vec::new();
+    let mut cons = Vec::new();
+    for (ci, v) in co.graph.vertices.iter().enumerate() {
+        if v.queries.is_empty() {
+            continue;
+        }
+        let mut tagged = v.clone();
+        tagged.tag = Some((coord, cons.len()));
+        out.push(tagged);
+        cons.push(
+            co.members[ci]
+                .iter()
+                .filter(|&&fi| !fine[fi].queries.is_empty())
+                .map(|&fi| fine[fi].clone())
+                .collect::<Vec<QgVertex>>(),
+        );
+    }
+    (out, cons)
+}
+
 /// Bottom-up products: per coordinator, its tagged coarse output vertices
-/// and the constituents behind each of them.
+/// and the constituents behind each of them. Constituent lists sit behind
+/// an [`Arc`] so the incremental optimizer can share unchanged subtrees
+/// across rounds without cloning.
 #[derive(Debug)]
 pub(crate) struct HierarchyGraphs {
     pub outputs: Vec<Vec<QgVertex>>,
-    pub constituents: Vec<Vec<Vec<QgVertex>>>,
+    pub constituents: Vec<Arc<Vec<Vec<QgVertex>>>>,
 }
 
 impl HierarchyGraphs {
@@ -825,5 +945,24 @@ mod tests {
         let ch = cost(&hier.assignment);
         let cn = cost(&naive);
         assert!(ch <= cn * 1.05, "hierarchical ({ch}) should not lose clearly to naive ({cn})");
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_knob() {
+        let bad = DistConfig { vmax: 0, ..DistConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("vmax"));
+        let bad = DistConfig { candidates_per_substream: 0, ..DistConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("candidates_per_substream"));
+        let bad = DistConfig { top_overlap_edges: 0, ..DistConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("top_overlap_edges"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DistConfig")]
+    fn invalid_config_panics_at_construction() {
+        let fix = fixture(10);
+        let tree = CoordinatorTree::build(&fix.dep, 2);
+        let bad = DistConfig { vmax: 0, ..DistConfig::default() };
+        let _ = Distributor::with_config(&fix.dep, &tree, &fix.table, bad);
     }
 }

@@ -25,7 +25,7 @@
 use cosmos_net::NodeId;
 use cosmos_query::QueryId;
 use cosmos_util::InterestSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Is a vertex a query vertex or a network (pinned) vertex?
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,14 +140,18 @@ pub fn edge_weight(a: &QgVertex, b: &QgVertex, rates: &[f64]) -> f64 {
 pub struct QueryGraph {
     /// Vertices; q-vertices and n-vertices interleaved.
     pub vertices: Vec<QgVertex>,
-    adj: Vec<HashMap<usize, f64>>,
+    // Ordered adjacency: neighbor iteration must be deterministic so that
+    // derived-vertex creation and floating-point cost sums are bit-stable
+    // across runs — the incremental optimizer's caches are only valid
+    // because recomputation is bit-reproducible.
+    adj: Vec<BTreeMap<usize, f64>>,
 }
 
 impl QueryGraph {
     /// Creates a graph with the given vertices and no edges.
     pub fn new(vertices: Vec<QgVertex>) -> Self {
         let n = vertices.len();
-        Self { vertices, adj: vec![HashMap::new(); n] }
+        Self { vertices, adj: vec![BTreeMap::new(); n] }
     }
 
     /// Number of vertices.

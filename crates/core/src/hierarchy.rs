@@ -58,6 +58,10 @@ impl CoordNode {
 pub struct CoordinatorTree {
     nodes: Vec<CoordNode>,
     root: usize,
+    /// Bumped on every structural change (`join`/`leave`): the incremental
+    /// optimizer keys its caches on this, so any topology change falls back
+    /// to wholesale recomputation.
+    generation: u64,
 }
 
 impl CoordinatorTree {
@@ -134,12 +138,18 @@ impl CoordinatorTree {
             current = next;
         }
         let root = current[0];
-        Self { nodes, root }
+        Self { nodes, root, generation: 0 }
     }
 
     /// The root coordinator's index.
     pub fn root(&self) -> usize {
         self.root
+    }
+
+    /// Structural generation: incremented by every [`CoordinatorTree::join`]
+    /// and every successful [`CoordinatorTree::leave`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The coordinator at `idx`.
@@ -177,6 +187,12 @@ impl CoordinatorTree {
         self.nodes[coord].children.iter().position(|&c| self.nodes[c].covers(node))
     }
 
+    /// Whether `idx` is still part of the tree (detached nodes keep their
+    /// arena slots but drop out of every query).
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.nodes[idx].active
+    }
+
     /// The level-0 node index of a processor.
     pub fn leaf_of(&self, processor: NodeId) -> Option<usize> {
         self.nodes.iter().position(|n| n.active && n.level == 0 && n.representative == processor)
@@ -194,6 +210,7 @@ impl CoordinatorTree {
     pub fn join(&mut self, processor: NodeId, capability: f64, k: usize, dep: &Deployment) {
         assert!(k >= 2, "cluster size parameter k must be at least 2");
         assert!(self.leaf_of(processor).is_none(), "{processor} is already part of the hierarchy");
+        self.generation += 1;
         // New level-0 node.
         let leaf = self.nodes.len();
         self.nodes.push(CoordNode {
@@ -230,12 +247,16 @@ impl CoordinatorTree {
             self.refresh_upward(new_root, dep);
             return;
         }
-        // Closest level-1 cluster by representative latency.
+        // Closest level-1 cluster by representative latency. Detached
+        // nodes stay in the arena with stale representatives (possibly
+        // this very processor, rejoining after a merge deactivated its
+        // old cluster at distance zero) — they must never win, or the new
+        // leaf is grafted outside the reachable tree.
         let target = self
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.level == 1)
+            .filter(|(_, n)| n.active && n.level == 1)
             .min_by(|(_, a), (_, b)| {
                 let da = dep.distance(processor, a.representative);
                 let db = dep.distance(processor, b.representative);
@@ -266,6 +287,7 @@ impl CoordinatorTree {
         let Some(parent) = self.nodes[leaf].parent else {
             return false; // degenerate single-node tree guarded above
         };
+        self.generation += 1;
         self.nodes[parent].children.retain(|&c| c != leaf);
         self.nodes[leaf].parent = None;
         self.nodes[leaf].active = false;
@@ -293,6 +315,9 @@ impl CoordinatorTree {
                 if let Some(gp) = self.nodes[parent].parent {
                     self.nodes[gp].children.retain(|&c| c != parent);
                 }
+                // Sever the upward link too: a detached node with a live
+                // parent pointer reads as reachable to naive walks.
+                self.nodes[parent].parent = None;
                 self.nodes[parent].active = false;
                 if self.nodes[sib].children.len() > 3 * k - 1 {
                     self.split_cluster(sib, k, dep);
@@ -437,6 +462,24 @@ impl CoordinatorTree {
     /// maintenance): parent/child symmetry, exact processor coverage, and
     /// medians drawn from members.
     pub fn check_invariants(&self) -> Result<(), String> {
+        // Every active node must be reachable from the root. Detached
+        // nodes keep their arena slots, so a maintenance bug that grafts
+        // a new leaf under a deactivated coordinator is invisible to the
+        // per-node checks below — only a root walk exposes it.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            seen[i] = true;
+            stack.extend(self.nodes[i].children.iter().copied());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.active && !seen[i] {
+                return Err(format!("active node {i} is unreachable from root {}", self.root));
+            }
+            if !n.active && seen[i] {
+                return Err(format!("inactive node {i} is still linked under root {}", self.root));
+            }
+        }
         for (i, n) in self.nodes.iter().enumerate() {
             if !n.active {
                 continue;
@@ -724,6 +767,43 @@ mod tests {
         assert!(!tree.node(tree.root()).covers(extra));
         tree.check_invariants().expect("invariants");
         assert_eq!(tree.node(tree.root()).processors.len(), 8);
+    }
+
+    /// Regression: a processor whose departure merged its underfull
+    /// cluster away must rejoin the *reachable* tree. The deactivated
+    /// cluster keeps its arena slot with the departed processor as its
+    /// stale representative (distance zero to itself), so an unfiltered
+    /// closest-cluster search grafts the new leaf under the detached node
+    /// — present per `leaf_of`, invisible to every root-down walk, and
+    /// any query homed there silently vanishes from distribution.
+    #[test]
+    fn rejoin_after_cluster_merge_stays_reachable() {
+        let dep = deployment(12, 32);
+        let k = 2;
+        let mut tree = CoordinatorTree::build(&dep, k);
+        // Find a processor whose leave collapses its cluster below k.
+        let victim = *dep
+            .processors()
+            .iter()
+            .find(|&&p| {
+                let leaf = tree.leaf_of(p).unwrap();
+                let parent = tree.node(leaf).parent.unwrap();
+                tree.node(parent).children.len() == k
+            })
+            .expect("some cluster sits at the minimum size");
+        assert!(tree.leave(victim, k, &dep));
+        tree.check_invariants().expect("invariants after merging leave");
+        tree.join(victim, 1.0, k, &dep);
+        tree.check_invariants().expect("invariants after rejoin");
+        let leaf = tree.leaf_of(victim).expect("rejoined leaf exists");
+        // The new leaf's ancestor chain must end at the root.
+        let mut cur = leaf;
+        while let Some(parent) = tree.node(cur).parent {
+            assert!(tree.is_active(parent), "ancestor {parent} of rejoined leaf is detached");
+            cur = parent;
+        }
+        assert_eq!(cur, tree.root(), "rejoined leaf is not attached under the root");
+        assert!(tree.node(tree.root()).covers(victim));
     }
 
     #[test]

@@ -20,7 +20,15 @@
 //! | §3.5 hierarchical top-down distribution with uncoarsening | [`distribute`] |
 //! | §3.6 online insertion of new queries through the tree | [`online`] |
 //! | §3.7 Algorithm 3: diffusion-based adaptive redistribution | [`adaptive`] |
-//! | §3.8 statistics collection | [`stats`] |
+//! | §3.8 statistics collection, [`stats::StatDelta`] change stream | [`stats`] |
+//! | §3.7/§3.8 delta-driven incremental optimizer (memoized pipeline) | [`incremental`] |
+//!
+//! The incremental layer sits across the optimizer pipeline: it keeps
+//! per-coordinator coarsening states ([`coarsen::CoarsenState`]) and
+//! placement memos alive between adaptation rounds, so a round whose
+//! [`stats::StatDelta`] stream touched few vertices re-does only the
+//! covering subtrees' work while remaining observationally equal to the
+//! batch path ([`adaptive::adapt_wholesale`]).
 //!
 //! # Examples
 //!
@@ -56,6 +64,7 @@ pub mod coarsen;
 pub mod distribute;
 pub mod graph;
 pub mod hierarchy;
+pub mod incremental;
 pub mod mapping;
 pub mod online;
 pub mod spec;
@@ -63,4 +72,6 @@ pub mod stats;
 
 pub use graph::{NetworkGraph, QueryGraph};
 pub use hierarchy::CoordinatorTree;
+pub use incremental::IncrementalOptimizer;
 pub use spec::{Assignment, QuerySpec};
+pub use stats::StatDelta;

@@ -29,6 +29,16 @@ impl Default for MapConfig {
     }
 }
 
+impl MapConfig {
+    /// Checks every knob, naming the offending one on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(format!("map.alpha must be finite and non-negative, got {}", self.alpha));
+        }
+        Ok(())
+    }
+}
+
 /// Result of mapping a query graph onto a network graph.
 #[derive(Debug, Clone)]
 pub struct MappingResult {

@@ -22,6 +22,9 @@
 //! - [`sync`]: read-copy-update primitives ([`SnapshotCell`]) backing the
 //!   broker's parallel publish plane — a writer publishes immutable
 //!   routing snapshots, readers match against them lock-free.
+//! - [`pool`]: a scoped order-preserving [`pool::parallel_map`] used by the
+//!   adaptive optimizer to score independent candidate moves concurrently
+//!   without changing the chosen moves.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 pub mod bitset;
 pub mod intern;
 pub mod plancache;
+pub mod pool;
 pub mod rng;
 pub mod solver;
 pub mod stats;

@@ -1,0 +1,90 @@
+//! A tiny scoped thread pool for parallel candidate scoring.
+//!
+//! The adaptive optimizer scores independent candidate moves inside a
+//! round; each score is a pure function of shared read-only state, so the
+//! map parallelizes trivially. [`parallel_map`] fans such a function over a
+//! slice with `std::thread::scope` — no queues, no persistent workers, no
+//! unsafe — and returns results in input order, so a caller's output is
+//! byte-identical whatever the thread count. With `threads <= 1` (the
+//! default everywhere: the reference container is single-core) or a tiny
+//! input, it degrades to a plain sequential map with no thread overhead.
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// preserving input order.
+///
+/// The slice is split into at most `threads` contiguous chunks, one worker
+/// per chunk, and the per-chunk results are concatenated in chunk order —
+/// so the output is exactly `items.iter().map(f).collect()` regardless of
+/// `threads`. Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // Below this size the spawn cost dominates any conceivable win.
+    const MIN_PARALLEL_LEN: usize = 32;
+    if threads <= 1 || items.len() < MIN_PARALLEL_LEN {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = parallel_map(4, &[], |x: &i32| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_map_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 4, 7, 64] {
+            let got = parallel_map(threads, &items, |x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = vec![1i64, 2, 3];
+        assert_eq!(parallel_map(16, &items, |x| -x), vec![-1, -2, -3]);
+    }
+
+    #[test]
+    fn preserves_order_on_non_commutative_results() {
+        let items: Vec<usize> = (0..500).collect();
+        let got = parallel_map(5, &items, |&i| format!("#{i}"));
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s, &format!("#{i}"));
+        }
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_across_thread_counts() {
+        // The optimizer relies on scores being bit-equal whatever the
+        // thread count; each element's result must not depend on chunking.
+        let items: Vec<f64> = (0..300).map(|i| (i as f64).sin()).collect();
+        let seq = parallel_map(1, &items, |x| x * 1.7 + 0.3);
+        let par = parallel_map(4, &items, |x| x * 1.7 + 0.3);
+        assert!(seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

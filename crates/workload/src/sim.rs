@@ -11,11 +11,13 @@
 
 use crate::generator::{QueryGenerator, WorkloadConfig};
 use crate::params::{PaperParams, RecoveryParams};
-use cosmos_core::adaptive::{adapt, AdaptConfig, AdaptOutcome};
+use cosmos_core::adaptive::{adapt_wholesale, AdaptConfig, AdaptOutcome};
 use cosmos_core::distribute::{DistConfig, Distributor};
 use cosmos_core::hierarchy::CoordinatorTree;
+use cosmos_core::incremental::IncrementalOptimizer;
 use cosmos_core::online::OnlineRouter;
 use cosmos_core::spec::{Assignment, QuerySpec};
+use cosmos_core::stats::StatDelta;
 use cosmos_net::{Deployment, NodeId, Topology};
 use cosmos_pubsub::{
     BrokerNetwork, LossyNetwork, Message, RecoveryNetwork, SubId, Subscription, SubstreamTable,
@@ -392,11 +394,24 @@ impl Simulation {
     /// A single round optimizes a local surrogate and can transiently
     /// worsen the global communication cost while it rebalances load;
     /// rounds compound (refinement iterates to a fixpoint inside
-    /// [`adapt`]), so periodic application converges — do not gate a round
-    /// on the global metric, or load rebalancing starves.
+    /// [`adapt_wholesale`]), so periodic application converges — do not
+    /// gate a round on the global metric, or load rebalancing starves.
     pub fn adapt_round(&mut self, seed: u64) -> AdaptOutcome {
         let d = self.distributor();
-        let out = adapt(&d, &self.specs, &self.assignment, &AdaptConfig::default(), seed);
+        let out = adapt_wholesale(&d, &self.specs, &self.assignment, &AdaptConfig::default(), seed);
+        drop(d);
+        self.assignment = out.assignment.clone();
+        out
+    }
+
+    /// One adaptation round through a delta-driven
+    /// [`IncrementalOptimizer`]; applies and returns the outcome. With the
+    /// optimizer's fixed seed, the applied assignment is identical to what
+    /// [`Simulation::adapt_round`] would apply with that same seed — only
+    /// the work performed differs.
+    pub fn adapt_round_incremental(&mut self, opt: &mut IncrementalOptimizer) -> AdaptOutcome {
+        let d = self.distributor();
+        let out = opt.round(&d, &self.specs, &self.assignment);
         drop(d);
         self.assignment = out.assignment.clone();
         out
@@ -404,15 +419,27 @@ impl Simulation {
 
     /// Scales the rates of `n` random substreams by `factor` (the Figure 10
     /// "I"/"D" events use factors > 1 and < 1 respectively), then refreshes
-    /// the rate-derived query statistics (load, result rate).
-    pub fn perturb_rates(&mut self, n: usize, factor: f64, seed: u64) {
+    /// the rate-derived query statistics (load, result rate). Returns the
+    /// [`StatDelta`] stream describing the change — one `RateChanged` per
+    /// scaled substream, one `QueryChanged` per query whose statistics the
+    /// refresh actually moved — for feeding an [`IncrementalOptimizer`].
+    pub fn perturb_rates(&mut self, n: usize, factor: f64, seed: u64) -> Vec<StatDelta> {
         let mut rng = rng_for(seed, "perturb");
         let mut indices: Vec<usize> = (0..self.table.len()).collect();
         indices.shuffle(&mut rng);
-        for &s in indices.iter().take(n.min(self.table.len())) {
+        let scaled: Vec<usize> = indices.iter().take(n.min(self.table.len())).copied().collect();
+        for &s in &scaled {
             self.table.scale_rate(s, factor);
         }
+        let mut deltas: Vec<StatDelta> =
+            scaled.iter().map(|&s| StatDelta::RateChanged { substream: s }).collect();
+        for q in &self.specs {
+            if scaled.iter().any(|&s| q.interest.contains(s)) {
+                deltas.push(StatDelta::QueryChanged { id: q.id });
+            }
+        }
         self.refresh_statistics();
+        deltas
     }
 
     /// Recomputes load and result rate of every query from the current
@@ -554,6 +581,32 @@ mod tests {
         let batch = s.arrivals(15, 6);
         s.insert_online(&batch);
         assert_eq!(s.assignment.len(), 75);
+    }
+
+    #[test]
+    fn incremental_adaptation_matches_wholesale_rounds() {
+        // Two identically-built simulations driven through the same rate
+        // perturbations: the delta-driven optimizer and the batch path
+        // must apply the same assignment after every round.
+        let seed = 77;
+        let mut whole = sim();
+        let mut inc = sim();
+        let mut opt = IncrementalOptimizer::new(seed, AdaptConfig::default())
+            .expect("default config is valid");
+        for round in 0..4u64 {
+            if round % 2 == 1 {
+                whole.perturb_rates(5, 1.5, 100 + round);
+                let deltas = inc.perturb_rates(5, 1.5, 100 + round);
+                assert!(!deltas.is_empty(), "perturbation must report deltas");
+                for d in &deltas {
+                    opt.ingest(d);
+                }
+            }
+            let a = whole.adapt_round(seed).assignment;
+            let b = inc.adapt_round_incremental(&mut opt).assignment;
+            assert_eq!(a, b, "round {round} diverged");
+        }
+        assert!(opt.cache_stats().hier_hits > 0, "quiet rounds must hit the caches");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! degraded capabilities, stale statistics, query churn storms, and
 //! degenerate deployments.
 
-use cosmos::core::adaptive::{adapt, AdaptConfig};
+use cosmos::core::adaptive::{adapt_wholesale, AdaptConfig};
 use cosmos::core::distribute::Distributor;
 use cosmos::core::hierarchy::CoordinatorTree;
 use cosmos::core::spec::Assignment;
@@ -107,7 +107,7 @@ fn single_processor_deployment_degenerates_gracefully() {
         assert_eq!(out.assignment.processor_of(q.id), Some(only));
     }
     // Adaptation on a single processor is a no-op.
-    let adapted = adapt(&d, &specs, &out.assignment, &AdaptConfig::default(), 54);
+    let adapted = adapt_wholesale(&d, &specs, &out.assignment, &AdaptConfig::default(), 54);
     assert_eq!(adapted.migrations, 0);
 }
 
